@@ -1,0 +1,32 @@
+//! Criterion bench behind ablation A2: simulation cost under different
+//! control-channel latencies with a reactive controller (higher latency ⇒
+//! more queued control events per flow, same asymptotics).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use horse::prelude::*;
+use horse_bench::{ixp_scenario, run_fluid};
+use std::hint::black_box;
+
+fn bench_ctrl_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a2_ctrl_latency");
+    group.sample_size(10);
+    for lat_us in [0u64, 1_000, 10_000] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{lat_us}us")),
+            &lat_us,
+            |b, &lat_us| {
+                b.iter(|| {
+                    let policy = PolicySpec::new().with(PolicyRule::MacLearning);
+                    let s = ixp_scenario(25, 1.0, policy, SimTime::from_secs(2), 6);
+                    let cfg = SimConfig::default()
+                        .with_ctrl_latency(SimDuration::from_micros(lat_us));
+                    black_box(run_fluid(s, cfg))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ctrl_latency);
+criterion_main!(benches);

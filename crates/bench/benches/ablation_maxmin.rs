@@ -1,0 +1,28 @@
+//! Criterion bench behind ablation A1: full vs incremental max-min
+//! recomputation at fixed scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use horse::prelude::*;
+use horse_bench::{ixp_scenario, lb_policy, run_fluid};
+use std::hint::black_box;
+
+fn bench_alloc_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a1_maxmin");
+    group.sample_size(10);
+    for (label, mode) in [
+        ("full", AllocMode::Full),
+        ("incremental", AllocMode::Incremental),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, &mode| {
+            b.iter(|| {
+                let s = ixp_scenario(100, 1.0, lb_policy(), SimTime::from_secs(2), 5);
+                let cfg = SimConfig::default().with_alloc_mode(mode);
+                black_box(run_fluid(s, cfg))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_alloc_modes);
+criterion_main!(benches);

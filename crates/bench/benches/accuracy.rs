@@ -1,0 +1,85 @@
+//! Criterion bench behind experiment E3/E1b: the two planes on the same
+//! workload — the measured gap *is* the paper's headline trade-off.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use horse::compare::{compare_planes, materialize_workload};
+use horse::controlplane::PolicyGenerator;
+use horse::packetsim::engine::{PacketNet, PacketSimConfig};
+use horse::prelude::*;
+use std::hint::black_box;
+
+fn small_scenario() -> Scenario {
+    let mut params = IxpScenarioParams::default();
+    params.fabric.members = 8;
+    params.fabric.member_port_speeds = vec![Rate::mbps(200.0)];
+    params.fabric.uplink_speed = Rate::gbps(1.0);
+    params.offered_bps = 8.0 * 40e6;
+    params.sizes = FlowSizeDist::Pareto {
+        alpha: 1.3,
+        min_bytes: 100_000,
+        max_bytes: 10_000_000,
+    };
+    params.horizon = SimTime::from_secs(3);
+    params.seed = 7;
+    let mut s = Scenario::ixp(&params);
+    materialize_workload(&mut s, 50);
+    s
+}
+
+fn bench_planes(c: &mut Criterion) {
+    let scenario = small_scenario();
+    let mut group = c.benchmark_group("e3_planes");
+    group.sample_size(10);
+
+    group.bench_function("fluid", |b| {
+        b.iter(|| {
+            let mut s = scenario.clone();
+            s.workload = None;
+            let mut sim = Simulation::new(s, SimConfig::default()).expect("valid");
+            black_box(sim.run())
+        });
+    });
+
+    group.bench_function("packet", |b| {
+        b.iter(|| {
+            let mut controller =
+                PolicyGenerator::new(scenario.policy.clone(), &scenario.topology)
+                    .expect("valid policy");
+            let specs: Vec<_> = scenario
+                .explicit_flows
+                .iter()
+                .filter_map(|(at, f)| {
+                    use horse::packetsim::engine::PktFlowSpec;
+                    use horse::packetsim::source::{SourceKind, TcpState};
+                    let size = f.size?;
+                    let source = match f.demand {
+                        horse::dataplane::DemandModel::Greedy => {
+                            SourceKind::Tcp(TcpState::new())
+                        }
+                        horse::dataplane::DemandModel::Cbr(r) => SourceKind::Cbr {
+                            rate_bps: r.as_bps(),
+                        },
+                    };
+                    Some(PktFlowSpec {
+                        key: f.key,
+                        src: f.src,
+                        dst: f.dst,
+                        size,
+                        start: *at,
+                        source,
+                    })
+                })
+                .collect();
+            let net = PacketNet::new(scenario.topology.clone(), PacketSimConfig::default());
+            black_box(net.run(&mut controller, specs, scenario.horizon))
+        });
+    });
+    group.finish();
+
+    // one full comparison, printed once so bench logs carry the numbers
+    let report = compare_planes(&scenario, SimConfig::default());
+    println!("accuracy snapshot: {}", report.row());
+}
+
+criterion_group!(benches, bench_planes);
+criterion_main!(benches);

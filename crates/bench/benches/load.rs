@@ -1,0 +1,33 @@
+//! Criterion bench behind experiment E2: fluid-plane cost vs offered load.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use horse::prelude::*;
+use horse_bench::{fast_config, ixp_scenario, lb_policy, run_fluid};
+use std::hint::black_box;
+
+fn bench_load(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_load");
+    group.sample_size(10);
+    for factor in [0.5f64, 1.0, 2.0, 4.0] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("x{factor}")),
+            &factor,
+            |b, &factor| {
+                b.iter(|| {
+                    let s = ixp_scenario(
+                        50,
+                        factor,
+                        lb_policy(),
+                        SimTime::from_secs(2),
+                        2,
+                    );
+                    black_box(run_fluid(s, fast_config()))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_load);
+criterion_main!(benches);

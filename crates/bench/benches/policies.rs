@@ -1,0 +1,60 @@
+//! Criterion bench behind experiment E5: policy-configuration cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use horse::prelude::*;
+use horse_bench::{fast_config, ixp_scenario, run_fluid};
+use std::hint::black_box;
+
+fn config(level: usize) -> (&'static str, PolicySpec) {
+    match level {
+        0 => (
+            "mac_forwarding",
+            PolicySpec::new().with(PolicyRule::MacForwarding),
+        ),
+        1 => (
+            "mac_learning",
+            PolicySpec::new().with(PolicyRule::MacLearning),
+        ),
+        2 => (
+            "load_balancing",
+            PolicySpec::new().with(PolicyRule::LoadBalancing { mode: LbMode::Ecmp }),
+        ),
+        _ => {
+            let mut spec =
+                PolicySpec::new().with(PolicyRule::LoadBalancing { mode: LbMode::Ecmp });
+            for i in 0..5 {
+                spec = spec.with(PolicyRule::AppPeering {
+                    src: format!("m{}", i * 2 + 1),
+                    dst: format!("m{}", i * 2 + 2),
+                    app: AppClass::Http,
+                    path_rank: 1,
+                });
+                spec = spec.with(PolicyRule::RateLimit {
+                    src: format!("m{}", i * 2 + 11),
+                    dst: format!("m{}", i * 2 + 12),
+                    rate_mbps: 500.0,
+                });
+            }
+            ("full_mix", spec)
+        }
+    }
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_policies");
+    group.sample_size(10);
+    for level in 0..4usize {
+        let (label, _) = config(level);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &level, |b, &level| {
+            b.iter(|| {
+                let (_, policy) = config(level);
+                let s = ixp_scenario(50, 1.0, policy, SimTime::from_secs(2), 4);
+                black_box(run_fluid(s, fast_config()))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

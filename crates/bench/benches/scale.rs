@@ -1,0 +1,33 @@
+//! Criterion bench behind experiment E1a: fluid-plane cost vs fabric size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use horse::prelude::*;
+use horse_bench::{fast_config, ixp_scenario, lb_policy, run_fluid};
+use std::hint::black_box;
+
+fn bench_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_scale");
+    group.sample_size(10);
+    for members in [25usize, 50, 100, 200] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(members),
+            &members,
+            |b, &members| {
+                b.iter(|| {
+                    let s = ixp_scenario(
+                        members,
+                        1.0,
+                        lb_policy(),
+                        SimTime::from_secs(2),
+                        1,
+                    );
+                    black_box(run_fluid(s, fast_config()))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scale);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! E1 — Simulation time vs network scale (flow-level vs packet-level).
+//!
+//! Table 1a: fluid-plane wall-clock / events / speedup-over-realtime as
+//! the IXP grows from 50 to 800 members at fixed per-member load.
+//! Table 1b: fluid vs packet on the sizes the packet plane can finish in
+//! reasonable time (the gap *is* the result).
+//!
+//! Run with: `cargo run --release -p horse-bench --bin exp_e1`
+
+use horse::compare::compare_on_ixp;
+use horse::prelude::*;
+use horse_bench::{fast_config, fmt_wall, ixp_scenario, lb_policy, run_fluid};
+
+fn main() {
+    let horizon = SimTime::from_secs(10);
+    println!("== E1a: fluid plane, scale sweep (10 simulated seconds, 40 Mbps/member) ==");
+    println!("members |  nodes | flows adm. |   events |  wall     | ev/s    | sim/wall");
+    println!("--------+--------+------------+----------+-----------+---------+---------");
+    for members in [50usize, 100, 200, 400, 800] {
+        let s = ixp_scenario(members, 1.0, lb_policy(), horizon, 1);
+        let nodes = s.topology.node_count();
+        let r = run_fluid(s, fast_config());
+        println!(
+            "{members:>7} | {nodes:>6} | {:>10} | {:>8} | {:>9} | {:>7.0} | {:>7.1}x",
+            r.flows_admitted,
+            r.events,
+            fmt_wall(r.wall_seconds),
+            r.events_per_sec(),
+            r.speedup(),
+        );
+    }
+
+    println!();
+    println!("== E1b: fluid vs packet on identical workloads (5 simulated seconds) ==");
+    println!("members | flows | fluid wall | packet wall | speedup | event ratio");
+    println!("--------+-------+------------+-------------+---------+------------");
+    for members in [8usize, 16, 32, 64] {
+        let flows = members * 8;
+        let rep = compare_on_ixp(members, flows, SimTime::from_secs(5), 1);
+        println!(
+            "{members:>7} | {flows:>5} | {:>10} | {:>11} | {:>6.1}x | {:>10.1}x",
+            fmt_wall(rep.fluid_wall),
+            fmt_wall(rep.packet_wall),
+            rep.speedup(),
+            rep.event_ratio(),
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! Shared harness for the Horse experiment suite (DESIGN.md §5).
+//!
+//! Each `exp_*` binary regenerates one experiment's table; the Criterion
+//! benches in `benches/` track the same code paths as regression
+//! benchmarks. EXPERIMENTS.md records paper-expectation vs measured.
+
+use horse::prelude::*;
+
+/// Builds the standard IXP scenario used across E1/E2/E5:
+/// `members` member routers on an edge/core fabric, gravity traffic at
+/// `load_factor` × (40 Mbps per member), megabyte-scale heavy-tailed
+/// flows.
+pub fn ixp_scenario(
+    members: usize,
+    load_factor: f64,
+    policy: PolicySpec,
+    horizon: SimTime,
+    seed: u64,
+) -> Scenario {
+    let mut params = IxpScenarioParams::default();
+    params.fabric.members = members;
+    params.fabric.edge_switches = (members / 25).clamp(2, 16);
+    params.fabric.core_switches = (members / 100).clamp(2, 4);
+    // uniform fast access ports: the sweep measures simulator cost, and an
+    // oversubscribed tail member would measure congestion pile-up instead
+    params.fabric.member_port_speeds = vec![Rate::gbps(10.0)];
+    params.offered_bps = members as f64 * 40e6 * load_factor;
+    params.zipf_alpha = 1.0;
+    params.sizes = FlowSizeDist::Pareto {
+        alpha: 1.3,
+        min_bytes: 1_000_000,
+        max_bytes: 1_000_000_000,
+    };
+    params.policy = policy;
+    params.horizon = horizon;
+    params.seed = seed;
+    Scenario::ixp(&params)
+}
+
+/// The default experiment policy: ECMP load balancing.
+pub fn lb_policy() -> PolicySpec {
+    PolicySpec::new().with(PolicyRule::LoadBalancing { mode: LbMode::Ecmp })
+}
+
+/// "Basic forwarding based on source and destination MAC" (paper).
+pub fn mac_policy() -> PolicySpec {
+    PolicySpec::new().with(PolicyRule::MacForwarding)
+}
+
+/// Runs a scenario through the fluid plane and returns the results.
+pub fn run_fluid(scenario: Scenario, config: SimConfig) -> SimResults {
+    let mut sim = Simulation::new(scenario, config).expect("valid scenario");
+    sim.run()
+}
+
+/// The incremental-allocation config used for scale experiments.
+pub fn fast_config() -> SimConfig {
+    SimConfig::default()
+        .with_alloc_mode(AllocMode::Incremental)
+        .with_stats_epoch(Some(SimDuration::from_secs(1)))
+}
+
+/// Formats a wall-clock duration for table cells.
+pub fn fmt_wall(secs: f64) -> String {
+    if secs < 1.0 {
+        format!("{:.1} ms", secs * 1e3)
+    } else {
+        format!("{secs:.2} s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ixp_scenario_builds_and_runs() {
+        let s = ixp_scenario(25, 1.0, lb_policy(), SimTime::from_secs(2), 3);
+        let r = run_fluid(s, fast_config());
+        assert!(r.flows_admitted > 0);
+        assert!(r.events > 0);
+    }
+
+    #[test]
+    fn policies_build() {
+        assert_eq!(lb_policy().policies.len(), 1);
+        assert_eq!(mac_policy().policies.len(), 1);
+    }
+
+    #[test]
+    fn wall_formatting() {
+        assert_eq!(fmt_wall(0.0123), "12.3 ms");
+        assert_eq!(fmt_wall(2.5), "2.50 s");
+    }
+}

@@ -1,0 +1,201 @@
+//! The controller programming interface.
+//!
+//! The paper's control plane is event-driven: the data plane exports
+//! statistics and network state after every event, and the controller
+//! reacts by emitting OpenFlow instructions. [`Controller`] is that
+//! contract; the `horse` core delivers callbacks with control-channel
+//! latency applied and carries [`Outbox`] contents back to the switches.
+
+use horse_openflow::messages::{CtrlMsg, StatsReply, SwitchMsg};
+use horse_openflow::table::RemovalReason;
+use horse_topology::Topology;
+use horse_types::{FlowKey, NodeId, PortNo, SimDuration, SimTime};
+
+/// Messages and timer requests a controller callback produced.
+#[derive(Debug, Default)]
+pub struct Outbox {
+    /// OpenFlow messages to deliver, in order.
+    pub msgs: Vec<(NodeId, CtrlMsg)>,
+    /// Timer requests: `(delay, token)` — the core fires
+    /// [`Controller::on_timer`] with `token` after `delay`.
+    pub timers: Vec<(SimDuration, u64)>,
+}
+
+impl Outbox {
+    /// An empty outbox.
+    pub fn new() -> Self {
+        Outbox::default()
+    }
+
+    /// Queues a message for `switch`.
+    pub fn send(&mut self, switch: NodeId, msg: CtrlMsg) {
+        self.msgs.push((switch, msg));
+    }
+
+    /// Requests a timer callback after `delay` carrying `token`.
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        self.timers.push((delay, token));
+    }
+
+    /// True when nothing was produced.
+    pub fn is_empty(&self) -> bool {
+        self.msgs.is_empty() && self.timers.is_empty()
+    }
+}
+
+/// Read-only view handed to controller callbacks.
+///
+/// Real SDN controllers learn the topology via discovery (LLDP); the
+/// paper's abstraction skips that protocol and exposes the topology (with
+/// current link states) directly — the "network state" export of Fig. 2.
+pub struct ControllerCtx<'a> {
+    /// The topology, including current link states.
+    pub topo: &'a Topology,
+    /// Current simulated time.
+    pub now: SimTime,
+}
+
+/// An SDN controller. All callbacks are optional except flow-in, which is
+/// the reactive heart of the control plane.
+pub trait Controller {
+    /// Human-readable name (used in reports).
+    fn name(&self) -> &str;
+
+    /// Called once at simulation start — install proactive rules here.
+    fn on_start(&mut self, _ctx: &ControllerCtx<'_>, _out: &mut Outbox) {}
+
+    /// A switch reported a flow with no matching entry (table miss).
+    fn on_flow_in(
+        &mut self,
+        switch: NodeId,
+        in_port: PortNo,
+        key: &FlowKey,
+        ctx: &ControllerCtx<'_>,
+        out: &mut Outbox,
+    );
+
+    /// A flow entry the controller marked for notification was removed.
+    fn on_flow_removed(
+        &mut self,
+        _switch: NodeId,
+        _cookie: u64,
+        _reason: RemovalReason,
+        _ctx: &ControllerCtx<'_>,
+        _out: &mut Outbox,
+    ) {
+    }
+
+    /// A switch port changed state (link failure/recovery).
+    fn on_port_status(
+        &mut self,
+        _switch: NodeId,
+        _port: PortNo,
+        _up: bool,
+        _ctx: &ControllerCtx<'_>,
+        _out: &mut Outbox,
+    ) {
+    }
+
+    /// A statistics reply arrived (the Monitor block's polling loop).
+    fn on_stats(
+        &mut self,
+        _switch: NodeId,
+        _reply: &StatsReply,
+        _ctx: &ControllerCtx<'_>,
+        _out: &mut Outbox,
+    ) {
+    }
+
+    /// A previously requested timer fired.
+    fn on_timer(&mut self, _token: u64, _ctx: &ControllerCtx<'_>, _out: &mut Outbox) {}
+
+    /// Convenience dispatcher used by the core simulator.
+    fn dispatch(&mut self, msg: &SwitchMsg, ctx: &ControllerCtx<'_>, out: &mut Outbox) {
+        match msg {
+            SwitchMsg::FlowIn {
+                switch,
+                in_port,
+                key,
+            } => self.on_flow_in(*switch, *in_port, key, ctx, out),
+            SwitchMsg::FlowRemoved {
+                switch,
+                cookie,
+                reason,
+                ..
+            } => self.on_flow_removed(*switch, *cookie, *reason, ctx, out),
+            SwitchMsg::PortStatus { switch, port, up } => {
+                self.on_port_status(*switch, *port, *up, ctx, out)
+            }
+            SwitchMsg::StatsReply { switch, reply } => self.on_stats(*switch, reply, ctx, out),
+            SwitchMsg::BarrierReply { .. } => {}
+        }
+    }
+}
+
+/// A controller that drops every flow-in (useful as a null baseline and in
+/// tests: with it, only proactively installed rules carry traffic).
+#[derive(Debug, Default, Clone)]
+pub struct NullController;
+
+impl Controller for NullController {
+    fn name(&self) -> &str {
+        "null"
+    }
+
+    fn on_flow_in(
+        &mut self,
+        _switch: NodeId,
+        _in_port: PortNo,
+        _key: &FlowKey,
+        _ctx: &ControllerCtx<'_>,
+        _out: &mut Outbox,
+    ) {
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use horse_types::MacAddr;
+
+    #[test]
+    fn outbox_collects() {
+        let mut out = Outbox::new();
+        assert!(out.is_empty());
+        out.send(NodeId(1), CtrlMsg::Barrier);
+        out.set_timer(SimDuration::from_secs(1), 42);
+        assert_eq!(out.msgs.len(), 1);
+        assert_eq!(out.timers, vec![(SimDuration::from_secs(1), 42)]);
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn null_controller_ignores_everything() {
+        let topo = Topology::new();
+        let ctx = ControllerCtx {
+            topo: &topo,
+            now: SimTime::ZERO,
+        };
+        let mut c = NullController;
+        let mut out = Outbox::new();
+        let key = FlowKey::tcp(
+            MacAddr::local_from_id(1),
+            MacAddr::local_from_id(2),
+            "10.0.0.1".parse().unwrap(),
+            "10.0.0.2".parse().unwrap(),
+            1,
+            80,
+        );
+        c.dispatch(
+            &SwitchMsg::FlowIn {
+                switch: NodeId(0),
+                in_port: PortNo(1),
+                key,
+            },
+            &ctx,
+            &mut out,
+        );
+        assert!(out.is_empty());
+        assert_eq!(c.name(), "null");
+    }
+}

@@ -1,0 +1,471 @@
+//! The Policy Generator — the paper's "lightweight and modular controller
+//! that translates high level policies into OpenFlow control messages".
+//!
+//! [`PolicyGenerator`] validates a [`PolicySpec`] against the topology,
+//! instantiates one [`PolicyModule`] per rule, and implements
+//! [`Controller`]:
+//!
+//! * `on_start` installs the pipeline plumbing (table-0 fall-through,
+//!   table-1 miss entry) and every module's proactive rules;
+//! * `on_flow_in` dispatches to reactive modules (MAC learning);
+//! * `on_port_status` rebuilds the path database from the changed topology
+//!   and re-installs all modules — failed links disappear from paths, so
+//!   replacement rules route around them (the paper's "reaction of the
+//!   controller to specific network events");
+//! * `on_stats` / `on_timer` feed the adaptive load balancer.
+
+use crate::api::{Controller, ControllerCtx, Outbox};
+use crate::modules::{
+    AppPeeringModule, BlackholeModule, CompileCtx, LoadBalanceModule, MacForwardingModule,
+    MacLearningModule, PolicyModule, RateLimitModule, SourceRoutingModule,
+};
+use crate::pathdb::PathDb;
+use crate::spec::{PolicyRule, PolicySpec};
+use crate::validate::{validate_spec, ValidationReport};
+use crate::{cookies, priorities};
+use horse_openflow::actions::{Action, Instruction};
+use horse_openflow::flow_match::FlowMatch;
+use horse_openflow::messages::{CtrlMsg, FlowMod, FlowModCommand};
+use horse_openflow::table::FlowEntry;
+use horse_openflow::MeterId;
+use horse_topology::Topology;
+use horse_types::{FlowKey, NodeId, PortNo, Rate, TableId};
+
+/// See module docs.
+pub struct PolicyGenerator {
+    spec: PolicySpec,
+    modules: Vec<Box<dyn PolicyModule>>,
+    paths: PathDb,
+    /// The validation outcome (always `is_ok()` for a constructed
+    /// generator; kept for its warnings).
+    pub report: ValidationReport,
+    /// Whether a reactive module is present (drives the table-1 miss rule).
+    reactive: bool,
+    /// Flow-ins received.
+    pub flow_ins: u64,
+    /// Flow-ins no module handled.
+    pub unhandled_flow_ins: u64,
+    /// Messages emitted (all callbacks).
+    pub msgs_emitted: u64,
+}
+
+impl PolicyGenerator {
+    /// Validates the spec and builds the module stack. Returns the
+    /// validation report on hard errors.
+    pub fn new(spec: PolicySpec, topo: &Topology) -> Result<Self, ValidationReport> {
+        let report = validate_spec(&spec, topo);
+        if !report.is_ok() {
+            return Err(report);
+        }
+        let paths = PathDb::build(topo);
+        let mut modules: Vec<Box<dyn PolicyModule>> = Vec::new();
+        let mut meter_seq = 0u32;
+        let mut instance = 0u64;
+        let mut reactive = false;
+        let host = |name: &str| topo.node_by_name(name).expect("validated");
+        let mac = |name: &str| {
+            topo.node(host(name))
+                .and_then(|n| n.mac())
+                .expect("validated host has MAC")
+        };
+        for rule in &spec.policies {
+            instance += 1;
+            match rule {
+                PolicyRule::MacForwarding => modules.push(Box::new(MacForwardingModule)),
+                PolicyRule::MacLearning => {
+                    reactive = true;
+                    modules.push(Box::new(MacLearningModule::default()));
+                }
+                PolicyRule::LoadBalancing { mode } => {
+                    modules.push(Box::new(LoadBalanceModule::new(*mode)))
+                }
+                PolicyRule::AppPeering {
+                    src,
+                    dst,
+                    app,
+                    path_rank,
+                } => modules.push(Box::new(AppPeeringModule {
+                    src: host(src),
+                    dst: host(dst),
+                    src_mac: mac(src),
+                    dst_mac: mac(dst),
+                    app: *app,
+                    path_rank: *path_rank,
+                    index: instance,
+                })),
+                PolicyRule::Blackhole { victim } => modules.push(Box::new(BlackholeModule {
+                    victim: host(victim),
+                    victim_mac: mac(victim),
+                })),
+                PolicyRule::SourceRouting { src, dst, via } => {
+                    let waypoints: Vec<NodeId> = via
+                        .iter()
+                        .map(|w| topo.node_by_name(w).expect("validated waypoint"))
+                        .collect();
+                    modules.push(Box::new(SourceRoutingModule {
+                        src: host(src),
+                        dst: host(dst),
+                        src_mac: mac(src),
+                        dst_mac: mac(dst),
+                        via: waypoints,
+                        index: instance,
+                    }))
+                }
+                PolicyRule::RateLimit { src, dst, rate_mbps } => {
+                    meter_seq += 1;
+                    modules.push(Box::new(RateLimitModule {
+                        src: host(src),
+                        dst: host(dst),
+                        src_mac: mac(src),
+                        dst_mac: mac(dst),
+                        rate: Rate::mbps(*rate_mbps),
+                        meter: MeterId(meter_seq),
+                    }))
+                }
+            }
+        }
+        Ok(PolicyGenerator {
+            spec,
+            modules,
+            paths,
+            report,
+            reactive,
+            flow_ins: 0,
+            unhandled_flow_ins: 0,
+            msgs_emitted: 0,
+        })
+    }
+
+    /// The spec this generator was built from.
+    pub fn spec(&self) -> &PolicySpec {
+        &self.spec
+    }
+
+    /// Compiles all proactive rules (plumbing + modules) without running a
+    /// simulation — used by tests and by [`validate_rules`] consumers.
+    ///
+    /// [`validate_rules`]: crate::validate::validate_rules
+    pub fn compile(&mut self, topo: &Topology) -> Outbox {
+        let mut out = Outbox::new();
+        let ctx = ControllerCtx {
+            topo,
+            now: horse_types::SimTime::ZERO,
+        };
+        self.on_start(&ctx, &mut out);
+        out
+    }
+
+    fn install_plumbing(&self, topo: &Topology, out: &mut Outbox) {
+        for sw in topo.switches() {
+            // table 0 fall-through: every flow continues into table 1
+            out.send(
+                sw,
+                CtrlMsg::FlowMod(FlowMod {
+                    table: TableId(0),
+                    command: FlowModCommand::Add,
+                    entry: FlowEntry::new(
+                        priorities::FALLTHROUGH,
+                        FlowMatch::ANY,
+                        vec![Instruction::GotoTable(TableId(1))],
+                    )
+                    .with_cookie(cookies::PLUMBING),
+                }),
+            );
+            // table 1 miss: reactive setups punt to the controller
+            if self.reactive {
+                out.send(
+                    sw,
+                    CtrlMsg::FlowMod(FlowMod {
+                        table: TableId(1),
+                        command: FlowModCommand::Add,
+                        entry: FlowEntry::new(
+                            0,
+                            FlowMatch::ANY,
+                            vec![Instruction::ApplyActions(vec![Action::Output(
+                                PortNo::CONTROLLER,
+                            )])],
+                        )
+                        .with_cookie(cookies::PLUMBING),
+                    }),
+                );
+            }
+        }
+    }
+
+    fn reinstall(&mut self, ctx: &ControllerCtx<'_>, out: &mut Outbox) {
+        self.install_plumbing(ctx.topo, out);
+        let cctx = CompileCtx {
+            topo: ctx.topo,
+            paths: &self.paths,
+            now: ctx.now,
+        };
+        for m in self.modules.iter_mut() {
+            m.install(&cctx, out);
+        }
+    }
+}
+
+impl Controller for PolicyGenerator {
+    fn name(&self) -> &str {
+        "policy_generator"
+    }
+
+    fn on_start(&mut self, ctx: &ControllerCtx<'_>, out: &mut Outbox) {
+        self.paths = PathDb::build(ctx.topo);
+        self.reinstall(ctx, out);
+        self.msgs_emitted += out.msgs.len() as u64;
+    }
+
+    fn on_flow_in(
+        &mut self,
+        switch: NodeId,
+        in_port: PortNo,
+        key: &FlowKey,
+        ctx: &ControllerCtx<'_>,
+        out: &mut Outbox,
+    ) {
+        self.flow_ins += 1;
+        let before = out.msgs.len();
+        let cctx = CompileCtx {
+            topo: ctx.topo,
+            paths: &self.paths,
+            now: ctx.now,
+        };
+        let mut handled = false;
+        for m in self.modules.iter_mut() {
+            if m.on_flow_in(switch, in_port, key, &cctx, out) {
+                handled = true;
+                break;
+            }
+        }
+        if !handled {
+            self.unhandled_flow_ins += 1;
+        }
+        self.msgs_emitted += (out.msgs.len() - before) as u64;
+    }
+
+    fn on_port_status(
+        &mut self,
+        switch: NodeId,
+        port: PortNo,
+        up: bool,
+        ctx: &ControllerCtx<'_>,
+        out: &mut Outbox,
+    ) {
+        // Topology in ctx already reflects the change; recompute paths and
+        // re-install so forwarding routes around the failure.
+        self.paths = PathDb::build(ctx.topo);
+        let before = out.msgs.len();
+        {
+            let cctx = CompileCtx {
+                topo: ctx.topo,
+                paths: &self.paths,
+                now: ctx.now,
+            };
+            for m in self.modules.iter_mut() {
+                m.on_port_status(switch, port, up, &cctx, out);
+            }
+        }
+        self.reinstall(ctx, out);
+        self.msgs_emitted += (out.msgs.len() - before) as u64;
+    }
+
+    fn on_stats(
+        &mut self,
+        switch: NodeId,
+        reply: &horse_openflow::messages::StatsReply,
+        ctx: &ControllerCtx<'_>,
+        out: &mut Outbox,
+    ) {
+        let before = out.msgs.len();
+        let cctx = CompileCtx {
+            topo: ctx.topo,
+            paths: &self.paths,
+            now: ctx.now,
+        };
+        for m in self.modules.iter_mut() {
+            m.on_stats(switch, reply, &cctx, out);
+        }
+        self.msgs_emitted += (out.msgs.len() - before) as u64;
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &ControllerCtx<'_>, out: &mut Outbox) {
+        let before = out.msgs.len();
+        let cctx = CompileCtx {
+            topo: ctx.topo,
+            paths: &self.paths,
+            now: ctx.now,
+        };
+        for m in self.modules.iter_mut() {
+            if m.on_timer(token, &cctx, out) {
+                break;
+            }
+        }
+        self.msgs_emitted += (out.msgs.len() - before) as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::LbMode;
+    use crate::validate::validate_rules;
+    use horse_topology::builders;
+
+    fn fig1_fabric() -> horse_topology::builders::FabricHandles {
+        builders::figure1_fabric()
+    }
+
+    #[test]
+    fn rejects_invalid_spec() {
+        let f = fig1_fabric();
+        let bad = PolicySpec::new().with(PolicyRule::Blackhole {
+            victim: "ghost".into(),
+        });
+        let err = PolicyGenerator::new(bad, &f.topology).err().expect("rejected");
+        assert!(!err.is_ok());
+    }
+
+    #[test]
+    fn figure1_compiles_conflict_free() {
+        let f = fig1_fabric();
+        let mut gen =
+            PolicyGenerator::new(PolicySpec::figure1(), &f.topology).expect("valid spec");
+        let out = gen.compile(&f.topology);
+        assert!(!out.msgs.is_empty());
+        let rep = validate_rules(&out.msgs);
+        assert!(rep.is_ok(), "{rep}");
+    }
+
+    #[test]
+    fn reactive_spec_installs_table1_miss() {
+        let f = fig1_fabric();
+        let mut gen = PolicyGenerator::new(
+            PolicySpec::new().with(PolicyRule::MacLearning),
+            &f.topology,
+        )
+        .unwrap();
+        let out = gen.compile(&f.topology);
+        // every switch gets fall-through + controller-miss
+        let switches = f.topology.switches().count();
+        let miss_rules = out
+            .msgs
+            .iter()
+            .filter(|(_, m)| {
+                matches!(m, CtrlMsg::FlowMod(fm) if fm.table == TableId(1) && fm.entry.priority == 0)
+            })
+            .count();
+        assert_eq!(miss_rules, switches);
+    }
+
+    #[test]
+    fn proactive_spec_has_no_controller_miss() {
+        let f = fig1_fabric();
+        let mut gen = PolicyGenerator::new(
+            PolicySpec::new().with(PolicyRule::MacForwarding),
+            &f.topology,
+        )
+        .unwrap();
+        let out = gen.compile(&f.topology);
+        let miss_rules = out
+            .msgs
+            .iter()
+            .filter(|(_, m)| {
+                matches!(m, CtrlMsg::FlowMod(fm) if fm.table == TableId(1) && fm.entry.priority == 0)
+            })
+            .count();
+        assert_eq!(miss_rules, 0);
+    }
+
+    #[test]
+    fn adaptive_lb_arms_timer_through_generator() {
+        let f = fig1_fabric();
+        let mut gen = PolicyGenerator::new(
+            PolicySpec::new().with(PolicyRule::LoadBalancing {
+                mode: LbMode::Adaptive,
+            }),
+            &f.topology,
+        )
+        .unwrap();
+        let out = gen.compile(&f.topology);
+        assert_eq!(out.timers.len(), 1);
+        // firing the timer emits stats requests
+        let ctx = ControllerCtx {
+            topo: &f.topology,
+            now: horse_types::SimTime::from_secs(5),
+        };
+        let mut out2 = Outbox::new();
+        gen.on_timer(out.timers[0].1, &ctx, &mut out2);
+        assert!(out2
+            .msgs
+            .iter()
+            .any(|(_, m)| matches!(m, CtrlMsg::StatsRequest(_))));
+    }
+
+    #[test]
+    fn port_status_triggers_reinstall() {
+        let f = fig1_fabric();
+        let mut topo = f.topology.clone();
+        let mut gen = PolicyGenerator::new(
+            PolicySpec::new().with(PolicyRule::MacForwarding),
+            &topo,
+        )
+        .unwrap();
+        let _ = gen.compile(&topo);
+        // fail an edge-core cable, then notify
+        let e1 = topo.node_by_name("e1").unwrap();
+        let cable = topo.out_links(e1).next().map(|(l, _)| l).unwrap();
+        let port = topo.link(cable).unwrap().src_port;
+        topo.set_cable_state(cable, horse_topology::LinkState::Down)
+            .unwrap();
+        let ctx = ControllerCtx {
+            topo: &topo,
+            now: horse_types::SimTime::from_secs(1),
+        };
+        let mut out = Outbox::new();
+        gen.on_port_status(e1, port, false, &ctx, &mut out);
+        assert!(!out.msgs.is_empty(), "reinstall must emit replacement rules");
+        // none of the re-installed rules on e1 may output on the dead port
+        for (sw, msg) in &out.msgs {
+            if *sw == e1 {
+                if let CtrlMsg::FlowMod(fm) = msg {
+                    for ins in &fm.entry.instructions {
+                        if let Instruction::ApplyActions(actions) = ins {
+                            for a in actions {
+                                if let Action::Output(p) = a {
+                                    assert_ne!(*p, port, "rule still uses dead port");
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unhandled_flow_ins_counted() {
+        let f = fig1_fabric();
+        let mut gen = PolicyGenerator::new(
+            PolicySpec::new().with(PolicyRule::MacForwarding),
+            &f.topology,
+        )
+        .unwrap();
+        let ctx = ControllerCtx {
+            topo: &f.topology,
+            now: horse_types::SimTime::ZERO,
+        };
+        let mut out = Outbox::new();
+        let key = horse_types::FlowKey::tcp(
+            horse_types::MacAddr::local_from_id(1),
+            horse_types::MacAddr::local_from_id(2),
+            "10.0.0.1".parse().unwrap(),
+            "10.0.1.1".parse().unwrap(),
+            1,
+            80,
+        );
+        gen.on_flow_in(f.edges[0], PortNo(1), &key, &ctx, &mut out);
+        assert_eq!(gen.flow_ins, 1);
+        assert_eq!(gen.unhandled_flow_ins, 1, "no reactive module present");
+    }
+}

@@ -1,0 +1,92 @@
+//! Policy modules — one per policy class of the paper's Fig. 1.
+//!
+//! Each module compiles its policy into OpenFlow messages through
+//! [`PolicyModule::install`] (idempotent: re-running after a topology
+//! change replaces the previous rules) and may react to flow-ins, port
+//! status, statistics and timers. The [`PolicyGenerator`] owns a list of
+//! modules and dispatches to them — the paper's "lightweight and modular
+//! controller".
+//!
+//! [`PolicyGenerator`]: crate::generator::PolicyGenerator
+
+pub mod app_peering;
+pub mod blackhole;
+pub mod load_balance;
+pub mod mac_forwarding;
+pub mod mac_learning;
+pub mod rate_limit;
+pub mod source_routing;
+
+pub use app_peering::AppPeeringModule;
+pub use blackhole::BlackholeModule;
+pub use load_balance::LoadBalanceModule;
+pub use mac_forwarding::MacForwardingModule;
+pub use mac_learning::MacLearningModule;
+pub use rate_limit::RateLimitModule;
+pub use source_routing::SourceRoutingModule;
+
+use crate::api::Outbox;
+use crate::pathdb::PathDb;
+use horse_openflow::messages::StatsReply;
+use horse_topology::Topology;
+use horse_types::{FlowKey, NodeId, PortNo, SimTime};
+
+/// Read-only compile context for module installation and reactions.
+pub struct CompileCtx<'a> {
+    /// Topology with current link states.
+    pub topo: &'a Topology,
+    /// Path database built from the current topology state.
+    pub paths: &'a PathDb,
+    /// Current time.
+    pub now: SimTime,
+}
+
+/// A pluggable policy module.
+pub trait PolicyModule {
+    /// Module name (reports, validation messages).
+    fn name(&self) -> &'static str;
+
+    /// Emits the module's proactive rules. Must be idempotent: the
+    /// generator re-invokes it after topology changes and `FlowMod::Add`
+    /// replaces same-match-same-priority entries.
+    fn install(&mut self, ctx: &CompileCtx<'_>, out: &mut Outbox);
+
+    /// Reactive hook. Returns `true` when this module handled the miss.
+    fn on_flow_in(
+        &mut self,
+        _switch: NodeId,
+        _in_port: PortNo,
+        _key: &FlowKey,
+        _ctx: &CompileCtx<'_>,
+        _out: &mut Outbox,
+    ) -> bool {
+        false
+    }
+
+    /// Port up/down notification (generator already rebuilt the path DB).
+    fn on_port_status(
+        &mut self,
+        _switch: NodeId,
+        _port: PortNo,
+        _up: bool,
+        _ctx: &CompileCtx<'_>,
+        _out: &mut Outbox,
+    ) {
+    }
+
+    /// Statistics reply (adaptive modules).
+    fn on_stats(
+        &mut self,
+        _switch: NodeId,
+        _reply: &StatsReply,
+        _ctx: &CompileCtx<'_>,
+        _out: &mut Outbox,
+    ) {
+    }
+
+    /// Timer callback. Returns `true` when the token belonged to this
+    /// module.
+    fn on_timer(&mut self, _token: u64, _ctx: &CompileCtx<'_>, _out: &mut Outbox) -> bool {
+        false
+    }
+}

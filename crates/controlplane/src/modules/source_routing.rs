@@ -1,0 +1,138 @@
+//! Source routing — pin an explicit path (through named waypoints) for
+//! all traffic of a member pair, per Fig. 1's "source routing" policy.
+//!
+//! Compiled as per-hop table-0 rules matching `(eth_src, eth_dst)`.
+
+use super::{CompileCtx, PolicyModule};
+use crate::api::Outbox;
+use crate::{cookies, priorities};
+use horse_openflow::actions::Instruction;
+use horse_openflow::flow_match::FlowMatch;
+use horse_openflow::messages::{CtrlMsg, FlowMod, FlowModCommand};
+use horse_openflow::table::FlowEntry;
+use horse_types::{MacAddr, NodeId, TableId};
+
+/// See module docs.
+#[derive(Debug)]
+pub struct SourceRoutingModule {
+    /// Source member host.
+    pub src: NodeId,
+    /// Destination member host.
+    pub dst: NodeId,
+    /// Source member MAC.
+    pub src_mac: MacAddr,
+    /// Destination member MAC.
+    pub dst_mac: MacAddr,
+    /// Waypoint nodes, in order.
+    pub via: Vec<NodeId>,
+    /// Instance index for cookie separation.
+    pub index: u64,
+}
+
+impl PolicyModule for SourceRoutingModule {
+    fn name(&self) -> &'static str {
+        "source_routing"
+    }
+
+    fn install(&mut self, ctx: &CompileCtx<'_>, out: &mut Outbox) {
+        let Some(path) = ctx.paths.via_path(ctx.topo, self.src, &self.via, self.dst) else {
+            return;
+        };
+        let matcher = FlowMatch::ANY
+            .with_eth_src(self.src_mac)
+            .with_eth_dst(self.dst_mac);
+        for (i, node) in path.nodes.iter().enumerate() {
+            if ctx.topo.node(*node).map(|n| n.kind.is_switch()) != Some(true) {
+                continue;
+            }
+            let Some(&link) = path.links.get(i) else {
+                continue;
+            };
+            let port = ctx.topo.link(link).expect("path link exists").src_port;
+            out.send(
+                *node,
+                CtrlMsg::FlowMod(FlowMod {
+                    table: TableId(0),
+                    command: FlowModCommand::Add,
+                    entry: FlowEntry::new(
+                        priorities::SOURCE_ROUTING,
+                        matcher,
+                        vec![Instruction::output(port)],
+                    )
+                    .with_cookie(cookies::SOURCE_ROUTING | self.index),
+                }),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pathdb::PathDb;
+    use horse_topology::builders;
+    use horse_types::SimTime;
+
+    #[test]
+    fn routes_through_the_named_core() {
+        let f = builders::ixp_fabric(&builders::IxpFabricParams {
+            members: 2,
+            edge_switches: 2,
+            core_switches: 2,
+            ..Default::default()
+        });
+        let db = PathDb::build(&f.topology);
+        let ctx = CompileCtx {
+            topo: &f.topology,
+            paths: &db,
+            now: SimTime::ZERO,
+        };
+        let (src, dst) = (f.members[0], f.members[1]);
+        let via_core = f.cores[1];
+        let mut m = SourceRoutingModule {
+            src,
+            dst,
+            src_mac: f.topology.node(src).unwrap().mac().unwrap(),
+            dst_mac: f.topology.node(dst).unwrap().mac().unwrap(),
+            via: vec![via_core],
+            index: 0,
+        };
+        let mut out = Outbox::new();
+        m.install(&ctx, &mut out);
+        // hops: e1, c2, e2 — and one of them must be the chosen core
+        assert_eq!(out.msgs.len(), 3);
+        assert!(out.msgs.iter().any(|(sw, _)| *sw == via_core));
+        for (_, msg) in &out.msgs {
+            if let CtrlMsg::FlowMod(fm) = msg {
+                assert_eq!(fm.entry.priority, priorities::SOURCE_ROUTING);
+                assert_eq!(fm.entry.matcher.eth_src, Some(m.src_mac));
+            }
+        }
+    }
+
+    #[test]
+    fn unroutable_waypoints_install_nothing() {
+        let f = builders::linear(1, horse_types::Rate::gbps(1.0));
+        let db = PathDb::build(&f.topology);
+        let ctx = CompileCtx {
+            topo: &f.topology,
+            paths: &db,
+            now: SimTime::ZERO,
+        };
+        // waypoint that is not connected to anything relevant: member 0
+        // must pass through member 1 (a host!) then return — via_path
+        // succeeds only if segments exist; host-to-host both ways exist
+        // here, so use a disconnected fabricated node id instead.
+        let mut m = SourceRoutingModule {
+            src: f.members[0],
+            dst: f.members[1],
+            src_mac: f.topology.node(f.members[0]).unwrap().mac().unwrap(),
+            dst_mac: f.topology.node(f.members[1]).unwrap().mac().unwrap(),
+            via: vec![NodeId(9999)],
+            index: 0,
+        };
+        let mut out = Outbox::new();
+        m.install(&ctx, &mut out);
+        assert!(out.msgs.is_empty());
+    }
+}

@@ -1,0 +1,95 @@
+//! Simulation configuration.
+
+use horse_dataplane::{AllocMode, FluidConfig};
+use horse_types::{ByteSize, SimDuration};
+
+/// Tunables of a simulation run.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// One-way control-channel latency (switch ↔ controller). The paper
+    /// removes real OpenFlow connections but keeps their *timing*: a
+    /// reactive flow setup costs two crossings (`FlowIn` up, `FlowMod`
+    /// down). Ablation A2 sweeps this.
+    pub ctrl_latency: SimDuration,
+    /// Max-min recomputation mode (ablation A1).
+    pub alloc_mode: AllocMode,
+    /// Average packet size for deriving packet counters from bytes.
+    pub avg_packet: ByteSize,
+    /// Statistics-export epoch; `None` disables periodic collection.
+    pub stats_epoch: Option<SimDuration>,
+    /// Flow-entry timeout scan period; `None` disables expiry.
+    pub expiry_scan: Option<SimDuration>,
+    /// How many controller round-trips a single flow admission may take
+    /// before the flow is dropped as `ControllerTimeout`.
+    pub admit_retry_limit: u32,
+    /// Congestion alarm threshold for the collector (utilization 0–1).
+    pub alarm_threshold: Option<f64>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            ctrl_latency: SimDuration::from_micros(500),
+            alloc_mode: AllocMode::Full,
+            avg_packet: ByteSize::bytes(1000),
+            stats_epoch: Some(SimDuration::from_secs(1)),
+            expiry_scan: Some(SimDuration::from_secs(1)),
+            admit_retry_limit: 8,
+            alarm_threshold: None,
+        }
+    }
+}
+
+impl SimConfig {
+    /// The fluid-plane slice of this configuration.
+    pub fn fluid(&self) -> FluidConfig {
+        FluidConfig {
+            alloc_mode: self.alloc_mode,
+            avg_packet: self.avg_packet,
+            max_route_hops: 64,
+        }
+    }
+
+    /// Builder: set the control latency.
+    pub fn with_ctrl_latency(mut self, d: SimDuration) -> Self {
+        self.ctrl_latency = d;
+        self
+    }
+
+    /// Builder: set the allocation mode.
+    pub fn with_alloc_mode(mut self, m: AllocMode) -> Self {
+        self.alloc_mode = m;
+        self
+    }
+
+    /// Builder: set the stats epoch.
+    pub fn with_stats_epoch(mut self, d: Option<SimDuration>) -> Self {
+        self.stats_epoch = d;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = SimConfig::default();
+        assert_eq!(c.ctrl_latency, SimDuration::from_micros(500));
+        assert_eq!(c.alloc_mode, AllocMode::Full);
+        assert!(c.admit_retry_limit >= 1);
+        assert_eq!(c.fluid().avg_packet, c.avg_packet);
+    }
+
+    #[test]
+    fn builders_chain() {
+        let c = SimConfig::default()
+            .with_ctrl_latency(SimDuration::from_millis(10))
+            .with_alloc_mode(AllocMode::Incremental)
+            .with_stats_epoch(None);
+        assert_eq!(c.ctrl_latency, SimDuration::from_millis(10));
+        assert_eq!(c.alloc_mode, AllocMode::Incremental);
+        assert!(c.stats_epoch.is_none());
+    }
+}

@@ -1,0 +1,61 @@
+//! The unified simulation event type.
+//!
+//! "Events are a temporally ordered set of inputs for the topology (i.e.,
+//! data traffic, link failure)" — plus the control-plane crossings the
+//! decoupled architecture introduces.
+
+use horse_dataplane::FlowSpec;
+use horse_openflow::messages::{CtrlMsg, SwitchMsg};
+use horse_types::{FlowId, LinkId, NodeId};
+
+/// Everything that can happen in a Horse simulation.
+#[derive(Debug)]
+pub enum SimEvent {
+    /// A data flow arrives (from the traffic matrix / generator / API).
+    FlowArrival {
+        /// What to admit.
+        spec: FlowSpec,
+        /// `true` when this arrival came from the workload generator and
+        /// the next generator arrival must be scheduled after it.
+        from_workload: bool,
+    },
+    /// Retry a flow admission after the controller acted.
+    AdmitRetry {
+        /// The reserved flow id.
+        id: FlowId,
+    },
+    /// A sized flow finished transferring (validated by generation).
+    Completion {
+        /// The flow.
+        id: FlowId,
+        /// Rate-change generation this event belongs to.
+        generation: u64,
+    },
+    /// A switch→controller message crosses the control channel.
+    ToController {
+        /// The message.
+        msg: Box<SwitchMsg>,
+        /// When this `FlowIn` blocks a pending admission, its flow id.
+        retry: Option<FlowId>,
+    },
+    /// A controller→switch message crosses the control channel.
+    ToSwitch {
+        /// Target switch.
+        switch: NodeId,
+        /// The message.
+        msg: Box<CtrlMsg>,
+    },
+    /// A controller timer fires.
+    ControllerTimer {
+        /// The token the controller registered.
+        token: u64,
+    },
+    /// A cable fails (both directions).
+    CableDown(LinkId),
+    /// A cable recovers.
+    CableUp(LinkId),
+    /// Periodic statistics export.
+    StatsEpoch,
+    /// Periodic flow-entry timeout scan.
+    ExpiryScan,
+}

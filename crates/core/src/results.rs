@@ -1,0 +1,166 @@
+//! Simulation results.
+
+use horse_monitoring::collector::StatsCollector;
+use horse_monitoring::series::{summarize, Summary};
+use horse_types::SimTime;
+
+/// Everything a run produced. The benchmark harness prints tables from
+/// this; EXPERIMENTS.md records them.
+#[derive(Debug)]
+pub struct SimResults {
+    /// Final simulated time.
+    pub sim_time: SimTime,
+    /// Wall-clock seconds the run took.
+    pub wall_seconds: f64,
+    /// Events processed.
+    pub events: u64,
+    /// Flows admitted into the data plane.
+    pub flows_admitted: u64,
+    /// Flows that ran to byte-completion.
+    pub flows_completed: u64,
+    /// Flows still active at the horizon.
+    pub flows_active_at_end: u64,
+    /// Flows dropped (policy, no-route, controller timeout, failure).
+    pub flows_dropped: u64,
+    /// Total bytes delivered end-to-end.
+    pub bytes_delivered: f64,
+    /// Total bytes lost to policers / CBR shortfall.
+    pub bytes_dropped: f64,
+    /// Flow-completion-time summary (completed flows only), seconds.
+    pub fct: Summary,
+    /// Average goodput summary over completed flows, bps.
+    pub goodput: Summary,
+    /// Switch→controller messages delivered (incl. flow-ins).
+    pub msgs_to_controller: u64,
+    /// Controller→switch messages delivered.
+    pub msgs_to_switch: u64,
+    /// `FlowIn` events among the controller messages.
+    pub flow_ins: u64,
+    /// Max-min allocator runs.
+    pub realloc_runs: u64,
+    /// Total flows touched across allocator runs.
+    pub realloc_flows_touched: u64,
+    /// The monitoring collector (epoch reports, per-link series, alarms).
+    pub collector: StatsCollector,
+}
+
+impl SimResults {
+    /// Events per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.events as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Simulated seconds per wall second (>1 ⇒ faster than real time).
+    pub fn speedup(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.sim_time.as_secs_f64() / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Builds the FCT/goodput summaries from completion records.
+    pub fn summarize_records(records: &[horse_dataplane::FlowRecord]) -> (Summary, Summary) {
+        let fcts: Vec<f64> = records
+            .iter()
+            .filter(|r| r.completed)
+            .map(|r| r.fct_secs())
+            .collect();
+        let goodputs: Vec<f64> = records
+            .iter()
+            .filter(|r| r.completed)
+            .map(|r| r.avg_rate_bps())
+            .collect();
+        (summarize(&fcts), summarize(&goodputs))
+    }
+
+    /// A human-readable multi-line summary (examples print this).
+    pub fn summary_table(&self) -> String {
+        format!(
+            "simulated {:.3}s in {:.3}s wall ({:.1}x real time)\n\
+             events            {:>12}   ({:.0}/s)\n\
+             flows admitted    {:>12}\n\
+             flows completed   {:>12}\n\
+             flows dropped     {:>12}\n\
+             flows active@end  {:>12}\n\
+             bytes delivered   {:>12.3e}\n\
+             bytes dropped     {:>12.3e}\n\
+             FCT p50/p95/p99   {:.4}s / {:.4}s / {:.4}s\n\
+             ctrl msgs up/down {:>6} / {:<6} (flow-ins {})\n\
+             realloc runs      {:>12}   (flows touched {})",
+            self.sim_time.as_secs_f64(),
+            self.wall_seconds,
+            self.speedup(),
+            self.events,
+            self.events_per_sec(),
+            self.flows_admitted,
+            self.flows_completed,
+            self.flows_dropped,
+            self.flows_active_at_end,
+            self.bytes_delivered,
+            self.bytes_dropped,
+            self.fct.p50,
+            self.fct.p95,
+            self.fct.p99,
+            self.msgs_to_controller,
+            self.msgs_to_switch,
+            self.flow_ins,
+            self.realloc_runs,
+            self.realloc_flows_touched,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blank() -> SimResults {
+        SimResults {
+            sim_time: SimTime::from_secs(10),
+            wall_seconds: 2.0,
+            events: 1000,
+            flows_admitted: 10,
+            flows_completed: 8,
+            flows_active_at_end: 1,
+            flows_dropped: 1,
+            bytes_delivered: 1e9,
+            bytes_dropped: 1e6,
+            fct: Summary::default(),
+            goodput: Summary::default(),
+            msgs_to_controller: 5,
+            msgs_to_switch: 20,
+            flow_ins: 5,
+            realloc_runs: 18,
+            realloc_flows_touched: 40,
+            collector: StatsCollector::new(),
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let r = blank();
+        assert_eq!(r.events_per_sec(), 500.0);
+        assert_eq!(r.speedup(), 5.0);
+    }
+
+    #[test]
+    fn summary_table_contains_key_numbers() {
+        let t = blank().summary_table();
+        assert!(t.contains("flows admitted"));
+        assert!(t.contains("1000"));
+        assert!(t.contains("5.0x real time"));
+    }
+
+    #[test]
+    fn zero_wall_time_is_safe() {
+        let mut r = blank();
+        r.wall_seconds = 0.0;
+        assert_eq!(r.events_per_sec(), 0.0);
+        assert_eq!(r.speedup(), 0.0);
+    }
+}

@@ -1,0 +1,232 @@
+//! Scenarios: topology + policies + workload + failure schedule.
+
+use horse_controlplane::PolicySpec;
+use horse_dataplane::{DemandModel, FlowSpec};
+use horse_topology::builders::{self, FabricHandles, IxpFabricParams};
+use horse_topology::Topology;
+use horse_types::{
+    AppClass, ByteSize, FlowKey, LinkId, NodeId, Rate, SimTime,
+};
+use horse_workloads::{AppMix, DiurnalProfile, FlowSizeDist, TrafficMatrix, WorkloadParams};
+
+/// A complete experiment description.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// The network.
+    pub topology: Topology,
+    /// Traffic-generating hosts, in member order (workload indices map
+    /// into this list).
+    pub members: Vec<NodeId>,
+    /// The policy configuration (compiled by the policy generator).
+    pub policy: PolicySpec,
+    /// Generated background workload (optional).
+    pub workload: Option<WorkloadParams>,
+    /// Explicitly scheduled flows.
+    pub explicit_flows: Vec<(SimTime, FlowSpec)>,
+    /// Cable failure schedule: `(time, link, comes_back_up)`.
+    pub failures: Vec<(SimTime, LinkId, bool)>,
+    /// Simulation horizon.
+    pub horizon: SimTime,
+}
+
+impl Scenario {
+    /// A bare scenario over a topology (no policies, no traffic).
+    pub fn bare(topology: Topology, horizon: SimTime) -> Self {
+        let members = topology.hosts().collect();
+        Scenario {
+            topology,
+            members,
+            policy: PolicySpec::new(),
+            workload: None,
+            explicit_flows: Vec::new(),
+            failures: Vec::new(),
+            horizon,
+        }
+    }
+
+    /// Builds a [`FlowSpec`] between two member hosts of this scenario's
+    /// topology (convenience for explicit flows).
+    pub fn flow_between(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        app: AppClass,
+        src_port: u16,
+        size: Option<ByteSize>,
+        demand: DemandModel,
+    ) -> Option<FlowSpec> {
+        let s = self.topology.node(src)?;
+        let d = self.topology.node(dst)?;
+        let key = FlowKey {
+            eth_src: s.mac()?,
+            eth_dst: d.mac()?,
+            eth_type: horse_types::flow::ether_type::IPV4,
+            vlan: None,
+            ip_src: s.ip()?,
+            ip_dst: d.ip()?,
+            ip_proto: app.transport(),
+            tp_src: src_port,
+            tp_dst: app.dst_port(),
+        };
+        Some(FlowSpec {
+            key,
+            src,
+            dst,
+            demand,
+            size,
+        })
+    }
+
+    /// The paper's Figure-1 scenario: the 4-edge/2-core fabric, all five
+    /// policy classes, and a gravity workload at ~40% of aggregate access
+    /// capacity. Deterministic for a given `seed`.
+    pub fn figure1(horizon: SimTime, seed: u64) -> Self {
+        let FabricHandles {
+            topology, members, ..
+        } = builders::figure1_fabric();
+        let weights = TrafficMatrix::zipf_weights(members.len(), 0.8);
+        // 4 members at 10G access: offer ~16 Gbps aggregate.
+        let matrix = TrafficMatrix::gravity(&weights, 16e9);
+        let workload = WorkloadParams {
+            matrix,
+            sizes: FlowSizeDist::Pareto {
+                alpha: 1.3,
+                min_bytes: 100_000,
+                max_bytes: 1_000_000_000,
+            },
+            apps: AppMix::default_ixp(),
+            diurnal: None,
+            udp_rate: Rate::mbps(4.0),
+            seed,
+        };
+        Scenario {
+            members,
+            policy: PolicySpec::figure1(),
+            workload: Some(workload),
+            explicit_flows: Vec::new(),
+            failures: Vec::new(),
+            horizon,
+            topology,
+        }
+    }
+
+    /// A parameterized IXP scenario (experiments E1–E5).
+    pub fn ixp(params: &IxpScenarioParams) -> Self {
+        let fabric = builders::ixp_fabric(&params.fabric);
+        let n = fabric.members.len();
+        let weights = TrafficMatrix::zipf_weights(n, params.zipf_alpha);
+        let matrix = TrafficMatrix::gravity(&weights, params.offered_bps);
+        let workload = WorkloadParams {
+            matrix,
+            sizes: params.sizes,
+            apps: AppMix::default_ixp(),
+            diurnal: params.diurnal,
+            udp_rate: Rate::mbps(4.0),
+            seed: params.seed,
+        };
+        Scenario {
+            topology: fabric.topology,
+            members: fabric.members,
+            policy: params.policy.clone(),
+            workload: Some(workload),
+            explicit_flows: Vec::new(),
+            failures: Vec::new(),
+            horizon: params.horizon,
+        }
+    }
+}
+
+/// Parameters of the canned IXP scenario.
+#[derive(Clone, Debug)]
+pub struct IxpScenarioParams {
+    /// Fabric shape.
+    pub fabric: IxpFabricParams,
+    /// Aggregate offered load at peak (bps).
+    pub offered_bps: f64,
+    /// Zipf skew of member weights.
+    pub zipf_alpha: f64,
+    /// Flow sizes.
+    pub sizes: FlowSizeDist,
+    /// Optional diurnal profile.
+    pub diurnal: Option<DiurnalProfile>,
+    /// Policy configuration.
+    pub policy: PolicySpec,
+    /// Horizon.
+    pub horizon: SimTime,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for IxpScenarioParams {
+    fn default() -> Self {
+        IxpScenarioParams {
+            fabric: IxpFabricParams {
+                members: 100,
+                edge_switches: 4,
+                core_switches: 2,
+                ..Default::default()
+            },
+            offered_bps: 20e9,
+            zipf_alpha: 1.0,
+            // megabyte-scale flows keep the arrival rate at O(100)/s for
+            // the default 20 Gbps offer; drop `min_bytes` to stress-test
+            // flow-event throughput instead
+            sizes: FlowSizeDist::Pareto {
+                alpha: 1.3,
+                min_bytes: 1_000_000,
+                max_bytes: 2_000_000_000,
+            },
+            diurnal: None,
+            policy: PolicySpec::new()
+                .with(horse_controlplane::PolicyRule::LoadBalancing {
+                    mode: horse_controlplane::LbMode::Ecmp,
+                }),
+            horizon: SimTime::from_secs(10),
+            seed: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_scenario_shape() {
+        let s = Scenario::figure1(SimTime::from_secs(1), 7);
+        assert_eq!(s.members.len(), 4);
+        assert_eq!(s.policy.policies.len(), 5);
+        assert!(s.workload.is_some());
+    }
+
+    #[test]
+    fn flow_between_builds_valid_keys() {
+        let s = Scenario::figure1(SimTime::from_secs(1), 7);
+        let f = s
+            .flow_between(
+                s.members[0],
+                s.members[2],
+                AppClass::Http,
+                1234,
+                Some(ByteSize::mib(1)),
+                DemandModel::Greedy,
+            )
+            .unwrap();
+        assert_eq!(f.key.tp_dst, 80);
+        assert_eq!(f.src, s.members[0]);
+        // switch nodes have no MAC: flow_between fails cleanly
+        let sw = s.topology.node_by_name("e1").unwrap();
+        assert!(s
+            .flow_between(sw, s.members[0], AppClass::Http, 1, None, DemandModel::Greedy)
+            .is_none());
+    }
+
+    #[test]
+    fn ixp_scenario_scales_with_params() {
+        let mut p = IxpScenarioParams::default();
+        p.fabric.members = 20;
+        let s = Scenario::ixp(&p);
+        assert_eq!(s.members.len(), 20);
+        assert!(s.topology.node_count() > 20);
+    }
+}

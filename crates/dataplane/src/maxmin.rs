@@ -1,0 +1,437 @@
+//! Max-min fair rate allocation by progressive filling.
+//!
+//! Every active flow crosses a set of directed links; every link has a
+//! capacity. Progressive filling raises all unfrozen flows' rates at the
+//! same speed; a flow freezes when (a) a link it crosses saturates, or
+//! (b) it reaches its own demand. The result is the classic max-min fair
+//! allocation with demand caps (Bertsekas & Gallager, *Data Networks*,
+//! §6.5.2) — the equilibrium a network of long-lived TCP flows with equal
+//! RTTs approximates, which is exactly the fluid abstraction fs-sdn-style
+//! simulators use.
+//!
+//! Two modes:
+//!
+//! * [`AllocMode::Full`] — recompute every flow (simple, O(B·(F+L)) where
+//!   B is the number of distinct bottleneck events).
+//! * [`AllocMode::Incremental`] — used by the engine to restrict
+//!   recomputation to the connected component of flows sharing links with
+//!   the flows that changed (ablation experiment A1 quantifies the gain).
+
+/// Allocation strategy selector (consumed by the engine; the allocator
+/// itself always solves the subproblem it is given).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AllocMode {
+    /// Recompute all flows on every change.
+    Full,
+    /// Recompute only the affected connected component.
+    Incremental,
+}
+
+/// Solves max-min fairness with demands.
+///
+/// * `demands[f]` — upper bound on flow `f`'s rate (bps); use
+///   `f64::INFINITY` for greedy flows.
+/// * `flow_links[f]` — indices into `capacity` of the links flow `f`
+///   crosses. Flows with no links are granted exactly their demand (they
+///   cross no shared resource); infinite-demand flows with no links get 0.
+/// * `capacity[l]` — link capacity in bps.
+///
+/// Returns the allocated rate per flow. Rates never exceed demands, never
+/// exceed any crossed link's capacity, and the sum over each link never
+/// exceeds its capacity (up to floating-point tolerance).
+pub fn max_min_allocate(
+    demands: &[f64],
+    flow_links: &[Vec<usize>],
+    capacity: &[f64],
+) -> Vec<f64> {
+    assert_eq!(demands.len(), flow_links.len());
+    let nf = demands.len();
+    let nl = capacity.len();
+    let mut rate = vec![0.0f64; nf];
+    if nf == 0 {
+        return rate;
+    }
+
+    // Per-link: remaining capacity and number of unfrozen flows crossing it.
+    let mut avail: Vec<f64> = capacity.to_vec();
+    let mut crossing: Vec<u32> = vec![0; nl];
+    let mut frozen = vec![false; nf];
+
+    for (f, links) in flow_links.iter().enumerate() {
+        if links.is_empty() {
+            // No shared resource: grant demand (0 for infinite demand —
+            // a greedy flow over no links is degenerate).
+            rate[f] = if demands[f].is_finite() {
+                demands[f].max(0.0)
+            } else {
+                0.0
+            };
+            frozen[f] = true;
+        } else {
+            for &l in links {
+                crossing[l] += 1;
+            }
+        }
+    }
+
+    let mut unfrozen: usize = frozen.iter().filter(|&&z| !z).count();
+    // Tolerance: treat sub-millibit-per-second residuals as zero.
+    const EPS: f64 = 1e-3;
+
+    while unfrozen > 0 {
+        // Largest uniform increment Δ every unfrozen flow can take:
+        //   Δ = min( min over links l of avail[l] / crossing[l],
+        //            min over flows f of demands[f] - rate[f] )
+        let mut delta = f64::INFINITY;
+        for l in 0..nl {
+            if crossing[l] > 0 {
+                delta = delta.min(avail[l] / crossing[l] as f64);
+            }
+        }
+        for f in 0..nf {
+            if !frozen[f] {
+                delta = delta.min(demands[f] - rate[f]);
+            }
+        }
+        if !delta.is_finite() {
+            // All remaining flows are greedy and cross only uncapacitated
+            // links — cannot happen with positive capacities, but guard
+            // against empty crossing sets.
+            break;
+        }
+        let delta = delta.max(0.0);
+
+        // Apply the increment.
+        for f in 0..nf {
+            if !frozen[f] {
+                rate[f] += delta;
+                for &l in &flow_links[f] {
+                    avail[l] -= delta;
+                }
+            }
+        }
+
+        // Freeze demand-limited flows.
+        let mut froze_any = false;
+        for f in 0..nf {
+            if !frozen[f] && rate[f] >= demands[f] - EPS {
+                frozen[f] = true;
+                unfrozen -= 1;
+                froze_any = true;
+                for &l in &flow_links[f] {
+                    crossing[l] -= 1;
+                }
+            }
+        }
+        // Freeze flows on saturated links.
+        for l in 0..nl {
+            if crossing[l] > 0 && avail[l] <= EPS {
+                for f in 0..nf {
+                    if !frozen[f] && flow_links[f].contains(&l) {
+                        frozen[f] = true;
+                        unfrozen -= 1;
+                        froze_any = true;
+                        for &l2 in &flow_links[f] {
+                            crossing[l2] -= 1;
+                        }
+                    }
+                }
+            }
+        }
+        if !froze_any {
+            // Numerical stall: freeze everything at current rates.
+            break;
+        }
+    }
+    rate
+}
+
+/// Computes the set of flows whose rates may change when `seeds` change:
+/// the connected component of the "flows share a link" graph containing
+/// the seeds. `flow_links` spans **all** active flows; `links_of_flows`
+/// maps a link index to the flows crossing it.
+pub fn affected_component(
+    seeds: &[usize],
+    flow_links: &[Vec<usize>],
+    flows_on_link: &dyn Fn(usize) -> Vec<usize>,
+) -> Vec<usize> {
+    let mut visited = vec![false; flow_links.len()];
+    let mut stack: Vec<usize> = Vec::new();
+    for &s in seeds {
+        if s < visited.len() && !visited[s] {
+            visited[s] = true;
+            stack.push(s);
+        }
+    }
+    let mut out = Vec::new();
+    while let Some(f) = stack.pop() {
+        out.push(f);
+        for &l in &flow_links[f] {
+            for f2 in flows_on_link(l) {
+                if f2 < visited.len() && !visited[f2] {
+                    visited[f2] = true;
+                    stack.push(f2);
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const G: f64 = 1e9;
+    const INF: f64 = f64::INFINITY;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!(
+            (a - b).abs() <= 1e-6 * b.abs().max(1.0),
+            "expected {b}, got {a}"
+        );
+    }
+
+    #[test]
+    fn single_flow_gets_link_capacity() {
+        let r = max_min_allocate(&[INF], &[vec![0]], &[G]);
+        assert_close(r[0], G);
+    }
+
+    #[test]
+    fn demand_limited_flow_stops_at_demand() {
+        let r = max_min_allocate(&[0.2 * G], &[vec![0]], &[G]);
+        assert_close(r[0], 0.2 * G);
+    }
+
+    #[test]
+    fn equal_split_on_shared_bottleneck() {
+        let r = max_min_allocate(&[INF, INF, INF], &[vec![0], vec![0], vec![0]], &[G]);
+        for x in &r {
+            assert_close(*x, G / 3.0);
+        }
+    }
+
+    #[test]
+    fn cbr_leftover_goes_to_greedy() {
+        // One CBR flow at 200 Mbps + one greedy flow on a 1G link:
+        // greedy gets 800 Mbps.
+        let r = max_min_allocate(&[0.2 * G, INF], &[vec![0], vec![0]], &[G]);
+        assert_close(r[0], 0.2 * G);
+        assert_close(r[1], 0.8 * G);
+    }
+
+    #[test]
+    fn classic_two_bottleneck_maxmin() {
+        // Textbook example: links A (cap 1) and B (cap 2, in units of G).
+        // f0 crosses A and B, f1 crosses A, f2 crosses B.
+        // Max-min: f0 = f1 = 0.5 (A saturates), f2 = 1.5 (B's leftovers).
+        let r = max_min_allocate(
+            &[INF, INF, INF],
+            &[vec![0, 1], vec![0], vec![1]],
+            &[G, 2.0 * G],
+        );
+        assert_close(r[0], 0.5 * G);
+        assert_close(r[1], 0.5 * G);
+        assert_close(r[2], 1.5 * G);
+    }
+
+    #[test]
+    fn long_flow_across_many_links() {
+        // f0 crosses 3 links shared each with one local greedy flow:
+        // everyone converges to cap/2 on the tightest sharing.
+        let r = max_min_allocate(
+            &[INF, INF, INF, INF],
+            &[vec![0, 1, 2], vec![0], vec![1], vec![2]],
+            &[G, G, G],
+        );
+        assert_close(r[0], 0.5 * G);
+        for f in 1..4 {
+            assert_close(r[f], 0.5 * G);
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(max_min_allocate(&[], &[], &[]).is_empty());
+        assert!(max_min_allocate(&[], &[], &[G]).is_empty());
+    }
+
+    #[test]
+    fn flow_with_no_links_gets_demand() {
+        let r = max_min_allocate(&[0.5 * G, INF], &[vec![], vec![]], &[]);
+        assert_close(r[0], 0.5 * G);
+        assert_close(r[1], 0.0);
+    }
+
+    #[test]
+    fn zero_capacity_link_gives_zero() {
+        let r = max_min_allocate(&[INF, INF], &[vec![0], vec![0]], &[0.0]);
+        assert_close(r[0], 0.0);
+        assert_close(r[1], 0.0);
+    }
+
+    #[test]
+    fn zero_demand_flow_stays_zero_but_releases_capacity() {
+        let r = max_min_allocate(&[0.0, INF], &[vec![0], vec![0]], &[G]);
+        assert_close(r[0], 0.0);
+        assert_close(r[1], G);
+    }
+
+    #[test]
+    fn no_link_oversubscribed_and_demands_respected() {
+        // Deterministic pseudo-random instance, invariants checked.
+        let nl = 12;
+        let nf = 40;
+        let mut caps = vec![0.0; nl];
+        let mut x = 0x12345678u64;
+        let mut rnd = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for c in caps.iter_mut() {
+            *c = (1 + rnd() % 10) as f64 * 1e8;
+        }
+        let mut demands = vec![0.0; nf];
+        let mut fl: Vec<Vec<usize>> = Vec::new();
+        for f in 0..nf {
+            demands[f] = if rnd() % 3 == 0 {
+                INF
+            } else {
+                (1 + rnd() % 20) as f64 * 5e7
+            };
+            let deg = 1 + (rnd() % 4) as usize;
+            let mut links: Vec<usize> = (0..deg).map(|_| (rnd() % nl as u64) as usize).collect();
+            links.sort_unstable();
+            links.dedup();
+            fl.push(links);
+        }
+        let r = max_min_allocate(&demands, &fl, &caps);
+        // demands respected
+        for f in 0..nf {
+            assert!(r[f] <= demands[f] + 1.0, "flow {f} exceeds demand");
+            assert!(r[f] >= 0.0);
+        }
+        // links not oversubscribed
+        let mut used = vec![0.0; nl];
+        for f in 0..nf {
+            for &l in &fl[f] {
+                used[l] += r[f];
+            }
+        }
+        for l in 0..nl {
+            assert!(
+                used[l] <= caps[l] * (1.0 + 1e-9) + 1.0,
+                "link {l} oversubscribed: {} > {}",
+                used[l],
+                caps[l]
+            );
+        }
+        // work conservation: every greedy flow crosses at least one
+        // saturated link or is itself rate > 0 bounded by bottleneck
+        for f in 0..nf {
+            if demands[f].is_infinite() && !fl[f].is_empty() {
+                let bottlenecked = fl[f]
+                    .iter()
+                    .any(|&l| used[l] >= caps[l] * (1.0 - 1e-6) - 1.0);
+                assert!(
+                    bottlenecked,
+                    "greedy flow {f} is not bottlenecked anywhere (rate {})",
+                    r[f]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn affected_component_finds_sharers() {
+        // f0 and f1 share link 0; f2 rides link 1 alone; f3 shares link 2
+        // with f1 (transitively affected through f1).
+        let fl = vec![vec![0], vec![0, 2], vec![1], vec![2]];
+        let flows_on_link = |l: usize| -> Vec<usize> {
+            fl.iter()
+                .enumerate()
+                .filter(|(_, ls)| ls.contains(&l))
+                .map(|(i, _)| i)
+                .collect()
+        };
+        let comp = affected_component(&[0], &fl, &flows_on_link);
+        assert_eq!(comp, vec![0, 1, 3]);
+        let comp2 = affected_component(&[2], &fl, &flows_on_link);
+        assert_eq!(comp2, vec![2]);
+    }
+
+    #[test]
+    fn incremental_matches_full_on_component() {
+        // The incremental invariant: solving only the affected component
+        // (with full link capacities, since untouched flows are *outside*
+        // the component by construction) equals the full solution.
+        let demands = [INF, INF, 3e8, INF];
+        let fl = vec![vec![0], vec![0, 1], vec![1], vec![2]];
+        let caps = [G, G, G];
+        let full = max_min_allocate(&demands, &fl, &caps);
+
+        // Component of flow 0 = {0, 1, 2}; flow 3 is independent.
+        let comp = [0usize, 1, 2];
+        let sub_demands: Vec<f64> = comp.iter().map(|&f| demands[f]).collect();
+        let sub_links: Vec<Vec<usize>> = comp.iter().map(|&f| fl[f].clone()).collect();
+        let sub = max_min_allocate(&sub_demands, &sub_links, &caps);
+        for (i, &f) in comp.iter().enumerate() {
+            assert_close(sub[i], full[f]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn allocation_invariants(
+            nf in 1usize..20,
+            nl in 1usize..8,
+            seed in 0u64..u64::MAX,
+        ) {
+            let mut x = seed | 1;
+            let mut rnd = move || { x ^= x << 13; x ^= x >> 7; x ^= x << 17; x };
+            let caps: Vec<f64> = (0..nl).map(|_| (1 + rnd() % 100) as f64 * 1e7).collect();
+            let demands: Vec<f64> = (0..nf)
+                .map(|_| if rnd() % 4 == 0 { f64::INFINITY } else { (rnd() % 200) as f64 * 1e6 })
+                .collect();
+            let fl: Vec<Vec<usize>> = (0..nf).map(|_| {
+                let deg = (rnd() % 4) as usize; // may be 0
+                let mut v: Vec<usize> = (0..deg).map(|_| (rnd() % nl as u64) as usize).collect();
+                v.sort_unstable(); v.dedup(); v
+            }).collect();
+            let r = max_min_allocate(&demands, &fl, &caps);
+
+            // 1. rates within [0, demand]
+            for f in 0..nf {
+                prop_assert!(r[f] >= 0.0);
+                prop_assert!(r[f] <= demands[f] + 1.0);
+            }
+            // 2. no link oversubscribed
+            let mut used = vec![0.0; nl];
+            for f in 0..nf {
+                for &l in &fl[f] { used[l] += r[f]; }
+            }
+            for l in 0..nl {
+                prop_assert!(used[l] <= caps[l] + 1.0, "link {} over: {} > {}", l, used[l], caps[l]);
+            }
+            // 3. max-min property (no pareto-improvable flow): every
+            //    unsatisfied flow crosses a saturated link
+            for f in 0..nf {
+                if !fl[f].is_empty() && r[f] + 1.0 < demands[f] {
+                    let sat = fl[f].iter().any(|&l| used[l] >= caps[l] - 1.0);
+                    prop_assert!(sat, "flow {} unsatisfied but unbottlenecked", f);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Analytic TCP behaviour at flow granularity.
+//!
+//! The fluid plane cannot (and should not) simulate windows and losses per
+//! packet — that is the packet plane's job. Instead it uses two standard
+//! analytic results:
+//!
+//! 1. **Max-min share** — long-lived TCP flows with similar RTTs converge
+//!    to an approximately max-min fair allocation, which is what
+//!    [`crate::maxmin`] computes. A greedy (TCP) flow's demand is ∞.
+//!
+//! 2. **Policer degradation** — a token-bucket policer dropping the excess
+//!    forces TCP into its AIMD sawtooth around the token rate. Averaging
+//!    the sawtooth between `W/2` and `W` gives ≈ **0.75 ×** the policed
+//!    rate as goodput — this implements the paper's observation that "a
+//!    rate limiting policy can undermine the quality of a TCP
+//!    transmission" (a UDP flow through the same policer keeps the full
+//!    token rate; TCP pays the back-off penalty).
+//!
+//! The Mathis et al. throughput formula is provided for reference and
+//! validation against the packet plane.
+
+use crate::flow::DemandModel;
+use horse_types::Rate;
+
+/// Mean AIMD sawtooth efficiency through a lossy policer: the congestion
+/// window oscillates in `[W/2, W]`, so average goodput ≈ `0.75 × limit`.
+pub const POLICED_TCP_EFFICIENCY: f64 = 0.75;
+
+/// The demand handed to the max-min allocator for a flow with the given
+/// source model and (optional) tightest meter cap along its path.
+///
+/// * CBR: `min(offered, cap)` — the policer simply clips UDP.
+/// * Greedy: `∞` without a cap; `0.75 × cap` with one (AIMD penalty).
+pub fn effective_demand(model: &DemandModel, meter_cap: Option<Rate>) -> f64 {
+    match (model, meter_cap) {
+        (DemandModel::Cbr(r), None) => r.as_bps(),
+        (DemandModel::Cbr(r), Some(cap)) => r.as_bps().min(cap.as_bps()),
+        (DemandModel::Greedy, None) => f64::INFINITY,
+        (DemandModel::Greedy, Some(cap)) => cap.as_bps() * POLICED_TCP_EFFICIENCY,
+    }
+}
+
+/// Mathis, Semke, Mahdavi & Ott (1997) steady-state TCP throughput:
+/// `rate ≈ (MSS / RTT) × (C / √p)` with `C ≈ √(3/2)` for periodic losses.
+/// Returns bps. Used to sanity-check the packet plane's TCP implementation
+/// and exposed for users building loss-aware scenarios.
+pub fn mathis_throughput_bps(mss_bytes: f64, rtt_secs: f64, loss_prob: f64) -> f64 {
+    if rtt_secs <= 0.0 || loss_prob <= 0.0 {
+        return f64::INFINITY;
+    }
+    let c = (1.5f64).sqrt();
+    (mss_bytes * 8.0 / rtt_secs) * (c / loss_prob.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cbr_unpoliced_keeps_offer() {
+        let d = effective_demand(&DemandModel::Cbr(Rate::mbps(100.0)), None);
+        assert_eq!(d, 100e6);
+    }
+
+    #[test]
+    fn cbr_policed_clips_to_cap() {
+        let d = effective_demand(
+            &DemandModel::Cbr(Rate::mbps(100.0)),
+            Some(Rate::mbps(40.0)),
+        );
+        assert_eq!(d, 40e6);
+        // cap above offer changes nothing
+        let d2 = effective_demand(
+            &DemandModel::Cbr(Rate::mbps(100.0)),
+            Some(Rate::gbps(1.0)),
+        );
+        assert_eq!(d2, 100e6);
+    }
+
+    #[test]
+    fn greedy_unpoliced_is_infinite() {
+        assert!(effective_demand(&DemandModel::Greedy, None).is_infinite());
+    }
+
+    #[test]
+    fn greedy_policed_pays_aimd_penalty() {
+        let d = effective_demand(&DemandModel::Greedy, Some(Rate::mbps(500.0)));
+        assert_eq!(d, 500e6 * 0.75);
+    }
+
+    #[test]
+    fn tcp_worse_than_udp_under_same_policer() {
+        // The paper's point: same 500 Mbps rate limit, TCP gets less.
+        let cap = Some(Rate::mbps(500.0));
+        let udp = effective_demand(&DemandModel::Cbr(Rate::gbps(1.0)), cap);
+        let tcp = effective_demand(&DemandModel::Greedy, cap);
+        assert!(tcp < udp);
+    }
+
+    #[test]
+    fn mathis_scales_inverse_sqrt_loss() {
+        let r1 = mathis_throughput_bps(1460.0, 0.05, 0.01);
+        let r2 = mathis_throughput_bps(1460.0, 0.05, 0.0001);
+        assert!((r2 / r1 - 10.0).abs() < 1e-9, "100x less loss => 10x rate");
+    }
+
+    #[test]
+    fn mathis_edge_cases() {
+        assert!(mathis_throughput_bps(1460.0, 0.0, 0.01).is_infinite());
+        assert!(mathis_throughput_bps(1460.0, 0.05, 0.0).is_infinite());
+    }
+}

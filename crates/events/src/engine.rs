@@ -1,0 +1,237 @@
+//! The event-loop driver.
+//!
+//! [`EventLoop`] owns an [`EventQueue`] and repeatedly dispatches events to
+//! a handler closure. The handler may schedule or cancel further events
+//! through the mutable queue reference it receives, and can stop the run
+//! early by returning [`HandlerOutcome::Stop`].
+//!
+//! Wall-clock time and event counts are tracked in [`EngineStats`] — these
+//! are the raw measurements behind the paper's "simulation time" axis
+//! (experiments E1/E2/E5).
+
+use crate::queue::{EventQueue, ScheduledEvent};
+use horse_types::SimTime;
+use std::time::Instant;
+
+/// What the handler wants the loop to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HandlerOutcome {
+    /// Keep running.
+    Continue,
+    /// Stop after this event (graceful early termination).
+    Stop,
+}
+
+/// Execution statistics for a run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineStats {
+    /// Events dispatched to the handler.
+    pub events_processed: u64,
+    /// Wall-clock seconds spent inside `run*` calls.
+    pub wall_seconds: f64,
+    /// Final simulated time.
+    pub sim_time: SimTime,
+}
+
+impl EngineStats {
+    /// Events per wall-clock second (0 when no time elapsed).
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.events_processed as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A single-threaded deterministic event loop.
+///
+/// ```
+/// use horse_events::{EventLoop, HandlerOutcome};
+/// use horse_types::{SimDuration, SimTime};
+///
+/// // Count down: each event schedules the next one until zero.
+/// let mut lp: EventLoop<u32> = EventLoop::new();
+/// lp.queue_mut().schedule_at(SimTime::ZERO, 3);
+/// let mut seen = vec![];
+/// lp.run(|ev, q| {
+///     seen.push(ev.event);
+///     if ev.event > 0 {
+///         q.schedule_in(SimDuration::from_secs(1), ev.event - 1);
+///     }
+///     HandlerOutcome::Continue
+/// });
+/// assert_eq!(seen, vec![3, 2, 1, 0]);
+/// assert_eq!(lp.now(), SimTime::from_secs(3));
+/// ```
+pub struct EventLoop<E> {
+    queue: EventQueue<E>,
+    stats: EngineStats,
+}
+
+impl<E> Default for EventLoop<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventLoop<E> {
+    /// Creates an empty loop at time zero.
+    pub fn new() -> Self {
+        EventLoop {
+            queue: EventQueue::new(),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Immutable access to the queue.
+    pub fn queue(&self) -> &EventQueue<E> {
+        &self.queue
+    }
+
+    /// Mutable access to the queue (for seeding initial events).
+    pub fn queue_mut(&mut self) -> &mut EventQueue<E> {
+        &mut self.queue
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> EngineStats {
+        let mut s = self.stats;
+        s.sim_time = self.queue.now();
+        s
+    }
+
+    /// Runs until the queue drains or the handler stops the loop.
+    pub fn run<F>(&mut self, mut handler: F) -> EngineStats
+    where
+        F: FnMut(ScheduledEvent<E>, &mut EventQueue<E>) -> HandlerOutcome,
+    {
+        self.run_until(SimTime::MAX, &mut handler)
+    }
+
+    /// Runs until the queue drains, the handler stops the loop, or the next
+    /// event would fire strictly after `deadline` (events *at* the deadline
+    /// are processed).
+    pub fn run_until<F>(&mut self, deadline: SimTime, handler: &mut F) -> EngineStats
+    where
+        F: FnMut(ScheduledEvent<E>, &mut EventQueue<E>) -> HandlerOutcome,
+    {
+        let start = Instant::now();
+        while let Some(next) = self.queue.peek_time() {
+            if next > deadline {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked event vanished");
+            self.stats.events_processed += 1;
+            if handler(ev, &mut self.queue) == HandlerOutcome::Stop {
+                break;
+            }
+        }
+        self.stats.wall_seconds += start.elapsed().as_secs_f64();
+        self.stats()
+    }
+
+    /// Processes at most one event; returns `false` when the queue is empty.
+    pub fn step<F>(&mut self, handler: &mut F) -> bool
+    where
+        F: FnMut(ScheduledEvent<E>, &mut EventQueue<E>) -> HandlerOutcome,
+    {
+        match self.queue.pop() {
+            Some(ev) => {
+                self.stats.events_processed += 1;
+                handler(ev, &mut self.queue);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use horse_types::SimDuration;
+
+    #[test]
+    fn run_drains_queue() {
+        let mut lp: EventLoop<u32> = EventLoop::new();
+        for i in 0..10 {
+            lp.queue_mut().schedule_at(SimTime::from_secs(i as u64), i);
+        }
+        let stats = lp.run(|_, _| HandlerOutcome::Continue);
+        assert_eq!(stats.events_processed, 10);
+        assert_eq!(stats.sim_time, SimTime::from_secs(9));
+        assert!(lp.queue().is_empty());
+    }
+
+    #[test]
+    fn handler_can_stop_early() {
+        let mut lp: EventLoop<u32> = EventLoop::new();
+        for i in 0..10 {
+            lp.queue_mut().schedule_at(SimTime::from_secs(i as u64), i);
+        }
+        let stats = lp.run(|ev, _| {
+            if ev.event == 4 {
+                HandlerOutcome::Stop
+            } else {
+                HandlerOutcome::Continue
+            }
+        });
+        assert_eq!(stats.events_processed, 5);
+        assert_eq!(lp.queue().len(), 5);
+    }
+
+    #[test]
+    fn run_until_respects_deadline_inclusive() {
+        let mut lp: EventLoop<u32> = EventLoop::new();
+        for i in 1..=10u64 {
+            lp.queue_mut().schedule_at(SimTime::from_secs(i), i as u32);
+        }
+        let stats = lp.run_until(SimTime::from_secs(5), &mut |_, _| HandlerOutcome::Continue);
+        assert_eq!(stats.events_processed, 5);
+        // remaining events stay queued; clock does not pass the deadline
+        assert_eq!(lp.now(), SimTime::from_secs(5));
+        assert_eq!(lp.queue().len(), 5);
+    }
+
+    #[test]
+    fn cascading_events_run_to_completion() {
+        let mut lp: EventLoop<u32> = EventLoop::new();
+        lp.queue_mut().schedule_at(SimTime::ZERO, 100);
+        let stats = lp.run(|ev, q| {
+            if ev.event > 0 {
+                q.schedule_in(SimDuration::from_millis(1), ev.event - 1);
+            }
+            HandlerOutcome::Continue
+        });
+        assert_eq!(stats.events_processed, 101);
+        assert_eq!(lp.now(), SimTime::from_millis(100));
+    }
+
+    #[test]
+    fn step_processes_one() {
+        let mut lp: EventLoop<u32> = EventLoop::new();
+        lp.queue_mut().schedule_at(SimTime::from_secs(1), 1);
+        lp.queue_mut().schedule_at(SimTime::from_secs(2), 2);
+        let mut h = |_: ScheduledEvent<u32>, _: &mut EventQueue<u32>| HandlerOutcome::Continue;
+        assert!(lp.step(&mut h));
+        assert_eq!(lp.now(), SimTime::from_secs(1));
+        assert!(lp.step(&mut h));
+        assert!(!lp.step(&mut h));
+    }
+
+    #[test]
+    fn stats_accumulate_across_runs() {
+        let mut lp: EventLoop<u32> = EventLoop::new();
+        lp.queue_mut().schedule_at(SimTime::from_secs(1), 1);
+        lp.run(|_, _| HandlerOutcome::Continue);
+        lp.queue_mut().schedule_at(SimTime::from_secs(2), 2);
+        let stats = lp.run(|_, _| HandlerOutcome::Continue);
+        assert_eq!(stats.events_processed, 2);
+    }
+}

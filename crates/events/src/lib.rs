@@ -1,0 +1,26 @@
+//! # horse-events
+//!
+//! The discrete-event core of Horse: the paper's data plane is driven by
+//! "a temporally ordered set of inputs for the topology" — this crate
+//! provides that ordering.
+//!
+//! * [`queue`] — the future event list: a binary-heap priority queue keyed
+//!   by `(SimTime, sequence)` so that events at equal timestamps pop in
+//!   scheduling (FIFO) order, making every run deterministic.
+//! * [`engine`] — a small driver that repeatedly pops events, advances the
+//!   clock and hands them to a handler, with run-until-time /
+//!   run-until-empty / single-step modes and wall-clock accounting.
+//!
+//! The engine is intentionally synchronous and single-threaded: simulation
+//! is CPU-bound, so (per the networking guides) an async runtime buys
+//! nothing here. Parallelism, where used, is across *replications* (see the
+//! bench crate), never inside one simulation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod queue;
+
+pub use engine::{EngineStats, EventLoop, HandlerOutcome};
+pub use queue::{EventHandle, EventQueue, ScheduledEvent};

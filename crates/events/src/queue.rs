@@ -1,0 +1,356 @@
+//! The future event list (FEL).
+//!
+//! A thin wrapper over `std::collections::BinaryHeap` with three properties
+//! the simulator depends on:
+//!
+//! 1. **Determinism** — entries are ordered by `(time, seq)` where `seq` is
+//!    a monotonically increasing scheduling counter, so simultaneous events
+//!    pop in the order they were scheduled, on every run.
+//! 2. **O(log n) cancellation** — [`EventQueue::cancel`] marks a handle as
+//!    dead; dead entries are skipped lazily on pop ("tombstoning"). This is
+//!    how the fluid data plane invalidates stale flow-completion events when
+//!    rates change (rescheduling is the common case — see
+//!    `horse-dataplane`).
+//! 3. **Monotone time** — scheduling into the past is clamped to "now"
+//!    (recorded in [`QueueStats::clamped`]) rather than silently reordering
+//!    history.
+
+use horse_types::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Handle to a scheduled event, usable to cancel it before it fires.
+///
+/// Handles are unique per queue for the lifetime of the queue (64-bit
+/// sequence numbers do not wrap in practice).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventHandle(u64);
+
+impl EventHandle {
+    /// A handle that never corresponds to a scheduled event.
+    pub const NULL: EventHandle = EventHandle(u64::MAX);
+}
+
+/// An event popped from the queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduledEvent<E> {
+    /// When the event fires.
+    pub time: SimTime,
+    /// The handle it was scheduled under.
+    pub handle: EventHandle,
+    /// The payload.
+    pub event: E,
+}
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so earliest (time, seq) pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Counters describing queue activity, exported with simulation results.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Events scheduled since creation.
+    pub scheduled: u64,
+    /// Events popped (delivered).
+    pub delivered: u64,
+    /// Events cancelled before firing.
+    pub cancelled: u64,
+    /// Cancelled entries skipped during pops (tombstone overhead).
+    pub skipped: u64,
+    /// Events whose requested time lay in the past and was clamped to now.
+    pub clamped: u64,
+}
+
+/// Deterministic future event list.
+///
+/// ```
+/// use horse_events::EventQueue;
+/// use horse_types::SimTime;
+///
+/// let mut q: EventQueue<&'static str> = EventQueue::new();
+/// q.schedule_at(SimTime::from_secs(2), "second");
+/// let h = q.schedule_at(SimTime::from_secs(1), "first");
+/// q.schedule_at(SimTime::from_secs(1), "also-first-but-later");
+/// q.cancel(h);
+/// let e = q.pop().unwrap();
+/// assert_eq!(e.event, "also-first-but-later"); // "first" was cancelled
+/// assert_eq!(q.pop().unwrap().event, "second");
+/// assert!(q.pop().is_none());
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    /// Sorted-unique list of cancelled sequence numbers not yet skipped.
+    dead: std::collections::HashSet<u64>,
+    next_seq: u64,
+    now: SimTime,
+    stats: QueueStats,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            dead: std::collections::HashSet::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            stats: QueueStats::default(),
+        }
+    }
+
+    /// Current simulated time — the timestamp of the last popped event.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of live (non-cancelled) events pending.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.dead.len()
+    }
+
+    /// True when no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Queue activity counters.
+    pub fn stats(&self) -> QueueStats {
+        self.stats
+    }
+
+    /// Schedules `event` at absolute time `at` (clamped to `now` if in the
+    /// past) and returns a cancellation handle.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventHandle {
+        let time = if at < self.now {
+            self.stats.clamped += 1;
+            self.now
+        } else {
+            at
+        };
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, event });
+        self.stats.scheduled += 1;
+        EventHandle(seq)
+    }
+
+    /// Schedules `event` after a delay relative to the current time.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) -> EventHandle {
+        self.schedule_at(self.now + delay, event)
+    }
+
+    /// Schedules `event` at the current time (fires after all events already
+    /// scheduled for this instant).
+    pub fn schedule_now(&mut self, event: E) -> EventHandle {
+        self.schedule_at(self.now, event)
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if the event was
+    /// still pending (i.e. the cancellation had effect).
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        if handle == EventHandle::NULL || handle.0 >= self.next_seq {
+            return false;
+        }
+        if self.dead.insert(handle.0) {
+            self.stats.cancelled += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Timestamp of the next live event, if any, without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.skip_dead();
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Pops the next live event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        self.skip_dead();
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.time >= self.now, "event queue time went backwards");
+        self.now = entry.time;
+        self.stats.delivered += 1;
+        Some(ScheduledEvent {
+            time: entry.time,
+            handle: EventHandle(entry.seq),
+            event: entry.event,
+        })
+    }
+
+    /// Drops everything and resets the clock; statistics are preserved.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.dead.clear();
+        self.now = SimTime::ZERO;
+    }
+
+    fn skip_dead(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if self.dead.remove(&top.seq) {
+                self.heap.pop();
+                self.stats.skipped += 1;
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(3), 3u32);
+        q.schedule_at(SimTime::from_secs(1), 1u32);
+        q.schedule_at(SimTime::from_secs(2), 2u32);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100u32 {
+            q.schedule_at(t, i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(5), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn past_schedules_are_clamped() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(5), "a");
+        q.pop();
+        q.schedule_at(SimTime::from_secs(1), "late");
+        let e = q.pop().unwrap();
+        assert_eq!(e.time, SimTime::from_secs(5));
+        assert_eq!(q.stats().clamped, 1);
+    }
+
+    #[test]
+    fn cancel_prevents_delivery() {
+        let mut q = EventQueue::new();
+        let h1 = q.schedule_at(SimTime::from_secs(1), "one");
+        q.schedule_at(SimTime::from_secs(2), "two");
+        assert!(q.cancel(h1));
+        assert!(!q.cancel(h1), "double cancel reports false");
+        assert_eq!(q.pop().unwrap().event, "two");
+        assert!(q.pop().is_none());
+        assert_eq!(q.stats().cancelled, 1);
+        assert_eq!(q.stats().skipped, 1);
+    }
+
+    #[test]
+    fn cancel_null_and_unknown_handles() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventHandle::NULL));
+        let h = q.schedule_now(());
+        q.pop();
+        // Popped events can still be "cancelled" logically, but a handle
+        // beyond next_seq is rejected.
+        assert!(!q.cancel(EventHandle(999)));
+        let _ = h;
+    }
+
+    #[test]
+    fn len_accounts_for_tombstones() {
+        let mut q = EventQueue::new();
+        let h = q.schedule_at(SimTime::from_secs(1), 1);
+        q.schedule_at(SimTime::from_secs(2), 2);
+        assert_eq!(q.len(), 2);
+        q.cancel(h);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled_head() {
+        let mut q = EventQueue::new();
+        let h = q.schedule_at(SimTime::from_secs(1), 1);
+        q.schedule_at(SimTime::from_secs(2), 2);
+        q.cancel(h);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)));
+    }
+
+    #[test]
+    fn schedule_now_fires_after_existing_same_instant_events() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::ZERO, "a");
+        q.schedule_now("b");
+        assert_eq!(q.pop().unwrap().event, "a");
+        assert_eq!(q.pop().unwrap().event, "b");
+    }
+
+    #[test]
+    fn clear_resets_clock_keeps_stats() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(1), ());
+        q.pop();
+        q.schedule_at(SimTime::from_secs(9), ());
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.now(), SimTime::ZERO);
+        assert_eq!(q.stats().scheduled, 2);
+    }
+
+    #[test]
+    fn interleaved_schedule_pop_remains_ordered() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(10), 10);
+        q.schedule_at(SimTime::from_secs(1), 1);
+        assert_eq!(q.pop().unwrap().event, 1);
+        q.schedule_at(SimTime::from_secs(5), 5);
+        q.schedule_in(SimDuration::from_secs(2), 3);
+        assert_eq!(q.pop().unwrap().event, 3); // t=3
+        assert_eq!(q.pop().unwrap().event, 5); // t=5
+        assert_eq!(q.pop().unwrap().event, 10); // t=10
+    }
+}

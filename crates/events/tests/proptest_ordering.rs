@@ -1,0 +1,77 @@
+//! Property tests for the future event list: total ordering, FIFO ties,
+//! cancellation soundness — the invariants every simulation result rests
+//! on.
+
+use horse_events::EventQueue;
+use horse_types::SimTime;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Pops come out sorted by (time, insertion order), whatever the
+    /// insertion order was.
+    #[test]
+    fn pops_are_totally_ordered(times in prop::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.schedule_at(SimTime::from_nanos(*t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some(e) = q.pop() {
+            if let Some((lt, li)) = last {
+                prop_assert!(e.time >= lt, "time went backwards");
+                if e.time == lt {
+                    prop_assert!(e.event > li, "FIFO violated for equal times");
+                }
+            }
+            last = Some((e.time, e.event));
+        }
+    }
+
+    /// Cancelled events never surface; everything else does exactly once.
+    #[test]
+    fn cancellation_is_sound(
+        times in prop::collection::vec(0u64..1_000, 1..150),
+        cancel_mask in prop::collection::vec(any::<bool>(), 1..150),
+    ) {
+        let mut q = EventQueue::new();
+        let handles: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (i, q.schedule_at(SimTime::from_nanos(*t), i)))
+            .collect();
+        let mut cancelled = std::collections::HashSet::new();
+        for ((i, h), &kill) in handles.iter().zip(cancel_mask.iter().cycle()) {
+            if kill {
+                prop_assert!(q.cancel(*h));
+                cancelled.insert(*i);
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        while let Some(e) = q.pop() {
+            prop_assert!(!cancelled.contains(&e.event), "cancelled event delivered");
+            prop_assert!(seen.insert(e.event), "event delivered twice");
+        }
+        prop_assert_eq!(seen.len() + cancelled.len(), times.len());
+    }
+
+    /// len() always equals the number of still-deliverable events.
+    #[test]
+    fn len_is_exact(times in prop::collection::vec(0u64..100, 1..100), kill_every in 2usize..5) {
+        let mut q = EventQueue::new();
+        let handles: Vec<_> = times
+            .iter()
+            .map(|t| q.schedule_at(SimTime::from_nanos(*t), ()))
+            .collect();
+        for h in handles.iter().step_by(kill_every) {
+            q.cancel(*h);
+        }
+        let expected = q.len();
+        let mut count = 0;
+        while q.pop().is_some() {
+            count += 1;
+        }
+        prop_assert_eq!(count, expected);
+    }
+}

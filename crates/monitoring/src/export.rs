@@ -1,0 +1,85 @@
+//! Export sinks: CSV and JSON.
+
+use crate::series::TimeSeries;
+use std::fmt::Write as _;
+
+/// Renders a set of named series as CSV: `time_s,<name1>,<name2>,…`.
+/// Series are joined on sample index (they are expected to share epochs);
+/// shorter series pad with empty cells.
+pub fn to_csv(series: &[(&str, &TimeSeries)]) -> String {
+    let mut out = String::new();
+    out.push_str("time_s");
+    for (name, _) in series {
+        let _ = write!(out, ",{name}");
+    }
+    out.push('\n');
+    let rows = series.iter().map(|(_, s)| s.len()).max().unwrap_or(0);
+    for i in 0..rows {
+        let t = series
+            .iter()
+            .find_map(|(_, s)| s.points().get(i).map(|&(t, _)| t));
+        let Some(t) = t else { break };
+        let _ = write!(out, "{:.6}", t.as_secs_f64());
+        for (_, s) in series {
+            match s.points().get(i) {
+                Some(&(_, v)) => {
+                    let _ = write!(out, ",{v:.6}");
+                }
+                None => out.push(','),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders one series as a JSON array of `{"t": secs, "v": value}`.
+pub fn to_json(series: &TimeSeries) -> String {
+    let items: Vec<serde_json::Value> = series
+        .points()
+        .iter()
+        .map(|&(t, v)| serde_json::json!({"t": t.as_secs_f64(), "v": v}))
+        .collect();
+    serde_json::to_string(&items).expect("series serializes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use horse_types::SimTime;
+
+    fn series(vals: &[f64]) -> TimeSeries {
+        let mut s = TimeSeries::new();
+        for (i, v) in vals.iter().enumerate() {
+            s.push(SimTime::from_secs(i as u64), *v);
+        }
+        s
+    }
+
+    #[test]
+    fn csv_layout() {
+        let a = series(&[1.0, 2.0]);
+        let b = series(&[3.0]);
+        let csv = to_csv(&[("util", &a), ("rate", &b)]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "time_s,util,rate");
+        assert!(lines[1].starts_with("0.000000,1.000000,3.000000"));
+        assert!(lines[2].ends_with(','), "short series pads");
+        assert_eq!(lines.len(), 3);
+    }
+
+    #[test]
+    fn empty_csv_has_header_only() {
+        let csv = to_csv(&[]);
+        assert_eq!(csv, "time_s\n");
+    }
+
+    #[test]
+    fn json_roundtrips() {
+        let s = series(&[0.25]);
+        let js = to_json(&s);
+        let parsed: Vec<serde_json::Value> = serde_json::from_str(&js).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0]["v"], 0.25);
+    }
+}

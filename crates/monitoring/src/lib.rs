@@ -1,0 +1,24 @@
+//! # horse-monitoring
+//!
+//! The Monitor block of Fig. 2. The paper: "the monitoring primitives of
+//! the simulator will contemplate typical network measurements such as
+//! link bandwidth and SDN-enabled ones (i.e., OpenFlow counters)".
+//!
+//! * [`series`] — time series with summary statistics (mean, max,
+//!   quantiles) used for link-utilization and load traces.
+//! * [`collector`] — [`StatsCollector`]: epoch-driven collection of link
+//!   utilization samples, aggregate throughput, flow counts; threshold
+//!   watchers for congestion alarms.
+//! * [`export`] — CSV / JSON sinks for offline analysis (the experiment
+//!   harness prints tables from these).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collector;
+pub mod export;
+pub mod series;
+
+pub use collector::{EpochReport, StatsCollector, ThresholdAlarm};
+pub use export::{to_csv, to_json};
+pub use series::TimeSeries;

@@ -1,0 +1,889 @@
+//! The switch pipeline.
+//!
+//! [`OpenFlowSwitch`] glues tables, groups, meters and counters into the
+//! classification engine both data planes share:
+//!
+//! * the **fluid plane** classifies a flow once per routing decision
+//!   ([`OpenFlowSwitch::process`]) and later credits byte counts,
+//! * the **packet plane** classifies every packet the same way.
+//!
+//! The default miss behaviour is *send to controller*, which is what gives
+//! the paper its flow-setup dynamic (reactive controllers see a `FlowIn`
+//! per new flow); switches can be flipped to drop-on-miss for proactive
+//! deployments.
+
+use crate::actions::{Action, Instruction};
+use crate::flow_match::FlowMatch;
+use crate::group::GroupEntry;
+use crate::messages::{
+    CtrlMsg, FlowModCommand, FlowStatsEntry, GroupMod, PortStatsEntry, StatsReply, StatsRequest,
+    SwitchMsg, TableStatsEntry,
+};
+use crate::meter::MeterEntry;
+use crate::table::{FlowTable, RemovalReason};
+use horse_types::id::{GroupId, MeterId};
+use horse_types::{ByteSize, FlowKey, NodeId, PortNo, SimTime, TableId};
+use std::collections::{BTreeMap, HashMap};
+
+/// Why the pipeline dropped a flow.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DropReason {
+    /// Explicit drop action (blackholing, ACLs).
+    Policy,
+    /// Table miss with drop-on-miss configured.
+    TableMiss,
+    /// A group resolved to no live bucket.
+    DeadGroup,
+    /// Output port is down.
+    PortDown,
+    /// Pipeline exceeded the table-jump budget (mis-configured gotos).
+    PipelineLoop,
+}
+
+/// Final verdict of a pipeline traversal.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Verdict {
+    /// Forward out of these ports (usually one; several for flood/All).
+    Forward(Vec<PortNo>),
+    /// Punt to the controller (table miss or explicit).
+    ToController,
+    /// Drop.
+    Drop(DropReason),
+}
+
+/// Everything a traversal produced: the verdict plus the attribution trail
+/// (which entries matched, which meters apply, header rewrites).
+#[derive(Clone, Debug)]
+pub struct PipelineResult {
+    /// The forwarding decision.
+    pub verdict: Verdict,
+    /// `(table, priority, match, cookie)` of each entry traversed, for
+    /// later byte crediting.
+    pub matched: Vec<(TableId, u16, FlowMatch, u64)>,
+    /// Meters the flow passes through, in order.
+    pub meters: Vec<MeterId>,
+    /// The (possibly rewritten) flow key leaving the switch.
+    pub key_out: FlowKey,
+}
+
+/// How a table miss is handled.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MissBehavior {
+    /// Send a `FlowIn` to the controller (reactive mode, the default).
+    ToController,
+    /// Drop silently (proactive mode).
+    Drop,
+}
+
+/// An abstracted OpenFlow switch.
+pub struct OpenFlowSwitch {
+    /// The node this switch instantiates.
+    pub id: NodeId,
+    tables: Vec<FlowTable>,
+    groups: BTreeMap<GroupId, GroupEntry>,
+    meters: BTreeMap<MeterId, MeterEntry>,
+    port_state: HashMap<PortNo, bool>,
+    port_counters: HashMap<PortNo, crate::counters::PortCounters>,
+    /// Miss policy.
+    pub miss_behavior: MissBehavior,
+    /// Maximum table jumps per traversal (guards against goto loops).
+    pub max_table_jumps: usize,
+}
+
+impl OpenFlowSwitch {
+    /// A switch with `num_tables` empty tables and reactive miss behaviour.
+    pub fn new(id: NodeId, num_tables: usize, ports: &[PortNo]) -> Self {
+        OpenFlowSwitch {
+            id,
+            tables: (0..num_tables.max(1)).map(|_| FlowTable::new()).collect(),
+            groups: BTreeMap::new(),
+            meters: BTreeMap::new(),
+            port_state: ports.iter().map(|&p| (p, true)).collect(),
+            port_counters: ports
+                .iter()
+                .map(|&p| (p, crate::counters::PortCounters::default()))
+                .collect(),
+            miss_behavior: MissBehavior::ToController,
+            max_table_jumps: 8,
+        }
+    }
+
+    /// Number of tables in the pipeline.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Read access to a table.
+    pub fn table(&self, t: TableId) -> Option<&FlowTable> {
+        self.tables.get(t.0 as usize)
+    }
+
+    /// Read access to a group.
+    pub fn group(&self, g: GroupId) -> Option<&GroupEntry> {
+        self.groups.get(&g)
+    }
+
+    /// Mutable access to a meter (packet plane consumes tokens).
+    pub fn meter_mut(&mut self, m: MeterId) -> Option<&mut MeterEntry> {
+        self.meters.get_mut(&m)
+    }
+
+    /// Read access to a meter.
+    pub fn meter(&self, m: MeterId) -> Option<&MeterEntry> {
+        self.meters.get(&m)
+    }
+
+    /// Is `port` up? Unknown ports count as down.
+    pub fn port_up(&self, port: PortNo) -> bool {
+        *self.port_state.get(&port).unwrap_or(&false)
+    }
+
+    /// Flips a port's state; returns the `PortStatus` notification.
+    pub fn set_port_state(&mut self, port: PortNo, up: bool) -> SwitchMsg {
+        self.port_state.insert(port, up);
+        SwitchMsg::PortStatus {
+            switch: self.id,
+            port,
+            up,
+        }
+    }
+
+    /// Port counters (packet plane credits them; fluid plane credits bytes
+    /// via the link stats instead).
+    pub fn port_counters_mut(&mut self, port: PortNo) -> &mut crate::counters::PortCounters {
+        self.port_counters.entry(port).or_default()
+    }
+
+    /// Traverses the pipeline for a flow arriving on `in_port` with header
+    /// `key` and credits classification counters (one "packet" per event).
+    /// Byte crediting happens later via [`credit_bytes`].
+    ///
+    /// [`credit_bytes`]: OpenFlowSwitch::credit_bytes
+    pub fn process(&mut self, in_port: PortNo, key: &FlowKey, now: SimTime) -> PipelineResult {
+        let result = self.classify(in_port, key);
+        self.commit_classification(&result, now);
+        result
+    }
+
+    /// Counter-side-effect-free pipeline traversal. The fluid plane uses
+    /// this to *explore* candidate paths (flood/DFS) and only commits the
+    /// classification of the hops on the path it actually takes.
+    pub fn classify(&self, in_port: PortNo, key: &FlowKey) -> PipelineResult {
+        let mut result = PipelineResult {
+            verdict: Verdict::Drop(DropReason::TableMiss),
+            matched: Vec::new(),
+            meters: Vec::new(),
+            key_out: *key,
+        };
+        let mut table_idx = 0usize;
+        let mut jumps = 0usize;
+        let mut out_ports: Vec<PortNo> = Vec::new();
+        let mut to_controller = false;
+        let mut dropped: Option<DropReason> = None;
+        let mut cur_key = *key;
+
+        loop {
+            if jumps > self.max_table_jumps {
+                result.verdict = Verdict::Drop(DropReason::PipelineLoop);
+                return result;
+            }
+            let Some(table) = self.tables.get(table_idx) else {
+                break;
+            };
+            let Some(entry) = table.peek(in_port, &cur_key) else {
+                // Table miss in table 0 triggers the miss behaviour; a miss
+                // in a later table just ends the pipeline (OpenFlow
+                // semantics: no goto target matched, actions so far apply).
+                if table_idx == 0 && result.matched.is_empty() {
+                    result.verdict = match self.miss_behavior {
+                        MissBehavior::ToController => Verdict::ToController,
+                        MissBehavior::Drop => Verdict::Drop(DropReason::TableMiss),
+                    };
+                    return result;
+                }
+                break;
+            };
+            result.matched.push((
+                TableId(table_idx as u8),
+                entry.priority,
+                entry.matcher,
+                entry.cookie,
+            ));
+            let instructions = &entry.instructions;
+            let mut next_table: Option<usize> = None;
+            for ins in instructions {
+                match ins {
+                    Instruction::Meter(m) => result.meters.push(*m),
+                    Instruction::GotoTable(t) => next_table = Some(t.0 as usize),
+                    Instruction::ApplyActions(actions) => {
+                        for a in actions {
+                            match a {
+                                Action::Output(p) => {
+                                    if *p == PortNo::CONTROLLER {
+                                        to_controller = true;
+                                    } else if *p == PortNo::FLOOD {
+                                        let mut ps: Vec<PortNo> = self
+                                            .port_state
+                                            .iter()
+                                            .filter(|&(&p2, &up)| up && p2 != in_port)
+                                            .map(|(&p2, _)| p2)
+                                            .collect();
+                                        ps.sort();
+                                        out_ports.extend(ps);
+                                    } else {
+                                        out_ports.push(*p);
+                                    }
+                                }
+                                Action::Group(g) => {
+                                    if let Some(ge) = self.groups.get(g) {
+                                        let port_state = &self.port_state;
+                                        let chosen = ge.resolve(&cur_key, |p| {
+                                            *port_state.get(&p).unwrap_or(&false)
+                                        });
+                                        if chosen.is_empty() {
+                                            dropped = Some(DropReason::DeadGroup);
+                                        }
+                                        for bi in chosen {
+                                            for ba in &ge.buckets[bi].actions {
+                                                match ba {
+                                                    Action::Output(p) => out_ports.push(*p),
+                                                    Action::SetEthDst(m) => cur_key.eth_dst = *m,
+                                                    Action::SetEthSrc(m) => cur_key.eth_src = *m,
+                                                    Action::SetVlan(v) => cur_key.vlan = Some(*v),
+                                                    Action::StripVlan => cur_key.vlan = None,
+                                                    Action::Drop => {
+                                                        dropped = Some(DropReason::Policy)
+                                                    }
+                                                    Action::Group(_) => { /* nested groups unsupported */
+                                                    }
+                                                }
+                                            }
+                                        }
+                                    } else {
+                                        dropped = Some(DropReason::DeadGroup);
+                                    }
+                                }
+                                Action::SetEthDst(m) => cur_key.eth_dst = *m,
+                                Action::SetEthSrc(m) => cur_key.eth_src = *m,
+                                Action::SetVlan(v) => cur_key.vlan = Some(*v),
+                                Action::StripVlan => cur_key.vlan = None,
+                                Action::Drop => dropped = Some(DropReason::Policy),
+                            }
+                        }
+                    }
+                }
+            }
+            match next_table {
+                Some(t) if t > table_idx => {
+                    table_idx = t;
+                    jumps += 1;
+                }
+                Some(_) => {
+                    // goto must move forward; treat as loop guard
+                    result.verdict = Verdict::Drop(DropReason::PipelineLoop);
+                    return result;
+                }
+                None => break,
+            }
+        }
+
+        result.key_out = cur_key;
+        result.verdict = if let Some(r) = dropped {
+            Verdict::Drop(r)
+        } else if !out_ports.is_empty() {
+            // de-dup, keep live ports only
+            let mut seen = std::collections::HashSet::new();
+            let live: Vec<PortNo> = out_ports
+                .into_iter()
+                .filter(|p| seen.insert(*p))
+                .filter(|p| self.port_up(*p))
+                .collect();
+            if live.is_empty() {
+                Verdict::Drop(DropReason::PortDown)
+            } else {
+                Verdict::Forward(live)
+            }
+        } else if to_controller {
+            Verdict::ToController
+        } else if result.matched.is_empty() {
+            match self.miss_behavior {
+                MissBehavior::ToController => Verdict::ToController,
+                MissBehavior::Drop => Verdict::Drop(DropReason::TableMiss),
+            }
+        } else {
+            // matched something that produced no output: explicit no-op ≈ drop
+            Verdict::Drop(DropReason::Policy)
+        };
+        if to_controller && !matches!(result.verdict, Verdict::Forward(_)) {
+            result.verdict = Verdict::ToController;
+        }
+        result
+    }
+
+    /// Credits the counters a [`classify`] traversal would have updated:
+    /// one lookup+match per traversed table, one packet per matched entry,
+    /// and a fresh `last_used` stamp (idle-timeout refresh). A miss credits
+    /// a lookup on table 0 only.
+    ///
+    /// [`classify`]: OpenFlowSwitch::classify
+    pub fn commit_classification(&mut self, res: &PipelineResult, now: SimTime) {
+        if res.matched.is_empty() {
+            if let Some(t0) = self.tables.get_mut(0) {
+                t0.counters.lookups += 1;
+            }
+            return;
+        }
+        for (t, prio, m, _) in &res.matched {
+            if let Some(table) = self.tables.get_mut(t.0 as usize) {
+                table.counters.lookups += 1;
+                table.counters.matches += 1;
+                table.credit(*prio, m, 1, ByteSize::ZERO, now);
+            }
+        }
+    }
+
+    /// Credits bytes (and derived packets) to previously matched entries —
+    /// how the fluid plane keeps OpenFlow counters consistent with
+    /// integrated flow volumes.
+    pub fn credit_bytes(
+        &mut self,
+        matched: &[(TableId, u16, FlowMatch, u64)],
+        bytes: ByteSize,
+        avg_packet: ByteSize,
+        now: SimTime,
+    ) {
+        let pkts = if avg_packet.as_bytes() == 0 {
+            0
+        } else {
+            bytes.as_bytes() / avg_packet.as_bytes()
+        };
+        for (t, prio, m, _) in matched {
+            if let Some(table) = self.tables.get_mut(t.0 as usize) {
+                table.credit(*prio, m, pkts, bytes, now);
+            }
+        }
+    }
+
+    /// Applies a controller message, returning any immediate replies
+    /// (stats, barrier, flow-removed notifications from deletes).
+    pub fn apply(&mut self, msg: &CtrlMsg, now: SimTime) -> Vec<SwitchMsg> {
+        match msg {
+            CtrlMsg::FlowMod(fm) => {
+                let t = fm.table.0 as usize;
+                if t >= self.tables.len() {
+                    return vec![];
+                }
+                match fm.command {
+                    FlowModCommand::Add => {
+                        self.tables[t].insert(fm.entry.clone(), now);
+                        vec![]
+                    }
+                    FlowModCommand::Delete { strict } => {
+                        let removed = self.tables[t].delete(
+                            &fm.entry.matcher,
+                            Some(fm.entry.priority),
+                            strict,
+                        );
+                        removed
+                            .into_iter()
+                            .filter(|e| e.notify_removal)
+                            .map(|e| SwitchMsg::FlowRemoved {
+                                switch: self.id,
+                                table: fm.table,
+                                priority: e.priority,
+                                matcher: e.matcher,
+                                cookie: e.cookie,
+                                reason: RemovalReason::Delete,
+                                packets: e.counters.packets,
+                                bytes: e.counters.bytes,
+                            })
+                            .collect()
+                    }
+                }
+            }
+            CtrlMsg::GroupMod(gm) => {
+                match gm {
+                    GroupMod::Add(g) => {
+                        self.groups.insert(g.id, g.clone());
+                    }
+                    GroupMod::Delete(id) => {
+                        self.groups.remove(id);
+                    }
+                }
+                vec![]
+            }
+            CtrlMsg::MeterMod(mm) => {
+                match mm {
+                    crate::messages::MeterMod::Add { id, .. } => {
+                        if let Some(e) = mm.to_entry() {
+                            self.meters.insert(*id, e);
+                        }
+                    }
+                    crate::messages::MeterMod::Delete(id) => {
+                        self.meters.remove(id);
+                    }
+                }
+                vec![]
+            }
+            CtrlMsg::StatsRequest(req) => vec![SwitchMsg::StatsReply {
+                switch: self.id,
+                reply: self.stats(*req),
+            }],
+            CtrlMsg::Barrier => vec![SwitchMsg::BarrierReply { switch: self.id }],
+        }
+    }
+
+    /// Builds a statistics reply.
+    pub fn stats(&self, req: StatsRequest) -> StatsReply {
+        match req {
+            StatsRequest::Flow(t) => {
+                let rows = self
+                    .tables
+                    .get(t.0 as usize)
+                    .map(|table| {
+                        table
+                            .entries()
+                            .map(|e| FlowStatsEntry {
+                                table: t,
+                                priority: e.priority,
+                                matcher: e.matcher,
+                                cookie: e.cookie,
+                                packets: e.counters.packets,
+                                bytes: e.counters.bytes,
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                StatsReply::Flow(rows)
+            }
+            StatsRequest::Port(which) => {
+                let mut rows: Vec<PortStatsEntry> = self
+                    .port_counters
+                    .iter()
+                    .filter(|(p, _)| which.map(|w| w == **p).unwrap_or(true))
+                    .map(|(p, c)| PortStatsEntry {
+                        port: *p,
+                        rx_packets: c.rx_packets,
+                        tx_packets: c.tx_packets,
+                        rx_bytes: c.rx_bytes,
+                        tx_bytes: c.tx_bytes,
+                        drops: c.drops,
+                    })
+                    .collect();
+                rows.sort_by_key(|r| r.port);
+                StatsReply::Port(rows)
+            }
+            StatsRequest::Table => StatsReply::Table(
+                self.tables
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| TableStatsEntry {
+                        table: TableId(i as u8),
+                        active_entries: t.len() as u64,
+                        lookups: t.counters.lookups,
+                        matches: t.counters.matches,
+                    })
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Expires timed-out entries across all tables, emitting FlowRemoved
+    /// notifications where requested.
+    pub fn expire(&mut self, now: SimTime) -> Vec<SwitchMsg> {
+        let mut out = Vec::new();
+        for (i, table) in self.tables.iter_mut().enumerate() {
+            for (e, reason) in table.expire(now) {
+                if e.notify_removal {
+                    out.push(SwitchMsg::FlowRemoved {
+                        switch: self.id,
+                        table: TableId(i as u8),
+                        priority: e.priority,
+                        matcher: e.matcher,
+                        cookie: e.cookie,
+                        reason,
+                        packets: e.counters.packets,
+                        bytes: e.counters.bytes,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// The table-miss `FlowIn` message for a missed flow.
+    pub fn flow_in(&self, in_port: PortNo, key: &FlowKey) -> SwitchMsg {
+        SwitchMsg::FlowIn {
+            switch: self.id,
+            in_port,
+            key: *key,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::{Bucket, GroupType};
+    use crate::messages::{FlowMod, MeterMod};
+    use crate::table::FlowEntry;
+    use horse_types::{MacAddr, Rate};
+    use std::net::Ipv4Addr;
+
+    fn key() -> FlowKey {
+        FlowKey::tcp(
+            MacAddr::local_from_id(1),
+            MacAddr::local_from_id(2),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            40000,
+            80,
+        )
+    }
+
+    fn switch(tables: usize) -> OpenFlowSwitch {
+        OpenFlowSwitch::new(
+            NodeId(1),
+            tables,
+            &[PortNo(1), PortNo(2), PortNo(3)],
+        )
+    }
+
+    #[test]
+    fn miss_goes_to_controller_by_default() {
+        let mut sw = switch(1);
+        let r = sw.process(PortNo(1), &key(), SimTime::ZERO);
+        assert_eq!(r.verdict, Verdict::ToController);
+        assert!(r.matched.is_empty());
+    }
+
+    #[test]
+    fn miss_drops_in_proactive_mode() {
+        let mut sw = switch(1);
+        sw.miss_behavior = MissBehavior::Drop;
+        let r = sw.process(PortNo(1), &key(), SimTime::ZERO);
+        assert_eq!(r.verdict, Verdict::Drop(DropReason::TableMiss));
+    }
+
+    #[test]
+    fn simple_forward() {
+        let mut sw = switch(1);
+        sw.apply(
+            &CtrlMsg::FlowMod(FlowMod::add(FlowEntry::new(
+                10,
+                FlowMatch::ANY,
+                vec![Instruction::output(PortNo(2))],
+            ))),
+            SimTime::ZERO,
+        );
+        let r = sw.process(PortNo(1), &key(), SimTime::ZERO);
+        assert_eq!(r.verdict, Verdict::Forward(vec![PortNo(2)]));
+        assert_eq!(r.matched.len(), 1);
+    }
+
+    #[test]
+    fn drop_action_wins() {
+        let mut sw = switch(1);
+        sw.apply(
+            &CtrlMsg::FlowMod(FlowMod::add(FlowEntry::new(
+                10,
+                FlowMatch::ANY,
+                vec![Instruction::drop()],
+            ))),
+            SimTime::ZERO,
+        );
+        let r = sw.process(PortNo(1), &key(), SimTime::ZERO);
+        assert_eq!(r.verdict, Verdict::Drop(DropReason::Policy));
+    }
+
+    #[test]
+    fn forward_to_down_port_drops() {
+        let mut sw = switch(1);
+        sw.apply(
+            &CtrlMsg::FlowMod(FlowMod::add(FlowEntry::new(
+                10,
+                FlowMatch::ANY,
+                vec![Instruction::output(PortNo(2))],
+            ))),
+            SimTime::ZERO,
+        );
+        sw.set_port_state(PortNo(2), false);
+        let r = sw.process(PortNo(1), &key(), SimTime::ZERO);
+        assert_eq!(r.verdict, Verdict::Drop(DropReason::PortDown));
+    }
+
+    #[test]
+    fn flood_excludes_ingress() {
+        let mut sw = switch(1);
+        sw.apply(
+            &CtrlMsg::FlowMod(FlowMod::add(FlowEntry::new(
+                10,
+                FlowMatch::ANY,
+                vec![Instruction::output(PortNo::FLOOD)],
+            ))),
+            SimTime::ZERO,
+        );
+        let r = sw.process(PortNo(1), &key(), SimTime::ZERO);
+        assert_eq!(r.verdict, Verdict::Forward(vec![PortNo(2), PortNo(3)]));
+    }
+
+    #[test]
+    fn multi_table_goto_and_meter() {
+        let mut sw = switch(2);
+        sw.apply(
+            &CtrlMsg::MeterMod(MeterMod::Add {
+                id: MeterId(7),
+                rate: Rate::mbps(500.0),
+                burst: ByteSize::kib(64),
+            }),
+            SimTime::ZERO,
+        );
+        sw.apply(
+            &CtrlMsg::FlowMod(FlowMod {
+                table: TableId(0),
+                command: FlowModCommand::Add,
+                entry: FlowEntry::new(
+                    10,
+                    FlowMatch::ANY,
+                    vec![
+                        Instruction::Meter(MeterId(7)),
+                        Instruction::GotoTable(TableId(1)),
+                    ],
+                ),
+            }),
+            SimTime::ZERO,
+        );
+        sw.apply(
+            &CtrlMsg::FlowMod(FlowMod {
+                table: TableId(1),
+                command: FlowModCommand::Add,
+                entry: FlowEntry::new(5, FlowMatch::ANY, vec![Instruction::output(PortNo(3))]),
+            }),
+            SimTime::ZERO,
+        );
+        let r = sw.process(PortNo(1), &key(), SimTime::ZERO);
+        assert_eq!(r.verdict, Verdict::Forward(vec![PortNo(3)]));
+        assert_eq!(r.meters, vec![MeterId(7)]);
+        assert_eq!(r.matched.len(), 2);
+    }
+
+    #[test]
+    fn backward_goto_is_a_loop() {
+        let mut sw = switch(2);
+        sw.apply(
+            &CtrlMsg::FlowMod(FlowMod {
+                table: TableId(1),
+                command: FlowModCommand::Add,
+                entry: FlowEntry::new(
+                    5,
+                    FlowMatch::ANY,
+                    vec![Instruction::GotoTable(TableId(1))],
+                ),
+            }),
+            SimTime::ZERO,
+        );
+        sw.apply(
+            &CtrlMsg::FlowMod(FlowMod {
+                table: TableId(0),
+                command: FlowModCommand::Add,
+                entry: FlowEntry::new(
+                    5,
+                    FlowMatch::ANY,
+                    vec![Instruction::GotoTable(TableId(1))],
+                ),
+            }),
+            SimTime::ZERO,
+        );
+        let r = sw.process(PortNo(1), &key(), SimTime::ZERO);
+        assert_eq!(r.verdict, Verdict::Drop(DropReason::PipelineLoop));
+    }
+
+    #[test]
+    fn group_select_forwards_one_port() {
+        let mut sw = switch(1);
+        sw.apply(
+            &CtrlMsg::GroupMod(GroupMod::Add(GroupEntry::ecmp(
+                GroupId(1),
+                &[PortNo(2), PortNo(3)],
+            ))),
+            SimTime::ZERO,
+        );
+        sw.apply(
+            &CtrlMsg::FlowMod(FlowMod::add(FlowEntry::new(
+                10,
+                FlowMatch::ANY,
+                vec![Instruction::group(GroupId(1))],
+            ))),
+            SimTime::ZERO,
+        );
+        let r = sw.process(PortNo(1), &key(), SimTime::ZERO);
+        match r.verdict {
+            Verdict::Forward(ports) => {
+                assert_eq!(ports.len(), 1);
+                assert!(ports[0] == PortNo(2) || ports[0] == PortNo(3));
+            }
+            v => panic!("expected forward, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn group_failover_reroutes_when_port_dies() {
+        let mut sw = switch(1);
+        sw.apply(
+            &CtrlMsg::GroupMod(GroupMod::Add(GroupEntry {
+                id: GroupId(2),
+                group_type: GroupType::FastFailover,
+                buckets: vec![Bucket::output(PortNo(2)), Bucket::output(PortNo(3))],
+            })),
+            SimTime::ZERO,
+        );
+        sw.apply(
+            &CtrlMsg::FlowMod(FlowMod::add(FlowEntry::new(
+                10,
+                FlowMatch::ANY,
+                vec![Instruction::group(GroupId(2))],
+            ))),
+            SimTime::ZERO,
+        );
+        let r = sw.process(PortNo(1), &key(), SimTime::ZERO);
+        assert_eq!(r.verdict, Verdict::Forward(vec![PortNo(2)]));
+        sw.set_port_state(PortNo(2), false);
+        let r = sw.process(PortNo(1), &key(), SimTime::ZERO);
+        assert_eq!(r.verdict, Verdict::Forward(vec![PortNo(3)]));
+    }
+
+    #[test]
+    fn missing_group_drops() {
+        let mut sw = switch(1);
+        sw.apply(
+            &CtrlMsg::FlowMod(FlowMod::add(FlowEntry::new(
+                10,
+                FlowMatch::ANY,
+                vec![Instruction::group(GroupId(99))],
+            ))),
+            SimTime::ZERO,
+        );
+        let r = sw.process(PortNo(1), &key(), SimTime::ZERO);
+        assert_eq!(r.verdict, Verdict::Drop(DropReason::DeadGroup));
+    }
+
+    #[test]
+    fn rewrite_actions_update_key_out() {
+        let mut sw = switch(1);
+        let new_dst = MacAddr::local_from_id(42);
+        sw.apply(
+            &CtrlMsg::FlowMod(FlowMod::add(FlowEntry::new(
+                10,
+                FlowMatch::ANY,
+                vec![Instruction::ApplyActions(vec![
+                    Action::SetEthDst(new_dst),
+                    Action::SetVlan(100),
+                    Action::Output(PortNo(2)),
+                ])],
+            ))),
+            SimTime::ZERO,
+        );
+        let r = sw.process(PortNo(1), &key(), SimTime::ZERO);
+        assert_eq!(r.key_out.eth_dst, new_dst);
+        assert_eq!(r.key_out.vlan, Some(100));
+        assert_eq!(r.verdict, Verdict::Forward(vec![PortNo(2)]));
+    }
+
+    #[test]
+    fn credit_bytes_reaches_matched_entries() {
+        let mut sw = switch(1);
+        sw.apply(
+            &CtrlMsg::FlowMod(FlowMod::add(FlowEntry::new(
+                10,
+                FlowMatch::ANY,
+                vec![Instruction::output(PortNo(2))],
+            ))),
+            SimTime::ZERO,
+        );
+        let r = sw.process(PortNo(1), &key(), SimTime::ZERO);
+        sw.credit_bytes(
+            &r.matched,
+            ByteSize::bytes(15000),
+            ByteSize::bytes(1500),
+            SimTime::from_secs(1),
+        );
+        if let StatsReply::Flow(rows) = sw.stats(StatsRequest::Flow(TableId(0))) {
+            assert_eq!(rows[0].bytes, 15000);
+            assert_eq!(rows[0].packets, 1 + 10); // 1 classify event + 10 derived
+        } else {
+            panic!("expected flow stats");
+        }
+    }
+
+    #[test]
+    fn stats_and_barrier_replies() {
+        let mut sw = switch(1);
+        let replies = sw.apply(&CtrlMsg::Barrier, SimTime::ZERO);
+        assert!(matches!(replies[0], SwitchMsg::BarrierReply { .. }));
+        let replies = sw.apply(&CtrlMsg::StatsRequest(StatsRequest::Table), SimTime::ZERO);
+        assert!(matches!(
+            replies[0],
+            SwitchMsg::StatsReply {
+                reply: StatsReply::Table(_),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn delete_with_notification() {
+        let mut sw = switch(1);
+        sw.apply(
+            &CtrlMsg::FlowMod(FlowMod::add(
+                FlowEntry::new(10, FlowMatch::ANY, vec![Instruction::output(PortNo(2))])
+                    .with_removal_notification()
+                    .with_cookie(77),
+            )),
+            SimTime::ZERO,
+        );
+        let mut del = FlowMod::delete(FlowMatch::ANY);
+        del.entry.priority = 10;
+        let replies = sw.apply(&CtrlMsg::FlowMod(del), SimTime::from_secs(1));
+        assert_eq!(replies.len(), 1);
+        match &replies[0] {
+            SwitchMsg::FlowRemoved { cookie, reason, .. } => {
+                assert_eq!(*cookie, 77);
+                assert_eq!(*reason, RemovalReason::Delete);
+            }
+            m => panic!("unexpected {m:?}"),
+        }
+    }
+
+    #[test]
+    fn expiry_emits_notifications() {
+        let mut sw = switch(1);
+        sw.apply(
+            &CtrlMsg::FlowMod(FlowMod::add(
+                FlowEntry::new(10, FlowMatch::ANY, vec![Instruction::output(PortNo(2))])
+                    .with_hard_timeout(horse_types::SimDuration::from_secs(5))
+                    .with_removal_notification(),
+            )),
+            SimTime::ZERO,
+        );
+        assert!(sw.expire(SimTime::from_secs(4)).is_empty());
+        let msgs = sw.expire(SimTime::from_secs(5));
+        assert_eq!(msgs.len(), 1);
+    }
+
+    #[test]
+    fn port_stats_filter() {
+        let mut sw = switch(1);
+        sw.port_counters_mut(PortNo(2)).credit_tx(3, 4500);
+        if let StatsReply::Port(rows) = sw.stats(StatsRequest::Port(Some(PortNo(2)))) {
+            assert_eq!(rows.len(), 1);
+            assert_eq!(rows[0].tx_bytes, 4500);
+        } else {
+            panic!("expected port stats");
+        }
+        if let StatsReply::Port(rows) = sw.stats(StatsRequest::Port(None)) {
+            assert_eq!(rows.len(), 3);
+        } else {
+            panic!("expected port stats");
+        }
+    }
+}

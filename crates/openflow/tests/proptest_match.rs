@@ -1,0 +1,117 @@
+//! Property tests for the match algebra the policy validator relies on:
+//! `matches` ⊆-consistency with `is_subset_of`, and `overlaps` symmetry.
+
+use horse_openflow::flow_match::FlowMatch;
+use horse_types::{FlowKey, IpProtocol, Ipv4Net, MacAddr, PortNo};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn arb_key() -> impl Strategy<Value = FlowKey> {
+    (
+        0u32..8,
+        0u32..8,
+        0u8..4,
+        0u8..4,
+        prop::sample::select(vec![IpProtocol::Tcp, IpProtocol::Udp]),
+        prop::sample::select(vec![80u16, 443, 53, 1234]),
+        0u16..4,
+    )
+        .prop_map(|(ms, md, is, id, proto, dport, sport)| FlowKey {
+            eth_src: MacAddr::local_from_id(ms + 1),
+            eth_dst: MacAddr::local_from_id(md + 1),
+            eth_type: 0x0800,
+            vlan: None,
+            ip_src: Ipv4Addr::new(10, 0, is, 1),
+            ip_dst: Ipv4Addr::new(10, 1, id, 1),
+            ip_proto: proto,
+            tp_src: 1000 + sport,
+            tp_dst: dport,
+        })
+}
+
+fn arb_match() -> impl Strategy<Value = FlowMatch> {
+    (
+        prop::option::of(0u32..8),
+        prop::option::of(0u32..8),
+        prop::option::of(prop::sample::select(vec![8u8, 16, 24, 32])),
+        prop::option::of(prop::sample::select(vec![IpProtocol::Tcp, IpProtocol::Udp])),
+        prop::option::of(prop::sample::select(vec![80u16, 443, 53, 1234])),
+    )
+        .prop_map(|(src, dst, plen, proto, dport)| {
+            let mut m = FlowMatch::ANY;
+            if let Some(s) = src {
+                m = m.with_eth_src(MacAddr::local_from_id(s + 1));
+            }
+            if let Some(d) = dst {
+                m = m.with_eth_dst(MacAddr::local_from_id(d + 1));
+            }
+            if let Some(l) = plen {
+                m = m.with_ip_dst(Ipv4Net::new(Ipv4Addr::new(10, 1, 0, 0), l));
+            }
+            if let Some(p) = proto {
+                m = m.with_ip_proto(p);
+            }
+            if let Some(p) = dport {
+                m = m.with_tp_dst(p);
+            }
+            m
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// If a is a subset of b, every key matching a must match b.
+    #[test]
+    fn subset_implies_match_containment(
+        a in arb_match(),
+        b in arb_match(),
+        key in arb_key(),
+        port in 1u16..4,
+    ) {
+        if a.is_subset_of(&b) && a.matches(PortNo(port), &key) {
+            prop_assert!(
+                b.matches(PortNo(port), &key),
+                "a ⊆ b but b missed a key a matched: a={a} b={b} key={key}"
+            );
+        }
+    }
+
+    /// A key matching both matches means they overlap (contrapositive of
+    /// disjointness).
+    #[test]
+    fn common_match_implies_overlap(
+        a in arb_match(),
+        b in arb_match(),
+        key in arb_key(),
+        port in 1u16..4,
+    ) {
+        if a.matches(PortNo(port), &key) && b.matches(PortNo(port), &key) {
+            prop_assert!(a.overlaps(&b));
+            prop_assert!(b.overlaps(&a), "overlap must be symmetric");
+        }
+    }
+
+    /// Reflexivity and ANY-absorption.
+    #[test]
+    fn algebra_axioms(a in arb_match()) {
+        prop_assert!(a.is_subset_of(&a));
+        prop_assert!(a.is_subset_of(&FlowMatch::ANY));
+        prop_assert!(a.overlaps(&a));
+        prop_assert!(a.overlaps(&FlowMatch::ANY));
+    }
+
+    /// exact(key) matches its own key and is a subset of anything that
+    /// matches the key.
+    #[test]
+    fn exact_is_the_bottom_element(key in arb_key(), b in arb_match(), port in 1u16..4) {
+        let e = FlowMatch::exact(&key);
+        prop_assert!(e.matches(PortNo(port), &key));
+        if b.matches(PortNo(port), &key) && b.in_port.is_none() {
+            prop_assert!(
+                e.is_subset_of(&b),
+                "exact(key) must be below any match containing key: b={b}"
+            );
+        }
+    }
+}

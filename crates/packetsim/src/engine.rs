@@ -1,0 +1,870 @@
+//! The packet-level engine.
+
+use crate::source::SourceKind;
+use horse_controlplane::{Controller, ControllerCtx, Outbox};
+use horse_events::EventQueue;
+use horse_openflow::messages::{CtrlMsg, SwitchMsg};
+use horse_openflow::switch::{OpenFlowSwitch, Verdict};
+use horse_topology::Topology;
+use horse_types::{
+    ByteSize, FlowKey, LinkId, NodeId, PortNo, Rate, SimDuration, SimTime,
+};
+use std::collections::{HashMap, VecDeque};
+use std::time::Instant;
+
+/// Packet-plane configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct PacketSimConfig {
+    /// Data segment size on the wire (bytes).
+    pub data_pkt: u32,
+    /// ACK packet size (bytes).
+    pub ack_pkt: u32,
+    /// Per-port output buffer.
+    pub buffer: ByteSize,
+    /// One-way control-channel latency.
+    pub ctrl_latency: SimDuration,
+    /// Minimum retransmission timeout (seconds).
+    pub rto_floor: f64,
+}
+
+impl Default for PacketSimConfig {
+    fn default() -> Self {
+        PacketSimConfig {
+            data_pkt: 1500,
+            ack_pkt: 64,
+            buffer: ByteSize::kib(256),
+            ctrl_latency: SimDuration::from_micros(500),
+            rto_floor: 0.01,
+        }
+    }
+}
+
+/// A flow to drive through the packet plane.
+#[derive(Clone, Debug)]
+pub struct PktFlowSpec {
+    /// Header fields.
+    pub key: FlowKey,
+    /// Source host.
+    pub src: NodeId,
+    /// Destination host.
+    pub dst: NodeId,
+    /// Bytes to transfer.
+    pub size: ByteSize,
+    /// Start time.
+    pub start: SimTime,
+    /// Source model.
+    pub source: SourceKind,
+}
+
+/// Completion record.
+#[derive(Clone, Debug)]
+pub struct PktFlowRecord {
+    /// Flow index (into the input spec list).
+    pub index: usize,
+    /// Header fields.
+    pub key: FlowKey,
+    /// Bytes delivered in order to the receiver.
+    pub bytes_delivered: u64,
+    /// Start time.
+    pub started: SimTime,
+    /// Finish time (delivery of the last in-order byte), or horizon.
+    pub finished: SimTime,
+    /// Whether the byte budget completed before the horizon.
+    pub completed: bool,
+}
+
+impl PktFlowRecord {
+    /// Flow completion time (seconds).
+    pub fn fct_secs(&self) -> f64 {
+        self.finished.saturating_since(self.started).as_secs_f64()
+    }
+}
+
+/// Aggregate results of a packet-level run.
+#[derive(Debug)]
+pub struct PacketResults {
+    /// Per-flow records (same order as the input specs).
+    pub records: Vec<PktFlowRecord>,
+    /// Bytes carried per directed link (indexed by link id).
+    pub link_bytes: Vec<f64>,
+    /// Queue (and policy/meter) drops per directed link.
+    pub drops: u64,
+    /// Events processed.
+    pub events: u64,
+    /// Wall-clock seconds.
+    pub wall_seconds: f64,
+    /// Final simulated time.
+    pub sim_time: SimTime,
+}
+
+impl PacketResults {
+    /// Mean utilization of a link over the run.
+    pub fn utilization(&self, link: LinkId, capacity: Rate, duration: SimDuration) -> f64 {
+        let secs = duration.as_secs_f64();
+        if secs <= 0.0 || capacity.is_zero() {
+            return 0.0;
+        }
+        (self.link_bytes[link.index()] * 8.0 / secs / capacity.as_bps()).clamp(0.0, 1.0)
+    }
+}
+
+#[derive(Debug)]
+enum Ev {
+    /// A flow's source starts.
+    Start(usize),
+    /// CBR pacing tick: try to send the next data packet.
+    CbrSend(usize),
+    /// Packet arrives at a node after crossing a link.
+    Arrive { node: NodeId, in_port: PortNo, pkt: Pkt },
+    /// Serializer on (node, port) finished the packet in flight.
+    TxDone { node: NodeId, port: PortNo },
+    /// TCP retransmission timer.
+    Rto { flow: usize, cum_ack_at_arm: u64 },
+    /// Control-plane crossings.
+    ToController(Box<SwitchMsg>),
+    ToSwitch { switch: NodeId, msg: Box<CtrlMsg> },
+}
+
+#[derive(Clone, Debug)]
+struct Pkt {
+    flow: usize,
+    key: FlowKey,
+    size: u32,
+    /// Data segment sequence or, for ACKs, the cumulative ACK value.
+    seq: u64,
+    is_ack: bool,
+    /// Time the segment was (first) transmitted — for RTT sampling.
+    sent_at: SimTime,
+}
+
+struct PortQueue {
+    queue: VecDeque<Pkt>,
+    queued_bytes: u64,
+    busy: bool,
+}
+
+impl PortQueue {
+    fn new() -> Self {
+        PortQueue {
+            queue: VecDeque::new(),
+            queued_bytes: 0,
+            busy: false,
+        }
+    }
+}
+
+struct FlowRt {
+    spec: PktFlowSpec,
+    source: SourceKind,
+    total_segs: u64,
+    delivered_segs: u64,
+    cbr_sent_segs: u64,
+    finished: Option<SimTime>,
+}
+
+/// The packet-level network simulator (see crate docs).
+pub struct PacketNet {
+    topo: Topology,
+    switches: HashMap<NodeId, OpenFlowSwitch>,
+    queues: HashMap<(NodeId, PortNo), PortQueue>,
+    flows: Vec<FlowRt>,
+    link_bytes: Vec<f64>,
+    drops: u64,
+    config: PacketSimConfig,
+}
+
+impl PacketNet {
+    /// Builds the packet plane over a topology.
+    pub fn new(topo: Topology, config: PacketSimConfig) -> Self {
+        let mut switches = HashMap::new();
+        for (id, node) in topo.nodes() {
+            if node.kind.is_switch() {
+                let ports = topo.ports(id);
+                switches.insert(id, OpenFlowSwitch::new(id, 2, &ports));
+            }
+        }
+        let nl = topo.link_count();
+        PacketNet {
+            topo,
+            switches,
+            queues: HashMap::new(),
+            flows: Vec::new(),
+            link_bytes: vec![0.0; nl],
+            drops: 0,
+            config,
+        }
+    }
+
+    /// Runs `specs` through the network under `controller` until `horizon`.
+    pub fn run(
+        mut self,
+        controller: &mut dyn Controller,
+        specs: Vec<PktFlowSpec>,
+        horizon: SimTime,
+    ) -> PacketResults {
+        let start_wall = Instant::now();
+        let mut q: EventQueue<Ev> = EventQueue::new();
+
+        // Controller bootstrap at t=0, synchronous (as in the fluid plane).
+        let mut out = Outbox::new();
+        {
+            let ctx = ControllerCtx {
+                topo: &self.topo,
+                now: SimTime::ZERO,
+            };
+            controller.on_start(&ctx, &mut out);
+        }
+        for (sw, msg) in out.msgs.drain(..) {
+            if let Some(s) = self.switches.get_mut(&sw) {
+                let _ = s.apply(&msg, SimTime::ZERO);
+            }
+        }
+
+        for (i, spec) in specs.into_iter().enumerate() {
+            q.schedule_at(spec.start, Ev::Start(i));
+            let total_segs =
+                (spec.size.as_bytes() + self.config.data_pkt as u64 - 1) / self.config.data_pkt as u64;
+            self.flows.push(FlowRt {
+                source: spec.source.clone(),
+                spec,
+                total_segs: total_segs.max(1),
+                delivered_segs: 0,
+                cbr_sent_segs: 0,
+                finished: None,
+            });
+        }
+
+        let mut events = 0u64;
+        while let Some(t) = q.peek_time() {
+            if t > horizon {
+                break;
+            }
+            let ev = q.pop().expect("peeked");
+            events += 1;
+            self.handle(ev.time, ev.event, &mut q, controller);
+        }
+
+        let sim_time = horizon;
+        let records = self
+            .flows
+            .iter()
+            .enumerate()
+            .map(|(i, f)| PktFlowRecord {
+                index: i,
+                key: f.spec.key,
+                bytes_delivered: f.delivered_segs * self.config.data_pkt as u64,
+                started: f.spec.start,
+                finished: f.finished.unwrap_or(horizon),
+                completed: f.finished.is_some(),
+            })
+            .collect();
+        PacketResults {
+            records,
+            link_bytes: self.link_bytes,
+            drops: self.drops,
+            events,
+            wall_seconds: start_wall.elapsed().as_secs_f64(),
+            sim_time,
+        }
+    }
+
+    fn handle(
+        &mut self,
+        now: SimTime,
+        ev: Ev,
+        q: &mut EventQueue<Ev>,
+        controller: &mut dyn Controller,
+    ) {
+        match ev {
+            Ev::Start(i) => match self.flows[i].source {
+                SourceKind::Cbr { .. } => {
+                    q.schedule_at(now, Ev::CbrSend(i));
+                }
+                SourceKind::Tcp(_) => {
+                    self.tcp_pump(i, now, q);
+                }
+            },
+            Ev::CbrSend(i) => {
+                let (done, interval) = {
+                    let f = &self.flows[i];
+                    let SourceKind::Cbr { rate_bps } = f.source else {
+                        return;
+                    };
+                    let interval = self.config.data_pkt as f64 * 8.0 / rate_bps.max(1.0);
+                    (f.cbr_sent_segs >= f.total_segs, interval)
+                };
+                if done || self.flows[i].finished.is_some() {
+                    return;
+                }
+                let seq = self.flows[i].cbr_sent_segs;
+                self.flows[i].cbr_sent_segs += 1;
+                let pkt = Pkt {
+                    flow: i,
+                    key: self.flows[i].spec.key,
+                    size: self.config.data_pkt,
+                    seq,
+                    is_ack: false,
+                    sent_at: now,
+                };
+                let src = self.flows[i].spec.src;
+                self.host_emit(src, pkt, now, q);
+                q.schedule_at(now + SimDuration::from_secs_f64(interval), Ev::CbrSend(i));
+            }
+            Ev::Arrive { node, in_port, pkt } => {
+                let Some(nd) = self.topo.node(node) else {
+                    return;
+                };
+                if nd.kind.is_host() {
+                    self.host_receive(node, pkt, now, q);
+                } else {
+                    self.switch_forward(node, in_port, pkt, now, q, controller);
+                }
+            }
+            Ev::TxDone { node, port } => {
+                // current packet leaves the serializer onto the wire
+                if let Some(pq) = self.queues.get_mut(&(node, port)) {
+                    pq.busy = false;
+                }
+                self.start_tx_if_idle(node, port, now, q);
+            }
+            Ev::Rto { flow, cum_ack_at_arm } => {
+                let rto_floor = self.config.rto_floor;
+                let mut rearm: Option<f64> = None;
+                let mut fire = false;
+                {
+                    let f = &mut self.flows[flow];
+                    if f.finished.is_some() {
+                        return;
+                    }
+                    let SourceKind::Tcp(ref mut t) = f.source else {
+                        return;
+                    };
+                    if t.cum_ack >= f.total_segs {
+                        return; // everything acked
+                    }
+                    if t.cum_ack != cum_ack_at_arm {
+                        // Progress since arming: the timer is stale, but the
+                        // connection still has unacked data — keep the timer
+                        // chain alive or a later stall would deadlock.
+                        rearm = Some(t.rto(rto_floor));
+                    } else {
+                        t.on_timeout();
+                        fire = true;
+                    }
+                }
+                if let Some(rto) = rearm {
+                    let arm = {
+                        let SourceKind::Tcp(ref t) = self.flows[flow].source else {
+                            unreachable!()
+                        };
+                        t.cum_ack
+                    };
+                    q.schedule_at(
+                        now + SimDuration::from_secs_f64(rto),
+                        Ev::Rto {
+                            flow,
+                            cum_ack_at_arm: arm,
+                        },
+                    );
+                }
+                if fire {
+                    self.tcp_pump(flow, now, q);
+                }
+            }
+            Ev::ToController(msg) => {
+                let mut out = Outbox::new();
+                {
+                    let ctx = ControllerCtx {
+                        topo: &self.topo,
+                        now,
+                    };
+                    controller.dispatch(&msg, &ctx, &mut out);
+                }
+                for (sw, m) in out.msgs {
+                    q.schedule_at(
+                        now + self.config.ctrl_latency,
+                        Ev::ToSwitch {
+                            switch: sw,
+                            msg: Box::new(m),
+                        },
+                    );
+                }
+                // timers unsupported in the packet baseline (documented)
+            }
+            Ev::ToSwitch { switch, msg } => {
+                if let Some(sw) = self.switches.get_mut(&switch) {
+                    for reply in sw.apply(&msg, now) {
+                        q.schedule_at(
+                            now + self.config.ctrl_latency,
+                            Ev::ToController(Box::new(reply)),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// TCP sender: transmit fresh segments while the window allows; arm
+    /// the RTO.
+    fn tcp_pump(&mut self, i: usize, now: SimTime, q: &mut EventQueue<Ev>) {
+        let rto_floor = self.config.rto_floor;
+        let mut to_send: Vec<u64> = Vec::new();
+        let (src, key) = (self.flows[i].spec.src, self.flows[i].spec.key);
+        {
+            let total = self.flows[i].total_segs;
+            let SourceKind::Tcp(ref mut t) = self.flows[i].source else {
+                return;
+            };
+            while t.can_send() && t.next_seq < total {
+                to_send.push(t.next_seq);
+                t.next_seq += 1;
+                t.in_flight += 1;
+            }
+            if !to_send.is_empty() {
+                let rto = t.rto(rto_floor);
+                let arm = t.cum_ack;
+                q.schedule_at(
+                    now + SimDuration::from_secs_f64(rto),
+                    Ev::Rto {
+                        flow: i,
+                        cum_ack_at_arm: arm,
+                    },
+                );
+            }
+        }
+        for seq in to_send {
+            let pkt = Pkt {
+                flow: i,
+                key,
+                size: self.config.data_pkt,
+                seq,
+                is_ack: false,
+                sent_at: now,
+            };
+            self.host_emit(src, pkt, now, q);
+        }
+    }
+
+    /// Host pushes a packet onto its access link.
+    fn host_emit(&mut self, host: NodeId, pkt: Pkt, now: SimTime, q: &mut EventQueue<Ev>) {
+        let Some(port) = self.topo.ports(host).first().copied() else {
+            return;
+        };
+        self.enqueue(host, port, pkt, now, q);
+    }
+
+    /// Host receives a packet: data → receiver/ACK, ACK → sender.
+    fn host_receive(&mut self, host: NodeId, pkt: Pkt, now: SimTime, q: &mut EventQueue<Ev>) {
+        let i = pkt.flow;
+        if pkt.is_ack {
+            if self.flows[i].spec.src != host {
+                return; // stray (flood copy)
+            }
+            let rtt = now.saturating_since(pkt.sent_at).as_secs_f64();
+            let mut fast_rtx: Option<u64> = None;
+            {
+                let f = &mut self.flows[i];
+                let SourceKind::Tcp(ref mut t) = f.source else {
+                    return;
+                };
+                let advanced = t.on_ack(pkt.seq, now, Some(rtt));
+                if !advanced && t.dup_acks == 3 && t.retransmitting != Some(t.cum_ack) {
+                    t.on_fast_retransmit();
+                    t.retransmitting = Some(t.cum_ack);
+                    fast_rtx = Some(t.cum_ack);
+                    t.in_flight = t.in_flight.saturating_sub(1);
+                }
+            }
+            if let Some(seq) = fast_rtx {
+                let p = Pkt {
+                    flow: i,
+                    key: self.flows[i].spec.key,
+                    size: self.config.data_pkt,
+                    seq,
+                    is_ack: false,
+                    sent_at: now,
+                };
+                let src = self.flows[i].spec.src;
+                self.host_emit(src, p, now, q);
+            }
+            self.tcp_pump(i, now, q);
+        } else {
+            if self.flows[i].spec.dst != host {
+                return; // stray (flood copy)
+            }
+            match self.flows[i].source {
+                SourceKind::Tcp(_) => {
+                    let (ack, delivered) = {
+                        let f = &mut self.flows[i];
+                        let SourceKind::Tcp(ref mut t) = f.source else {
+                            unreachable!()
+                        };
+                        let ack = t.receive(pkt.seq);
+                        (ack, ack)
+                    };
+                    self.flows[i].delivered_segs = delivered;
+                    if delivered >= self.flows[i].total_segs && self.flows[i].finished.is_none()
+                    {
+                        self.flows[i].finished = Some(now);
+                    }
+                    // send cumulative ACK back
+                    let ack_pkt = Pkt {
+                        flow: i,
+                        key: self.flows[i].spec.key.reversed(),
+                        size: self.config.ack_pkt,
+                        seq: ack,
+                        is_ack: true,
+                        sent_at: pkt.sent_at,
+                    };
+                    let dst = self.flows[i].spec.dst;
+                    self.host_emit(dst, ack_pkt, now, q);
+                }
+                SourceKind::Cbr { .. } => {
+                    self.flows[i].delivered_segs += 1;
+                    if self.flows[i].delivered_segs >= self.flows[i].total_segs
+                        && self.flows[i].finished.is_none()
+                    {
+                        self.flows[i].finished = Some(now);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Switch classifies and forwards a packet.
+    fn switch_forward(
+        &mut self,
+        node: NodeId,
+        in_port: PortNo,
+        pkt: Pkt,
+        now: SimTime,
+        q: &mut EventQueue<Ev>,
+        _controller: &mut dyn Controller,
+    ) {
+        let Some(sw) = self.switches.get_mut(&node) else {
+            return;
+        };
+        let res = sw.process(in_port, &pkt.key, now);
+        // meters: token buckets per packet
+        for m in &res.meters {
+            if let Some(me) = sw.meter_mut(*m) {
+                if !me.try_consume(pkt.size as u64, now) {
+                    self.drops += 1;
+                    return;
+                }
+            }
+        }
+        sw.credit_bytes(
+            &res.matched,
+            ByteSize::bytes(pkt.size as u64),
+            ByteSize::bytes(pkt.size as u64),
+            now,
+        );
+        match res.verdict {
+            Verdict::Forward(ports) => {
+                let key_out = res.key_out;
+                for port in ports {
+                    let mut p = pkt.clone();
+                    p.key = key_out;
+                    self.enqueue(node, port, p, now, q);
+                }
+            }
+            Verdict::ToController => {
+                // bufferless reactive setup: packet dropped, FlowIn raised
+                self.drops += 1;
+                let msg = self
+                    .switches
+                    .get(&node)
+                    .expect("switch exists")
+                    .flow_in(in_port, &pkt.key);
+                q.schedule_at(now + self.config.ctrl_latency, Ev::ToController(Box::new(msg)));
+            }
+            Verdict::Drop(_) => {
+                self.drops += 1;
+            }
+        }
+    }
+
+    /// Enqueues a packet on an output port (tail drop) and kicks the
+    /// serializer if idle.
+    fn enqueue(&mut self, node: NodeId, port: PortNo, pkt: Pkt, now: SimTime, q: &mut EventQueue<Ev>) {
+        let Some(link_id) = self.topo.link_from(node, port) else {
+            self.drops += 1;
+            return;
+        };
+        if !self.topo.link(link_id).map(|l| l.is_up()).unwrap_or(false) {
+            self.drops += 1;
+            return;
+        }
+        let buffer = self.config.buffer.as_bytes();
+        let pq = self
+            .queues
+            .entry((node, port))
+            .or_insert_with(PortQueue::new);
+        if pq.queued_bytes + pkt.size as u64 > buffer {
+            self.drops += 1;
+            return;
+        }
+        pq.queued_bytes += pkt.size as u64;
+        pq.queue.push_back(pkt);
+        self.start_tx_if_idle(node, port, now, q);
+    }
+
+    /// Starts serializing the head-of-line packet if the port is idle.
+    fn start_tx_if_idle(
+        &mut self,
+        node: NodeId,
+        port: PortNo,
+        now: SimTime,
+        q: &mut EventQueue<Ev>,
+    ) {
+        let Some(link_id) = self.topo.link_from(node, port) else {
+            return;
+        };
+        let link = self.topo.link(link_id).expect("link exists").clone();
+        let Some(pq) = self.queues.get_mut(&(node, port)) else {
+            return;
+        };
+        if pq.busy {
+            return;
+        }
+        let Some(pkt) = pq.queue.pop_front() else {
+            return;
+        };
+        pq.queued_bytes -= pkt.size as u64;
+        pq.busy = true;
+        let Some(ser) = link.serialization_time(pkt.size as u64) else {
+            self.drops += 1;
+            return;
+        };
+        self.link_bytes[link_id.index()] += pkt.size as f64;
+        let tx_end = now + ser;
+        q.schedule_at(tx_end, Ev::TxDone { node, port });
+        q.schedule_at(
+            tx_end + link.delay,
+            Ev::Arrive {
+                node: link.dst,
+                in_port: link.dst_port,
+                pkt,
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::TcpState;
+    use horse_controlplane::{PolicyGenerator, PolicyRule, PolicySpec};
+    use horse_topology::builders;
+
+    fn mk_spec(
+        topo: &Topology,
+        src: NodeId,
+        dst: NodeId,
+        sport: u16,
+        size: ByteSize,
+        source: SourceKind,
+    ) -> PktFlowSpec {
+        let s = topo.node(src).unwrap();
+        let d = topo.node(dst).unwrap();
+        PktFlowSpec {
+            key: FlowKey::tcp(
+                s.mac().unwrap(),
+                d.mac().unwrap(),
+                s.ip().unwrap(),
+                d.ip().unwrap(),
+                sport,
+                80,
+            ),
+            src,
+            dst,
+            size,
+            start: SimTime::from_millis(10),
+            source,
+        }
+    }
+
+    fn run_star(
+        size: ByteSize,
+        source: SourceKind,
+        horizon_s: u64,
+    ) -> (PacketResults, Topology, Vec<NodeId>) {
+        let f = builders::star(3, Rate::mbps(100.0));
+        let mut gen = PolicyGenerator::new(
+            PolicySpec::new().with(PolicyRule::MacForwarding),
+            &f.topology,
+        )
+        .unwrap();
+        let net = PacketNet::new(f.topology.clone(), PacketSimConfig::default());
+        let spec = mk_spec(&f.topology, f.members[0], f.members[1], 1000, size, source);
+        let res = net.run(&mut gen, vec![spec], SimTime::from_secs(horizon_s));
+        (res, f.topology, f.members)
+    }
+
+    #[test]
+    fn cbr_flow_delivers_all_bytes() {
+        let (res, _, _) = run_star(
+            ByteSize::bytes(150_000), // 100 packets
+            SourceKind::Cbr { rate_bps: 10e6 },
+            60,
+        );
+        assert!(res.records[0].completed, "delivered {:?}", res.records[0]);
+        // 150 kB at 10 Mbps = 120 ms (+ transit)
+        let fct = res.records[0].fct_secs();
+        assert!(fct > 0.118 && fct < 0.15, "fct {fct}");
+        assert_eq!(res.drops, 0);
+    }
+
+    #[test]
+    fn tcp_flow_completes_and_acks_flow_back() {
+        let (res, _, _) = run_star(
+            ByteSize::bytes(1_500_000), // 1000 segments
+            SourceKind::Tcp(TcpState::new()),
+            60,
+        );
+        assert!(res.records[0].completed);
+        let fct = res.records[0].fct_secs();
+        // ideal: 1.5 MB at ~100 Mbps ≈ 0.12 s; slow start adds RTTs
+        assert!(fct > 0.12 && fct < 2.0, "fct {fct}");
+    }
+
+    #[test]
+    fn tcp_fills_the_pipe_reasonably() {
+        let (res, topo, members) = run_star(
+            ByteSize::mib(4),
+            SourceKind::Tcp(TcpState::new()),
+            60,
+        );
+        assert!(res.records[0].completed);
+        let fct = res.records[0].fct_secs();
+        let ideal = 4.0 * 1048576.0 * 8.0 / 100e6;
+        assert!(
+            fct < ideal * 1.6,
+            "tcp should reach ≥ ~60% of line rate: fct {fct} vs ideal {ideal}"
+        );
+        // bytes flowed over the source's access link
+        let (lid, _) = topo.out_links(members[0]).next().unwrap();
+        assert!(res.link_bytes[lid.index()] as u64 >= 4 * 1024 * 1024);
+    }
+
+    #[test]
+    fn two_tcp_flows_share_a_bottleneck() {
+        let f = builders::star(3, Rate::mbps(100.0));
+        let mut gen = PolicyGenerator::new(
+            PolicySpec::new().with(PolicyRule::MacForwarding),
+            &f.topology,
+        )
+        .unwrap();
+        let net = PacketNet::new(f.topology.clone(), PacketSimConfig::default());
+        // both flows into member 2: its access link is the bottleneck
+        let s1 = mk_spec(
+            &f.topology,
+            f.members[0],
+            f.members[2],
+            1000,
+            ByteSize::mib(2),
+            SourceKind::Tcp(TcpState::new()),
+        );
+        let s2 = mk_spec(
+            &f.topology,
+            f.members[1],
+            f.members[2],
+            2000,
+            ByteSize::mib(2),
+            SourceKind::Tcp(TcpState::new()),
+        );
+        let res = net.run(&mut gen, vec![s1, s2], SimTime::from_secs(60));
+        assert!(res.records[0].completed && res.records[1].completed);
+        // each ideally gets ~50 Mbps: 2 MiB each ⇒ ≈ 0.67 s total;
+        // allow generous losses/sawtooth margin
+        for r in &res.records {
+            assert!(r.fct_secs() < 2.5, "fct {}", r.fct_secs());
+        }
+    }
+
+    #[test]
+    fn reactive_controller_installs_rules_after_miss() {
+        let f = builders::star(2, Rate::mbps(100.0));
+        let mut gen = PolicyGenerator::new(
+            PolicySpec::new().with(PolicyRule::MacLearning),
+            &f.topology,
+        )
+        .unwrap();
+        let net = PacketNet::new(f.topology.clone(), PacketSimConfig::default());
+        let spec = mk_spec(
+            &f.topology,
+            f.members[0],
+            f.members[1],
+            1000,
+            ByteSize::bytes(150_000),
+            SourceKind::Tcp(TcpState::new()),
+        );
+        let res = net.run(&mut gen, vec![spec], SimTime::from_secs(60));
+        assert!(res.records[0].completed, "{:?}", res.records[0]);
+        assert!(res.drops >= 1, "first packet(s) dropped at the miss");
+    }
+
+    #[test]
+    fn meter_polices_cbr_at_packet_level() {
+        let f = builders::star(2, Rate::mbps(100.0));
+        let mut gen = PolicyGenerator::new(
+            PolicySpec::new()
+                .with(PolicyRule::MacForwarding)
+                .with(PolicyRule::RateLimit {
+                    src: "h1".into(),
+                    dst: "h2".into(),
+                    rate_mbps: 10.0,
+                }),
+            &f.topology,
+        )
+        .unwrap();
+        let net = PacketNet::new(f.topology.clone(), PacketSimConfig::default());
+        // offer 50 Mbps for 2 simulated seconds against a 10 Mbps policer
+        let spec = PktFlowSpec {
+            start: SimTime::ZERO,
+            ..mk_spec(
+                &f.topology,
+                f.members[0],
+                f.members[1],
+                1000,
+                ByteSize::bytes(12_500_000), // 100 Mb = 2 s at 50 Mbps
+                SourceKind::Cbr { rate_bps: 50e6 },
+            )
+        };
+        let res = net.run(&mut gen, vec![spec], SimTime::from_secs(2));
+        // delivered ≈ 10 Mbps × 2 s = 2.5 MB (+ burst); must be well under
+        // the offered 12.5 MB and the drops must account for the excess
+        let delivered = res.records[0].bytes_delivered as f64;
+        assert!(
+            delivered < 5_000_000.0,
+            "policer must clamp: delivered {delivered}"
+        );
+        assert!(res.drops > 1000, "policer drops: {}", res.drops);
+    }
+
+    #[test]
+    fn buffer_overflow_drops() {
+        // 1 Mbps bottleneck, CBR at 100 Mbps: the queue must overflow
+        let f = builders::star(2, Rate::mbps(1.0));
+        let mut gen = PolicyGenerator::new(
+            PolicySpec::new().with(PolicyRule::MacForwarding),
+            &f.topology,
+        )
+        .unwrap();
+        let net = PacketNet::new(f.topology.clone(), PacketSimConfig::default());
+        let spec = PktFlowSpec {
+            start: SimTime::ZERO,
+            ..mk_spec(
+                &f.topology,
+                f.members[0],
+                f.members[1],
+                1000,
+                ByteSize::mib(10),
+                SourceKind::Cbr { rate_bps: 100e6 },
+            )
+        };
+        let res = net.run(&mut gen, vec![spec], SimTime::from_secs(1));
+        assert!(res.drops > 0, "tail drop must kick in");
+    }
+}

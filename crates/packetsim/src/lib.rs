@@ -1,0 +1,35 @@
+//! # horse-packetsim
+//!
+//! A **packet-level reference simulator** sharing Horse's topology and
+//! OpenFlow pipeline. It is the controlled baseline for the paper's two
+//! evaluation axes: *simulation time* (packet-level cost grows with every
+//! packet × hop, flow-level with flow events only) and *accuracy* (how
+//! close the fluid abstraction gets to per-packet ground truth). It stands
+//! in for the Mininet/ns-3-class tools the poster compares against
+//! (substitution documented in DESIGN.md §4).
+//!
+//! Modelled mechanics:
+//!
+//! * store-and-forward switching: per-port output queues with finite
+//!   buffers and tail drop, serialization at link rate, propagation delay;
+//! * the same [`horse_openflow::OpenFlowSwitch`] classification (tables,
+//!   groups, meters as token buckets) as the fluid plane;
+//! * paced CBR (UDP-like) sources and a window-based TCP source
+//!   (slow start, congestion avoidance, triple-dup-ACK fast retransmit,
+//!   RTO with exponential backoff, cumulative ACKs, 64-byte ACK packets);
+//! * reactive controllers: a table miss raises `FlowIn` (the packet is
+//!   dropped, as on a bufferless OpenFlow switch) and FlowMods return
+//!   after the control latency.
+//!
+//! Deliberately omitted (documented, smoltcp-style): SACK, delayed ACKs,
+//! Nagle, window scaling beyond the configured cap, ECN, and RED queues —
+//! none of which change the first-order utilization/FCT comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod source;
+
+pub use engine::{PacketNet, PacketResults, PacketSimConfig, PktFlowRecord};
+pub use source::{SourceKind, TcpState};

@@ -1,0 +1,375 @@
+//! Canned topology builders.
+//!
+//! The headline builder is [`ixp_fabric`], the two-tier edge/core fabric of
+//! the paper's Fig. 1 and its evaluation plan ("an SDN model based on the
+//! topology of one of the largest IXPs"). Real IXP topologies are
+//! proprietary; the builder synthesises the published shape — member
+//! routers attached to edge switches, edge switches wired to every core
+//! switch (leaf-spine) — with member counts and port speeds as parameters,
+//! so the paper's "large scale" axis becomes a sweep parameter
+//! (substitution documented in DESIGN.md §4).
+
+use crate::graph::Topology;
+use horse_types::{MacAddr, NodeId, Rate, SimDuration};
+use std::net::Ipv4Addr;
+
+/// Handles into a built fabric: the topology plus the node groups a
+/// scenario needs to address (members/hosts, edge and core switches).
+#[derive(Clone, Debug)]
+pub struct FabricHandles {
+    /// The built topology.
+    pub topology: Topology,
+    /// Host nodes (IXP members), in creation order.
+    pub members: Vec<NodeId>,
+    /// Edge switches.
+    pub edges: Vec<NodeId>,
+    /// Core switches.
+    pub cores: Vec<NodeId>,
+}
+
+/// Parameters of the synthetic IXP fabric.
+#[derive(Clone, Debug)]
+pub struct IxpFabricParams {
+    /// Number of member routers (hosts).
+    pub members: usize,
+    /// Number of edge switches; members are spread round-robin.
+    pub edge_switches: usize,
+    /// Number of core switches; every edge connects to every core.
+    pub core_switches: usize,
+    /// Member access-port speeds, assigned cyclically (models the real
+    /// mix of 1/10/40/100G member ports).
+    pub member_port_speeds: Vec<Rate>,
+    /// Edge-to-core uplink speed.
+    pub uplink_speed: Rate,
+    /// Member-to-edge propagation delay.
+    pub access_delay: SimDuration,
+    /// Edge-to-core propagation delay.
+    pub fabric_delay: SimDuration,
+}
+
+impl Default for IxpFabricParams {
+    fn default() -> Self {
+        IxpFabricParams {
+            members: 100,
+            edge_switches: 4,
+            core_switches: 2,
+            // Descending: traffic-matrix generators weight members by
+            // rank (member 1 heaviest), and heavy IXP members buy fast
+            // ports — aligning the two keeps access links from becoming
+            // accidental hotspots.
+            member_port_speeds: vec![
+                Rate::gbps(100.0),
+                Rate::gbps(40.0),
+                Rate::gbps(10.0),
+                Rate::gbps(10.0),
+                Rate::gbps(1.0),
+            ],
+            uplink_speed: Rate::gbps(400.0),
+            access_delay: SimDuration::from_micros(5),
+            fabric_delay: SimDuration::from_micros(50),
+        }
+    }
+}
+
+/// Builds the synthetic IXP fabric.
+///
+/// Member `i` gets MAC `02:…:i+1`, IP `10.(i/250).(i%250+1).1` and attaches
+/// to edge switch `i % edge_switches` at speed
+/// `member_port_speeds[i % len]`.
+pub fn ixp_fabric(params: &IxpFabricParams) -> FabricHandles {
+    let mut t = Topology::new();
+    let edges: Vec<NodeId> = (0..params.edge_switches.max(1))
+        .map(|i| t.add_edge_switch(&format!("e{}", i + 1)).expect("unique"))
+        .collect();
+    let cores: Vec<NodeId> = (0..params.core_switches)
+        .map(|i| t.add_core_switch(&format!("c{}", i + 1)).expect("unique"))
+        .collect();
+    for &e in &edges {
+        for &c in &cores {
+            t.connect(e, c, params.uplink_speed, params.fabric_delay)
+                .expect("edge-core link");
+        }
+    }
+    let speeds = if params.member_port_speeds.is_empty() {
+        vec![Rate::gbps(10.0)]
+    } else {
+        params.member_port_speeds.clone()
+    };
+    let members: Vec<NodeId> = (0..params.members)
+        .map(|i| {
+            let mac = MacAddr::local_from_id(i as u32 + 1);
+            let ip = Ipv4Addr::new(10, (i / 250) as u8, (i % 250 + 1) as u8, 1);
+            let m = t
+                .add_host(&format!("m{}", i + 1), mac, ip)
+                .expect("unique member");
+            let e = edges[i % edges.len()];
+            t.connect(m, e, speeds[i % speeds.len()], params.access_delay)
+                .expect("access link");
+            m
+        })
+        .collect();
+    FabricHandles {
+        topology: t,
+        members,
+        edges,
+        cores,
+    }
+}
+
+/// A leaf-spine fabric with `hosts_per_leaf` hosts on each leaf.
+pub fn leaf_spine(
+    leaves: usize,
+    spines: usize,
+    hosts_per_leaf: usize,
+    uplink: Rate,
+    access: Rate,
+) -> FabricHandles {
+    let mut t = Topology::new();
+    let edges: Vec<NodeId> = (0..leaves)
+        .map(|i| t.add_edge_switch(&format!("leaf{}", i + 1)).expect("unique"))
+        .collect();
+    let cores: Vec<NodeId> = (0..spines)
+        .map(|i| t.add_core_switch(&format!("spine{}", i + 1)).expect("unique"))
+        .collect();
+    for &l in &edges {
+        for &s in &cores {
+            t.connect(l, s, uplink, SimDuration::from_micros(10))
+                .expect("uplink");
+        }
+    }
+    let mut members = Vec::new();
+    let mut host_id = 0u32;
+    for (li, &l) in edges.iter().enumerate() {
+        for h in 0..hosts_per_leaf {
+            host_id += 1;
+            let m = t
+                .add_host(
+                    &format!("h{}_{}", li + 1, h + 1),
+                    MacAddr::local_from_id(host_id),
+                    Ipv4Addr::new(10, li as u8, h as u8, 1),
+                )
+                .expect("unique host");
+            t.connect(m, l, access, SimDuration::from_micros(5))
+                .expect("access");
+            members.push(m);
+        }
+    }
+    FabricHandles {
+        topology: t,
+        members,
+        edges,
+        cores,
+    }
+}
+
+/// A chain of `n` switches with one host at each end:
+/// `h_left — s1 — s2 — … — sn — h_right`.
+pub fn linear(n: usize, capacity: Rate) -> FabricHandles {
+    let mut t = Topology::new();
+    let edges: Vec<NodeId> = (0..n.max(1))
+        .map(|i| t.add_edge_switch(&format!("s{}", i + 1)).expect("unique"))
+        .collect();
+    for w in edges.windows(2) {
+        t.connect(w[0], w[1], capacity, SimDuration::from_micros(10))
+            .expect("chain link");
+    }
+    let hl = t
+        .add_host(
+            "h_left",
+            MacAddr::local_from_id(1),
+            Ipv4Addr::new(10, 0, 0, 1),
+        )
+        .expect("host");
+    let hr = t
+        .add_host(
+            "h_right",
+            MacAddr::local_from_id(2),
+            Ipv4Addr::new(10, 0, 0, 2),
+        )
+        .expect("host");
+    t.connect(hl, edges[0], capacity, SimDuration::from_micros(5))
+        .expect("access");
+    t.connect(hr, *edges.last().expect("nonempty"), capacity, SimDuration::from_micros(5))
+        .expect("access");
+    FabricHandles {
+        topology: t,
+        members: vec![hl, hr],
+        edges,
+        cores: vec![],
+    }
+}
+
+/// A single switch with `n` hosts (star). The smallest useful fabric; the
+/// quickstart example runs on it.
+pub fn star(n: usize, access: Rate) -> FabricHandles {
+    let mut t = Topology::new();
+    let s = t.add_edge_switch("s1").expect("unique");
+    let members: Vec<NodeId> = (0..n)
+        .map(|i| {
+            let m = t
+                .add_host(
+                    &format!("h{}", i + 1),
+                    MacAddr::local_from_id(i as u32 + 1),
+                    Ipv4Addr::new(10, 0, (i / 250) as u8, (i % 250 + 1) as u8),
+                )
+                .expect("unique host");
+            t.connect(m, s, access, SimDuration::from_micros(5))
+                .expect("access");
+            m
+        })
+        .collect();
+    FabricHandles {
+        topology: t,
+        members,
+        edges: vec![s],
+        cores: vec![],
+    }
+}
+
+/// The exact fabric of the paper's Figure 1: four edge switches (e1–e4) and
+/// two core switches (c1, c2), each edge wired to both cores, one member
+/// host per edge switch.
+pub fn figure1_fabric() -> FabricHandles {
+    ixp_fabric(&IxpFabricParams {
+        members: 4,
+        edge_switches: 4,
+        core_switches: 2,
+        member_port_speeds: vec![Rate::gbps(10.0)],
+        uplink_speed: Rate::gbps(40.0),
+        ..Default::default()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ixp_fabric_shape() {
+        let f = ixp_fabric(&IxpFabricParams {
+            members: 10,
+            edge_switches: 4,
+            core_switches: 2,
+            ..Default::default()
+        });
+        assert_eq!(f.members.len(), 10);
+        assert_eq!(f.edges.len(), 4);
+        assert_eq!(f.cores.len(), 2);
+        // nodes: 10 + 4 + 2; directed links: (4*2 + 10) * 2
+        assert_eq!(f.topology.node_count(), 16);
+        assert_eq!(f.topology.link_count(), 36);
+    }
+
+    #[test]
+    fn ixp_members_spread_round_robin() {
+        let f = ixp_fabric(&IxpFabricParams {
+            members: 8,
+            edge_switches: 4,
+            core_switches: 1,
+            ..Default::default()
+        });
+        // each edge hosts exactly 2 members: count host-neighbours of edges
+        for &e in &f.edges {
+            let hosts = f
+                .topology
+                .out_links(e)
+                .filter(|(_, l)| f.topology.node(l.dst).unwrap().kind.is_host())
+                .count();
+            assert_eq!(hosts, 2);
+        }
+    }
+
+    #[test]
+    fn ixp_port_speeds_cycle() {
+        let f = ixp_fabric(&IxpFabricParams {
+            members: 5,
+            edge_switches: 1,
+            core_switches: 1,
+            member_port_speeds: vec![Rate::gbps(1.0), Rate::gbps(10.0)],
+            ..Default::default()
+        });
+        let speeds: Vec<f64> = f
+            .members
+            .iter()
+            .map(|&m| {
+                f.topology
+                    .out_links(m)
+                    .next()
+                    .map(|(_, l)| l.capacity.as_gbps())
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(speeds, vec![1.0, 10.0, 1.0, 10.0, 1.0]);
+    }
+
+    #[test]
+    fn unique_macs_and_ips_at_scale() {
+        let f = ixp_fabric(&IxpFabricParams {
+            members: 800,
+            edge_switches: 16,
+            core_switches: 4,
+            ..Default::default()
+        });
+        let mut macs = std::collections::HashSet::new();
+        let mut ips = std::collections::HashSet::new();
+        for &m in &f.members {
+            let n = f.topology.node(m).unwrap();
+            assert!(macs.insert(n.mac().unwrap()));
+            assert!(ips.insert(n.ip().unwrap()));
+        }
+    }
+
+    #[test]
+    fn linear_chain_shape() {
+        let f = linear(3, Rate::gbps(1.0));
+        assert_eq!(f.topology.node_count(), 5);
+        // 2 chain cables + 2 access cables = 8 directed links
+        assert_eq!(f.topology.link_count(), 8);
+        assert_eq!(f.members.len(), 2);
+    }
+
+    #[test]
+    fn star_shape() {
+        let f = star(5, Rate::gbps(1.0));
+        assert_eq!(f.topology.node_count(), 6);
+        assert_eq!(f.topology.link_count(), 10);
+    }
+
+    #[test]
+    fn figure1_matches_paper() {
+        let f = figure1_fabric();
+        assert_eq!(f.edges.len(), 4);
+        assert_eq!(f.cores.len(), 2);
+        assert_eq!(f.members.len(), 4);
+        // e1 connects to both cores
+        let e1 = f.edges[0];
+        let core_neighbours = f
+            .topology
+            .out_links(e1)
+            .filter(|(_, l)| {
+                f.topology
+                    .node(l.dst)
+                    .unwrap()
+                    .role()
+                    .map(|r| r == crate::node::SwitchRole::Core)
+                    .unwrap_or(false)
+            })
+            .count();
+        assert_eq!(core_neighbours, 2);
+    }
+
+    #[test]
+    fn degenerate_params_do_not_panic() {
+        let f = ixp_fabric(&IxpFabricParams {
+            members: 0,
+            edge_switches: 0,
+            core_switches: 0,
+            member_port_speeds: vec![],
+            ..Default::default()
+        });
+        assert_eq!(f.members.len(), 0);
+        assert_eq!(f.edges.len(), 1, "edge count clamps to 1");
+        let l = linear(0, Rate::gbps(1.0));
+        assert_eq!(l.edges.len(), 1);
+    }
+}

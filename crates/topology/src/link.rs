@@ -1,0 +1,117 @@
+//! Directed links.
+//!
+//! A physical cable is modelled as **two directed links**, one per
+//! direction, each with its own capacity (full-duplex) and state. The fluid
+//! data plane allocates rates per directed link; the packet simulator
+//! serializes packets onto them.
+
+use horse_types::{NodeId, PortNo, Rate, SimDuration};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Operational state of a link.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum LinkState {
+    /// Forwarding.
+    Up,
+    /// Failed / administratively down.
+    Down,
+}
+
+impl LinkState {
+    /// True if the link can carry traffic.
+    pub fn is_up(self) -> bool {
+        matches!(self, LinkState::Up)
+    }
+}
+
+/// A directed link from `(src, src_port)` to `(dst, dst_port)`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Link {
+    /// Transmitting node.
+    pub src: NodeId,
+    /// Egress port on the transmitting node.
+    pub src_port: PortNo,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Ingress port on the receiving node.
+    pub dst_port: PortNo,
+    /// Capacity in the `src → dst` direction.
+    pub capacity: Rate,
+    /// One-way propagation delay.
+    pub delay: SimDuration,
+    /// Operational state.
+    pub state: LinkState,
+}
+
+impl Link {
+    /// True if the link can carry traffic.
+    pub fn is_up(&self) -> bool {
+        self.state.is_up()
+    }
+
+    /// Serialization time of `bytes` at link capacity; `None` on a zero-
+    /// capacity link.
+    pub fn serialization_time(&self, bytes: u64) -> Option<SimDuration> {
+        self.capacity
+            .time_to_send(horse_types::ByteSize::bytes(bytes))
+    }
+}
+
+impl fmt::Display for Link {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{} -> {}:{} ({}, {}{})",
+            self.src,
+            self.src_port,
+            self.dst,
+            self.dst_port,
+            self.capacity,
+            self.delay,
+            if self.is_up() { "" } else { ", DOWN" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link() -> Link {
+        Link {
+            src: NodeId(0),
+            src_port: PortNo(1),
+            dst: NodeId(1),
+            dst_port: PortNo(1),
+            capacity: Rate::gbps(10.0),
+            delay: SimDuration::from_micros(5),
+            state: LinkState::Up,
+        }
+    }
+
+    #[test]
+    fn state_predicate() {
+        let mut l = link();
+        assert!(l.is_up());
+        l.state = LinkState::Down;
+        assert!(!l.is_up());
+    }
+
+    #[test]
+    fn serialization_time_scales_with_size() {
+        let l = link();
+        let t1 = l.serialization_time(1500).unwrap();
+        let t2 = l.serialization_time(3000).unwrap();
+        assert_eq!(t2.as_nanos(), t1.as_nanos() * 2);
+        // 1500B at 10 Gbps = 1.2 us
+        assert_eq!(t1.as_nanos(), 1200);
+    }
+
+    #[test]
+    fn zero_capacity_never_serializes() {
+        let mut l = link();
+        l.capacity = Rate::ZERO;
+        assert!(l.serialization_time(1).is_none());
+    }
+}

@@ -1,0 +1,130 @@
+//! Nodes: hosts and switches.
+
+use horse_types::MacAddr;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Where a switch sits in the fabric (Fig. 1 of the paper distinguishes
+/// *fabric edge* switches, where members attach, from the *fabric core*).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum SwitchRole {
+    /// Edge switch — member-facing.
+    Edge,
+    /// Core switch — interconnect only.
+    Core,
+}
+
+impl fmt::Display for SwitchRole {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SwitchRole::Edge => write!(f, "edge"),
+            SwitchRole::Core => write!(f, "core"),
+        }
+    }
+}
+
+/// What a node is.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// An end host (an IXP member router in the evaluation scenarios).
+    Host {
+        /// The host's MAC address (unique per topology).
+        mac: MacAddr,
+        /// The host's IPv4 address (unique per topology).
+        ip: Ipv4Addr,
+    },
+    /// An SDN switch.
+    Switch {
+        /// Edge or core role.
+        role: SwitchRole,
+    },
+}
+
+impl NodeKind {
+    /// True for hosts.
+    pub fn is_host(&self) -> bool {
+        matches!(self, NodeKind::Host { .. })
+    }
+
+    /// True for switches.
+    pub fn is_switch(&self) -> bool {
+        matches!(self, NodeKind::Switch { .. })
+    }
+}
+
+/// A topology node.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Node {
+    /// Human-readable name (unique per topology, e.g. `e1`, `c2`, `m17`).
+    pub name: String,
+    /// Host or switch.
+    pub kind: NodeKind,
+}
+
+impl Node {
+    /// The host MAC, if this node is a host.
+    pub fn mac(&self) -> Option<MacAddr> {
+        match self.kind {
+            NodeKind::Host { mac, .. } => Some(mac),
+            _ => None,
+        }
+    }
+
+    /// The host IP, if this node is a host.
+    pub fn ip(&self) -> Option<Ipv4Addr> {
+        match self.kind {
+            NodeKind::Host { ip, .. } => Some(ip),
+            _ => None,
+        }
+    }
+
+    /// The switch role, if this node is a switch.
+    pub fn role(&self) -> Option<SwitchRole> {
+        match self.kind {
+            NodeKind::Switch { role } => Some(role),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_predicates() {
+        let h = NodeKind::Host {
+            mac: MacAddr::local_from_id(1),
+            ip: Ipv4Addr::new(10, 0, 0, 1),
+        };
+        let s = NodeKind::Switch {
+            role: SwitchRole::Edge,
+        };
+        assert!(h.is_host() && !h.is_switch());
+        assert!(s.is_switch() && !s.is_host());
+    }
+
+    #[test]
+    fn node_accessors() {
+        let n = Node {
+            name: "m1".into(),
+            kind: NodeKind::Host {
+                mac: MacAddr::local_from_id(1),
+                ip: Ipv4Addr::new(10, 0, 0, 1),
+            },
+        };
+        assert_eq!(n.mac(), Some(MacAddr::local_from_id(1)));
+        assert_eq!(n.ip(), Some(Ipv4Addr::new(10, 0, 0, 1)));
+        assert_eq!(n.role(), None);
+
+        let s = Node {
+            name: "c1".into(),
+            kind: NodeKind::Switch {
+                role: SwitchRole::Core,
+            },
+        };
+        assert_eq!(s.role(), Some(SwitchRole::Core));
+        assert_eq!(s.mac(), None);
+    }
+}

@@ -1,0 +1,508 @@
+//! Path computation.
+//!
+//! All algorithms skip links that are [`LinkState::Down`], so recomputing a
+//! path after a failure event automatically routes around it.
+//!
+//! * [`shortest_path`] — Dijkstra with deterministic tie-breaking (lowest
+//!   link id wins), by hop count or by latency.
+//! * [`ecmp_paths`] — every minimum-cost path, enumerated from the
+//!   shortest-path DAG (bounded by `max_paths` to stay safe on dense cores).
+//! * [`k_shortest_paths`] — Yen's algorithm for source-routing alternatives.
+
+use crate::graph::Topology;
+use horse_types::{LinkId, NodeId};
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// Cost metric for path computation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Metric {
+    /// Every link costs 1.
+    Hops,
+    /// Every link costs its propagation delay in nanoseconds (plus one so
+    /// zero-delay links still carry a positive cost).
+    Latency,
+}
+
+impl Metric {
+    fn cost(self, topo: &Topology, link: LinkId) -> u64 {
+        match self {
+            Metric::Hops => 1,
+            Metric::Latency => topo.link(link).map(|l| l.delay.as_nanos() + 1).unwrap_or(1),
+        }
+    }
+}
+
+/// A loop-free path through the topology.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Path {
+    /// Visited nodes, `src` first, `dst` last.
+    pub nodes: Vec<NodeId>,
+    /// Directed links, one per hop (`nodes.len() - 1` entries).
+    pub links: Vec<LinkId>,
+}
+
+impl Path {
+    /// Number of hops (links).
+    pub fn hop_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Total cost under `metric`.
+    pub fn cost(&self, topo: &Topology, metric: Metric) -> u64 {
+        self.links.iter().map(|&l| metric.cost(topo, l)).sum()
+    }
+
+    /// The source node.
+    pub fn src(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// The destination node.
+    pub fn dst(&self) -> NodeId {
+        *self.nodes.last().expect("path has at least one node")
+    }
+}
+
+#[derive(PartialEq, Eq)]
+struct QueueEntry {
+    cost: u64,
+    node: NodeId,
+}
+
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // min-heap on (cost, node id) — node id tie-break keeps Dijkstra
+        // deterministic across runs.
+        other
+            .cost
+            .cmp(&self.cost)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Dijkstra from `src`, honouring link state and an optional ban-list of
+/// links/nodes (used by Yen's spur computation). Returns per-node best cost
+/// and the incoming link on the best path.
+fn dijkstra(
+    topo: &Topology,
+    src: NodeId,
+    banned_links: &HashSet<LinkId>,
+    banned_nodes: &HashSet<NodeId>,
+) -> (HashMap<NodeId, u64>, HashMap<NodeId, LinkId>) {
+    dijkstra_metric(topo, src, Metric::Hops, banned_links, banned_nodes)
+}
+
+fn dijkstra_metric(
+    topo: &Topology,
+    src: NodeId,
+    metric: Metric,
+    banned_links: &HashSet<LinkId>,
+    banned_nodes: &HashSet<NodeId>,
+) -> (HashMap<NodeId, u64>, HashMap<NodeId, LinkId>) {
+    let mut dist: HashMap<NodeId, u64> = HashMap::new();
+    let mut prev: HashMap<NodeId, LinkId> = HashMap::new();
+    let mut heap = BinaryHeap::new();
+    dist.insert(src, 0);
+    heap.push(QueueEntry { cost: 0, node: src });
+
+    while let Some(QueueEntry { cost, node }) = heap.pop() {
+        if cost > *dist.get(&node).unwrap_or(&u64::MAX) {
+            continue;
+        }
+        let mut edges: Vec<(LinkId, NodeId, u64)> = topo
+            .out_links(node)
+            .filter(|(id, l)| {
+                l.is_up() && !banned_links.contains(id) && !banned_nodes.contains(&l.dst)
+            })
+            .map(|(id, l)| (id, l.dst, metric.cost(topo, id)))
+            .collect();
+        // Deterministic relaxation order.
+        edges.sort_by_key(|(id, _, _)| *id);
+        for (lid, nxt, c) in edges {
+            let nc = cost.saturating_add(c);
+            let better = match dist.get(&nxt) {
+                None => true,
+                Some(&d) => nc < d || (nc == d && Some(lid) < prev.get(&nxt).copied()),
+            };
+            if better {
+                dist.insert(nxt, nc);
+                prev.insert(nxt, lid);
+                heap.push(QueueEntry { cost: nc, node: nxt });
+            }
+        }
+    }
+    (dist, prev)
+}
+
+fn extract_path(
+    topo: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    prev: &HashMap<NodeId, LinkId>,
+) -> Option<Path> {
+    let mut links_rev = Vec::new();
+    let mut nodes_rev = vec![dst];
+    let mut cur = dst;
+    while cur != src {
+        let lid = *prev.get(&cur)?;
+        let l = topo.link(lid)?;
+        links_rev.push(lid);
+        cur = l.src;
+        nodes_rev.push(cur);
+    }
+    nodes_rev.reverse();
+    links_rev.reverse();
+    Some(Path {
+        nodes: nodes_rev,
+        links: links_rev,
+    })
+}
+
+/// The minimum-cost path from `src` to `dst`, or `None` if unreachable.
+pub fn shortest_path(
+    topo: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    metric: Metric,
+) -> Option<Path> {
+    if src == dst {
+        return Some(Path {
+            nodes: vec![src],
+            links: vec![],
+        });
+    }
+    let (dist, prev) = dijkstra_metric(topo, src, metric, &HashSet::new(), &HashSet::new());
+    dist.get(&dst)?;
+    extract_path(topo, src, dst, &prev)
+}
+
+/// Every minimum-hop path from `src` to `dst`, up to `max_paths`, in a
+/// deterministic order. This is the path set an ECMP select-group spreads
+/// flows over.
+pub fn ecmp_paths(topo: &Topology, src: NodeId, dst: NodeId, max_paths: usize) -> Vec<Path> {
+    if max_paths == 0 {
+        return vec![];
+    }
+    if src == dst {
+        return vec![Path {
+            nodes: vec![src],
+            links: vec![],
+        }];
+    }
+    // Distances *to* dst: run Dijkstra backwards over reverse adjacency by
+    // computing forward distances from src and from each node... simpler and
+    // still correct: compute dist-from-src, then DFS forward along edges that
+    // lie on some shortest path (dist[u] + 1 == dist[v]), pruning at dst.
+    let (dist, _) = dijkstra(topo, src, &HashSet::new(), &HashSet::new());
+    let Some(&best) = dist.get(&dst) else {
+        return vec![];
+    };
+    let mut out = Vec::new();
+    let mut stack_nodes = vec![src];
+    let mut stack_links: Vec<LinkId> = vec![];
+
+    fn dfs(
+        topo: &Topology,
+        cur: NodeId,
+        dst: NodeId,
+        best: u64,
+        dist: &HashMap<NodeId, u64>,
+        stack_nodes: &mut Vec<NodeId>,
+        stack_links: &mut Vec<LinkId>,
+        out: &mut Vec<Path>,
+        max_paths: usize,
+    ) {
+        if out.len() >= max_paths {
+            return;
+        }
+        if cur == dst {
+            out.push(Path {
+                nodes: stack_nodes.clone(),
+                links: stack_links.clone(),
+            });
+            return;
+        }
+        let d_cur = *dist.get(&cur).unwrap_or(&u64::MAX);
+        if d_cur >= best {
+            return;
+        }
+        let mut edges: Vec<(LinkId, NodeId)> = topo
+            .out_links(cur)
+            .filter(|(_, l)| l.is_up())
+            .map(|(id, l)| (id, l.dst))
+            .collect();
+        edges.sort_by_key(|(id, _)| *id);
+        for (lid, nxt) in edges {
+            if let Some(&d_nxt) = dist.get(&nxt) {
+                if d_nxt == d_cur + 1 && d_nxt <= best {
+                    stack_nodes.push(nxt);
+                    stack_links.push(lid);
+                    dfs(
+                        topo, nxt, dst, best, dist, stack_nodes, stack_links, out, max_paths,
+                    );
+                    stack_nodes.pop();
+                    stack_links.pop();
+                }
+            }
+        }
+    }
+
+    dfs(
+        topo,
+        src,
+        dst,
+        best,
+        &dist,
+        &mut stack_nodes,
+        &mut stack_links,
+        &mut out,
+        max_paths,
+    );
+    out
+}
+
+/// Yen's k-shortest loop-free paths (by `metric`), deterministic.
+///
+/// Source-routing policies pick among these explicit alternatives.
+pub fn k_shortest_paths(
+    topo: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    k: usize,
+    metric: Metric,
+) -> Vec<Path> {
+    let Some(first) = shortest_path(topo, src, dst, metric) else {
+        return vec![];
+    };
+    if k <= 1 {
+        return vec![first];
+    }
+    let mut paths = vec![first];
+    let mut candidates: Vec<Path> = Vec::new();
+
+    while paths.len() < k {
+        let last = paths.last().expect("at least one path").clone();
+        for i in 0..last.links.len() {
+            let spur_node = last.nodes[i];
+            let root_nodes = &last.nodes[..=i];
+            let root_links = &last.links[..i];
+
+            // Ban links that would recreate an already-found path with the
+            // same root, and ban root nodes to keep paths loop-free.
+            let mut banned_links = HashSet::new();
+            for p in paths.iter().chain(candidates.iter()) {
+                if p.links.len() > i && p.links[..i] == *root_links {
+                    banned_links.insert(p.links[i]);
+                }
+            }
+            let banned_nodes: HashSet<NodeId> =
+                root_nodes[..root_nodes.len() - 1].iter().copied().collect();
+
+            let (dist, prev) =
+                dijkstra_metric(topo, spur_node, metric, &banned_links, &banned_nodes);
+            if dist.contains_key(&dst) {
+                if let Some(spur) = extract_path(topo, spur_node, dst, &prev) {
+                    let mut nodes = root_nodes.to_vec();
+                    nodes.extend_from_slice(&spur.nodes[1..]);
+                    let mut links = root_links.to_vec();
+                    links.extend_from_slice(&spur.links);
+                    let cand = Path { nodes, links };
+                    if !paths.contains(&cand) && !candidates.contains(&cand) {
+                        candidates.push(cand);
+                    }
+                }
+            }
+        }
+        if candidates.is_empty() {
+            break;
+        }
+        // Lowest total cost first; ties broken by link-id sequence for
+        // determinism.
+        candidates.sort_by(|a, b| {
+            a.cost(topo, metric)
+                .cmp(&b.cost(topo, metric))
+                .then_with(|| a.links.cmp(&b.links))
+        });
+        paths.push(candidates.remove(0));
+    }
+    paths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+    use horse_types::{MacAddr, Rate, SimDuration};
+    use std::net::Ipv4Addr;
+
+    /// Diamond: s0 -> {s1, s2} -> s3, plus a long way s0 -> s4 -> s5 -> s3.
+    fn diamond() -> (Topology, Vec<NodeId>) {
+        let mut t = Topology::new();
+        let ids: Vec<NodeId> = (0..6)
+            .map(|i| t.add_edge_switch(&format!("s{i}")).unwrap())
+            .collect();
+        let c = Rate::gbps(10.0);
+        let d = SimDuration::from_micros(1);
+        t.connect(ids[0], ids[1], c, d).unwrap();
+        t.connect(ids[0], ids[2], c, d).unwrap();
+        t.connect(ids[1], ids[3], c, d).unwrap();
+        t.connect(ids[2], ids[3], c, d).unwrap();
+        t.connect(ids[0], ids[4], c, d).unwrap();
+        t.connect(ids[4], ids[5], c, d).unwrap();
+        t.connect(ids[5], ids[3], c, d).unwrap();
+        (t, ids)
+    }
+
+    #[test]
+    fn shortest_path_finds_two_hops() {
+        let (t, ids) = diamond();
+        let p = shortest_path(&t, ids[0], ids[3], Metric::Hops).unwrap();
+        assert_eq!(p.hop_count(), 2);
+        assert_eq!(p.src(), ids[0]);
+        assert_eq!(p.dst(), ids[3]);
+        // consecutive links connect
+        for w in p.links.windows(2) {
+            assert_eq!(t.link(w[0]).unwrap().dst, t.link(w[1]).unwrap().src);
+        }
+    }
+
+    #[test]
+    fn shortest_path_same_node_is_empty() {
+        let (t, ids) = diamond();
+        let p = shortest_path(&t, ids[0], ids[0], Metric::Hops).unwrap();
+        assert_eq!(p.hop_count(), 0);
+        assert_eq!(p.nodes, vec![ids[0]]);
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut t = Topology::new();
+        let a = t.add_edge_switch("a").unwrap();
+        let b = t.add_edge_switch("b").unwrap();
+        assert!(shortest_path(&t, a, b, Metric::Hops).is_none());
+    }
+
+    #[test]
+    fn down_links_are_avoided() {
+        let (mut t, ids) = diamond();
+        let p = shortest_path(&t, ids[0], ids[3], Metric::Hops).unwrap();
+        // kill the first link of the chosen path (both directions)
+        t.set_cable_state(p.links[0], crate::link::LinkState::Down)
+            .unwrap();
+        let p2 = shortest_path(&t, ids[0], ids[3], Metric::Hops).unwrap();
+        assert_eq!(p2.hop_count(), 2, "other two-hop branch still up");
+        assert_ne!(p2.links[0], p.links[0]);
+    }
+
+    #[test]
+    fn ecmp_finds_both_branches() {
+        let (t, ids) = diamond();
+        let paths = ecmp_paths(&t, ids[0], ids[3], 8);
+        assert_eq!(paths.len(), 2);
+        for p in &paths {
+            assert_eq!(p.hop_count(), 2);
+        }
+        assert_ne!(paths[0].links, paths[1].links);
+    }
+
+    #[test]
+    fn ecmp_respects_max_paths() {
+        let (t, ids) = diamond();
+        assert_eq!(ecmp_paths(&t, ids[0], ids[3], 1).len(), 1);
+        assert!(ecmp_paths(&t, ids[0], ids[3], 0).is_empty());
+    }
+
+    #[test]
+    fn ecmp_is_deterministic() {
+        let (t, ids) = diamond();
+        let a = ecmp_paths(&t, ids[0], ids[3], 8);
+        let b = ecmp_paths(&t, ids[0], ids[3], 8);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn yen_orders_by_cost() {
+        let (t, ids) = diamond();
+        let ps = k_shortest_paths(&t, ids[0], ids[3], 3, Metric::Hops);
+        assert_eq!(ps.len(), 3);
+        assert_eq!(ps[0].hop_count(), 2);
+        assert_eq!(ps[1].hop_count(), 2);
+        assert_eq!(ps[2].hop_count(), 3, "long way round comes last");
+        // all loop-free
+        for p in &ps {
+            let mut seen = std::collections::HashSet::new();
+            assert!(p.nodes.iter().all(|n| seen.insert(*n)), "loop in {p:?}");
+        }
+    }
+
+    #[test]
+    fn yen_k1_equals_shortest() {
+        let (t, ids) = diamond();
+        let ps = k_shortest_paths(&t, ids[0], ids[3], 1, Metric::Hops);
+        let sp = shortest_path(&t, ids[0], ids[3], Metric::Hops).unwrap();
+        assert_eq!(ps, vec![sp]);
+    }
+
+    #[test]
+    fn yen_exhausts_gracefully() {
+        let mut t = Topology::new();
+        let a = t.add_edge_switch("a").unwrap();
+        let b = t.add_edge_switch("b").unwrap();
+        t.connect(a, b, Rate::gbps(1.0), SimDuration::ZERO).unwrap();
+        let ps = k_shortest_paths(&t, a, b, 10, Metric::Hops);
+        assert_eq!(ps.len(), 1, "only one simple path exists");
+    }
+
+    #[test]
+    fn latency_metric_prefers_fast_path() {
+        let mut t = Topology::new();
+        let a = t.add_edge_switch("a").unwrap();
+        let b = t.add_edge_switch("b").unwrap();
+        let m = t.add_edge_switch("mid").unwrap();
+        // direct but slow
+        t.connect(a, b, Rate::gbps(1.0), SimDuration::from_millis(50))
+            .unwrap();
+        // two fast hops
+        t.connect(a, m, Rate::gbps(1.0), SimDuration::from_micros(10))
+            .unwrap();
+        t.connect(m, b, Rate::gbps(1.0), SimDuration::from_micros(10))
+            .unwrap();
+        let hops = shortest_path(&t, a, b, Metric::Hops).unwrap();
+        assert_eq!(hops.hop_count(), 1);
+        let lat = shortest_path(&t, a, b, Metric::Latency).unwrap();
+        assert_eq!(lat.hop_count(), 2);
+    }
+
+    #[test]
+    fn leaf_spine_ecmp_width_matches_spines() {
+        let fabric = builders::leaf_spine(4, 3, 0, Rate::gbps(40.0), Rate::gbps(10.0));
+        let l0 = fabric.edges[0];
+        let l1 = fabric.edges[1];
+        let paths = ecmp_paths(&fabric.topology, l0, l1, 16);
+        assert_eq!(paths.len(), 3, "one path per spine");
+    }
+
+    #[test]
+    fn host_to_host_via_ixp_fabric() {
+        let fabric = builders::ixp_fabric(&builders::IxpFabricParams {
+            members: 8,
+            edge_switches: 4,
+            core_switches: 2,
+            ..Default::default()
+        });
+        let t = &fabric.topology;
+        let m0 = fabric.members[0];
+        let m5 = fabric.members[5];
+        let p = shortest_path(t, m0, m5, Metric::Hops).unwrap();
+        // member -> edge -> core -> edge -> member
+        assert_eq!(p.hop_count(), 4);
+        let _ = MacAddr::local_from_id(0);
+        let _ = Ipv4Addr::new(0, 0, 0, 0);
+    }
+}

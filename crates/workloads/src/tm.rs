@@ -1,0 +1,206 @@
+//! Traffic matrices.
+//!
+//! `rates[i][j]` is the offered load (bps) from member `i` to member `j`.
+//! The gravity model with Zipf-distributed member weights reproduces the
+//! strong skew measured at real IXPs (a few members originate most bytes).
+
+use serde::{Deserialize, Serialize};
+
+/// A dense traffic matrix over `n` members.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TrafficMatrix {
+    n: usize,
+    /// Row-major rates in bps; the diagonal is zero.
+    rates: Vec<f64>,
+}
+
+impl TrafficMatrix {
+    /// A zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        TrafficMatrix {
+            n,
+            rates: vec![0.0; n * n],
+        }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the matrix is empty (no members).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The rate from `i` to `j` (bps).
+    pub fn rate(&self, i: usize, j: usize) -> f64 {
+        self.rates[i * self.n + j]
+    }
+
+    /// Sets the rate from `i` to `j`; the diagonal is forced to zero.
+    pub fn set_rate(&mut self, i: usize, j: usize, bps: f64) {
+        if i != j {
+            self.rates[i * self.n + j] = bps.max(0.0);
+        }
+    }
+
+    /// Total offered load (bps).
+    pub fn total(&self) -> f64 {
+        self.rates.iter().sum()
+    }
+
+    /// Uniform matrix: every ordered pair carries `total / (n(n-1))`.
+    pub fn uniform(n: usize, total_bps: f64) -> Self {
+        let mut m = TrafficMatrix::zeros(n);
+        if n < 2 {
+            return m;
+        }
+        let per = total_bps / (n * (n - 1)) as f64;
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    m.set_rate(i, j, per);
+                }
+            }
+        }
+        m
+    }
+
+    /// Gravity model: `rate(i→j) ∝ w[i]·w[j]`, scaled to `total_bps`.
+    pub fn gravity(weights: &[f64], total_bps: f64) -> Self {
+        let n = weights.len();
+        let mut m = TrafficMatrix::zeros(n);
+        let mut mass = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    mass += weights[i] * weights[j];
+                }
+            }
+        }
+        if mass <= 0.0 {
+            return m;
+        }
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    m.set_rate(i, j, total_bps * weights[i] * weights[j] / mass);
+                }
+            }
+        }
+        m
+    }
+
+    /// Zipf weights `1/rank^alpha` for `n` members (rank 1 = heaviest).
+    pub fn zipf_weights(n: usize, alpha: f64) -> Vec<f64> {
+        (1..=n).map(|r| 1.0 / (r as f64).powf(alpha)).collect()
+    }
+
+    /// Hotspot matrix: `frac` of the total converges on member `hot`
+    /// (spread over sources), the rest is uniform.
+    pub fn hotspot(n: usize, total_bps: f64, hot: usize, frac: f64) -> Self {
+        let frac = frac.clamp(0.0, 1.0);
+        let mut m = TrafficMatrix::uniform(n, total_bps * (1.0 - frac));
+        if n < 2 || hot >= n {
+            return m;
+        }
+        let per_src = total_bps * frac / (n - 1) as f64;
+        for i in 0..n {
+            if i != hot {
+                m.set_rate(i, hot, m.rate(i, hot) + per_src);
+            }
+        }
+        m
+    }
+
+    /// Scales every entry by `k` (diurnal modulation applies this).
+    pub fn scaled(&self, k: f64) -> TrafficMatrix {
+        TrafficMatrix {
+            n: self.n,
+            rates: self.rates.iter().map(|r| r * k.max(0.0)).collect(),
+        }
+    }
+
+    /// Ordered pairs with non-zero rate, as `(i, j, bps)`.
+    pub fn pairs(&self) -> Vec<(usize, usize, f64)> {
+        let mut v = Vec::new();
+        for i in 0..self.n {
+            for j in 0..self.n {
+                let r = self.rate(i, j);
+                if r > 0.0 {
+                    v.push((i, j, r));
+                }
+            }
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_sums_to_total() {
+        let m = TrafficMatrix::uniform(10, 1e9);
+        assert!((m.total() - 1e9).abs() < 1.0);
+        assert_eq!(m.rate(3, 3), 0.0, "diagonal stays zero");
+    }
+
+    #[test]
+    fn gravity_preserves_total_and_skew() {
+        let w = TrafficMatrix::zipf_weights(10, 1.0);
+        let m = TrafficMatrix::gravity(&w, 1e9);
+        assert!((m.total() - 1e9).abs() < 1.0);
+        // heaviest pair (0 <-> 1) outweighs the lightest (8 <-> 9)
+        assert!(m.rate(0, 1) > m.rate(8, 9) * 10.0);
+    }
+
+    #[test]
+    fn zipf_weights_decrease() {
+        let w = TrafficMatrix::zipf_weights(5, 1.2);
+        for i in 1..w.len() {
+            assert!(w[i] < w[i - 1]);
+        }
+    }
+
+    #[test]
+    fn hotspot_concentrates() {
+        let m = TrafficMatrix::hotspot(10, 1e9, 0, 0.5);
+        assert!((m.total() - 1e9).abs() < 1.0);
+        let into_hot: f64 = (0..10).map(|i| m.rate(i, 0)).sum();
+        assert!(into_hot >= 0.5e9);
+    }
+
+    #[test]
+    fn set_rate_ignores_diagonal_and_negative() {
+        let mut m = TrafficMatrix::zeros(3);
+        m.set_rate(1, 1, 100.0);
+        assert_eq!(m.rate(1, 1), 0.0);
+        m.set_rate(0, 1, -5.0);
+        assert_eq!(m.rate(0, 1), 0.0);
+    }
+
+    #[test]
+    fn scaled_and_pairs() {
+        let m = TrafficMatrix::uniform(3, 600.0).scaled(0.5);
+        assert!((m.total() - 300.0).abs() < 1e-9);
+        assert_eq!(m.pairs().len(), 6);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert_eq!(TrafficMatrix::uniform(0, 1e9).total(), 0.0);
+        assert_eq!(TrafficMatrix::uniform(1, 1e9).total(), 0.0);
+        assert_eq!(TrafficMatrix::gravity(&[], 1e9).total(), 0.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let m = TrafficMatrix::uniform(4, 1e8);
+        let js = serde_json::to_string(&m).unwrap();
+        let back: TrafficMatrix = serde_json::from_str(&js).unwrap();
+        assert_eq!(m, back);
+    }
+}

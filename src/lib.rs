@@ -1,0 +1,8 @@
+//! Umbrella package for the Horse reproduction workspace.
+//!
+//! This crate exists so that the repository-level `examples/` and `tests/`
+//! directories (required layout of the reproduction) are compiled as Cargo
+//! targets. All functionality lives in the `crates/` workspace members; the
+//! public entry point is the [`horse`] crate.
+
+pub use horse;

@@ -1,0 +1,52 @@
+//! Cross-plane integration (E3 in test form): the fluid abstraction and
+//! the packet-level reference must agree on aggregate behaviour for the
+//! same inputs.
+
+use horse::compare::{compare_planes, materialize_workload};
+use horse::prelude::*;
+
+fn comparison_scenario(seed: u64) -> Scenario {
+    let mut params = IxpScenarioParams::default();
+    params.fabric.members = 8;
+    params.fabric.member_port_speeds = vec![Rate::mbps(200.0)];
+    params.fabric.uplink_speed = Rate::gbps(1.0);
+    params.offered_bps = 8.0 * 30e6;
+    params.sizes = FlowSizeDist::Pareto {
+        alpha: 1.3,
+        min_bytes: 100_000,
+        max_bytes: 5_000_000,
+    };
+    params.horizon = SimTime::from_secs(4);
+    params.seed = seed;
+    let mut s = Scenario::ixp(&params);
+    materialize_workload(&mut s, 60);
+    s
+}
+
+#[test]
+fn planes_agree_on_aggregates() {
+    let s = comparison_scenario(17);
+    let report = compare_planes(&s, SimConfig::default());
+    assert!(report.flows_compared >= 20, "{report:?}");
+    assert!(
+        report.util_mae < 0.05,
+        "link utilization must agree: MAE {}",
+        report.util_mae
+    );
+    assert!(
+        report.bytes_rel_error < 0.2,
+        "delivered volume must agree: err {}",
+        report.bytes_rel_error
+    );
+}
+
+#[test]
+fn fluid_plane_is_cheaper_by_orders_of_magnitude() {
+    let s = comparison_scenario(23);
+    let report = compare_planes(&s, SimConfig::default());
+    assert!(
+        report.event_ratio() > 20.0,
+        "packet plane must process ≫ more events (got {:.1}x)",
+        report.event_ratio()
+    );
+}
