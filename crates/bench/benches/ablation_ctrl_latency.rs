@@ -18,8 +18,8 @@ fn bench_ctrl_latency(c: &mut Criterion) {
                 b.iter(|| {
                     let policy = PolicySpec::new().with(PolicyRule::MacLearning);
                     let s = ixp_scenario(25, 1.0, policy, SimTime::from_secs(2), 6);
-                    let cfg = SimConfig::default()
-                        .with_ctrl_latency(SimDuration::from_micros(lat_us));
+                    let cfg =
+                        SimConfig::default().with_ctrl_latency(SimDuration::from_micros(lat_us));
                     black_box(run_fluid(s, cfg))
                 });
             },

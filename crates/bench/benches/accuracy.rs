@@ -42,9 +42,8 @@ fn bench_planes(c: &mut Criterion) {
 
     group.bench_function("packet", |b| {
         b.iter(|| {
-            let mut controller =
-                PolicyGenerator::new(scenario.policy.clone(), &scenario.topology)
-                    .expect("valid policy");
+            let mut controller = PolicyGenerator::new(scenario.policy.clone(), &scenario.topology)
+                .expect("valid policy");
             let specs: Vec<_> = scenario
                 .explicit_flows
                 .iter()
@@ -53,9 +52,7 @@ fn bench_planes(c: &mut Criterion) {
                     use horse::packetsim::source::{SourceKind, TcpState};
                     let size = f.size?;
                     let source = match f.demand {
-                        horse::dataplane::DemandModel::Greedy => {
-                            SourceKind::Tcp(TcpState::new())
-                        }
+                        horse::dataplane::DemandModel::Greedy => SourceKind::Tcp(TcpState::new()),
                         horse::dataplane::DemandModel::Cbr(r) => SourceKind::Cbr {
                             rate_bps: r.as_bps(),
                         },

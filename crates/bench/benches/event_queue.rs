@@ -10,50 +10,42 @@ use std::hint::black_box;
 fn bench_queue(c: &mut Criterion) {
     let mut group = c.benchmark_group("event_queue");
     for n in [10_000usize, 100_000] {
-        group.bench_with_input(
-            BenchmarkId::new("push_pop", n),
-            &n,
-            |b, &n| {
-                b.iter(|| {
-                    let mut q: EventQueue<u64> = EventQueue::new();
-                    // deterministic pseudo-random times
-                    let mut x = 0x9e3779b97f4a7c15u64;
-                    for i in 0..n as u64 {
-                        x ^= x << 13;
-                        x ^= x >> 7;
-                        x ^= x << 17;
-                        q.schedule_at(SimTime::from_nanos(x % 1_000_000_000), i);
-                    }
-                    let mut acc = 0u64;
-                    while let Some(e) = q.pop() {
-                        acc = acc.wrapping_add(e.event);
-                    }
-                    black_box(acc)
-                });
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("cancel_heavy", n),
-            &n,
-            |b, &n| {
-                b.iter(|| {
-                    let mut q: EventQueue<u64> = EventQueue::new();
-                    let handles: Vec<_> = (0..n as u64)
-                        .map(|i| q.schedule_at(SimTime::from_nanos(i), i))
-                        .collect();
-                    // cancel every other event (the completion-reschedule
-                    // pattern of the fluid plane)
-                    for h in handles.iter().step_by(2) {
-                        q.cancel(*h);
-                    }
-                    let mut count = 0u64;
-                    while q.pop().is_some() {
-                        count += 1;
-                    }
-                    black_box(count)
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("push_pop", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q: EventQueue<u64> = EventQueue::new();
+                // deterministic pseudo-random times
+                let mut x = 0x9e3779b97f4a7c15u64;
+                for i in 0..n as u64 {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    q.schedule_at(SimTime::from_nanos(x % 1_000_000_000), i);
+                }
+                let mut acc = 0u64;
+                while let Some(e) = q.pop() {
+                    acc = acc.wrapping_add(e.event);
+                }
+                black_box(acc)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("cancel_heavy", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q: EventQueue<u64> = EventQueue::new();
+                let handles: Vec<_> = (0..n as u64)
+                    .map(|i| q.schedule_at(SimTime::from_nanos(i), i))
+                    .collect();
+                // cancel every other event (the completion-reschedule
+                // pattern of the fluid plane)
+                for h in handles.iter().step_by(2) {
+                    q.cancel(*h);
+                }
+                let mut count = 0u64;
+                while q.pop().is_some() {
+                    count += 1;
+                }
+                black_box(count)
+            });
+        });
     }
     group.finish();
 }

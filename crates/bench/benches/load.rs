@@ -14,13 +14,7 @@ fn bench_load(c: &mut Criterion) {
             &factor,
             |b, &factor| {
                 b.iter(|| {
-                    let s = ixp_scenario(
-                        50,
-                        factor,
-                        lb_policy(),
-                        SimTime::from_secs(2),
-                        2,
-                    );
+                    let s = ixp_scenario(50, factor, lb_policy(), SimTime::from_secs(2), 2);
                     black_box(run_fluid(s, fast_config()))
                 });
             },

@@ -20,8 +20,7 @@ fn config(level: usize) -> (&'static str, PolicySpec) {
             PolicySpec::new().with(PolicyRule::LoadBalancing { mode: LbMode::Ecmp }),
         ),
         _ => {
-            let mut spec =
-                PolicySpec::new().with(PolicyRule::LoadBalancing { mode: LbMode::Ecmp });
+            let mut spec = PolicySpec::new().with(PolicyRule::LoadBalancing { mode: LbMode::Ecmp });
             for i in 0..5 {
                 spec = spec.with(PolicyRule::AppPeering {
                     src: format!("m{}", i * 2 + 1),

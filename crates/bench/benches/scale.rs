@@ -14,13 +14,7 @@ fn bench_scale(c: &mut Criterion) {
             &members,
             |b, &members| {
                 b.iter(|| {
-                    let s = ixp_scenario(
-                        members,
-                        1.0,
-                        lb_policy(),
-                        SimTime::from_secs(2),
-                        1,
-                    );
+                    let s = ixp_scenario(members, 1.0, lb_policy(), SimTime::from_secs(2), 1);
                     black_box(run_fluid(s, fast_config()))
                 });
             },

@@ -1,0 +1,53 @@
+//! Batch-runner throughput: how many sweep runs per second the
+//! horse-lab executor sustains at 1, 4 and all-CPU worker threads.
+//! Seeds the perf trajectory for future scaling PRs (sharding,
+//! multi-backend, distributed runs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use horse_lab::prelude::*;
+use std::hint::black_box;
+
+fn sweep_spec() -> SweepSpec {
+    SweepSpec::from_toml(
+        r#"
+        name = "bench"
+        replicates = 2
+        [scenario]
+        kind = "ixp"
+        members = 10
+        horizon_secs = 0.5
+        [axes]
+        ctrl_latency_us = [0, 500, 1000, 10000]
+        "#,
+    )
+    .expect("bench spec parses")
+}
+
+fn bench_runner(c: &mut Criterion) {
+    let spec = sweep_spec();
+    let max_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut group = c.benchmark_group("sweep_runner");
+    group.sample_size(10);
+    let mut candidates = vec![1usize, 4, max_threads];
+    let mut seen = std::collections::HashSet::new();
+    candidates.retain(|t| seen.insert(*t));
+    for threads in candidates {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{threads}t")),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let report = run_sweep(&spec, threads).expect("campaign runs");
+                    assert_eq!(report.runs.len(), 8);
+                    black_box(report)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_runner);
+criterion_main!(benches);

@@ -17,8 +17,10 @@ fn main() {
     println!("--------+-------------+-----------+---------------+----------------");
     for members in [50usize, 100, 200] {
         let mut rows = Vec::new();
-        for (label, mode) in [("full", AllocMode::Full), ("incremental", AllocMode::Incremental)]
-        {
+        for (label, mode) in [
+            ("full", AllocMode::Full),
+            ("incremental", AllocMode::Incremental),
+        ] {
             let s = ixp_scenario(members, 1.0, lb_policy(), horizon, 5);
             let cfg = SimConfig::default().with_alloc_mode(mode);
             let r = run_fluid(s, cfg);

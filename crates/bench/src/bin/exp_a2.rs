@@ -51,8 +51,7 @@ fn main() {
         let lat = SimDuration::from_micros(lat_us);
         let (reactive_fct, flow_ins) =
             run_with(PolicySpec::new().with(PolicyRule::MacLearning), lat);
-        let (proactive_fct, _) =
-            run_with(PolicySpec::new().with(PolicyRule::MacForwarding), lat);
+        let (proactive_fct, _) = run_with(PolicySpec::new().with(PolicyRule::MacForwarding), lat);
         println!(
             "{:>9} us | {:>15.4}s | {:>8} | {:>15.4}s",
             lat_us, reactive_fct, flow_ins, proactive_fct,

@@ -15,8 +15,14 @@ use horse_bench::{fast_config, fmt_wall, ixp_scenario};
 
 fn policy_mix(level: usize) -> (String, PolicySpec) {
     match level {
-        0 => ("mac-forwarding".into(), PolicySpec::new().with(PolicyRule::MacForwarding)),
-        1 => ("mac-learning (reactive)".into(), PolicySpec::new().with(PolicyRule::MacLearning)),
+        0 => (
+            "mac-forwarding".into(),
+            PolicySpec::new().with(PolicyRule::MacForwarding),
+        ),
+        1 => (
+            "mac-learning (reactive)".into(),
+            PolicySpec::new().with(PolicyRule::MacLearning),
+        ),
         2 => (
             "load-balancing".into(),
             PolicySpec::new().with(PolicyRule::LoadBalancing { mode: LbMode::Ecmp }),

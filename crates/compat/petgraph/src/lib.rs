@@ -1,0 +1,231 @@
+//! Offline stand-in for `petgraph`: exactly the `DiGraph` surface the
+//! topology container uses — node/edge insertion with stable indices and
+//! outgoing-edge iteration. Edges iterate in insertion order (the real
+//! petgraph iterates newest-first; nothing in this workspace depends on
+//! that, and insertion order keeps route enumeration deterministic).
+
+#![forbid(unsafe_code)]
+
+/// Graph types.
+pub mod graph {
+    use std::marker::PhantomData;
+
+    /// A node index (stable; nodes are never removed here).
+    #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+    pub struct NodeIndex(usize);
+
+    impl NodeIndex {
+        /// An index from a raw usize.
+        pub fn new(i: usize) -> Self {
+            NodeIndex(i)
+        }
+
+        /// The raw usize.
+        pub fn index(self) -> usize {
+            self.0
+        }
+    }
+
+    /// An edge index (stable; edges are never removed here).
+    #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+    pub struct EdgeIndex(usize);
+
+    impl EdgeIndex {
+        /// An index from a raw usize.
+        pub fn new(i: usize) -> Self {
+            EdgeIndex(i)
+        }
+
+        /// The raw usize.
+        pub fn index(self) -> usize {
+            self.0
+        }
+    }
+
+    struct EdgeData<E> {
+        source: usize,
+        target: usize,
+        weight: E,
+    }
+
+    /// A directed graph with node weights `N` and edge weights `E`.
+    pub struct DiGraph<N, E> {
+        nodes: Vec<N>,
+        edges: Vec<EdgeData<E>>,
+        /// Outgoing edge ids per node, in insertion order.
+        out: Vec<Vec<usize>>,
+    }
+
+    impl<N, E> Default for DiGraph<N, E> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<N: Clone, E: Clone> Clone for DiGraph<N, E> {
+        fn clone(&self) -> Self {
+            DiGraph {
+                nodes: self.nodes.clone(),
+                edges: self
+                    .edges
+                    .iter()
+                    .map(|e| EdgeData {
+                        source: e.source,
+                        target: e.target,
+                        weight: e.weight.clone(),
+                    })
+                    .collect(),
+                out: self.out.clone(),
+            }
+        }
+    }
+
+    impl<N, E> DiGraph<N, E> {
+        /// An empty graph.
+        pub fn new() -> Self {
+            DiGraph {
+                nodes: Vec::new(),
+                edges: Vec::new(),
+                out: Vec::new(),
+            }
+        }
+
+        /// Adds a node, returning its index.
+        pub fn add_node(&mut self, weight: N) -> NodeIndex {
+            self.nodes.push(weight);
+            self.out.push(Vec::new());
+            NodeIndex(self.nodes.len() - 1)
+        }
+
+        /// Adds a directed edge, returning its index.
+        /// Panics when either endpoint is out of bounds (petgraph does too).
+        pub fn add_edge(&mut self, a: NodeIndex, b: NodeIndex, weight: E) -> EdgeIndex {
+            assert!(a.0 < self.nodes.len(), "source node out of bounds");
+            assert!(b.0 < self.nodes.len(), "target node out of bounds");
+            let id = self.edges.len();
+            self.edges.push(EdgeData {
+                source: a.0,
+                target: b.0,
+                weight,
+            });
+            self.out[a.0].push(id);
+            EdgeIndex(id)
+        }
+
+        /// Number of nodes.
+        pub fn node_count(&self) -> usize {
+            self.nodes.len()
+        }
+
+        /// Number of edges.
+        pub fn edge_count(&self) -> usize {
+            self.edges.len()
+        }
+
+        /// The node weight at `i`.
+        pub fn node_weight(&self, i: NodeIndex) -> Option<&N> {
+            self.nodes.get(i.0)
+        }
+
+        /// The edge weight at `i`.
+        pub fn edge_weight(&self, i: EdgeIndex) -> Option<&E> {
+            self.edges.get(i.0).map(|e| &e.weight)
+        }
+
+        /// Iterates the outgoing edges of `node` in insertion order.
+        pub fn edges(&self, node: NodeIndex) -> Edges<'_, N, E> {
+            Edges {
+                graph: self,
+                ids: self.out.get(node.0).map(|v| v.as_slice()).unwrap_or(&[]),
+                pos: 0,
+            }
+        }
+    }
+
+    /// Iterator over outgoing edges.
+    pub struct Edges<'a, N, E> {
+        graph: &'a DiGraph<N, E>,
+        ids: &'a [usize],
+        pos: usize,
+    }
+
+    impl<'a, N, E> Iterator for Edges<'a, N, E> {
+        type Item = EdgeReference<'a, E>;
+
+        fn next(&mut self) -> Option<Self::Item> {
+            let &id = self.ids.get(self.pos)?;
+            self.pos += 1;
+            let e = &self.graph.edges[id];
+            Some(EdgeReference {
+                id: EdgeIndex(id),
+                source: NodeIndex(e.source),
+                target: NodeIndex(e.target),
+                weight: &e.weight,
+                _marker: PhantomData,
+            })
+        }
+    }
+
+    /// A borrowed view of one edge.
+    #[derive(Clone, Copy)]
+    pub struct EdgeReference<'a, E> {
+        id: EdgeIndex,
+        source: NodeIndex,
+        target: NodeIndex,
+        weight: &'a E,
+        _marker: PhantomData<&'a E>,
+    }
+
+    impl<'a, E> EdgeReference<'a, E> {
+        /// The edge id.
+        pub fn id(&self) -> EdgeIndex {
+            self.id
+        }
+
+        /// The source node.
+        pub fn source(&self) -> NodeIndex {
+            self.source
+        }
+
+        /// The target node.
+        pub fn target(&self) -> NodeIndex {
+            self.target
+        }
+
+        /// The edge weight.
+        pub fn weight(&self) -> &'a E {
+            self.weight
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::graph::{DiGraph, NodeIndex};
+
+    #[test]
+    fn indices_are_dense_and_stable() {
+        let mut g: DiGraph<&str, u32> = DiGraph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        let e = g.add_edge(a, b, 7);
+        assert_eq!(e.index(), 0);
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn outgoing_edges_in_insertion_order() {
+        let mut g: DiGraph<(), u32> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, b, 1);
+        g.add_edge(a, c, 2);
+        let ws: Vec<u32> = g.edges(a).map(|e| *e.weight()).collect();
+        assert_eq!(ws, vec![1, 2]);
+        assert_eq!(g.edges(NodeIndex::new(9)).count(), 0);
+    }
+}

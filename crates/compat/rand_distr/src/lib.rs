@@ -1,0 +1,152 @@
+//! Offline stand-in for `rand_distr`: the three distributions the
+//! workload generator samples (exponential inter-arrivals, bounded-Pareto
+//! and log-normal flow sizes), by inverse-transform / Box–Muller over the
+//! deterministic [`rand`] shim.
+
+#![forbid(unsafe_code)]
+
+use rand::{Rng, RngExt};
+use std::fmt;
+
+/// Invalid distribution parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamError(&'static str);
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// Sampling interface (mirror of `rand_distr::Distribution`).
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// A new exponential; `lambda` must be positive and finite.
+    pub fn new(lambda: f64) -> Result<Self, ParamError> {
+        if lambda.is_finite() && lambda > 0.0 {
+            Ok(Exp { lambda })
+        } else {
+            Err(ParamError("Exp rate must be positive"))
+        }
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.random();
+        // u ∈ [0,1) ⇒ 1-u ∈ (0,1]; ln(1-u) is finite
+        -(1.0 - u).ln() / self.lambda
+    }
+}
+
+/// Pareto distribution with the given scale (minimum) and shape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    scale: f64,
+    shape: f64,
+}
+
+impl Pareto {
+    /// A new Pareto; both parameters must be positive and finite.
+    pub fn new(scale: f64, shape: f64) -> Result<Self, ParamError> {
+        if scale.is_finite() && scale > 0.0 && shape.is_finite() && shape > 0.0 {
+            Ok(Pareto { scale, shape })
+        } else {
+            Err(ParamError("Pareto scale and shape must be positive"))
+        }
+    }
+}
+
+impl Distribution<f64> for Pareto {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.random();
+        self.scale * (1.0 - u).powf(-1.0 / self.shape)
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma²))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// A new log-normal; `sigma` must be non-negative and finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, ParamError> {
+        if mu.is_finite() && sigma.is_finite() && sigma >= 0.0 {
+            Ok(LogNormal { mu, sigma })
+        } else {
+            Err(ParamError("LogNormal sigma must be non-negative"))
+        }
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller; two uniforms per sample keeps the stream stateless
+        let u1: f64 = rng.random();
+        let u2: f64 = rng.random();
+        let r = (-2.0 * (1.0 - u1).ln()).sqrt();
+        let z = r * (std::f64::consts::TAU * u2).cos();
+        (self.mu + self.sigma * z).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exp_mean_close() {
+        let d = Exp::new(4.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn pareto_respects_scale() {
+        let d = Pareto::new(100.0, 1.3).unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..1000 {
+            assert!(d.sample(&mut rng) >= 100.0);
+        }
+    }
+
+    #[test]
+    fn lognormal_median_close() {
+        let d = LogNormal::new(2.0, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut v: Vec<f64> = (0..20_001).map(|_| d.sample(&mut rng)).collect();
+        v.sort_by(f64::total_cmp);
+        let median = v[10_000];
+        // median of lognormal is e^mu
+        assert!(
+            (median - 2.0f64.exp()).abs() / 2.0f64.exp() < 0.05,
+            "median {median}"
+        );
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(Exp::new(0.0).is_err());
+        assert!(Pareto::new(-1.0, 1.0).is_err());
+        assert!(LogNormal::new(0.0, -1.0).is_err());
+    }
+}

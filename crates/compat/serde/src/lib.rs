@@ -1,0 +1,94 @@
+//! Offline stand-in for `serde`, built around an explicit value tree.
+//!
+//! The container this workspace builds in has no network access, so the
+//! real serde cannot be fetched. This crate provides the subset the
+//! workspace uses: `Serialize`/`Deserialize` traits, derive macros (from
+//! the sibling `serde_derive` shim), and a self-describing [`Value`] tree
+//! that `serde_json` and `toml` render to text. The data model is
+//! intentionally simple — every serializable type lowers to a [`Value`]
+//! and is rebuilt from one.
+
+mod impls;
+mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{Number, Value};
+
+use std::fmt;
+
+/// Deserialization error: what was expected, what was found, and where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    /// Human-readable description of the mismatch.
+    msg: String,
+    /// Path segments from the root to the offending value (best effort).
+    path: Vec<String>,
+}
+
+impl Error {
+    /// A new error with the given message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error {
+            msg: msg.into(),
+            path: Vec::new(),
+        }
+    }
+
+    /// Prefixes a path segment (called while unwinding out of containers).
+    pub fn in_path(mut self, segment: impl Into<String>) -> Self {
+        self.path.insert(0, segment.into());
+        self
+    }
+
+    /// The bare message without the path prefix.
+    pub fn message(&self) -> &str {
+        &self.msg
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.path.is_empty() {
+            write!(f, "{}", self.msg)
+        } else {
+            write!(f, "at `{}`: {}", self.path.join("."), self.msg)
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can lower themselves into a [`Value`] tree.
+pub trait Serialize {
+    /// Lowers `self` to a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+
+    /// The value to use when a struct field is absent entirely.
+    /// `Option<T>` overrides this to `Some(None)`; everything else
+    /// reports a missing-field error.
+    fn absent() -> Option<Self> {
+        None
+    }
+}
+
+/// Serializes any value to its tree form (convenience free function).
+pub fn to_value<T: Serialize + ?Sized>(v: &T) -> Value {
+    v.to_value()
+}
+
+/// Deserializes any value from its tree form (convenience free function).
+pub fn from_value<T: Deserialize>(v: &Value) -> Result<T, Error> {
+    T::from_value(v)
+}
+
+/// Looks a key up in a map value's entry list (first match wins, like
+/// serde's duplicate-key handling in practice).
+pub fn map_get<'v>(entries: &'v [(String, Value)], key: &str) -> Option<&'v Value> {
+    entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}

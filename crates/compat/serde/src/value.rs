@@ -1,0 +1,226 @@
+//! The self-describing value tree.
+
+use std::fmt;
+use std::ops::Index;
+
+/// A number: integers keep their signedness, floats stay floats.
+/// Comparison is numeric — `Int(1)`, `UInt(1)` and `Float(1.0)` are equal,
+/// which makes text round-trips (where "1" parses as an integer) robust.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer (used when the value exceeds `i64::MAX`).
+    UInt(u64),
+    /// A binary64 float.
+    Float(f64),
+}
+
+impl Number {
+    /// The value as f64 (lossy for huge integers).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Number::Int(v) => v as f64,
+            Number::UInt(v) => v as f64,
+            Number::Float(v) => v,
+        }
+    }
+
+    /// The value as u64 if it is a non-negative integer (or an integral
+    /// non-negative float).
+    pub fn as_u64(self) -> Option<u64> {
+        match self {
+            Number::Int(v) if v >= 0 => Some(v as u64),
+            Number::Int(_) => None,
+            Number::UInt(v) => Some(v),
+            Number::Float(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => {
+                Some(v as u64)
+            }
+            Number::Float(_) => None,
+        }
+    }
+
+    /// The value as i64 if it fits (or is an integral float in range).
+    pub fn as_i64(self) -> Option<i64> {
+        match self {
+            Number::Int(v) => Some(v),
+            Number::UInt(v) => i64::try_from(v).ok(),
+            Number::Float(v)
+                if v.fract() == 0.0 && v >= i64::MIN as f64 && v <= i64::MAX as f64 =>
+            {
+                Some(v as i64)
+            }
+            Number::Float(_) => None,
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self.as_i64(), other.as_i64()) {
+            (Some(a), Some(b)) => return a == b,
+            (None, None) => {}
+            // one side integral, the other not: fall through to f64
+            _ => {}
+        }
+        self.as_f64() == other.as_f64()
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::Int(v) => write!(f, "{v}"),
+            Number::UInt(v) => write!(f, "{v}"),
+            // {:?} prints the shortest representation that round-trips and
+            // always keeps a decimal point or exponent — valid JSON & TOML.
+            Number::Float(v) => write!(f, "{v:?}"),
+        }
+    }
+}
+
+/// A self-describing value: the common data model of `serde_json` and
+/// `toml` in this workspace. Maps preserve insertion order so that text
+/// output is deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` (absent in TOML).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered string-keyed map.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Map entries, if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Sequence elements, if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is a number.
+    pub fn as_number(&self) -> Option<Number> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// A short name of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+
+    /// Looks up `key` in a map value; [`Value::Null`] when absent or not
+    /// a map (mirrors `serde_json::Value` indexing semantics).
+    pub fn get(&self, key: &str) -> &Value {
+        match self {
+            Value::Map(m) => crate::map_get(m, key).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+
+    /// Mutable entry for `key`, inserting `Null` when absent. Turns a
+    /// non-map into a map (used by path-override helpers).
+    pub fn entry_mut(&mut self, key: &str) -> &mut Value {
+        if !matches!(self, Value::Map(_)) {
+            *self = Value::Map(Vec::new());
+        }
+        let Value::Map(m) = self else { unreachable!() };
+        if let Some(pos) = m.iter().position(|(k, _)| k == key) {
+            &mut m[pos].1
+        } else {
+            m.push((key.to_string(), Value::Null));
+            &mut m.last_mut().expect("just pushed").1
+        }
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        match self {
+            Value::Seq(s) => s.get(i).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key)
+    }
+}
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        matches!(self, Value::Number(n) if n.as_f64() == *other)
+    }
+}
+
+impl PartialEq<i64> for Value {
+    fn eq(&self, other: &i64) -> bool {
+        matches!(self, Value::Number(n) if n.as_i64() == Some(*other))
+    }
+}
+
+impl PartialEq<u64> for Value {
+    fn eq(&self, other: &u64) -> bool {
+        matches!(self, Value::Number(n) if n.as_u64() == Some(*other))
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        matches!(self, Value::Str(s) if s == other)
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        matches!(self, Value::Bool(b) if b == other)
+    }
+}

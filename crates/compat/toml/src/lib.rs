@@ -1,0 +1,495 @@
+//! Offline stand-in for `toml` over the vendored [`serde`] value tree.
+//!
+//! Supports the subset the experiment specs use: tables (`[a.b]`), arrays
+//! of tables (`[[a.b]]`), key/value pairs with strings, integers, floats,
+//! booleans, homogeneous and mixed arrays (including multi-line), inline
+//! tables (`{k = v}`), quoted keys and `#` comments. Dates and multi-line
+//! strings are not supported.
+
+use serde::{Deserialize, Serialize, Value};
+use std::fmt;
+
+/// A TOML parse or render error with line information where available.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error(e.to_string())
+    }
+}
+
+/// `toml::de::Error`, for signature compatibility with the real crate.
+pub mod de {
+    pub use super::Error;
+}
+
+/// `toml::ser::Error`, for signature compatibility with the real crate.
+pub mod ser {
+    pub use super::Error;
+}
+
+/// Parses TOML text into any deserializable type.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let v = parse(s)?;
+    T::from_value(&v).map_err(Error::from)
+}
+
+/// Serializes a value as a TOML document (root must be a table).
+pub fn to_string(value: &impl Serialize) -> Result<String, Error> {
+    render(&value.to_value())
+}
+
+/// Serializes a value as a TOML document (same as [`to_string`]; the
+/// writer always emits one key per line).
+pub fn to_string_pretty(value: &impl Serialize) -> Result<String, Error> {
+    render(&value.to_value())
+}
+
+// ------------------------------------------------------------------ writer
+
+fn render(v: &Value) -> Result<String, Error> {
+    let Value::Map(_) = v else {
+        return Err(Error::new(format!(
+            "TOML documents must be tables at the root, found {}",
+            v.kind()
+        )));
+    };
+    let mut out = String::new();
+    render_table(v, &mut Vec::new(), &mut out)?;
+    Ok(out)
+}
+
+/// True if the value must be rendered as its own `[section]`.
+fn is_table(v: &Value) -> bool {
+    matches!(v, Value::Map(_))
+}
+
+/// True for an array whose elements are all tables (rendered as `[[x]]`).
+fn is_table_array(v: &Value) -> bool {
+    match v {
+        Value::Seq(items) => !items.is_empty() && items.iter().all(is_table),
+        _ => false,
+    }
+}
+
+fn render_table(v: &Value, path: &mut Vec<String>, out: &mut String) -> Result<(), Error> {
+    let entries = v.as_map().expect("render_table called on a map");
+    // scalars and plain arrays first, then sub-tables, then table arrays —
+    // the order TOML requires to avoid re-opening sections.
+    for (k, val) in entries {
+        if is_table(val) || is_table_array(val) || matches!(val, Value::Null) {
+            continue;
+        }
+        out.push_str(&key_text(k));
+        out.push_str(" = ");
+        render_inline(val, out)?;
+        out.push('\n');
+    }
+    for (k, val) in entries {
+        if is_table(val) {
+            path.push(k.clone());
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            out.push('[');
+            out.push_str(&path_text(path));
+            out.push_str("]\n");
+            render_table(val, path, out)?;
+            path.pop();
+        } else if is_table_array(val) {
+            path.push(k.clone());
+            for item in val.as_seq().expect("table array is a seq") {
+                if !out.is_empty() {
+                    out.push('\n');
+                }
+                out.push_str("[[");
+                out.push_str(&path_text(path));
+                out.push_str("]]\n");
+                render_table(item, path, out)?;
+            }
+            path.pop();
+        }
+    }
+    Ok(())
+}
+
+fn render_inline(v: &Value, out: &mut String) -> Result<(), Error> {
+    match v {
+        Value::Null => Err(Error::new("TOML cannot represent null values")),
+        Value::Bool(b) => {
+            out.push_str(if *b { "true" } else { "false" });
+            Ok(())
+        }
+        Value::Number(n) => {
+            if n.as_f64().is_finite() {
+                out.push_str(&n.to_string());
+                Ok(())
+            } else {
+                Err(Error::new("TOML cannot represent NaN/inf"))
+            }
+        }
+        Value::Str(s) => {
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    '\r' => out.push_str("\\r"),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+            Ok(())
+        }
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                render_inline(item, out)?;
+            }
+            out.push(']');
+            Ok(())
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&key_text(k));
+                out.push_str(" = ");
+                render_inline(val, out)?;
+            }
+            out.push('}');
+            Ok(())
+        }
+    }
+}
+
+fn is_bare_key(k: &str) -> bool {
+    !k.is_empty()
+        && k.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+}
+
+fn key_text(k: &str) -> String {
+    if is_bare_key(k) {
+        k.to_string()
+    } else {
+        format!("{k:?}")
+    }
+}
+
+fn path_text(path: &[String]) -> String {
+    path.iter()
+        .map(|p| key_text(p))
+        .collect::<Vec<_>>()
+        .join(".")
+}
+
+// ------------------------------------------------------------------ parser
+
+/// Parses TOML text into a [`Value`] tree (always a `Value::Map` root).
+pub fn parse(s: &str) -> Result<Value, Error> {
+    let mut root = Value::Map(Vec::new());
+    // current insertion point as a path from the root
+    let mut current_path: Vec<String> = Vec::new();
+    let mut lines = s.lines().enumerate().peekable();
+    while let Some((lineno, raw)) = lines.next() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: &str| Error::new(format!("line {}: {msg}", lineno + 1));
+        if let Some(rest) = line.strip_prefix("[[") {
+            let Some(names) = rest.strip_suffix("]]") else {
+                return Err(err("unterminated [[table]] header"));
+            };
+            let path = parse_key_path(names.trim()).map_err(|m| err(&m))?;
+            let arr = resolve_path(&mut root, &path);
+            if matches!(arr, Value::Null) {
+                *arr = Value::Seq(Vec::new());
+            }
+            let Value::Seq(items) = arr else {
+                return Err(err(&format!(
+                    "`{}` is not an array of tables",
+                    names.trim()
+                )));
+            };
+            items.push(Value::Map(Vec::new()));
+            current_path = path;
+            current_path.push(format!("\u{0}{}", items.len() - 1)); // index marker
+        } else if let Some(rest) = line.strip_prefix('[') {
+            let Some(names) = rest.strip_suffix(']') else {
+                return Err(err("unterminated [table] header"));
+            };
+            let path = parse_key_path(names.trim()).map_err(|m| err(&m))?;
+            let t = resolve_path(&mut root, &path);
+            if matches!(t, Value::Null) {
+                *t = Value::Map(Vec::new());
+            } else if !matches!(t, Value::Map(_)) {
+                return Err(err(&format!("`{}` redefined as a table", names.trim())));
+            }
+            current_path = path;
+        } else {
+            // key = value (value may span lines for arrays)
+            let Some(eq) = find_unquoted(line, '=') else {
+                return Err(err("expected `key = value`"));
+            };
+            let key_part = line[..eq].trim();
+            let mut value_part = line[eq + 1..].trim().to_string();
+            // multi-line arrays: keep consuming lines until brackets balance
+            while !value_part.is_empty() && unbalanced(&value_part) {
+                let Some((_, next)) = lines.next() else {
+                    return Err(err("unterminated multi-line value"));
+                };
+                value_part.push(' ');
+                value_part.push_str(strip_comment(next).trim());
+            }
+            let keys = parse_key_path(key_part).map_err(|m| err(&m))?;
+            let mut full = current_path.clone();
+            full.extend(keys);
+            let slot = resolve_path(&mut root, &full);
+            if !matches!(slot, Value::Null) {
+                return Err(err(&format!("duplicate key `{key_part}`")));
+            }
+            *slot = parse_scalar(&value_part).map_err(|m| err(&m))?;
+        }
+    }
+    Ok(root)
+}
+
+fn strip_comment(line: &str) -> &str {
+    match find_unquoted(line, '#') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// Index of `target` outside of any quoted string.
+fn find_unquoted(line: &str, target: char) -> Option<usize> {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            c if c == target && !in_str => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+fn unbalanced(s: &str) -> bool {
+    let mut depth: i64 = 0;
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in s.chars() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            '[' | '{' if !in_str => depth += 1,
+            ']' | '}' if !in_str => depth -= 1,
+            _ => {}
+        }
+    }
+    depth > 0 || in_str
+}
+
+fn parse_key_path(s: &str) -> Result<Vec<String>, String> {
+    let mut keys = Vec::new();
+    for part in split_top(s, '.') {
+        let part = part.trim();
+        if part.is_empty() {
+            return Err(format!("empty key in `{s}`"));
+        }
+        if let Some(q) = part.strip_prefix('"') {
+            let Some(inner) = q.strip_suffix('"') else {
+                return Err(format!("unterminated quoted key `{part}`"));
+            };
+            keys.push(inner.to_string());
+        } else if is_bare_key(part) {
+            keys.push(part.to_string());
+        } else {
+            return Err(format!("invalid key `{part}`"));
+        }
+    }
+    if keys.is_empty() {
+        return Err(format!("empty key path `{s}`"));
+    }
+    Ok(keys)
+}
+
+/// Splits on `sep` outside quotes and outside `[`/`{` nesting.
+fn split_top(s: &str, sep: char) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut depth = 0i64;
+    let mut in_str = false;
+    let mut escaped = false;
+    let mut cur = String::new();
+    for c in s.chars() {
+        if escaped {
+            escaped = false;
+            cur.push(c);
+            continue;
+        }
+        match c {
+            '\\' if in_str => {
+                escaped = true;
+                cur.push(c);
+            }
+            '"' => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            '[' | '{' if !in_str => {
+                depth += 1;
+                cur.push(c);
+            }
+            ']' | '}' if !in_str => {
+                depth -= 1;
+                cur.push(c);
+            }
+            c if c == sep && depth == 0 && !in_str => {
+                parts.push(std::mem::take(&mut cur));
+            }
+            c => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        parts.push(cur);
+    }
+    parts
+}
+
+/// Walks (and lazily creates) the path; `\0<idx>` segments index into
+/// array-of-table elements.
+fn resolve_path<'v>(root: &'v mut Value, path: &[String]) -> &'v mut Value {
+    let mut cur = root;
+    for seg in path {
+        if let Some(idx) = seg.strip_prefix('\u{0}') {
+            let i: usize = idx.parse().expect("internal index marker");
+            let Value::Seq(items) = cur else {
+                unreachable!("index marker on non-array")
+            };
+            cur = &mut items[i];
+        } else {
+            cur = cur.entry_mut(seg);
+        }
+    }
+    cur
+}
+
+fn parse_scalar(s: &str) -> Result<Value, String> {
+    let s = s.trim();
+    if s.is_empty() {
+        return Err("missing value".to_string());
+    }
+    if let Some(rest) = s.strip_prefix('"') {
+        let Some(inner) = rest.strip_suffix('"') else {
+            return Err(format!("unterminated string {s}"));
+        };
+        return unescape(inner).map(Value::Str);
+    }
+    if s == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if s == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(rest) = s.strip_prefix('[') {
+        let Some(inner) = rest.strip_suffix(']') else {
+            return Err(format!("unterminated array {s}"));
+        };
+        let mut items = Vec::new();
+        for part in split_top(inner, ',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue; // trailing comma
+            }
+            items.push(parse_scalar(part)?);
+        }
+        return Ok(Value::Seq(items));
+    }
+    if let Some(rest) = s.strip_prefix('{') {
+        let Some(inner) = rest.strip_suffix('}') else {
+            return Err(format!("unterminated inline table {s}"));
+        };
+        let mut entries = Vec::new();
+        for part in split_top(inner, ',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let Some(eq) = find_unquoted(part, '=') else {
+                return Err(format!(
+                    "expected `key = value` in inline table, got `{part}`"
+                ));
+            };
+            let keys = parse_key_path(part[..eq].trim())?;
+            if keys.len() != 1 {
+                return Err(format!(
+                    "dotted keys not supported in inline tables: `{part}`"
+                ));
+            }
+            entries.push((keys[0].clone(), parse_scalar(part[eq + 1..].trim())?));
+        }
+        return Ok(Value::Map(entries));
+    }
+    // numbers (with optional underscores)
+    let cleaned: String = s.chars().filter(|&c| c != '_').collect();
+    let is_floaty = cleaned.contains('.') || cleaned.contains('e') || cleaned.contains('E');
+    if let Some(v) = serde_json::number_from_text(&cleaned, is_floaty) {
+        return Ok(v);
+    }
+    Err(format!("unrecognized value `{s}`"))
+}
+
+fn unescape(s: &str) -> Result<String, String> {
+    let mut out = String::new();
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('r') => out.push('\r'),
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some(other) => return Err(format!("unknown escape \\{other}")),
+            None => return Err("dangling escape".to_string()),
+        }
+    }
+    Ok(out)
+}

@@ -60,7 +60,6 @@ impl PolicyGenerator {
         let paths = PathDb::build(topo);
         let mut modules: Vec<Box<dyn PolicyModule>> = Vec::new();
         let mut meter_seq = 0u32;
-        let mut instance = 0u64;
         let mut reactive = false;
         let host = |name: &str| topo.node_by_name(name).expect("validated");
         let mac = |name: &str| {
@@ -68,8 +67,8 @@ impl PolicyGenerator {
                 .and_then(|n| n.mac())
                 .expect("validated host has MAC")
         };
-        for rule in &spec.policies {
-            instance += 1;
+        for (rule_idx, rule) in spec.policies.iter().enumerate() {
+            let instance = rule_idx as u64 + 1;
             match rule {
                 PolicyRule::MacForwarding => modules.push(Box::new(MacForwardingModule)),
                 PolicyRule::MacLearning => {
@@ -111,7 +110,11 @@ impl PolicyGenerator {
                         index: instance,
                     }))
                 }
-                PolicyRule::RateLimit { src, dst, rate_mbps } => {
+                PolicyRule::RateLimit {
+                    src,
+                    dst,
+                    rate_mbps,
+                } => {
                     meter_seq += 1;
                     modules.push(Box::new(RateLimitModule {
                         src: host(src),
@@ -322,15 +325,16 @@ mod tests {
         let bad = PolicySpec::new().with(PolicyRule::Blackhole {
             victim: "ghost".into(),
         });
-        let err = PolicyGenerator::new(bad, &f.topology).err().expect("rejected");
+        let err = PolicyGenerator::new(bad, &f.topology)
+            .err()
+            .expect("rejected");
         assert!(!err.is_ok());
     }
 
     #[test]
     fn figure1_compiles_conflict_free() {
         let f = fig1_fabric();
-        let mut gen =
-            PolicyGenerator::new(PolicySpec::figure1(), &f.topology).expect("valid spec");
+        let mut gen = PolicyGenerator::new(PolicySpec::figure1(), &f.topology).expect("valid spec");
         let out = gen.compile(&f.topology);
         assert!(!out.msgs.is_empty());
         let rep = validate_rules(&out.msgs);
@@ -340,11 +344,9 @@ mod tests {
     #[test]
     fn reactive_spec_installs_table1_miss() {
         let f = fig1_fabric();
-        let mut gen = PolicyGenerator::new(
-            PolicySpec::new().with(PolicyRule::MacLearning),
-            &f.topology,
-        )
-        .unwrap();
+        let mut gen =
+            PolicyGenerator::new(PolicySpec::new().with(PolicyRule::MacLearning), &f.topology)
+                .unwrap();
         let out = gen.compile(&f.topology);
         // every switch gets fall-through + controller-miss
         let switches = f.topology.switches().count();
@@ -406,11 +408,8 @@ mod tests {
     fn port_status_triggers_reinstall() {
         let f = fig1_fabric();
         let mut topo = f.topology.clone();
-        let mut gen = PolicyGenerator::new(
-            PolicySpec::new().with(PolicyRule::MacForwarding),
-            &topo,
-        )
-        .unwrap();
+        let mut gen =
+            PolicyGenerator::new(PolicySpec::new().with(PolicyRule::MacForwarding), &topo).unwrap();
         let _ = gen.compile(&topo);
         // fail an edge-core cable, then notify
         let e1 = topo.node_by_name("e1").unwrap();
@@ -424,7 +423,10 @@ mod tests {
         };
         let mut out = Outbox::new();
         gen.on_port_status(e1, port, false, &ctx, &mut out);
-        assert!(!out.msgs.is_empty(), "reinstall must emit replacement rules");
+        assert!(
+            !out.msgs.is_empty(),
+            "reinstall must emit replacement rules"
+        );
         // none of the re-installed rules on e1 may output on the dead port
         for (sw, msg) in &out.msgs {
             if *sw == e1 {

@@ -21,7 +21,9 @@ use crate::{cookies, priorities};
 use horse_openflow::actions::Instruction;
 use horse_openflow::flow_match::FlowMatch;
 use horse_openflow::group::{Bucket, GroupEntry, GroupType};
-use horse_openflow::messages::{CtrlMsg, FlowMod, FlowModCommand, GroupMod, StatsReply, StatsRequest};
+use horse_openflow::messages::{
+    CtrlMsg, FlowMod, FlowModCommand, GroupMod, StatsReply, StatsRequest,
+};
 use horse_openflow::table::FlowEntry;
 use horse_openflow::GroupId;
 use horse_topology::SwitchRole;
@@ -256,6 +258,9 @@ impl PolicyModule for LoadBalanceModule {
         let max_delta = deltas.iter().map(|(_, d)| *d).max().unwrap_or(0);
         let mut changed = false;
         for (port, delta) in deltas {
+            // the zero check is semantic (all-equal loads => uniform
+            // weight), not a guard to fold into checked_div
+            #[allow(clippy::manual_checked_ops)]
             let w = if max_delta == 0 {
                 1
             } else {

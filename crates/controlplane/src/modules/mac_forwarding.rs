@@ -83,10 +83,7 @@ mod tests {
                 CtrlMsg::FlowMod(fm) => {
                     assert_eq!(fm.table, TableId(1));
                     assert_eq!(fm.entry.priority, priorities::FORWARDING);
-                    assert_eq!(
-                        cookies::namespace(fm.entry.cookie),
-                        cookies::FORWARDING
-                    );
+                    assert_eq!(cookies::namespace(fm.entry.cookie), cookies::FORWARDING);
                 }
                 _ => panic!("unexpected message"),
             }

@@ -131,13 +131,7 @@ impl PathDb {
 
     /// The k-th shortest path between two nodes (k = 0 is the shortest),
     /// for peering policies that pin alternate routes.
-    pub fn kth_path(
-        &self,
-        topo: &Topology,
-        src: NodeId,
-        dst: NodeId,
-        k: usize,
-    ) -> Option<Path> {
+    pub fn kth_path(&self, topo: &Topology, src: NodeId, dst: NodeId, k: usize) -> Option<Path> {
         let paths = k_shortest_paths(topo, src, dst, k + 1, Metric::Hops);
         paths.into_iter().nth(k)
     }
@@ -160,10 +154,7 @@ mod tests {
         assert_eq!(db.hosts().len(), 8);
         for &sw in &f.edges {
             for &h in &f.members {
-                assert!(
-                    db.next_hop(sw, h).is_some(),
-                    "no next hop from {sw} to {h}"
-                );
+                assert!(db.next_hop(sw, h).is_some(), "no next hop from {sw} to {h}");
             }
         }
     }
@@ -222,8 +213,12 @@ mod tests {
             ..Default::default()
         });
         let db = PathDb::build(&f.topology);
-        let p0 = db.kth_path(&f.topology, f.members[0], f.members[1], 0).unwrap();
-        let p1 = db.kth_path(&f.topology, f.members[0], f.members[1], 1).unwrap();
+        let p0 = db
+            .kth_path(&f.topology, f.members[0], f.members[1], 0)
+            .unwrap();
+        let p1 = db
+            .kth_path(&f.topology, f.members[0], f.members[1], 1)
+            .unwrap();
         assert_ne!(p0.links, p1.links);
     }
 

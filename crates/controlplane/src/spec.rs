@@ -201,12 +201,7 @@ mod tests {
         for (rule, kind) in [
             (PolicyRule::MacForwarding, "mac_forwarding"),
             (PolicyRule::MacLearning, "mac_learning"),
-            (
-                PolicyRule::Blackhole {
-                    victim: "x".into(),
-                },
-                "blackhole",
-            ),
+            (PolicyRule::Blackhole { victim: "x".into() }, "blackhole"),
         ] {
             assert_eq!(rule.kind(), kind);
         }

@@ -108,7 +108,11 @@ pub fn validate_spec(spec: &PolicySpec, topo: &Topology) -> ValidationReport {
                     }
                 }
             }
-            PolicyRule::RateLimit { src, dst, rate_mbps } => {
+            PolicyRule::RateLimit {
+                src,
+                dst,
+                rate_mbps,
+            } => {
                 check_host(&mut rep, rule, src);
                 check_host(&mut rep, rule, dst);
                 if *rate_mbps <= 0.0 {
@@ -117,9 +121,7 @@ pub fn validate_spec(spec: &PolicySpec, topo: &Topology) -> ValidationReport {
                     ));
                 }
                 if !rate_pairs.insert((src.clone(), dst.clone())) {
-                    rep.error(format!(
-                        "rate_limit: duplicate policy for ({src} -> {dst})"
-                    ));
+                    rep.error(format!("rate_limit: duplicate policy for ({src} -> {dst})"));
                 }
             }
         }
@@ -195,7 +197,11 @@ pub fn validate_rules(msgs: &[(NodeId, CtrlMsg)]) -> ValidationReport {
                         a.matcher, b.matcher, a.priority
                     ));
                 } else if a.priority != b.priority && a.instructions != b.instructions {
-                    let (hi, lo) = if a.priority > b.priority { (a, b) } else { (b, a) };
+                    let (hi, lo) = if a.priority > b.priority {
+                        (a, b)
+                    } else {
+                        (b, a)
+                    };
                     if lo.matcher.is_subset_of(&hi.matcher) {
                         rep.warn(format!(
                             "shadow on {sw} table {table}: [{}] (prio {}) is subsumed by [{}] (prio {})",

@@ -95,8 +95,8 @@ pub fn compare_planes(scenario: &Scenario, config: SimConfig) -> AccuracyReport 
     let fluid_links = sim.fluid().link_stats().to_vec();
 
     // ---- packet plane ----
-    let mut controller = PolicyGenerator::new(scenario.policy.clone(), &scenario.topology)
-        .expect("valid policy");
+    let mut controller =
+        PolicyGenerator::new(scenario.policy.clone(), &scenario.topology).expect("valid policy");
     let pkt_cfg = PacketSimConfig {
         ctrl_latency: config.ctrl_latency,
         ..PacketSimConfig::default()
@@ -215,8 +215,7 @@ pub fn materialize_workload(scenario: &mut Scenario, n: usize) -> usize {
         if a.at > scenario.horizon {
             break;
         }
-        let (Some(&src), Some(&dst)) =
-            (scenario.members.get(a.src), scenario.members.get(a.dst))
+        let (Some(&src), Some(&dst)) = (scenario.members.get(a.src), scenario.members.get(a.dst))
         else {
             continue;
         };
@@ -241,12 +240,7 @@ pub fn materialize_workload(scenario: &mut Scenario, n: usize) -> usize {
 
 /// A convenience: compares on an IXP scenario with `flows` materialized
 /// arrivals (used by benches and the accuracy example).
-pub fn compare_on_ixp(
-    members: usize,
-    flows: usize,
-    horizon: SimTime,
-    seed: u64,
-) -> AccuracyReport {
+pub fn compare_on_ixp(members: usize, flows: usize, horizon: SimTime, seed: u64) -> AccuracyReport {
     let mut params = crate::scenario::IxpScenarioParams::default();
     params.fabric.members = members;
     params.fabric.member_port_speeds = vec![Rate::mbps(200.0)];

@@ -2,9 +2,10 @@
 
 use horse_dataplane::{AllocMode, FluidConfig};
 use horse_types::{ByteSize, SimDuration};
+use serde::{Deserialize, Serialize};
 
 /// Tunables of a simulation run.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SimConfig {
     /// One-way control-channel latency (switch ↔ controller). The paper
     /// removes real OpenFlow connections but keeps their *timing*: a

@@ -10,7 +10,7 @@
 //! ## Quickstart
 //!
 //! ```
-//! use horse::prelude::*;
+//! use horse_core::prelude::*;
 //!
 //! // The paper's Figure-1 fabric (4 edge + 2 core switches, 4 members)
 //! // with its full policy mix, driven by a gravity-model workload.

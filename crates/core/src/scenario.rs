@@ -3,11 +3,10 @@
 use horse_controlplane::PolicySpec;
 use horse_dataplane::{DemandModel, FlowSpec};
 use horse_topology::builders::{self, FabricHandles, IxpFabricParams};
-use horse_topology::Topology;
-use horse_types::{
-    AppClass, ByteSize, FlowKey, LinkId, NodeId, Rate, SimTime,
-};
+use horse_topology::{Topology, TopologySpec};
+use horse_types::{AppClass, ByteSize, FlowKey, LinkId, NodeId, Rate, SimTime};
 use horse_workloads::{AppMix, DiurnalProfile, FlowSizeDist, TrafficMatrix, WorkloadParams};
+use serde::{Deserialize, Serialize};
 
 /// A complete experiment description.
 #[derive(Clone, Debug)]
@@ -136,8 +135,84 @@ impl Scenario {
     }
 }
 
+/// Serialized form of a [`Scenario`]: the topology travels as a
+/// [`TopologySpec`] (cables only; directed links re-derive on load with
+/// identical ids, so `members`, `explicit_flows` and `failures` keep
+/// their meaning).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct ScenarioRepr {
+    topology: TopologySpec,
+    members: Vec<NodeId>,
+    policy: PolicySpec,
+    workload: Option<WorkloadParams>,
+    explicit_flows: Vec<(SimTime, FlowSpec)>,
+    failures: Vec<(SimTime, LinkId, bool)>,
+    horizon: SimTime,
+}
+
+impl Serialize for Scenario {
+    fn to_value(&self) -> serde::Value {
+        ScenarioRepr {
+            topology: TopologySpec::from_topology(&self.topology),
+            members: self.members.clone(),
+            policy: self.policy.clone(),
+            workload: self.workload.clone(),
+            explicit_flows: self.explicit_flows.clone(),
+            failures: self.failures.clone(),
+            horizon: self.horizon,
+        }
+        .to_value()
+    }
+}
+
+impl Deserialize for Scenario {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let repr = ScenarioRepr::from_value(v)?;
+        let topology = repr
+            .topology
+            .build()
+            .map_err(|e| serde::Error::custom(format!("invalid topology spec: {e}")))?;
+        for &m in &repr.members {
+            if topology.node(m).is_none() {
+                return Err(serde::Error::custom(format!(
+                    "member {m} not present in the topology"
+                )));
+            }
+        }
+        // A dangling failure link would later be a silent no-op (the
+        // engine ignores unknown links when applying cable events), so an
+        // experiment would quietly run without its failure schedule —
+        // reject it here instead.
+        for &(_, link, _) in &repr.failures {
+            if topology.link(link).is_none() {
+                return Err(serde::Error::custom(format!(
+                    "failure schedule references {link}, which is not in the topology"
+                )));
+            }
+        }
+        for (_, flow) in &repr.explicit_flows {
+            for node in [flow.src, flow.dst] {
+                if topology.node(node).is_none() {
+                    return Err(serde::Error::custom(format!(
+                        "explicit flow references {node}, which is not in the topology"
+                    )));
+                }
+            }
+        }
+        Ok(Scenario {
+            topology,
+            members: repr.members,
+            policy: repr.policy,
+            workload: repr.workload,
+            explicit_flows: repr.explicit_flows,
+            failures: repr.failures,
+            horizon: repr.horizon,
+        })
+    }
+}
+
 /// Parameters of the canned IXP scenario.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct IxpScenarioParams {
     /// Fabric shape.
     pub fabric: IxpFabricParams,
@@ -177,10 +252,9 @@ impl Default for IxpScenarioParams {
                 max_bytes: 2_000_000_000,
             },
             diurnal: None,
-            policy: PolicySpec::new()
-                .with(horse_controlplane::PolicyRule::LoadBalancing {
-                    mode: horse_controlplane::LbMode::Ecmp,
-                }),
+            policy: PolicySpec::new().with(horse_controlplane::PolicyRule::LoadBalancing {
+                mode: horse_controlplane::LbMode::Ecmp,
+            }),
             horizon: SimTime::from_secs(10),
             seed: 1,
         }
@@ -217,7 +291,14 @@ mod tests {
         // switch nodes have no MAC: flow_between fails cleanly
         let sw = s.topology.node_by_name("e1").unwrap();
         assert!(s
-            .flow_between(sw, s.members[0], AppClass::Http, 1, None, DemandModel::Greedy)
+            .flow_between(
+                sw,
+                s.members[0],
+                AppClass::Http,
+                1,
+                None,
+                DemandModel::Greedy
+            )
             .is_none());
     }
 

@@ -445,18 +445,9 @@ impl Simulation {
                         (id, s.utilization(l.capacity), s.current_rate_bps)
                     })
                     .collect();
-                let completed = self
-                    .fluid
-                    .records()
-                    .iter()
-                    .filter(|r| r.completed)
-                    .count();
-                self.collector.record_epoch(
-                    now,
-                    view,
-                    self.fluid.active_flow_count(),
-                    completed,
-                );
+                let completed = self.fluid.records().iter().filter(|r| r.completed).count();
+                self.collector
+                    .record_epoch(now, view, self.fluid.active_flow_count(), completed);
                 if let Some(epoch) = self.config.stats_epoch {
                     let next = now + epoch;
                     if next <= self.horizon {
@@ -560,8 +551,7 @@ mod tests {
             .unwrap();
         s.explicit_flows.push((SimTime::from_secs(1), spec));
         let lat = SimDuration::from_millis(5);
-        let mut sim =
-            Simulation::new(s, SimConfig::default().with_ctrl_latency(lat)).unwrap();
+        let mut sim = Simulation::new(s, SimConfig::default().with_ctrl_latency(lat)).unwrap();
         let r = sim.run();
         assert_eq!(r.flows_admitted, 1);
         assert_eq!(r.flows_completed, 1);

@@ -27,8 +27,8 @@
 use crate::flow::{ActiveFlow, FlowSpec, Route, RouteHop};
 use crate::maxmin::{max_min_allocate, AllocMode};
 use crate::stats::{DropCause, DropRecord, FlowRecord, LinkStats};
-use horse_openflow::switch::{DropReason, OpenFlowSwitch, Verdict};
 use horse_openflow::messages::{CtrlMsg, SwitchMsg};
+use horse_openflow::switch::{DropReason, OpenFlowSwitch, Verdict};
 use horse_topology::{LinkState, Topology};
 use horse_types::{ByteSize, FlowId, FlowKey, LinkId, NodeId, PortNo, Rate, SimTime};
 use std::collections::{HashMap, HashSet};
@@ -343,7 +343,13 @@ impl FluidNet {
 
     /// Records a drop for a flow the *caller* gave up on (e.g. controller
     /// retry budget exhausted).
-    pub fn record_external_drop(&mut self, id: FlowId, key: FlowKey, cause: DropCause, now: SimTime) {
+    pub fn record_external_drop(
+        &mut self,
+        id: FlowId,
+        key: FlowKey,
+        cause: DropCause,
+        now: SimTime,
+    ) {
         self.drops.push(DropRecord {
             id,
             key,
@@ -355,11 +361,7 @@ impl FluidNet {
 
     fn resolve_route(&self, spec: &FlowSpec, _now: SimTime) -> ResolveOutcome {
         // Source host must have an up access link.
-        let Some((access, al)) = self
-            .topo
-            .out_links(spec.src)
-            .find(|(_, l)| l.is_up())
-        else {
+        let Some((access, al)) = self.topo.out_links(spec.src).find(|(_, l)| l.is_up()) else {
             return ResolveOutcome::NoRoute;
         };
 
@@ -563,7 +565,13 @@ impl FluidNet {
                     let cap = self
                         .topo
                         .link(l)
-                        .map(|lk| if lk.is_up() { lk.capacity.as_bps() } else { 0.0 })
+                        .map(|lk| {
+                            if lk.is_up() {
+                                lk.capacity.as_bps()
+                            } else {
+                                0.0
+                            }
+                        })
                         .unwrap_or(0.0);
                     caps.push(cap);
                     *slot = (gen, (caps.len() - 1) as u32);
@@ -701,10 +709,9 @@ impl FluidNet {
                     completed: false,
                 });
                 let mut spec = flow.spec;
-                spec.size = match flow.bytes_remaining {
-                    Some(rem) => Some(horse_types::ByteSize::bytes(rem.ceil() as u64)),
-                    None => None,
-                };
+                spec.size = flow
+                    .bytes_remaining
+                    .map(|rem| horse_types::ByteSize::bytes(rem.ceil() as u64));
                 specs.push(spec);
             }
         }
@@ -813,16 +820,17 @@ mod tests {
             let mut mods: Vec<(FlowMatch, PortNo)> = Vec::new();
             for (_, l) in topo.out_links(sw_id) {
                 if let Some(host) = topo.node(l.dst).filter(|n| n.kind.is_host()) {
-                    mods.push((
-                        FlowMatch::ANY.with_eth_dst(host.mac().unwrap()),
-                        l.src_port,
-                    ));
+                    mods.push((FlowMatch::ANY.with_eth_dst(host.mac().unwrap()), l.src_port));
                 }
             }
             // default: send everything else toward the other switch
             let other_port = topo
                 .out_links(sw_id)
-                .find(|(_, l)| topo.node(l.dst).map(|n| n.kind.is_switch()).unwrap_or(false))
+                .find(|(_, l)| {
+                    topo.node(l.dst)
+                        .map(|n| n.kind.is_switch())
+                        .unwrap_or(false)
+                })
                 .map(|(_, l)| l.src_port);
             for (m, p) in mods {
                 net.apply_ctrl(
@@ -986,10 +994,7 @@ mod tests {
             &CtrlMsg::FlowMod(FlowMod::add(FlowEntry::new(
                 200,
                 FlowMatch::ANY.with_tp_dst(80),
-                vec![
-                    Instruction::Meter(MeterId(1)),
-                    Instruction::output(to_s2),
-                ],
+                vec![Instruction::Meter(MeterId(1)), Instruction::output(to_s2)],
             ))),
             SimTime::ZERO,
         );
@@ -1087,8 +1092,10 @@ mod tests {
         // Two disjoint host pairs on a star: flows don't share links
         // (except none), so incremental touches only the new flow.
         let f = builders::star(4, Rate::gbps(1.0));
-        let mut cfg = FluidConfig::default();
-        cfg.alloc_mode = AllocMode::Incremental;
+        let cfg = FluidConfig {
+            alloc_mode: AllocMode::Incremental,
+            ..FluidConfig::default()
+        };
         let mut net = FluidNet::new(f.topology, cfg);
         // match-all forwarding on the single switch by dst MAC
         let s = f.edges[0];

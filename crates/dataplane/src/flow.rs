@@ -3,9 +3,11 @@
 use horse_openflow::flow_match::FlowMatch;
 use horse_types::id::MeterId;
 use horse_types::{ByteSize, FlowId, FlowKey, LinkId, NodeId, PortNo, Rate, SimTime, TableId};
+use serde::{Deserialize, Serialize};
 
 /// How much the source *wants* to send.
-#[derive(Clone, Copy, PartialEq, Debug)]
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
 pub enum DemandModel {
     /// Constant bit rate (UDP-style): the application offers exactly this
     /// rate; excess over the allocated rate is lost (policer/congestion).
@@ -31,7 +33,7 @@ impl DemandModel {
 }
 
 /// A flow to inject: the paper's traffic-matrix entry / generated event.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct FlowSpec {
     /// Header fields (identify the aggregate).
     pub key: FlowKey,

@@ -19,7 +19,8 @@
 
 /// Allocation strategy selector (consumed by the engine; the allocator
 /// itself always solves the subproblem it is given).
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+#[serde(rename_all = "snake_case")]
 pub enum AllocMode {
     /// Recompute all flows on every change.
     Full,
@@ -39,11 +40,7 @@ pub enum AllocMode {
 /// Returns the allocated rate per flow. Rates never exceed demands, never
 /// exceed any crossed link's capacity, and the sum over each link never
 /// exceeds its capacity (up to floating-point tolerance).
-pub fn max_min_allocate(
-    demands: &[f64],
-    flow_links: &[Vec<usize>],
-    capacity: &[f64],
-) -> Vec<f64> {
+pub fn max_min_allocate(demands: &[f64], flow_links: &[Vec<usize>], capacity: &[f64]) -> Vec<f64> {
     assert_eq!(demands.len(), flow_links.len());
     let nf = demands.len();
     let nl = capacity.len();
@@ -247,8 +244,8 @@ mod tests {
             &[G, G, G],
         );
         assert_close(r[0], 0.5 * G);
-        for f in 1..4 {
-            assert_close(r[f], 0.5 * G);
+        for rate in r.iter().take(4).skip(1) {
+            assert_close(*rate, 0.5 * G);
         }
     }
 
@@ -297,8 +294,8 @@ mod tests {
         }
         let mut demands = vec![0.0; nf];
         let mut fl: Vec<Vec<usize>> = Vec::new();
-        for f in 0..nf {
-            demands[f] = if rnd() % 3 == 0 {
+        for d in demands.iter_mut() {
+            *d = if rnd() % 3 == 0 {
                 INF
             } else {
                 (1 + rnd() % 20) as f64 * 5e7

@@ -64,16 +64,10 @@ mod tests {
 
     #[test]
     fn cbr_policed_clips_to_cap() {
-        let d = effective_demand(
-            &DemandModel::Cbr(Rate::mbps(100.0)),
-            Some(Rate::mbps(40.0)),
-        );
+        let d = effective_demand(&DemandModel::Cbr(Rate::mbps(100.0)), Some(Rate::mbps(40.0)));
         assert_eq!(d, 40e6);
         // cap above offer changes nothing
-        let d2 = effective_demand(
-            &DemandModel::Cbr(Rate::mbps(100.0)),
-            Some(Rate::gbps(1.0)),
-        );
+        let d2 = effective_demand(&DemandModel::Cbr(Rate::mbps(100.0)), Some(Rate::gbps(1.0)));
         assert_eq!(d2, 100e6);
     }
 

@@ -1,0 +1,6 @@
+//! The `horse-lab` CLI entry point (logic lives in [`horse_lab::cli`]).
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(horse_lab::cli::run_main(&args));
+}

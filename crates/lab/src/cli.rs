@@ -1,0 +1,216 @@
+//! The `horse-lab` command-line interface.
+//!
+//! ```text
+//! horse-lab run <sweep.toml|.json> [--threads N] [--out DIR] [--quiet]
+//! horse-lab plan <sweep.toml>
+//! horse-lab validate <sweep.toml>
+//! ```
+//!
+//! `run` executes the campaign and writes `<out>/<name>.csv` and
+//! `<out>/<name>.json` (deterministic metrics), printing the aggregate
+//! table and wall-clock timing to stdout. `plan` prints the expanded run
+//! grid without simulating; `validate` just checks the spec.
+
+use crate::runner::{resolve_threads, run_plans_with};
+use crate::spec::SweepSpec;
+use crate::sweep::expand;
+use crate::LabError;
+use std::path::PathBuf;
+
+const USAGE: &str = "\
+horse-lab — declarative experiment sweeps for the Horse simulator
+
+USAGE:
+    horse-lab run <spec.toml|spec.json> [--threads N] [--out DIR] [--quiet]
+    horse-lab plan <spec>
+    horse-lab validate <spec>
+
+OPTIONS:
+    --threads N   worker threads (default: spec `threads`, then one per CPU)
+    --out DIR     report directory (default: lab-results)
+    --quiet       suppress per-run progress lines
+";
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cli {
+    /// Subcommand: `run`, `plan` or `validate`.
+    pub command: String,
+    /// Path to the sweep spec.
+    pub spec: PathBuf,
+    /// `--threads` override.
+    pub threads: Option<usize>,
+    /// `--out` report directory.
+    pub out: PathBuf,
+    /// `--quiet`.
+    pub quiet: bool,
+}
+
+/// Parses arguments (without the program name).
+pub fn parse_args(args: &[String]) -> Result<Cli, LabError> {
+    let mut it = args.iter();
+    let command = it
+        .next()
+        .ok_or_else(|| LabError::cli(format!("missing command\n\n{USAGE}")))?
+        .clone();
+    if !matches!(command.as_str(), "run" | "plan" | "validate") {
+        return Err(LabError::cli(format!(
+            "unknown command `{command}`\n\n{USAGE}"
+        )));
+    }
+    let mut spec: Option<PathBuf> = None;
+    let mut threads = None;
+    let mut out = PathBuf::from("lab-results");
+    let mut quiet = false;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threads" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| LabError::cli("--threads needs a number"))?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| LabError::cli(format!("--threads: `{v}` is not a number")))?;
+                threads = Some(n);
+            }
+            "--out" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| LabError::cli("--out needs a directory"))?;
+                out = PathBuf::from(v);
+            }
+            "--quiet" => quiet = true,
+            "--help" | "-h" => return Err(LabError::cli(USAGE)),
+            other if other.starts_with('-') => {
+                return Err(LabError::cli(format!(
+                    "unknown option `{other}`\n\n{USAGE}"
+                )))
+            }
+            other => {
+                if spec.replace(PathBuf::from(other)).is_some() {
+                    return Err(LabError::cli("exactly one spec file, please"));
+                }
+            }
+        }
+    }
+    let spec = spec.ok_or_else(|| LabError::cli(format!("missing spec file\n\n{USAGE}")))?;
+    Ok(Cli {
+        command,
+        spec,
+        threads,
+        out,
+        quiet,
+    })
+}
+
+/// Runs the CLI to completion; returns the process exit code.
+pub fn run_main(args: &[String]) -> i32 {
+    match main_inner(args) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("horse-lab: {e}");
+            1
+        }
+    }
+}
+
+fn main_inner(args: &[String]) -> Result<(), LabError> {
+    let cli = parse_args(args)?;
+    let spec = SweepSpec::load(&cli.spec)?;
+    match cli.command.as_str() {
+        "validate" => {
+            let plans = expand(&spec)?;
+            println!(
+                "ok: campaign `{}` is valid ({} runs over {} axes)",
+                spec.name,
+                plans.len(),
+                spec.axes.0.len()
+            );
+            Ok(())
+        }
+        "plan" => {
+            let plans = expand(&spec)?;
+            println!("campaign `{}`: {} runs", spec.name, plans.len());
+            for p in &plans {
+                println!("  run {:>3}  {}", p.index, p.label());
+            }
+            Ok(())
+        }
+        "run" => {
+            let threads = resolve_threads(cli.threads, &spec);
+            let plans = expand(&spec)?;
+            let total = plans.len();
+            println!(
+                "campaign `{}`: {} runs on {} thread(s)",
+                spec.name, total, threads
+            );
+            let quiet = cli.quiet;
+            let report = run_plans_with(&spec.name, plans, threads, |rec| {
+                if !quiet {
+                    println!(
+                        "  done {:>3}/{total}  {:.3}s  {}",
+                        rec.index,
+                        rec.wall_seconds,
+                        rec.label()
+                    );
+                }
+            })?;
+            std::fs::create_dir_all(&cli.out)
+                .map_err(|e| LabError::cli(format!("cannot create {}: {e}", cli.out.display())))?;
+            let csv_path = cli.out.join(format!("{}.csv", spec.name));
+            let json_path = cli.out.join(format!("{}.json", spec.name));
+            std::fs::write(&csv_path, report.metrics_csv())
+                .map_err(|e| LabError::cli(format!("cannot write {}: {e}", csv_path.display())))?;
+            std::fs::write(&json_path, report.metrics_json())
+                .map_err(|e| LabError::cli(format!("cannot write {}: {e}", json_path.display())))?;
+            println!();
+            print!("{}", report.aggregate_text());
+            println!();
+            print!("{}", report.timing_text());
+            println!(
+                "reports: {} and {}",
+                csv_path.display(),
+                json_path.display()
+            );
+            Ok(())
+        }
+        _ => unreachable!("parse_args validated the command"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_run_with_options() {
+        let cli = parse_args(&s(&[
+            "run",
+            "sweep.toml",
+            "--threads",
+            "4",
+            "--out",
+            "o",
+            "--quiet",
+        ]))
+        .unwrap();
+        assert_eq!(cli.command, "run");
+        assert_eq!(cli.spec, PathBuf::from("sweep.toml"));
+        assert_eq!(cli.threads, Some(4));
+        assert_eq!(cli.out, PathBuf::from("o"));
+        assert!(cli.quiet);
+    }
+
+    #[test]
+    fn rejects_bad_usage() {
+        assert!(parse_args(&s(&[])).is_err());
+        assert!(parse_args(&s(&["frobnicate", "x.toml"])).is_err());
+        assert!(parse_args(&s(&["run"])).is_err());
+        assert!(parse_args(&s(&["run", "a.toml", "b.toml"])).is_err());
+        assert!(parse_args(&s(&["run", "a.toml", "--threads", "many"])).is_err());
+    }
+}

@@ -1,0 +1,489 @@
+//! Declarative experiment specs: scenarios and simulator configuration
+//! as data, loadable from TOML or JSON.
+//!
+//! A spec file describes *what to simulate* without writing a `main()`:
+//!
+//! ```toml
+//! name = "ctrl_latency"
+//! replicates = 2
+//!
+//! [scenario]
+//! kind = "ixp"
+//! members = 25
+//! horizon_secs = 2.0
+//!
+//! [[scenario.policies]]
+//! type = "mac_learning"
+//!
+//! [axes]
+//! ctrl_latency_us = [0, 100, 1000, 10000]
+//! ```
+//!
+//! [`ScenarioSpec`] lowers to a concrete [`Scenario`] through the canned
+//! builders; [`SimConfigSpec`] folds onto [`SimConfig::default`]. Both are
+//! plain data with serde round-trips, so sweeps can rewrite any field.
+
+use crate::LabError;
+use horse::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// A declarative scenario: one of the canned experiment families.
+///
+/// `kind = "figure1"` is the paper's Figure-1 fabric with its full policy
+/// mix; `kind = "ixp"` is the parameterized two-tier IXP fabric behind
+/// experiments E1–E5. All fields except `members`/`horizon_secs` have
+/// defaults matching the experiment harness.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+// the variant size gap is real but specs are built a handful at a time;
+// boxing would complicate the derive shim for no measurable win
+#[allow(clippy::large_enum_variant)]
+pub enum ScenarioSpec {
+    /// The paper's Figure-1 scenario (fixed fabric, all five policies).
+    Figure1 {
+        /// Simulation horizon in seconds.
+        horizon_secs: f64,
+        /// Workload seed.
+        seed: Option<u64>,
+    },
+    /// The parameterized IXP fabric (experiments E1–E5).
+    Ixp {
+        /// Number of member routers.
+        members: usize,
+        /// Simulation horizon in seconds.
+        horizon_secs: f64,
+        /// Edge switches; default scales with members (`members/25`,
+        /// clamped to 2–16, the harness rule).
+        edge_switches: Option<usize>,
+        /// Core switches; default scales with members (`members/100`,
+        /// clamped to 2–4).
+        core_switches: Option<usize>,
+        /// Aggregate offered load in Gbit/s; default `members × 0.04`
+        /// (40 Mbit/s per member) × `load_factor`.
+        offered_gbps: Option<f64>,
+        /// Multiplier on the default offered load (ignored when
+        /// `offered_gbps` is set explicitly).
+        load_factor: Option<f64>,
+        /// Zipf skew of member weights (default 1.0).
+        zipf_alpha: Option<f64>,
+        /// Workload seed (default 1).
+        seed: Option<u64>,
+        /// Flow-size distribution; default bounded Pareto
+        /// (α=1.3, 1 MB–1 GB), the harness default.
+        sizes: Option<FlowSizeDist>,
+        /// Optional diurnal profile (flat when absent).
+        diurnal: Option<DiurnalProfile>,
+        /// Policy rules; default ECMP load balancing.
+        policies: Option<Vec<PolicyRule>>,
+        /// Member access-port speeds in Gbit/s, assigned cyclically;
+        /// default uniform 10G (the harness rule for cost sweeps).
+        member_port_speeds_gbps: Option<Vec<f64>>,
+        /// Edge→core uplink speed in Gbit/s (default 400).
+        uplink_gbps: Option<f64>,
+    },
+}
+
+impl ScenarioSpec {
+    /// The seed this spec would run with (sweeps rewrite it per
+    /// replicate).
+    pub fn seed(&self) -> u64 {
+        match self {
+            ScenarioSpec::Figure1 { seed, .. } | ScenarioSpec::Ixp { seed, .. } => {
+                seed.unwrap_or(1)
+            }
+        }
+    }
+
+    /// Sets the seed (used by replicate expansion).
+    pub fn set_seed(&mut self, new_seed: u64) {
+        match self {
+            ScenarioSpec::Figure1 { seed, .. } | ScenarioSpec::Ixp { seed, .. } => {
+                *seed = Some(new_seed)
+            }
+        }
+    }
+
+    /// Lowers the spec to a concrete [`Scenario`].
+    pub fn build(&self) -> Result<Scenario, LabError> {
+        match self {
+            ScenarioSpec::Figure1 { horizon_secs, seed } => {
+                let horizon = horizon_from_secs(*horizon_secs)?;
+                Ok(Scenario::figure1(horizon, seed.unwrap_or(1)))
+            }
+            ScenarioSpec::Ixp {
+                members,
+                horizon_secs,
+                edge_switches,
+                core_switches,
+                offered_gbps,
+                load_factor,
+                zipf_alpha,
+                seed,
+                sizes,
+                diurnal,
+                policies,
+                member_port_speeds_gbps,
+                uplink_gbps,
+            } => {
+                if *members == 0 {
+                    return Err(LabError::spec(
+                        "scenario.members must be at least 1 (an IXP with no members offers no traffic)",
+                    ));
+                }
+                let horizon = horizon_from_secs(*horizon_secs)?;
+                let mut params = IxpScenarioParams::default();
+                params.fabric.members = *members;
+                params.fabric.edge_switches = edge_switches.unwrap_or((*members / 25).clamp(2, 16));
+                params.fabric.core_switches = core_switches.unwrap_or((*members / 100).clamp(2, 4));
+                params.fabric.member_port_speeds = match member_port_speeds_gbps {
+                    Some(speeds) if speeds.is_empty() => {
+                        return Err(LabError::spec(
+                            "scenario.member_port_speeds_gbps must not be empty; omit it for uniform 10G",
+                        ))
+                    }
+                    Some(speeds) => speeds.iter().map(|&g| Rate::gbps(g)).collect(),
+                    None => vec![Rate::gbps(10.0)],
+                };
+                if let Some(g) = uplink_gbps {
+                    params.fabric.uplink_speed = Rate::gbps(*g);
+                }
+                let base = *members as f64 * 40e6 * load_factor.unwrap_or(1.0);
+                params.offered_bps = match offered_gbps {
+                    Some(g) if *g <= 0.0 => {
+                        return Err(LabError::spec(format!(
+                            "scenario.offered_gbps must be positive, got {g}"
+                        )))
+                    }
+                    Some(g) => g * 1e9,
+                    None => base,
+                };
+                params.zipf_alpha = zipf_alpha.unwrap_or(1.0);
+                params.sizes = sizes.unwrap_or(FlowSizeDist::Pareto {
+                    alpha: 1.3,
+                    min_bytes: 1_000_000,
+                    max_bytes: 1_000_000_000,
+                });
+                params.diurnal = *diurnal;
+                params.policy = match policies {
+                    Some(rules) => {
+                        let mut p = PolicySpec::new();
+                        for r in rules {
+                            p = p.with(r.clone());
+                        }
+                        p
+                    }
+                    None => {
+                        PolicySpec::new().with(PolicyRule::LoadBalancing { mode: LbMode::Ecmp })
+                    }
+                };
+                params.horizon = horizon;
+                params.seed = seed.unwrap_or(1);
+                Ok(Scenario::ixp(&params))
+            }
+        }
+    }
+}
+
+fn horizon_from_secs(secs: f64) -> Result<SimTime, LabError> {
+    if !(secs.is_finite() && secs > 0.0) {
+        return Err(LabError::spec(format!(
+            "scenario.horizon_secs must be a positive number of seconds, got {secs}"
+        )));
+    }
+    Ok(SimTime::ZERO + SimDuration::from_secs_f64(secs))
+}
+
+/// Declarative [`SimConfig`] overrides. Every field is optional; absent
+/// fields inherit [`SimConfig::default`]. Durations use friendly units
+/// (`_us`/`_secs`); `stats_epoch_secs = 0.0` disables periodic stats,
+/// `expiry_scan_secs = 0.0` disables expiry scans.
+#[derive(Clone, Debug, PartialEq, Default, Serialize, Deserialize)]
+pub struct SimConfigSpec {
+    /// One-way control-channel latency in microseconds.
+    pub ctrl_latency_us: Option<f64>,
+    /// `"full"` or `"incremental"` max-min recomputation.
+    pub alloc_mode: Option<AllocMode>,
+    /// Average packet size in bytes (packet-counter derivation).
+    pub avg_packet_bytes: Option<u64>,
+    /// Statistics epoch in seconds (0 disables).
+    pub stats_epoch_secs: Option<f64>,
+    /// Flow-entry expiry scan period in seconds (0 disables).
+    pub expiry_scan_secs: Option<f64>,
+    /// Controller round-trip budget per admission.
+    pub admit_retry_limit: Option<u32>,
+    /// Congestion alarm threshold (link utilization 0–1).
+    pub alarm_threshold: Option<f64>,
+}
+
+impl SimConfigSpec {
+    /// Folds the overrides onto [`SimConfig::default`].
+    pub fn to_config(&self) -> Result<SimConfig, LabError> {
+        let mut c = SimConfig::default();
+        if let Some(us) = self.ctrl_latency_us {
+            if !(us.is_finite() && us >= 0.0) {
+                return Err(LabError::spec(format!(
+                    "config.ctrl_latency_us must be non-negative, got {us}"
+                )));
+            }
+            c.ctrl_latency = SimDuration::from_secs_f64(us / 1e6);
+        }
+        if let Some(m) = self.alloc_mode {
+            c.alloc_mode = m;
+        }
+        if let Some(b) = self.avg_packet_bytes {
+            if b == 0 {
+                return Err(LabError::spec("config.avg_packet_bytes must be positive"));
+            }
+            c.avg_packet = ByteSize::bytes(b);
+        }
+        if let Some(s) = self.stats_epoch_secs {
+            c.stats_epoch = optional_duration("config.stats_epoch_secs", s)?;
+        }
+        if let Some(s) = self.expiry_scan_secs {
+            c.expiry_scan = optional_duration("config.expiry_scan_secs", s)?;
+        }
+        if let Some(n) = self.admit_retry_limit {
+            if n == 0 {
+                return Err(LabError::spec(
+                    "config.admit_retry_limit must be at least 1",
+                ));
+            }
+            c.admit_retry_limit = n;
+        }
+        if let Some(t) = self.alarm_threshold {
+            if !(0.0..=1.0).contains(&t) {
+                return Err(LabError::spec(format!(
+                    "config.alarm_threshold must be within 0..=1, got {t}"
+                )));
+            }
+            c.alarm_threshold = Some(t);
+        }
+        Ok(c)
+    }
+}
+
+fn optional_duration(field: &str, secs: f64) -> Result<Option<SimDuration>, LabError> {
+    if !(secs.is_finite() && secs >= 0.0) {
+        return Err(LabError::spec(format!(
+            "{field} must be a non-negative number of seconds, got {secs}"
+        )));
+    }
+    if secs == 0.0 {
+        Ok(None)
+    } else {
+        Ok(Some(SimDuration::from_secs_f64(secs)))
+    }
+}
+
+/// Ordered sweep axes: `parameter → values`, preserving file order so run
+/// enumeration (and therefore reports) is deterministic.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Axes(pub Vec<(String, Vec<serde::Value>)>);
+
+impl Serialize for Axes {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(
+            self.0
+                .iter()
+                .map(|(k, vs)| (k.clone(), serde::Value::Seq(vs.clone())))
+                .collect(),
+        )
+    }
+}
+
+impl Deserialize for Axes {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("axes must be a table of `name = [values…]`"))?;
+        let mut axes = Vec::new();
+        for (k, val) in m {
+            let seq = val.as_seq().ok_or_else(|| {
+                serde::Error::custom(format!(
+                    "axis `{k}` must be an array of values, found {}",
+                    val.kind()
+                ))
+            })?;
+            if seq.is_empty() {
+                return Err(serde::Error::custom(format!(
+                    "axis `{k}` must list at least one value"
+                )));
+            }
+            axes.push((k.clone(), seq.to_vec()));
+        }
+        Ok(Axes(axes))
+    }
+
+    fn absent() -> Option<Self> {
+        Some(Axes::default())
+    }
+}
+
+/// A whole experiment campaign: base scenario + config, sweep axes and
+/// replicate count. This is the on-disk format of `*.toml`/`*.json`
+/// sweep files.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SweepSpec {
+    /// Campaign name (report files are named after it).
+    pub name: String,
+    /// The base scenario every run starts from.
+    pub scenario: ScenarioSpec,
+    /// Simulator-config overrides applied to every run.
+    pub config: Option<SimConfigSpec>,
+    /// Sweep axes, expanded as a cartesian grid.
+    pub axes: Axes,
+    /// Seed replicates per grid point (run `r` uses `base_seed + r`);
+    /// default 1.
+    pub replicates: Option<u32>,
+    /// Default worker-thread count for this campaign (CLI `--threads`
+    /// wins; absent/0 means "one per CPU").
+    pub threads: Option<usize>,
+}
+
+impl SweepSpec {
+    /// Parses a spec from TOML text.
+    pub fn from_toml(text: &str) -> Result<Self, LabError> {
+        let spec: SweepSpec =
+            toml::from_str(text).map_err(|e| LabError::spec(format!("invalid sweep spec: {e}")))?;
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Parses a spec from JSON text.
+    pub fn from_json(text: &str) -> Result<Self, LabError> {
+        let spec: SweepSpec = serde_json::from_str(text)
+            .map_err(|e| LabError::spec(format!("invalid sweep spec: {e}")))?;
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Loads a spec from a file path, dispatching on the extension
+    /// (`.json` is JSON, everything else parses as TOML).
+    pub fn load(path: &std::path::Path) -> Result<Self, LabError> {
+        let text = std::fs::read_to_string(path).map_err(|e| {
+            LabError::spec(format!("cannot read sweep spec {}: {e}", path.display()))
+        })?;
+        if path.extension().is_some_and(|e| e == "json") {
+            Self::from_json(&text)
+        } else {
+            Self::from_toml(&text)
+        }
+    }
+
+    /// Structural validation beyond what deserialization enforces; also
+    /// dry-builds the base scenario and config so spec errors surface
+    /// before any run starts.
+    pub fn validate(&self) -> Result<(), LabError> {
+        if self.name.is_empty() {
+            return Err(LabError::spec("sweep name must not be empty"));
+        }
+        if self
+            .name
+            .chars()
+            .any(|c| !(c.is_ascii_alphanumeric() || c == '_' || c == '-'))
+        {
+            return Err(LabError::spec(format!(
+                "sweep name `{}` may only contain [a-zA-Z0-9_-] (it names report files)",
+                self.name
+            )));
+        }
+        if self.replicates == Some(0) {
+            return Err(LabError::spec("replicates must be at least 1"));
+        }
+        self.scenario.build()?;
+        self.config.clone().unwrap_or_default().to_config()?;
+        crate::sweep::expand(self).map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_toml_spec_parses() {
+        let spec = SweepSpec::from_toml(
+            r#"
+            name = "mini"
+            [scenario]
+            kind = "ixp"
+            members = 10
+            horizon_secs = 1.0
+            "#,
+        )
+        .unwrap();
+        assert_eq!(spec.name, "mini");
+        assert!(spec.axes.0.is_empty());
+        let s = spec.scenario.build().unwrap();
+        assert_eq!(s.members.len(), 10);
+    }
+
+    #[test]
+    fn config_spec_folds_onto_defaults() {
+        let c = SimConfigSpec {
+            ctrl_latency_us: Some(1000.0),
+            stats_epoch_secs: Some(0.0),
+            ..Default::default()
+        }
+        .to_config()
+        .unwrap();
+        assert_eq!(c.ctrl_latency, SimDuration::from_micros(1000));
+        assert!(c.stats_epoch.is_none());
+        // untouched fields inherit defaults
+        assert_eq!(c.admit_retry_limit, SimConfig::default().admit_retry_limit);
+    }
+
+    #[test]
+    fn invalid_specs_produce_actionable_errors() {
+        let err = SweepSpec::from_toml("name = \"x\"").unwrap_err();
+        assert!(err.to_string().contains("scenario"), "{err}");
+
+        let err = SweepSpec::from_toml(
+            r#"
+            name = "x"
+            [scenario]
+            kind = "warp_drive"
+            members = 10
+            horizon_secs = 1.0
+            "#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("warp_drive"), "{err}");
+        assert!(err.to_string().contains("ixp"), "lists known kinds: {err}");
+
+        let err = SweepSpec::from_toml(
+            r#"
+            name = "x"
+            [scenario]
+            kind = "ixp"
+            members = 0
+            horizon_secs = 1.0
+            "#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("members"), "{err}");
+    }
+
+    #[test]
+    fn axes_preserve_order() {
+        let spec = SweepSpec::from_toml(
+            r#"
+            name = "ordered"
+            [scenario]
+            kind = "ixp"
+            members = 10
+            horizon_secs = 1.0
+            [axes]
+            zipf_alpha = [0.5, 1.0]
+            members = [10]
+            "#,
+        )
+        .unwrap();
+        let names: Vec<&str> = spec.axes.0.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["zipf_alpha", "members"],
+            "file order, not sorted"
+        );
+    }
+}

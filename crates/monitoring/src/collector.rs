@@ -151,10 +151,7 @@ mod tests {
     use super::*;
 
     fn view(u1: f64, u2: f64) -> Vec<(LinkId, f64, f64)> {
-        vec![
-            (LinkId(0), u1, u1 * 1e9),
-            (LinkId(1), u2, u2 * 1e9),
-        ]
+        vec![(LinkId(0), u1, u1 * 1e9), (LinkId(1), u2, u2 * 1e9)]
     }
 
     #[test]

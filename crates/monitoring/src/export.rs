@@ -33,6 +33,35 @@ pub fn to_csv(series: &[(&str, &TimeSeries)]) -> String {
     out
 }
 
+/// Renders a generic table as CSV. Cells containing commas, quotes or
+/// newlines are quoted per RFC 4180; everything else passes through
+/// verbatim so numeric output stays byte-stable.
+pub fn table_to_csv(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    let write_row = |out: &mut String, cells: &mut dyn Iterator<Item = &str>| {
+        let mut first = true;
+        for cell in cells {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            if cell.contains([',', '"', '\n', '\r']) {
+                out.push('"');
+                out.push_str(&cell.replace('"', "\"\""));
+                out.push('"');
+            } else {
+                out.push_str(cell);
+            }
+        }
+        out.push('\n');
+    };
+    write_row(&mut out, &mut header.iter().copied());
+    for row in rows {
+        write_row(&mut out, &mut row.iter().map(String::as_str));
+    }
+    out
+}
+
 /// Renders one series as a JSON array of `{"t": secs, "v": value}`.
 pub fn to_json(series: &TimeSeries) -> String {
     let items: Vec<serde_json::Value> = series

@@ -111,7 +111,10 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        assert_eq!(Instruction::output(PortNo(2)).to_string(), "apply[output:port#2]");
+        assert_eq!(
+            Instruction::output(PortNo(2)).to_string(),
+            "apply[output:port#2]"
+        );
         assert_eq!(Instruction::Meter(MeterId(1)).to_string(), "meter:meter#1");
         assert_eq!(
             Instruction::GotoTable(TableId(1)).to_string(),

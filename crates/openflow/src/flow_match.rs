@@ -222,9 +222,7 @@ impl FlowMatch {
         fn pfx(a: Option<Ipv4Net>, b: Option<Ipv4Net>) -> bool {
             match (a, b) {
                 (_, None) => true,
-                (Some(x), Some(y)) => {
-                    x.len >= y.len && y.contains(x.addr)
-                }
+                (Some(x), Some(y)) => x.len >= y.len && y.contains(x.addr),
                 (None, Some(_)) => false,
             }
         }
@@ -333,7 +331,9 @@ mod tests {
     #[test]
     fn field_mismatches_reject() {
         let k = key();
-        assert!(!FlowMatch::ANY.with_in_port(PortNo(2)).matches(PortNo(1), &k));
+        assert!(!FlowMatch::ANY
+            .with_in_port(PortNo(2))
+            .matches(PortNo(1), &k));
         assert!(!FlowMatch::ANY
             .with_eth_src(MacAddr::local_from_id(9))
             .matches(PortNo(1), &k));
@@ -393,7 +393,9 @@ mod tests {
     #[test]
     fn subset_relation() {
         let wide = FlowMatch::ANY.with_ip_dst("10.0.0.0/8".parse().unwrap());
-        let narrow = wide.with_tp_dst(80).with_ip_dst("10.5.0.0/16".parse().unwrap());
+        let narrow = wide
+            .with_tp_dst(80)
+            .with_ip_dst("10.5.0.0/16".parse().unwrap());
         assert!(narrow.is_subset_of(&wide));
         assert!(!wide.is_subset_of(&narrow));
         assert!(wide.is_subset_of(&FlowMatch::ANY));
@@ -410,7 +412,9 @@ mod tests {
     #[test]
     fn display_is_readable() {
         assert_eq!(FlowMatch::ANY.to_string(), "*");
-        let m = FlowMatch::ANY.with_tp_dst(80).with_ip_proto(IpProtocol::Tcp);
+        let m = FlowMatch::ANY
+            .with_tp_dst(80)
+            .with_ip_proto(IpProtocol::Tcp);
         assert_eq!(m.to_string(), "proto=tcp,tp_dst=80");
     }
 }

@@ -42,7 +42,7 @@ pub use counters::{FlowCounters, PortCounters, TableCounters};
 pub use flow_match::FlowMatch;
 pub use group::{Bucket, GroupEntry, GroupType};
 pub use messages::{
-    CtrlMsg, FlowMod, FlowModCommand, GroupMod, MeterMod, StatsRequest, StatsReply, SwitchMsg,
+    CtrlMsg, FlowMod, FlowModCommand, GroupMod, MeterMod, StatsReply, StatsRequest, SwitchMsg,
 };
 pub use meter::MeterEntry;
 pub use switch::{DropReason, OpenFlowSwitch, PipelineResult, Verdict};

@@ -268,6 +268,9 @@ mod tests {
         let msg = CtrlMsg::StatsRequest(StatsRequest::Port(None));
         let js = serde_json::to_string(&msg).unwrap();
         let back: CtrlMsg = serde_json::from_str(&js).unwrap();
-        assert!(matches!(back, CtrlMsg::StatsRequest(StatsRequest::Port(None))));
+        assert!(matches!(
+            back,
+            CtrlMsg::StatsRequest(StatsRequest::Port(None))
+        ));
     }
 }

@@ -542,11 +542,7 @@ mod tests {
     }
 
     fn switch(tables: usize) -> OpenFlowSwitch {
-        OpenFlowSwitch::new(
-            NodeId(1),
-            tables,
-            &[PortNo(1), PortNo(2), PortNo(3)],
-        )
+        OpenFlowSwitch::new(NodeId(1), tables, &[PortNo(1), PortNo(2), PortNo(3)])
     }
 
     #[test]
@@ -674,11 +670,7 @@ mod tests {
             &CtrlMsg::FlowMod(FlowMod {
                 table: TableId(1),
                 command: FlowModCommand::Add,
-                entry: FlowEntry::new(
-                    5,
-                    FlowMatch::ANY,
-                    vec![Instruction::GotoTable(TableId(1))],
-                ),
+                entry: FlowEntry::new(5, FlowMatch::ANY, vec![Instruction::GotoTable(TableId(1))]),
             }),
             SimTime::ZERO,
         );
@@ -686,11 +678,7 @@ mod tests {
             &CtrlMsg::FlowMod(FlowMod {
                 table: TableId(0),
                 command: FlowModCommand::Add,
-                entry: FlowEntry::new(
-                    5,
-                    FlowMatch::ANY,
-                    vec![Instruction::GotoTable(TableId(1))],
-                ),
+                entry: FlowEntry::new(5, FlowMatch::ANY, vec![Instruction::GotoTable(TableId(1))]),
             }),
             SimTime::ZERO,
         );

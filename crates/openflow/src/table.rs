@@ -159,7 +159,9 @@ impl FlowTable {
 
     /// Read-only lookup: no counter updates (used by validators and tests).
     pub fn peek(&self, in_port: PortNo, key: &FlowKey) -> Option<&FlowEntry> {
-        self.entries.iter().find(|e| e.matcher.matches(in_port, key))
+        self.entries
+            .iter()
+            .find(|e| e.matcher.matches(in_port, key))
     }
 
     /// Credits bytes/packets to the entry identified by `(priority, match)`.
@@ -261,7 +263,11 @@ mod tests {
         let mut t = FlowTable::new();
         t.insert(entry(10, FlowMatch::ANY.with_tp_dst(80), 1), SimTime::ZERO);
         t.insert(
-            entry(10, FlowMatch::ANY.with_ip_proto(horse_types::IpProtocol::Tcp), 2),
+            entry(
+                10,
+                FlowMatch::ANY.with_ip_proto(horse_types::IpProtocol::Tcp),
+                2,
+            ),
             SimTime::ZERO,
         );
         let e = t.peek(PortNo(1), &key()).unwrap();

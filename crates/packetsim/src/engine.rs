@@ -6,9 +6,7 @@ use horse_events::EventQueue;
 use horse_openflow::messages::{CtrlMsg, SwitchMsg};
 use horse_openflow::switch::{OpenFlowSwitch, Verdict};
 use horse_topology::Topology;
-use horse_types::{
-    ByteSize, FlowKey, LinkId, NodeId, PortNo, Rate, SimDuration, SimTime,
-};
+use horse_types::{ByteSize, FlowKey, LinkId, NodeId, PortNo, Rate, SimDuration, SimTime};
 use std::collections::{HashMap, VecDeque};
 use std::time::Instant;
 
@@ -115,14 +113,27 @@ enum Ev {
     /// CBR pacing tick: try to send the next data packet.
     CbrSend(usize),
     /// Packet arrives at a node after crossing a link.
-    Arrive { node: NodeId, in_port: PortNo, pkt: Pkt },
+    Arrive {
+        node: NodeId,
+        in_port: PortNo,
+        pkt: Pkt,
+    },
     /// Serializer on (node, port) finished the packet in flight.
-    TxDone { node: NodeId, port: PortNo },
+    TxDone {
+        node: NodeId,
+        port: PortNo,
+    },
     /// TCP retransmission timer.
-    Rto { flow: usize, cum_ack_at_arm: u64 },
+    Rto {
+        flow: usize,
+        cum_ack_at_arm: u64,
+    },
     /// Control-plane crossings.
     ToController(Box<SwitchMsg>),
-    ToSwitch { switch: NodeId, msg: Box<CtrlMsg> },
+    ToSwitch {
+        switch: NodeId,
+        msg: Box<CtrlMsg>,
+    },
 }
 
 #[derive(Clone, Debug)]
@@ -222,8 +233,7 @@ impl PacketNet {
 
         for (i, spec) in specs.into_iter().enumerate() {
             q.schedule_at(spec.start, Ev::Start(i));
-            let total_segs =
-                (spec.size.as_bytes() + self.config.data_pkt as u64 - 1) / self.config.data_pkt as u64;
+            let total_segs = spec.size.as_bytes().div_ceil(self.config.data_pkt as u64);
             self.flows.push(FlowRt {
                 source: spec.source.clone(),
                 spec,
@@ -327,7 +337,10 @@ impl PacketNet {
                 }
                 self.start_tx_if_idle(node, port, now, q);
             }
-            Ev::Rto { flow, cum_ack_at_arm } => {
+            Ev::Rto {
+                flow,
+                cum_ack_at_arm,
+            } => {
                 let rto_floor = self.config.rto_floor;
                 let mut rearm: Option<f64> = None;
                 let mut fire = false;
@@ -503,8 +516,7 @@ impl PacketNet {
                         (ack, ack)
                     };
                     self.flows[i].delivered_segs = delivered;
-                    if delivered >= self.flows[i].total_segs && self.flows[i].finished.is_none()
-                    {
+                    if delivered >= self.flows[i].total_segs && self.flows[i].finished.is_none() {
                         self.flows[i].finished = Some(now);
                     }
                     // send cumulative ACK back
@@ -577,7 +589,10 @@ impl PacketNet {
                     .get(&node)
                     .expect("switch exists")
                     .flow_in(in_port, &pkt.key);
-                q.schedule_at(now + self.config.ctrl_latency, Ev::ToController(Box::new(msg)));
+                q.schedule_at(
+                    now + self.config.ctrl_latency,
+                    Ev::ToController(Box::new(msg)),
+                );
             }
             Verdict::Drop(_) => {
                 self.drops += 1;
@@ -587,7 +602,14 @@ impl PacketNet {
 
     /// Enqueues a packet on an output port (tail drop) and kicks the
     /// serializer if idle.
-    fn enqueue(&mut self, node: NodeId, port: PortNo, pkt: Pkt, now: SimTime, q: &mut EventQueue<Ev>) {
+    fn enqueue(
+        &mut self,
+        node: NodeId,
+        port: PortNo,
+        pkt: Pkt,
+        now: SimTime,
+        q: &mut EventQueue<Ev>,
+    ) {
         let Some(link_id) = self.topo.link_from(node, port) else {
             self.drops += 1;
             return;
@@ -731,11 +753,7 @@ mod tests {
 
     #[test]
     fn tcp_fills_the_pipe_reasonably() {
-        let (res, topo, members) = run_star(
-            ByteSize::mib(4),
-            SourceKind::Tcp(TcpState::new()),
-            60,
-        );
+        let (res, topo, members) = run_star(ByteSize::mib(4), SourceKind::Tcp(TcpState::new()), 60);
         assert!(res.records[0].completed);
         let fct = res.records[0].fct_secs();
         let ideal = 4.0 * 1048576.0 * 8.0 / 100e6;
@@ -786,11 +804,9 @@ mod tests {
     #[test]
     fn reactive_controller_installs_rules_after_miss() {
         let f = builders::star(2, Rate::mbps(100.0));
-        let mut gen = PolicyGenerator::new(
-            PolicySpec::new().with(PolicyRule::MacLearning),
-            &f.topology,
-        )
-        .unwrap();
+        let mut gen =
+            PolicyGenerator::new(PolicySpec::new().with(PolicyRule::MacLearning), &f.topology)
+                .unwrap();
         let net = PacketNet::new(f.topology.clone(), PacketSimConfig::default());
         let spec = mk_spec(
             &f.topology,

@@ -11,6 +11,7 @@
 
 use crate::graph::Topology;
 use horse_types::{MacAddr, NodeId, Rate, SimDuration};
+use serde::{Deserialize, Serialize};
 use std::net::Ipv4Addr;
 
 /// Handles into a built fabric: the topology plus the node groups a
@@ -28,7 +29,7 @@ pub struct FabricHandles {
 }
 
 /// Parameters of the synthetic IXP fabric.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct IxpFabricParams {
     /// Number of member routers (hosts).
     pub members: usize,
@@ -126,10 +127,16 @@ pub fn leaf_spine(
 ) -> FabricHandles {
     let mut t = Topology::new();
     let edges: Vec<NodeId> = (0..leaves)
-        .map(|i| t.add_edge_switch(&format!("leaf{}", i + 1)).expect("unique"))
+        .map(|i| {
+            t.add_edge_switch(&format!("leaf{}", i + 1))
+                .expect("unique")
+        })
         .collect();
     let cores: Vec<NodeId> = (0..spines)
-        .map(|i| t.add_core_switch(&format!("spine{}", i + 1)).expect("unique"))
+        .map(|i| {
+            t.add_core_switch(&format!("spine{}", i + 1))
+                .expect("unique")
+        })
         .collect();
     for &l in &edges {
         for &s in &cores {
@@ -189,8 +196,13 @@ pub fn linear(n: usize, capacity: Rate) -> FabricHandles {
         .expect("host");
     t.connect(hl, edges[0], capacity, SimDuration::from_micros(5))
         .expect("access");
-    t.connect(hr, *edges.last().expect("nonempty"), capacity, SimDuration::from_micros(5))
-        .expect("access");
+    t.connect(
+        hr,
+        *edges.last().expect("nonempty"),
+        capacity,
+        SimDuration::from_micros(5),
+    )
+    .expect("access");
     FabricHandles {
         topology: t,
         members: vec![hl, hr],

@@ -193,9 +193,11 @@ impl Topology {
     fn push_link(&mut self, link: Link) -> LinkId {
         let id = LinkId::from_index(self.links.len());
         self.out_by_port.insert((link.src, link.src_port), id);
-        let eidx = self
-            .graph
-            .add_edge(NodeIndex::new(link.src.index()), NodeIndex::new(link.dst.index()), id);
+        let eidx = self.graph.add_edge(
+            NodeIndex::new(link.src.index()),
+            NodeIndex::new(link.dst.index()),
+            id,
+        );
         debug_assert_eq!(eidx.index(), id.index());
         self.links.push(link);
         id
@@ -239,12 +241,16 @@ impl Topology {
 
     /// All switch node ids.
     pub fn switches(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.nodes().filter(|(_, n)| n.kind.is_switch()).map(|(i, _)| i)
+        self.nodes()
+            .filter(|(_, n)| n.kind.is_switch())
+            .map(|(i, _)| i)
     }
 
     /// All host node ids.
     pub fn hosts(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.nodes().filter(|(_, n)| n.kind.is_host()).map(|(i, _)| i)
+        self.nodes()
+            .filter(|(_, n)| n.kind.is_host())
+            .map(|(i, _)| i)
     }
 
     /// Looks a node up by name.
@@ -323,10 +329,13 @@ impl Topology {
     /// The reverse direction of a directed link (same cable).
     pub fn reverse_of(&self, id: LinkId) -> Option<LinkId> {
         let l = self.links.get(id.index())?;
-        self.out_by_port.get(&(l.dst, l.dst_port)).copied().filter(|r| {
-            let rl = &self.links[r.index()];
-            rl.dst == l.src && rl.dst_port == l.src_port
-        })
+        self.out_by_port
+            .get(&(l.dst, l.dst_port))
+            .copied()
+            .filter(|r| {
+                let rl = &self.links[r.index()];
+                rl.dst == l.src && rl.dst_port == l.src_port
+            })
     }
 
     /// The petgraph view (for algorithms). Edge weights are [`LinkId`]s.

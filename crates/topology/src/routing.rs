@@ -133,7 +133,10 @@ fn dijkstra_metric(
             if better {
                 dist.insert(nxt, nc);
                 prev.insert(nxt, lid);
-                heap.push(QueueEntry { cost: nc, node: nxt });
+                heap.push(QueueEntry {
+                    cost: nc,
+                    node: nxt,
+                });
             }
         }
     }
@@ -165,12 +168,7 @@ fn extract_path(
 }
 
 /// The minimum-cost path from `src` to `dst`, or `None` if unreachable.
-pub fn shortest_path(
-    topo: &Topology,
-    src: NodeId,
-    dst: NodeId,
-    metric: Metric,
-) -> Option<Path> {
+pub fn shortest_path(topo: &Topology, src: NodeId, dst: NodeId, metric: Metric) -> Option<Path> {
     if src == dst {
         return Some(Path {
             nodes: vec![src],
@@ -207,6 +205,7 @@ pub fn ecmp_paths(topo: &Topology, src: NodeId, dst: NodeId, max_paths: usize) -
     let mut stack_nodes = vec![src];
     let mut stack_links: Vec<LinkId> = vec![];
 
+    #[allow(clippy::too_many_arguments)] // recursion state, not an API
     fn dfs(
         topo: &Topology,
         cur: NodeId,
@@ -244,7 +243,15 @@ pub fn ecmp_paths(topo: &Topology, src: NodeId, dst: NodeId, max_paths: usize) -
                     stack_nodes.push(nxt);
                     stack_links.push(lid);
                     dfs(
-                        topo, nxt, dst, best, dist, stack_nodes, stack_links, out, max_paths,
+                        topo,
+                        nxt,
+                        dst,
+                        best,
+                        dist,
+                        stack_nodes,
+                        stack_links,
+                        out,
+                        max_paths,
                     );
                     stack_nodes.pop();
                     stack_links.pop();

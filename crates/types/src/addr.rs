@@ -110,8 +110,7 @@ impl FromStr for MacAddr {
             if n >= 6 {
                 return Err(MacParseError(s.to_string()));
             }
-            octets[n] =
-                u8::from_str_radix(part, 16).map_err(|_| MacParseError(s.to_string()))?;
+            octets[n] = u8::from_str_radix(part, 16).map_err(|_| MacParseError(s.to_string()))?;
             n += 1;
         }
         if n != 6 {
@@ -227,7 +226,13 @@ mod tests {
 
     #[test]
     fn mac_roundtrip_u64() {
-        for v in [0u64, 1, 0xffff_ffff_ffff, 0x0200_0000_002a, 0x1234_5678_9abc] {
+        for v in [
+            0u64,
+            1,
+            0xffff_ffff_ffff,
+            0x0200_0000_002a,
+            0x1234_5678_9abc,
+        ] {
             assert_eq!(MacAddr::from_u64(v).to_u64(), v);
         }
     }

@@ -257,7 +257,12 @@ impl fmt::Display for FlowKey {
         write!(
             f,
             "{} {}:{} -> {}:{} [{} -> {}]",
-            self.ip_proto, self.ip_src, self.tp_src, self.ip_dst, self.tp_dst, self.eth_src,
+            self.ip_proto,
+            self.ip_src,
+            self.tp_src,
+            self.ip_dst,
+            self.tp_dst,
+            self.eth_src,
             self.eth_dst
         )
     }

@@ -71,9 +71,7 @@ id_type!(
 );
 
 /// A switch port number (1-based like OpenFlow; 0 is reserved/invalid).
-#[derive(
-    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
 pub struct PortNo(pub u16);
 
 impl PortNo {
@@ -107,9 +105,7 @@ impl fmt::Debug for PortNo {
 }
 
 /// An OpenFlow table id within a switch pipeline (0 is the first table).
-#[derive(
-    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
 pub struct TableId(pub u8);
 
 impl fmt::Display for TableId {

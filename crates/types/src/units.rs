@@ -14,9 +14,7 @@ use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub};
 
 /// Absolute simulated time in nanoseconds since simulation start.
-#[derive(
-    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
 pub struct SimTime(pub u64);
 
 impl SimTime {
@@ -94,9 +92,7 @@ impl fmt::Debug for SimTime {
 }
 
 /// A span of simulated time, in nanoseconds.
-#[derive(
-    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
 pub struct SimDuration(pub u64);
 
 impl SimDuration {
@@ -126,7 +122,7 @@ impl SimDuration {
     /// Builds a duration from fractional seconds, saturating at the range
     /// limits and treating NaN/negative as zero.
     pub fn from_secs_f64(s: f64) -> Self {
-        if !(s > 0.0) {
+        if s.is_nan() || s <= 0.0 {
             return SimDuration::ZERO;
         }
         let ns = s * 1e9;
@@ -315,9 +311,7 @@ impl fmt::Debug for Rate {
 }
 
 /// A byte count.
-#[derive(
-    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
 pub struct ByteSize(pub u64);
 
 impl ByteSize {

@@ -49,7 +49,10 @@ impl AppMix {
             }
             point -= w;
         }
-        self.weights.last().map(|(a, _)| *a).unwrap_or(AppClass::Other)
+        self.weights
+            .last()
+            .map(|(a, _)| *a)
+            .unwrap_or(AppClass::Other)
     }
 }
 

@@ -126,8 +126,13 @@ mod tests {
         sorted.sort_unstable();
         let median = sorted[samples.len() / 2] as f64;
         let mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
+        // For the bounded Pareto(α=1.2, 20 kB, 2 GB) the analytic ratio is
+        // E[X]/median = 108 kB / 35.6 kB ≈ 3.03 — a 3.0 threshold sits on
+        // the boundary and flips on sampling noise (heavy-tailed sample
+        // means are biased low at any finite n). 2.5 still certifies
+        // elephant-dominated mass without encoding a coin flip.
         assert!(
-            mean > median * 3.0,
+            mean > median * 2.5,
             "mean {mean} should dwarf median {median}"
         );
     }

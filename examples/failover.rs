@@ -56,8 +56,12 @@ fn main() {
         })
         .map(|(id, _)| id)
         .expect("uplink exists");
-    scenario.failures.push((SimTime::from_secs(10), cable, false));
-    scenario.failures.push((SimTime::from_secs(20), cable, true));
+    scenario
+        .failures
+        .push((SimTime::from_secs(10), cable, false));
+    scenario
+        .failures
+        .push((SimTime::from_secs(20), cable, true));
 
     let config = SimConfig::default().with_stats_epoch(Some(SimDuration::from_secs(1)));
     let mut sim = Simulation::new(scenario, config).expect("valid scenario");

@@ -20,11 +20,31 @@ fn main() {
     // One demonstration flow per policy interaction.
     let demo = [
         // (src, dst, app, label)
-        (0usize, 2usize, AppClass::Http, "m1->m3 http (app peering pins the alternate path)"),
-        (0, 2, AppClass::Https, "m1->m3 https (follows default LB, not the peering path)"),
+        (
+            0usize,
+            2usize,
+            AppClass::Http,
+            "m1->m3 http (app peering pins the alternate path)",
+        ),
+        (
+            0,
+            2,
+            AppClass::Https,
+            "m1->m3 https (follows default LB, not the peering path)",
+        ),
         (0, 3, AppClass::Https, "m1->m4 (source-routed via c2)"),
-        (1, 3, AppClass::Https, "m2->m4 (TCP through the 500 Mbps rate limit)"),
-        (0, 1, AppClass::Https, "m1->m2 (m2 is blackholed: must drop)"),
+        (
+            1,
+            3,
+            AppClass::Https,
+            "m2->m4 (TCP through the 500 Mbps rate limit)",
+        ),
+        (
+            0,
+            1,
+            AppClass::Https,
+            "m1->m2 (m2 is blackholed: must drop)",
+        ),
     ];
     for (i, (s, d, app, _)) in demo.iter().enumerate() {
         let spec = scenario
@@ -37,9 +57,7 @@ fn main() {
                 DemandModel::Greedy,
             )
             .expect("members exist");
-        scenario
-            .explicit_flows
-            .push((SimTime::from_secs(1), spec));
+        scenario.explicit_flows.push((SimTime::from_secs(1), spec));
     }
 
     // Show the compiled rules and the composition validation verdict.
@@ -64,7 +82,11 @@ fn main() {
     for (record, (_, _, _, label)) in sim.fluid().records().iter().zip(demo.iter()) {
         println!(
             "  {label}\n      -> {} {:.1} MiB in {:.3}s ({:.1} Mbps)",
-            if record.completed { "completed" } else { "incomplete" },
+            if record.completed {
+                "completed"
+            } else {
+                "incomplete"
+            },
             record.bytes / 1048576.0,
             record.fct_secs(),
             record.avg_rate_bps() / 1e6,

@@ -1,0 +1,40 @@
+//! A sweep campaign driven from code through the umbrella prelude: the
+//! same three layers the `horse-lab` CLI uses (spec -> grid -> parallel
+//! runner), inline.
+//!
+//! Run with: `cargo run --release --example sweep_campaign`
+
+use horse::prelude::*;
+
+fn main() {
+    let spec = SweepSpec::from_toml(
+        r#"
+        name = "inline_demo"
+        replicates = 2
+
+        [scenario]
+        kind = "ixp"
+        members = 25
+        horizon_secs = 1.0
+
+        [[scenario.policies]]
+        type = "load_balancing"
+        mode = "ecmp"
+
+        [axes]
+        ctrl_latency_us = [0, 1000]
+        alloc_mode = ["full", "incremental"]
+        "#,
+    )
+    .expect("spec parses");
+
+    let plans = expand(&spec).expect("spec expands");
+    println!("campaign `{}`: {} runs", spec.name, plans.len());
+    for p in &plans {
+        println!("  run {:>2}  {}", p.index, p.label());
+    }
+
+    let report = run_sweep(&spec, 2).expect("campaign runs");
+    println!("\n{}", report.aggregate_text());
+    println!("{}", report.timing_text());
+}

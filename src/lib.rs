@@ -1,8 +1,32 @@
-//! Umbrella package for the Horse reproduction workspace.
+//! # Horse — an SDN traffic dynamics simulator for large-scale networks
 //!
-//! This crate exists so that the repository-level `examples/` and `tests/`
-//! directories (required layout of the reproduction) are compiled as Cargo
-//! targets. All functionality lives in the `crates/` workspace members; the
-//! public entry point is the [`horse`] crate.
+//! Umbrella crate: re-exports the simulation engine ([`horse_core`]) and
+//! the experiment-orchestration subsystem ([`horse_lab`]), and hosts the
+//! repository-level `examples/` and `tests/`.
+//!
+//! * Engine entry points: [`Scenario`], [`SimConfig`], [`Simulation`].
+//! * Experiment lab: [`lab`] — declarative sweep specs, cartesian
+//!   expansion and a parallel batch runner (`cargo run -p horse-lab`).
 
-pub use horse;
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use horse_core::{compare, config, event, results, scenario, sim};
+pub use horse_core::{
+    compare_planes, AccuracyReport, IxpScenarioParams, Scenario, SimConfig, SimResults, Simulation,
+};
+
+// Component crates under stable names (mirrors `horse_core`'s aliases).
+pub use horse_core::{
+    controlplane, dataplane, events, monitoring, openflow, packetsim, topology, types, workloads,
+};
+
+/// The experiment-orchestration subsystem (`horse-lab`).
+pub use horse_lab as lab;
+
+/// Convenient glob import for examples and tests: the engine prelude
+/// plus the experiment-lab types.
+pub mod prelude {
+    pub use horse_core::prelude::*;
+    pub use horse_lab::prelude::*;
+}

@@ -34,14 +34,7 @@ fn policy_document_roundtrip() {
     assert_eq!(spec, back);
     // the round-tripped document still validates and compiles
     let s = Scenario::figure1(SimTime::from_secs(1), 1);
-    assert!(Simulation::new(
-        Scenario {
-            policy: back,
-            ..s
-        },
-        SimConfig::default()
-    )
-    .is_ok());
+    assert!(Simulation::new(Scenario { policy: back, ..s }, SimConfig::default()).is_ok());
 }
 
 #[test]
