@@ -1,0 +1,126 @@
+//! Quick-mode bench smoke: runs the sweep + scale benches in a fast
+//! configuration and writes a machine-readable `BENCH_pr2.json` so the
+//! repository's bench trajectory has recorded data points (runner
+//! throughput, reallocate ns/op, events/sec).
+//!
+//! Wall-clock numbers vary with the host; the point is the *trajectory*
+//! within one machine (CI keeps the artifact per run) plus the
+//! deterministic counters alongside them.
+//!
+//! Usage: `bench_smoke [--out BENCH_pr2.json]`
+
+use horse::prelude::*;
+use horse_bench::{fast_config, ixp_scenario, lb_policy};
+use serde::{Number, Value};
+use std::time::Instant;
+
+fn num_f(v: f64) -> Value {
+    Value::Number(Number::Float(v))
+}
+
+fn num_u(v: u64) -> Value {
+    Value::Number(Number::UInt(v))
+}
+
+/// Timed single-scenario run: returns (results, wall seconds).
+fn timed_run(members: usize, seed: u64) -> (SimResults, f64) {
+    let s = ixp_scenario(members, 1.0, lb_policy(), SimTime::from_secs(2), seed);
+    let mut sim = Simulation::new(s, fast_config()).expect("valid scenario");
+    let t = Instant::now();
+    let r = sim.run();
+    (r, t.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_pr2.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = args.next().expect("--out takes a path"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // 1. Runner throughput: the ctrl_latency example sweep in quick mode
+    //    (the same spec CI's acceptance step compares across threads).
+    let spec = SweepSpec::from_toml(
+        r#"
+        name = "smoke"
+        replicates = 2
+        [scenario]
+        kind = "ixp"
+        members = 25
+        horizon_secs = 1.0
+        [[scenario.policies]]
+        type = "mac_learning"
+        [axes]
+        ctrl_latency_us = [0, 1000]
+        "#,
+    )
+    .expect("smoke spec parses");
+    let report = run_sweep(&spec, 2).expect("smoke sweep runs");
+    let sweep_events: u64 = report.runs.iter().map(|r| r.metrics.events).sum();
+    let runner = Value::Map(vec![
+        ("runs".into(), num_u(report.runs.len() as u64)),
+        ("threads".into(), num_u(report.threads as u64)),
+        ("wall_seconds".into(), num_f(report.campaign_wall_seconds)),
+        (
+            "runs_per_sec".into(),
+            num_f(report.runs.len() as f64 / report.campaign_wall_seconds.max(1e-9)),
+        ),
+        (
+            "events_per_sec".into(),
+            num_f(sweep_events as f64 / report.campaign_wall_seconds.max(1e-9)),
+        ),
+    ]);
+
+    // 2. Scale points (benches/scale.rs in quick mode): wall per scenario,
+    //    events/sec, and reallocate ns/op derived from the engine's own
+    //    allocator-run counter.
+    let mut scale_points = Vec::new();
+    for members in [25usize, 50, 100, 200] {
+        // Warm once, measure the best of 3 (quick-mode noise guard).
+        let _ = timed_run(members, 1);
+        let (mut best_r, mut best_w) = timed_run(members, 1);
+        for _ in 0..2 {
+            let (r, w) = timed_run(members, 1);
+            if w < best_w {
+                best_w = w;
+                best_r = r;
+            }
+        }
+        scale_points.push(Value::Map(vec![
+            ("members".into(), num_u(members as u64)),
+            ("wall_ms".into(), num_f(best_w * 1e3)),
+            ("events".into(), num_u(best_r.events)),
+            (
+                "events_per_sec".into(),
+                num_f(best_r.events as f64 / best_w.max(1e-9)),
+            ),
+            ("realloc_runs".into(), num_u(best_r.realloc_runs)),
+            (
+                "realloc_ns_per_op".into(),
+                // Upper bound: whole-run wall over allocator invocations.
+                num_f(best_w * 1e9 / best_r.realloc_runs.max(1) as f64),
+            ),
+            (
+                "realloc_flows_touched".into(),
+                num_u(best_r.realloc_flows_touched),
+            ),
+        ]));
+    }
+
+    let doc = Value::Map(vec![
+        ("bench".into(), Value::Str("bench_smoke".into())),
+        ("pr".into(), num_u(2)),
+        ("mode".into(), Value::Str("quick".into())),
+        ("runner_throughput".into(), runner),
+        ("scale".into(), Value::Seq(scale_points)),
+    ]);
+    let json = serde_json::to_string_pretty(&doc).expect("serializes");
+    std::fs::write(&out_path, json + "\n").expect("write bench json");
+    println!("wrote {out_path}");
+}

@@ -4,7 +4,7 @@
 //! host locations and answers "which egress port at switch S leads toward
 //! host H" — the primitive every forwarding policy compiles down to.
 
-use horse_topology::routing::{ecmp_paths, k_shortest_paths, shortest_path, Metric, Path};
+use horse_topology::routing::{k_shortest_paths, shortest_path, sssp, Metric, Path};
 use horse_topology::Topology;
 use horse_types::{MacAddr, NodeId, PortNo};
 use std::collections::HashMap;
@@ -47,14 +47,20 @@ impl PathDb {
         let mut ecmp_ports = HashMap::new();
         let switches: Vec<NodeId> = topo.switches().collect();
         for &sw in &switches {
+            // One shortest-path tree per switch, shared by every
+            // destination host — identical answers to the per-pair
+            // `shortest_path`/`ecmp_paths` calls, at 1/|hosts| of the
+            // Dijkstra work. This build runs at simulation start *and* on
+            // every port-status change, so it must stay cheap at scale.
+            let tree = sssp(topo, sw, Metric::Hops);
             for &h in &hosts {
-                if let Some(p) = shortest_path(topo, sw, h, Metric::Hops) {
+                if let Some(p) = tree.path_to(topo, h) {
                     if let Some(&first_link) = p.links.first() {
                         let port = topo.link(first_link).expect("link exists").src_port;
                         next_hop.insert((sw, h), port);
                     }
                 }
-                let paths = ecmp_paths(topo, sw, h, Self::MAX_ECMP);
+                let paths = tree.ecmp_paths_to(topo, h, Self::MAX_ECMP);
                 if !paths.is_empty() {
                     let mut ports: Vec<PortNo> = paths
                         .iter()

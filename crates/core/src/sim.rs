@@ -21,7 +21,7 @@ use crate::results::SimResults;
 use crate::scenario::Scenario;
 use horse_controlplane::{Controller, ControllerCtx, Outbox, PolicyGenerator};
 use horse_dataplane::stats::DropCause;
-use horse_dataplane::{AdmitOutcome, DemandModel, FlowSpec, FluidNet};
+use horse_dataplane::{AdmitOutcome, DemandModel, FlowSpec, FluidNet, RateChange};
 use horse_events::EventQueue;
 use horse_monitoring::collector::StatsCollector;
 use horse_openflow::messages::SwitchMsg;
@@ -58,6 +58,9 @@ pub struct Simulation {
     pending: HashMap<FlowId, (FlowSpec, u32, SimTime)>,
     workload: Option<WorkloadAdapter>,
     collector: StatsCollector,
+    /// Scratch for rate changes copied out of the fluid plane (reused so
+    /// the per-event reallocation path stays allocation-free).
+    realloc_buf: Vec<RateChange>,
     // Counters.
     events: u64,
     flows_admitted: u64,
@@ -171,6 +174,7 @@ impl Simulation {
             pending: HashMap::new(),
             workload,
             collector,
+            realloc_buf: Vec::new(),
             events: 0,
             flows_admitted: 0,
             flows_completed: 0,
@@ -296,11 +300,11 @@ impl Simulation {
     }
 
     fn admit(&mut self, id: FlowId, spec: FlowSpec, attempt: u32, now: SimTime, arrived: SimTime) {
-        match self.fluid.try_admit_arrived(id, &spec, now, arrived) {
+        match self.fluid.try_admit_arrived(id, spec, now, arrived) {
             AdmitOutcome::Admitted => {
                 self.flows_admitted += 1;
             }
-            AdmitOutcome::NeedController(msg) => {
+            AdmitOutcome::NeedController { msg, spec } => {
                 if attempt >= self.config.admit_retry_limit {
                     self.fluid.record_external_drop(
                         id,
@@ -319,9 +323,14 @@ impl Simulation {
     }
 
     /// Runs the allocator and (re)schedules completion events for every
-    /// flow whose rate changed.
+    /// flow whose rate changed. The fluid plane hands back a borrowed
+    /// slice of its scratch; it is copied into a reused buffer so the
+    /// queue can be scheduled against while iterating.
     fn reallocate(&mut self, now: SimTime) {
-        for change in self.fluid.reallocate(now) {
+        self.realloc_buf.clear();
+        self.realloc_buf
+            .extend_from_slice(self.fluid.reallocate(now));
+        for change in &self.realloc_buf {
             if let Some(secs) = change.completes_in {
                 self.queue.schedule_at(
                     now + SimDuration::from_secs_f64(secs),

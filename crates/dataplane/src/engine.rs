@@ -23,12 +23,27 @@
 //! incremental per [`AllocMode`]) and returns the flows whose rate changed
 //! together with fresh completion predictions; the caller reschedules
 //! completion events and invalidates stale ones by generation.
+//!
+//! ## Hot-path layout
+//!
+//! Flow state is arena-backed ([`crate::slab::FlowArena`]): a
+//! generation-checked slab addressed by dense slot indices, one global
+//! intrusive active list and per-link intrusive membership lists — all in
+//! deterministic admission order, so the hot path never hashes and only
+//! re-sorts the nearly-sorted slot sets it actually processes.
+//! `reallocate` builds its allocation problem (dense
+//! link capacities, demands, CSR flow→link adjacency) into scratch buffers
+//! owned by the engine and runs the bottleneck-heap allocator
+//! ([`crate::maxmin::max_min_allocate_csr`]) over them: in steady state
+//! the whole path performs **zero heap allocations** (covered by the
+//! `alloc_free` integration test).
 
 use crate::flow::{ActiveFlow, FlowSpec, Route, RouteHop};
-use crate::maxmin::{max_min_allocate, AllocMode};
+use crate::maxmin::{max_min_allocate_csr, AllocMode, MaxMinScratch};
+use crate::slab::FlowArena;
 use crate::stats::{DropCause, DropRecord, FlowRecord, LinkStats};
 use horse_openflow::messages::{CtrlMsg, SwitchMsg};
-use horse_openflow::switch::{DropReason, OpenFlowSwitch, Verdict};
+use horse_openflow::switch::{DropReason, OpenFlowSwitch, PipelineResult, Verdict};
 use horse_topology::{LinkState, Topology};
 use horse_types::{ByteSize, FlowId, FlowKey, LinkId, NodeId, PortNo, Rate, SimTime};
 use std::collections::{HashMap, HashSet};
@@ -61,8 +76,14 @@ pub enum AdmitOutcome {
     Admitted,
     /// A switch punted to the controller; deliver the message (with
     /// control-channel latency) and retry admission once the controller's
-    /// mods are applied.
-    NeedController(SwitchMsg),
+    /// mods are applied. The spec is handed back to the caller untouched
+    /// (admission takes it by value so the admitted path never clones).
+    NeedController {
+        /// The `FlowIn` to deliver.
+        msg: SwitchMsg,
+        /// The spec to retry with.
+        spec: FlowSpec,
+    },
     /// The pipeline dropped the flow (recorded in drop records).
     Dropped(DropCause),
 }
@@ -98,24 +119,56 @@ enum ResolveOutcome {
     NoRoute,
 }
 
+/// Reusable working memory for [`FluidNet::reallocate`] (and the other
+/// bulk walks). Buffers grow to the high-water problem size, then every
+/// later call is allocation-free.
+#[derive(Default)]
+struct ReallocScratch {
+    /// Epoch for all the stamped maps below (bumped once per use site).
+    gen: u64,
+    /// Link → dense problem index, gen-stamped (no per-call clearing).
+    link_idx: Vec<(u64, u32)>,
+    /// Per-slot visited stamp for the incremental component walk.
+    flow_stamp: Vec<u64>,
+    /// Per-link visited stamp for the incremental component walk.
+    link_stamp: Vec<u64>,
+    /// Slots of the flows under recomputation, ascending flow-id order.
+    ids: Vec<u32>,
+    /// DFS stack for the component walk.
+    stack: Vec<u32>,
+    /// Dense problem: link capacities.
+    caps: Vec<f64>,
+    /// Dense problem: per-flow demands.
+    demands: Vec<f64>,
+    /// Dense problem: CSR flow → link adjacency.
+    fl_off: Vec<u32>,
+    fl_links: Vec<u32>,
+    /// Allocator output.
+    rates: Vec<f64>,
+    /// Rate changes reported to the caller (borrowed out of `reallocate`).
+    changes: Vec<RateChange>,
+    /// Allocator working memory.
+    maxmin: MaxMinScratch,
+}
+
 /// The fluid data plane (see module docs).
 pub struct FluidNet {
     topo: Topology,
     switches: HashMap<NodeId, OpenFlowSwitch>,
-    flows: HashMap<FlowId, ActiveFlow>,
+    /// Switch ids, sorted — built once in [`FluidNet::new`], never mutated.
+    switch_order: Vec<NodeId>,
+    flows: FlowArena,
     next_flow: u64,
-    /// Flows routed over each directed link (indexed by `LinkId`).
-    link_flows: Vec<HashSet<FlowId>>,
     link_stats: Vec<LinkStats>,
     records: Vec<FlowRecord>,
     drops: Vec<DropRecord>,
     config: FluidConfig,
-    /// Seed links for the next incremental reallocation.
-    dirty_links: HashSet<LinkId>,
-    /// Scratch: link → dense problem index, generation-stamped so it is
-    /// reused across reallocations without clearing (hot path).
-    scratch_link_idx: Vec<(u64, u32)>,
-    scratch_gen: u64,
+    /// Seed links for the next incremental reallocation (insertion order,
+    /// deduplicated by the epoch stamp below).
+    dirty_links: Vec<LinkId>,
+    dirty_stamp: Vec<u64>,
+    dirty_epoch: u64,
+    scratch: ReallocScratch,
     /// Number of allocator runs (exported with results; ablation metric).
     pub realloc_runs: u64,
     /// Total flows touched by allocator runs (ablation metric).
@@ -133,20 +186,27 @@ impl FluidNet {
                 switches.insert(id, OpenFlowSwitch::new(id, 2, &ports));
             }
         }
+        let mut switch_order: Vec<NodeId> = switches.keys().copied().collect();
+        switch_order.sort();
         let nl = topo.link_count();
         FluidNet {
             topo,
             switches,
-            flows: HashMap::new(),
+            switch_order,
+            flows: FlowArena::new(nl),
             next_flow: 0,
-            link_flows: vec![HashSet::new(); nl],
             link_stats: vec![LinkStats::default(); nl],
             records: Vec::new(),
             drops: Vec::new(),
             config,
-            dirty_links: HashSet::new(),
-            scratch_link_idx: vec![(0, 0); nl],
-            scratch_gen: 0,
+            dirty_links: Vec::new(),
+            dirty_stamp: vec![0; nl],
+            dirty_epoch: 1,
+            scratch: ReallocScratch {
+                link_idx: vec![(0, 0); nl],
+                link_stamp: vec![0; nl],
+                ..ReallocScratch::default()
+            },
             realloc_runs: 0,
             realloc_flows_touched: 0,
         }
@@ -167,11 +227,10 @@ impl FluidNet {
         self.switches.get_mut(&id)
     }
 
-    /// Ids of all switches.
-    pub fn switch_ids(&self) -> Vec<NodeId> {
-        let mut v: Vec<NodeId> = self.switches.keys().copied().collect();
-        v.sort();
-        v
+    /// Ids of all switches, sorted (cached at construction — switches are
+    /// never added after [`FluidNet::new`], so this never re-sorts).
+    pub fn switch_ids(&self) -> &[NodeId] {
+        &self.switch_order
     }
 
     /// Applies a controller message to a switch, returning its replies.
@@ -189,7 +248,14 @@ impl FluidNet {
 
     /// Read access to an active flow.
     pub fn flow(&self, id: FlowId) -> Option<&ActiveFlow> {
-        self.flows.get(&id)
+        self.flows.get(id)
+    }
+
+    /// All active flows, in admission order (no allocation). Admission
+    /// order is ascending-id except for flows re-admitted after a
+    /// controller round trip, which keep their originally reserved id.
+    pub fn active_flows(&self) -> impl Iterator<Item = &ActiveFlow> + '_ {
+        self.flows.iter()
     }
 
     /// Completed/terminated flow records so far.
@@ -228,13 +294,23 @@ impl FluidNet {
         id
     }
 
+    /// Marks a link dirty for the next incremental reallocation.
+    #[inline]
+    fn mark_dirty(&mut self, l: LinkId) {
+        let stamp = &mut self.dirty_stamp[l.index()];
+        if *stamp != self.dirty_epoch {
+            *stamp = self.dirty_epoch;
+            self.dirty_links.push(l);
+        }
+    }
+
     /// Attempts to admit a flow. On success the flow is registered on its
     /// route (rates are stale until [`reallocate`] runs). `NeedController`
-    /// leaves no state behind — retry with the same id after the
-    /// controller acts.
+    /// leaves no state behind and hands the spec back — retry with the
+    /// same id after the controller acts.
     ///
     /// [`reallocate`]: FluidNet::reallocate
-    pub fn try_admit(&mut self, id: FlowId, spec: &FlowSpec, now: SimTime) -> AdmitOutcome {
+    pub fn try_admit(&mut self, id: FlowId, spec: FlowSpec, now: SimTime) -> AdmitOutcome {
         self.try_admit_arrived(id, spec, now, now)
     }
 
@@ -248,22 +324,17 @@ impl FluidNet {
     pub fn try_admit_arrived(
         &mut self,
         id: FlowId,
-        spec: &FlowSpec,
+        spec: FlowSpec,
         now: SimTime,
         arrived: SimTime,
     ) -> AdmitOutcome {
-        match self.resolve_route(spec, now) {
+        match self.resolve_route(&spec, now) {
             ResolveOutcome::Path { hops, links } => {
-                // Commit classification counters along the winning path.
+                // Commit classification counters along the winning path —
+                // by borrow, without rebuilding pipeline results.
                 for hop in &hops {
-                    let res = horse_openflow::switch::PipelineResult {
-                        verdict: Verdict::Forward(vec![hop.out_port]),
-                        matched: hop.matched.clone(),
-                        meters: hop.meters.clone(),
-                        key_out: spec.key,
-                    };
                     if let Some(sw) = self.switches.get_mut(&hop.node) {
-                        sw.commit_classification(&res, now);
+                        sw.commit_matched(&hop.matched, now);
                     }
                 }
                 // Tightest meter cap along the path.
@@ -281,24 +352,24 @@ impl FluidNet {
                     }
                 }
                 for &l in &links {
-                    self.link_flows[l.index()].insert(id);
                     self.link_stats[l.index()].active_flows += 1;
-                    self.dirty_links.insert(l);
+                    self.mark_dirty(l);
                 }
+                let bytes_remaining = spec.size.map(|s| s.as_bytes() as f64);
                 let flow = ActiveFlow {
                     id,
-                    spec: spec.clone(),
+                    spec,
                     route: Route { hops, links },
                     rate: Rate::ZERO,
                     meter_cap: cap,
                     bytes_sent: 0.0,
-                    bytes_remaining: spec.size.map(|s| s.as_bytes() as f64),
+                    bytes_remaining,
                     bytes_dropped: 0.0,
                     started: arrived,
                     last_update: now,
                     completion_gen: 0,
                 };
-                self.flows.insert(id, flow);
+                self.flows.insert(flow);
                 AdmitOutcome::Admitted
             }
             ResolveOutcome::NeedController {
@@ -315,7 +386,7 @@ impl FluidNet {
                         in_port,
                         key,
                     });
-                AdmitOutcome::NeedController(msg)
+                AdmitOutcome::NeedController { msg, spec }
             }
             ResolveOutcome::Dropped { at, reason } => {
                 let cause = DropCause::Pipeline(format!("{reason:?}"));
@@ -399,8 +470,13 @@ impl FluidNet {
                     return None; // already explored from this ingress
                 }
                 let sw = self.net.switches.get(&node)?;
-                let res = sw.classify(in_port, &key);
-                match res.verdict {
+                let PipelineResult {
+                    verdict,
+                    matched,
+                    meters,
+                    key_out,
+                } = sw.classify(in_port, &key);
+                match verdict {
                     Verdict::ToController => {
                         if self.need_ctrl.is_none() {
                             self.need_ctrl = Some((node, in_port, key));
@@ -413,8 +489,12 @@ impl FluidNet {
                         }
                         None
                     }
-                    Verdict::Forward(ref ports) => {
-                        for &port in ports {
+                    Verdict::Forward(ports) => {
+                        // The attribution trail moves into the winning
+                        // hop instead of being cloned per branch.
+                        let mut matched = Some(matched);
+                        let mut meters = Some(meters);
+                        for port in ports {
                             let Some(lid) = self.net.topo.link_from(node, port) else {
                                 continue;
                             };
@@ -423,7 +503,7 @@ impl FluidNet {
                                 continue;
                             }
                             if let Some((mut hops, mut links)) =
-                                self.walk(link.dst, link.dst_port, res.key_out, depth + 1)
+                                self.walk(link.dst, link.dst_port, key_out, depth + 1)
                             {
                                 hops.insert(
                                     0,
@@ -431,8 +511,8 @@ impl FluidNet {
                                         node,
                                         in_port,
                                         out_port: port,
-                                        matched: res.matched.clone(),
-                                        meters: res.meters.clone(),
+                                        matched: matched.take().unwrap_or_default(),
+                                        meters: meters.take().unwrap_or_default(),
                                     },
                                 );
                                 links.insert(0, lid);
@@ -472,96 +552,140 @@ impl FluidNet {
         ResolveOutcome::NoRoute
     }
 
-    /// Integrates bytes for one flow up to `now`, crediting links and
-    /// switch entries. The flow is temporarily detached from the map so
-    /// its route can be walked without cloning (hot path: this runs for
-    /// every affected flow on every reallocation).
-    fn sync_flow(&mut self, id: FlowId, now: SimTime) {
-        let Some(mut flow) = self.flows.remove(&id) else {
-            return;
-        };
+    /// Integrates bytes for one flow (by slot) up to `now`, crediting
+    /// links and switch entries. Field-level borrow splitting walks the
+    /// route in place — no detach/reattach, no cloning (hot path: this
+    /// runs for every affected flow on every reallocation).
+    fn sync_flow_slot(&mut self, slot: u32, now: SimTime) {
+        let flow = self.flows.flow_at_mut(slot);
         let moved = flow.sync_to(now);
         if moved > 0.0 {
+            let flow = self.flows.flow_at(slot);
             for &l in &flow.route.links {
                 self.link_stats[l.index()].bytes += moved;
             }
             let avg = self.config.avg_packet;
             let moved_bytes = ByteSize::bytes(moved as u64);
+            let switches = &mut self.switches;
             for hop in &flow.route.hops {
-                if let Some(sw) = self.switches.get_mut(&hop.node) {
+                if let Some(sw) = switches.get_mut(&hop.node) {
                     sw.credit_bytes(&hop.matched, moved_bytes, avg, now);
                 }
             }
         }
-        self.flows.insert(id, flow);
     }
 
     /// Re-runs max-min fair allocation after a change and returns every
-    /// flow whose rate changed, with fresh completion predictions.
+    /// flow whose rate changed, with fresh completion predictions. The
+    /// returned slice borrows engine scratch — copy what must outlive the
+    /// next call.
     ///
     /// In `Incremental` mode only the connected component of flows sharing
-    /// links with `dirty` links (accumulated since the last call) is
+    /// links with dirty links (accumulated since the last call) is
     /// recomputed.
-    pub fn reallocate(&mut self, now: SimTime) -> Vec<RateChange> {
+    pub fn reallocate(&mut self, now: SimTime) -> &[RateChange] {
         self.realloc_runs += 1;
-        let dirty: Vec<LinkId> = self.dirty_links.drain().collect();
+        self.scratch.gen += 1;
+        let gen = self.scratch.gen;
+        self.scratch.changes.clear();
+        self.scratch.ids.clear();
 
-        // Choose the flow set to recompute.
-        let mut ids: Vec<FlowId> = match self.config.alloc_mode {
-            AllocMode::Full => self.flows.keys().copied().collect(),
+        // Choose the flow set to recompute (slots, ascending flow id).
+        match self.config.alloc_mode {
+            AllocMode::Full => {
+                // The global active list is in admission order — almost
+                // ascending-id, except that controller-retry re-admissions
+                // insert an earlier-reserved id after younger flows. The
+                // processing order must be ascending-id (it fixes the
+                // RateChange emission order and float-accumulation order),
+                // so sort the nearly-sorted list in place (no allocation;
+                // cheap in the common no-retry case).
+                let flows = &self.flows;
+                let ids = &mut self.scratch.ids;
+                ids.extend(flows.iter_slots());
+                ids.sort_unstable_by_key(|&s| flows.flow_at(s).id);
+                self.dirty_links.clear();
+                self.dirty_epoch += 1;
+            }
             AllocMode::Incremental => {
-                let mut seen: HashSet<FlowId> = HashSet::new();
-                let mut stack: Vec<FlowId> = Vec::new();
-                for l in dirty {
-                    for &f in &self.link_flows[l.index()] {
-                        if seen.insert(f) {
-                            stack.push(f);
+                // Epoch-stamped visited maps over slots and links replace
+                // the old per-call hash sets.
+                let slots = self.flows.slot_count();
+                if self.scratch.flow_stamp.len() < slots {
+                    self.scratch.flow_stamp.resize(slots, 0);
+                }
+                let scratch = &mut self.scratch;
+                let flows = &self.flows;
+                scratch.stack.clear();
+                for &l in &self.dirty_links {
+                    let li = l.index();
+                    if scratch.link_stamp[li] == gen {
+                        continue;
+                    }
+                    scratch.link_stamp[li] = gen;
+                    for slot in flows.flows_on_link(li) {
+                        if scratch.flow_stamp[slot as usize] != gen {
+                            scratch.flow_stamp[slot as usize] = gen;
+                            scratch.ids.push(slot);
+                            scratch.stack.push(slot);
                         }
                     }
                 }
-                while let Some(f) = stack.pop() {
-                    if let Some(fl) = self.flows.get(&f) {
-                        for &l in &fl.route.links {
-                            for &f2 in &self.link_flows[l.index()] {
-                                if seen.insert(f2) {
-                                    stack.push(f2);
-                                }
+                while let Some(slot) = scratch.stack.pop() {
+                    for &l in &flows.flow_at(slot).route.links {
+                        let li = l.index();
+                        if scratch.link_stamp[li] == gen {
+                            continue;
+                        }
+                        scratch.link_stamp[li] = gen;
+                        for s2 in flows.flows_on_link(li) {
+                            if scratch.flow_stamp[s2 as usize] != gen {
+                                scratch.flow_stamp[s2 as usize] = gen;
+                                scratch.ids.push(s2);
+                                scratch.stack.push(s2);
                             }
                         }
                     }
                 }
-                seen.into_iter().collect()
+                self.dirty_links.clear();
+                self.dirty_epoch += 1;
+                // The walk discovers the component in traversal order;
+                // processing order must stay ascending-id for byte-stable
+                // reports (sorting the component, not the world).
+                scratch.ids.sort_unstable_by_key(|&s| flows.flow_at(s).id);
             }
-        };
-        ids.sort();
-        self.realloc_flows_touched += ids.len() as u64;
-        if ids.is_empty() {
-            return Vec::new();
+        }
+        self.realloc_flows_touched += self.scratch.ids.len() as u64;
+        if self.scratch.ids.is_empty() {
+            return &self.scratch.changes;
         }
 
         // Sync affected flows to now at their *old* rates before changing
         // anything.
-        for &id in &ids {
-            self.sync_flow(id, now);
+        for i in 0..self.scratch.ids.len() {
+            let slot = self.scratch.ids[i];
+            self.sync_flow_slot(slot, now);
         }
 
         // Build the allocation problem over the union of links the
-        // affected flows cross. In incremental mode flows outside the
-        // component cannot share these links (by construction), so full
-        // link capacity is available to the component. The link → dense
-        // index map is a generation-stamped scratch vector (no per-call
-        // clearing or hashing — this is the hottest loop in the engine).
-        self.scratch_gen += 1;
-        let gen = self.scratch_gen;
-        let mut caps: Vec<f64> = Vec::new();
-        let mut fl: Vec<Vec<usize>> = Vec::with_capacity(ids.len());
-        let mut demands: Vec<f64> = Vec::with_capacity(ids.len());
-        for &id in &ids {
-            let flow = &self.flows[&id];
-            let mut ls = Vec::with_capacity(flow.route.links.len());
+        // affected flows cross, straight into reusable scratch (CSR
+        // adjacency, dense capacities). In incremental mode flows outside
+        // the component cannot share these links (by construction), so
+        // full link capacity is available to the component. The link →
+        // dense index map is a generation-stamped scratch vector (no
+        // per-call clearing or hashing — this is the hottest loop in the
+        // engine).
+        let scratch = &mut self.scratch;
+        scratch.caps.clear();
+        scratch.demands.clear();
+        scratch.fl_off.clear();
+        scratch.fl_links.clear();
+        for &slot in &scratch.ids {
+            let flow = self.flows.flow_at(slot);
+            scratch.fl_off.push(scratch.fl_links.len() as u32);
             for &l in &flow.route.links {
-                let slot = &mut self.scratch_link_idx[l.index()];
-                if slot.0 != gen {
+                let entry = &mut scratch.link_idx[l.index()];
+                if entry.0 != gen {
                     let cap = self
                         .topo
                         .link(l)
@@ -573,52 +697,59 @@ impl FluidNet {
                             }
                         })
                         .unwrap_or(0.0);
-                    caps.push(cap);
-                    *slot = (gen, (caps.len() - 1) as u32);
+                    scratch.caps.push(cap);
+                    *entry = (gen, (scratch.caps.len() - 1) as u32);
                 }
-                ls.push(slot.1 as usize);
+                scratch.fl_links.push(entry.1);
             }
-            fl.push(ls);
-            demands.push(flow.effective_demand());
+            scratch.demands.push(flow.effective_demand());
         }
+        scratch.fl_off.push(scratch.fl_links.len() as u32);
 
-        let rates = max_min_allocate(&demands, &fl, &caps);
+        max_min_allocate_csr(
+            &scratch.demands,
+            &scratch.fl_off,
+            &scratch.fl_links,
+            &scratch.caps,
+            &mut scratch.rates,
+            &mut scratch.maxmin,
+        );
 
         // Apply the new rates; report changes.
-        let mut changes = Vec::new();
-        for (i, &id) in ids.iter().enumerate() {
-            let flow = self.flows.get_mut(&id).expect("synced above");
-            let new_rate = Rate::bps(rates[i]);
+        for i in 0..scratch.ids.len() {
+            let slot = scratch.ids[i];
+            let flow = self.flows.flow_at_mut(slot);
+            let new_rate = Rate::bps(scratch.rates[i]);
             let changed = (new_rate.as_bps() - flow.rate.as_bps()).abs() > 1e-6;
-            // Update link instantaneous rates.
+            // Only changed flows need rescheduling: an unchanged rate means
+            // the previously scheduled completion event is still exact.
             if changed {
                 let delta = new_rate.as_bps() - flow.rate.as_bps();
+                flow.rate = new_rate;
+                flow.completion_gen += 1;
+                let change = RateChange {
+                    id: flow.id,
+                    rate: flow.rate,
+                    completes_in: flow.time_to_complete(),
+                    generation: flow.completion_gen,
+                };
+                // Update link instantaneous rates.
+                let flow = self.flows.flow_at(slot);
                 for &l in &flow.route.links {
                     self.link_stats[l.index()].current_rate_bps =
                         (self.link_stats[l.index()].current_rate_bps + delta).max(0.0);
                 }
-                flow.rate = new_rate;
-                flow.completion_gen += 1;
-            }
-            // Only changed flows need rescheduling: an unchanged rate means
-            // the previously scheduled completion event is still exact.
-            if changed {
-                changes.push(RateChange {
-                    id,
-                    rate: flow.rate,
-                    completes_in: flow.time_to_complete(),
-                    generation: flow.completion_gen,
-                });
+                scratch.changes.push(change);
             }
         }
-        changes
+        &scratch.changes
     }
 
     /// Validates a completion event: true iff the flow exists and the
     /// event's generation is current.
     pub fn completion_is_current(&self, id: FlowId, generation: u64) -> bool {
         self.flows
-            .get(&id)
+            .get(id)
             .map(|f| f.completion_gen == generation)
             .unwrap_or(false)
     }
@@ -628,14 +759,14 @@ impl FluidNet {
     ///
     /// [`reallocate`]: FluidNet::reallocate
     pub fn remove_flow(&mut self, id: FlowId, now: SimTime, completed: bool) -> Option<FlowRecord> {
-        self.sync_flow(id, now);
-        let flow = self.flows.remove(&id)?;
+        let slot = self.flows.slot_of(id)?;
+        self.sync_flow_slot(slot, now);
+        let flow = self.flows.remove(id)?;
         for &l in &flow.route.links {
-            self.link_flows[l.index()].remove(&id);
             let s = &mut self.link_stats[l.index()];
             s.active_flows = s.active_flows.saturating_sub(1);
             s.current_rate_bps = (s.current_rate_bps - flow.rate.as_bps()).max(0.0);
-            self.dirty_links.insert(l);
+            self.mark_dirty(l);
         }
         let record = FlowRecord {
             id,
@@ -672,33 +803,45 @@ impl FluidNet {
             if let Some(sw) = self.switches.get_mut(&lk.src) {
                 msgs.push(sw.set_port_state(lk.src_port, false));
             }
-            self.dirty_links.insert(l);
+            self.mark_dirty(l);
         }
-        // Detach flows crossing the failed cable.
-        let mut victims: HashSet<FlowId> = HashSet::new();
+        // Detach flows crossing the failed cable (membership lists are
+        // per-direction; a flow using both directions appears once thanks
+        // to the stamp).
+        self.scratch.gen += 1;
+        let gen = self.scratch.gen;
+        let slots = self.flows.slot_count();
+        if self.scratch.flow_stamp.len() < slots {
+            self.scratch.flow_stamp.resize(slots, 0);
+        }
+        let mut victims: Vec<u32> = Vec::new();
         for &l in &affected_links {
-            for &f in &self.link_flows[l.index()] {
-                victims.insert(f);
+            for slot in self.flows.flows_on_link(l.index()) {
+                if self.scratch.flow_stamp[slot as usize] != gen {
+                    self.scratch.flow_stamp[slot as usize] = gen;
+                    victims.push(slot);
+                }
             }
         }
+        victims.sort_unstable_by_key(|&s| self.flows.flow_at(s).id);
         let mut specs = Vec::new();
-        let mut ids: Vec<FlowId> = victims.into_iter().collect();
-        ids.sort();
-        for id in &ids {
-            self.sync_flow(*id, now);
+        let mut ids: Vec<FlowId> = Vec::with_capacity(victims.len());
+        for &slot in &victims {
+            let id = self.flows.flow_at(slot).id;
+            self.sync_flow_slot(slot, now);
             if let Some(flow) = self.flows.remove(id) {
+                ids.push(id);
                 for &l in &flow.route.links {
-                    self.link_flows[l.index()].remove(id);
                     let s = &mut self.link_stats[l.index()];
                     s.active_flows = s.active_flows.saturating_sub(1);
                     s.current_rate_bps = (s.current_rate_bps - flow.rate.as_bps()).max(0.0);
-                    self.dirty_links.insert(l);
+                    self.mark_dirty(l);
                 }
                 // Record the pre-failure segment and hand back a spec for
                 // the *remaining* bytes, so re-admission after a repair
                 // does not replay already-delivered traffic.
                 self.records.push(FlowRecord {
-                    id: *id,
+                    id,
                     key: flow.spec.key,
                     src: flow.spec.src,
                     dst: flow.spec.dst,
@@ -730,7 +873,7 @@ impl FluidNet {
             if let Some(sw) = self.switches.get_mut(&lk.src) {
                 msgs.push(sw.set_port_state(lk.src_port, true));
             }
-            self.dirty_links.insert(l);
+            self.mark_dirty(l);
         }
         msgs
     }
@@ -738,9 +881,8 @@ impl FluidNet {
     /// Expires timed-out flow entries on all switches (call periodically).
     pub fn expire_entries(&mut self, now: SimTime) -> Vec<SwitchMsg> {
         let mut out = Vec::new();
-        let mut ids: Vec<NodeId> = self.switches.keys().copied().collect();
-        ids.sort();
-        for id in ids {
+        for i in 0..self.switch_order.len() {
+            let id = self.switch_order[i];
             if let Some(sw) = self.switches.get_mut(&id) {
                 out.extend(sw.expire(now));
             }
@@ -750,18 +892,24 @@ impl FluidNet {
 
     /// Syncs every active flow's byte accounting to `now` (used before
     /// statistics exports so counters reflect the current instant).
+    /// Processing is ascending-id (deterministic float accumulation):
+    /// the nearly-sorted active list is sorted in place, with no
+    /// allocation after warmup.
     pub fn sync_all(&mut self, now: SimTime) {
-        let mut ids: Vec<FlowId> = self.flows.keys().copied().collect();
-        ids.sort(); // deterministic float accumulation order
-        for id in ids {
-            self.sync_flow(id, now);
+        let mut ids = std::mem::take(&mut self.scratch.ids);
+        ids.clear();
+        ids.extend(self.flows.iter_slots());
+        ids.sort_unstable_by_key(|&s| self.flows.flow_at(s).id);
+        for &slot in &ids {
+            self.sync_flow_slot(slot, now);
         }
+        self.scratch.ids = ids;
     }
 
     /// Aggregate bytes currently delivered (sent) by all completed and
     /// active flows — used by accuracy comparisons.
     pub fn total_bytes_delivered(&self) -> f64 {
-        let active: f64 = self.flows.values().map(|f| f.bytes_sent).sum();
+        let active: f64 = self.flows.iter().map(|f| f.bytes_sent).sum();
         let done: f64 = self.records.iter().map(|r| r.bytes).sum();
         active + done
     }
@@ -811,7 +959,7 @@ mod tests {
     /// Installs a match-all forward rule chain s1->s2->h_right and reverse.
     fn install_forwarding(net: &mut FluidNet) {
         let now = SimTime::ZERO;
-        for sw_id in net.switch_ids() {
+        for sw_id in net.switch_ids().to_vec() {
             // forward toward the host attached out of the port that leads to
             // h_right; in the linear(2) builder: s1 ports: 1->s2, 2->h_left;
             // s2 ports: 1->s1, 2->h_right.
@@ -861,10 +1009,15 @@ mod tests {
     fn admit_without_rules_asks_controller() {
         let (mut net, hl, hr) = linear_net();
         let id = net.reserve_id();
-        match net.try_admit(id, &spec(hl, hr, 1000), SimTime::ZERO) {
-            AdmitOutcome::NeedController(SwitchMsg::FlowIn { switch, .. }) => {
+        let s = spec(hl, hr, 1000);
+        match net.try_admit(id, s.clone(), SimTime::ZERO) {
+            AdmitOutcome::NeedController {
+                msg: SwitchMsg::FlowIn { switch, .. },
+                spec: returned,
+            } => {
                 // first switch on the path must raise the FlowIn
                 assert_eq!(net.topology().node(switch).unwrap().name, "s1");
+                assert_eq!(returned, s, "spec handed back for the retry");
             }
             o => panic!("expected NeedController, got {o:?}"),
         }
@@ -877,7 +1030,7 @@ mod tests {
         install_forwarding(&mut net);
         let id = net.reserve_id();
         assert!(matches!(
-            net.try_admit(id, &spec(hl, hr, 1000), SimTime::ZERO),
+            net.try_admit(id, spec(hl, hr, 1000), SimTime::ZERO),
             AdmitOutcome::Admitted
         ));
         let changes = net.reallocate(SimTime::ZERO);
@@ -895,16 +1048,16 @@ mod tests {
         let a = net.reserve_id();
         let b = net.reserve_id();
         assert!(matches!(
-            net.try_admit(a, &spec(hl, hr, 1000), SimTime::ZERO),
+            net.try_admit(a, spec(hl, hr, 1000), SimTime::ZERO),
             AdmitOutcome::Admitted
         ));
         assert!(matches!(
-            net.try_admit(b, &spec(hl, hr, 2000), SimTime::ZERO),
+            net.try_admit(b, spec(hl, hr, 2000), SimTime::ZERO),
             AdmitOutcome::Admitted
         ));
         let changes = net.reallocate(SimTime::ZERO);
         assert_eq!(changes.len(), 2);
-        for c in &changes {
+        for c in changes {
             assert!((c.rate.as_gbps() - 0.5).abs() < 1e-9, "equal split");
         }
     }
@@ -915,8 +1068,8 @@ mod tests {
         install_forwarding(&mut net);
         let a = net.reserve_id();
         let b = net.reserve_id();
-        net.try_admit(a, &spec(hl, hr, 1000), SimTime::ZERO);
-        net.try_admit(b, &spec(hl, hr, 2000), SimTime::ZERO);
+        net.try_admit(a, spec(hl, hr, 1000), SimTime::ZERO);
+        net.try_admit(b, spec(hl, hr, 2000), SimTime::ZERO);
         net.reallocate(SimTime::ZERO);
         let rec = net
             .remove_flow(a, SimTime::from_millis(100), true)
@@ -934,13 +1087,13 @@ mod tests {
         let (mut net, hl, hr) = linear_net();
         install_forwarding(&mut net);
         let a = net.reserve_id();
-        net.try_admit(a, &spec(hl, hr, 1000), SimTime::ZERO);
+        net.try_admit(a, spec(hl, hr, 1000), SimTime::ZERO);
         let c1 = net.reallocate(SimTime::ZERO);
         let g1 = c1[0].generation;
         assert!(net.completion_is_current(a, g1));
         // second flow changes a's rate => new generation
         let b = net.reserve_id();
-        net.try_admit(b, &spec(hl, hr, 2000), SimTime::from_millis(1));
+        net.try_admit(b, spec(hl, hr, 2000), SimTime::from_millis(1));
         let c2 = net.reallocate(SimTime::from_millis(1));
         let g2 = c2.iter().find(|c| c.id == a).unwrap().generation;
         assert!(g2 > g1);
@@ -956,7 +1109,7 @@ mod tests {
         let mut s = spec(hl, hr, 1000);
         s.demand = DemandModel::Cbr(Rate::mbps(200.0));
         s.size = None;
-        net.try_admit(id, &s, SimTime::ZERO);
+        net.try_admit(id, s, SimTime::ZERO);
         let changes = net.reallocate(SimTime::ZERO);
         assert!((changes[0].rate.as_mbps() - 200.0).abs() < 1e-6);
         assert!(changes[0].completes_in.is_none(), "open-ended");
@@ -999,7 +1152,7 @@ mod tests {
             SimTime::ZERO,
         );
         let id = net.reserve_id();
-        net.try_admit(id, &spec(hl, hr, 1000), SimTime::ZERO);
+        net.try_admit(id, spec(hl, hr, 1000), SimTime::ZERO);
         let changes = net.reallocate(SimTime::ZERO);
         // TCP through a 500 Mbps policer: 0.75 × 500 = 375 Mbps
         assert!(
@@ -1024,7 +1177,7 @@ mod tests {
             SimTime::ZERO,
         );
         let id = net.reserve_id();
-        match net.try_admit(id, &spec(hl, hr, 1000), SimTime::ZERO) {
+        match net.try_admit(id, spec(hl, hr, 1000), SimTime::ZERO) {
             AdmitOutcome::Dropped(DropCause::Pipeline(r)) => assert_eq!(r, "Policy"),
             o => panic!("expected drop, got {o:?}"),
         }
@@ -1036,7 +1189,7 @@ mod tests {
         let (mut net, hl, hr) = linear_net();
         install_forwarding(&mut net);
         let id = net.reserve_id();
-        net.try_admit(id, &spec(hl, hr, 1000), SimTime::ZERO);
+        net.try_admit(id, spec(hl, hr, 1000), SimTime::ZERO);
         net.reallocate(SimTime::ZERO);
         // fail the s1—s2 cable
         let s1 = net.topology().node_by_name("s1").unwrap();
@@ -1058,7 +1211,7 @@ mod tests {
         assert_eq!(net.active_flow_count(), 0);
         // re-admission now fails: no alternate path in a chain
         let id2 = net.reserve_id();
-        match net.try_admit(id2, &victims[0], SimTime::from_millis(10)) {
+        match net.try_admit(id2, victims[0].clone(), SimTime::from_millis(10)) {
             AdmitOutcome::Dropped(_) => {}
             o => panic!("expected drop after failure, got {o:?}"),
         }
@@ -1066,7 +1219,7 @@ mod tests {
         net.cable_up(cable, SimTime::from_millis(20));
         let id3 = net.reserve_id();
         assert!(matches!(
-            net.try_admit(id3, &victims[0], SimTime::from_millis(20)),
+            net.try_admit(id3, victims[0].clone(), SimTime::from_millis(20)),
             AdmitOutcome::Admitted
         ));
     }
@@ -1076,7 +1229,7 @@ mod tests {
         let (mut net, hl, hr) = linear_net();
         install_forwarding(&mut net);
         let id = net.reserve_id();
-        net.try_admit(id, &spec(hl, hr, 1000), SimTime::ZERO);
+        net.try_admit(id, spec(hl, hr, 1000), SimTime::ZERO);
         net.reallocate(SimTime::ZERO);
         let flow = net.flow(id).unwrap();
         let first_link = flow.route.links[0];
@@ -1129,14 +1282,14 @@ mod tests {
         };
         let a = net.reserve_id();
         assert!(matches!(
-            net.try_admit(a, &mk(0, 1, 1), SimTime::ZERO),
+            net.try_admit(a, mk(0, 1, 1), SimTime::ZERO),
             AdmitOutcome::Admitted
         ));
         net.reallocate(SimTime::ZERO);
         let touched_before = net.realloc_flows_touched;
         let b = net.reserve_id();
         assert!(matches!(
-            net.try_admit(b, &mk(2, 3, 2), SimTime::ZERO),
+            net.try_admit(b, mk(2, 3, 2), SimTime::ZERO),
             AdmitOutcome::Admitted
         ));
         net.reallocate(SimTime::ZERO);
@@ -1173,11 +1326,59 @@ mod tests {
             SimTime::ZERO,
         );
         let id = net.reserve_id();
-        match net.try_admit(id, &spec(hl, hr, 9), SimTime::ZERO) {
-            AdmitOutcome::NeedController(SwitchMsg::FlowIn { switch, .. }) => {
+        match net.try_admit(id, spec(hl, hr, 9), SimTime::ZERO) {
+            AdmitOutcome::NeedController {
+                msg: SwitchMsg::FlowIn { switch, .. },
+                ..
+            } => {
                 assert_eq!(net.topology().node(switch).unwrap().name, "s2");
             }
             o => panic!("unexpected {o:?}"),
         }
+    }
+
+    #[test]
+    fn full_mode_processes_ascending_ids_despite_retry_order() {
+        // A controller round trip re-admits a flow with its *originally
+        // reserved* id after younger flows were admitted — the arena's
+        // admission order is then not ascending-id. Full-mode reallocate
+        // (like incremental) must still process and report ascending.
+        let (mut net, hl, hr) = linear_net();
+        install_forwarding(&mut net);
+        let early = net.reserve_id(); // reserved first, admitted last
+        let a = net.reserve_id();
+        let b = net.reserve_id();
+        assert!(matches!(
+            net.try_admit(a, spec(hl, hr, 1001), SimTime::ZERO),
+            AdmitOutcome::Admitted
+        ));
+        assert!(matches!(
+            net.try_admit(b, spec(hl, hr, 1002), SimTime::ZERO),
+            AdmitOutcome::Admitted
+        ));
+        assert!(matches!(
+            net.try_admit(early, spec(hl, hr, 1000), SimTime::ZERO),
+            AdmitOutcome::Admitted
+        ));
+        let ids: Vec<FlowId> = net.reallocate(SimTime::ZERO).iter().map(|c| c.id).collect();
+        assert_eq!(ids, vec![early, a, b], "changes emitted ascending by id");
+    }
+
+    #[test]
+    fn active_flows_iterate_in_id_order() {
+        let (mut net, hl, hr) = linear_net();
+        install_forwarding(&mut net);
+        let mut admitted = Vec::new();
+        for sport in [1000u16, 1001, 1002, 1003] {
+            let id = net.reserve_id();
+            assert!(matches!(
+                net.try_admit(id, spec(hl, hr, sport), SimTime::ZERO),
+                AdmitOutcome::Admitted
+            ));
+            admitted.push(id);
+        }
+        net.remove_flow(admitted[1], SimTime::ZERO, false);
+        let order: Vec<FlowId> = net.active_flows().map(|f| f.id).collect();
+        assert_eq!(order, vec![admitted[0], admitted[2], admitted[3]]);
     }
 }

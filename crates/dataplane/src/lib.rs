@@ -6,7 +6,10 @@
 //! its scalability over packet-level simulators (the fs-sdn argument).
 //!
 //! * [`maxmin`] — progressive-filling max-min fair rate allocation with
-//!   per-flow demand caps, full and incremental (affected-component) modes.
+//!   per-flow demand caps (bottleneck-heap implementation, bit-identical
+//!   to the naive filler), full and incremental (affected-component) modes.
+//! * [`slab`] — arena-backed flow storage: generation-checked slab plus
+//!   intrusive per-link membership lists, the engine's hot-path state.
 //! * [`flow`] — flow specifications (CBR vs greedy/TCP demand models,
 //!   finite or open-ended sizes) and resolved routes.
 //! * [`tcp`] — the analytic TCP model: greedy demand, policer degradation
@@ -30,10 +33,12 @@
 pub mod engine;
 pub mod flow;
 pub mod maxmin;
+pub mod slab;
 pub mod stats;
 pub mod tcp;
 
-pub use engine::{AdmitOutcome, FluidConfig, FluidNet};
+pub use engine::{AdmitOutcome, FluidConfig, FluidNet, RateChange};
 pub use flow::{ActiveFlow, DemandModel, FlowSpec, Route, RouteHop};
-pub use maxmin::{max_min_allocate, AllocMode};
+pub use maxmin::{max_min_allocate, max_min_allocate_csr, AllocMode, MaxMinScratch};
+pub use slab::FlowArena;
 pub use stats::{DropRecord, FlowRecord, LinkStats};

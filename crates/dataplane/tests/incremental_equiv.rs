@@ -1,0 +1,140 @@
+//! Property: `AllocMode::Incremental` produces the same rates as
+//! `AllocMode::Full` after **every** event of a randomized admit/remove
+//! scenario — the invariant that makes the A1 ablation a pure performance
+//! comparison rather than a semantics change.
+
+use horse_dataplane::{AdmitOutcome, AllocMode, DemandModel, FlowSpec, FluidConfig, FluidNet};
+use horse_openflow::actions::Instruction;
+use horse_openflow::flow_match::FlowMatch;
+use horse_openflow::messages::{CtrlMsg, FlowMod};
+use horse_openflow::table::FlowEntry;
+use horse_topology::builders;
+use horse_types::{ByteSize, FlowId, FlowKey, MacAddr, NodeId, Rate, SimTime};
+use proptest::prelude::*;
+
+const MEMBERS: usize = 8;
+
+fn star_net(mode: AllocMode) -> (FluidNet, Vec<NodeId>) {
+    let f = builders::star(MEMBERS, Rate::gbps(1.0));
+    let cfg = FluidConfig {
+        alloc_mode: mode,
+        ..FluidConfig::default()
+    };
+    let mut net = FluidNet::new(f.topology, cfg);
+    let hub = f.edges[0];
+    let topo = net.topology().clone();
+    for (_, l) in topo.out_links(hub) {
+        if let Some(host) = topo.node(l.dst).filter(|n| n.kind.is_host()) {
+            net.apply_ctrl(
+                hub,
+                &CtrlMsg::FlowMod(FlowMod::add(FlowEntry::new(
+                    100,
+                    FlowMatch::ANY.with_eth_dst(host.mac().unwrap()),
+                    vec![Instruction::output(l.src_port)],
+                ))),
+                SimTime::ZERO,
+            );
+        }
+    }
+    (net, f.members)
+}
+
+fn mk_spec(
+    topo: &horse_topology::Topology,
+    members: &[NodeId],
+    src: usize,
+    dst: usize,
+    sport: u16,
+    demand: DemandModel,
+    size: Option<ByteSize>,
+) -> FlowSpec {
+    FlowSpec {
+        key: FlowKey::tcp(
+            MacAddr::local_from_id(src as u32 + 1),
+            MacAddr::local_from_id(dst as u32 + 1),
+            topo.node(members[src]).unwrap().ip().unwrap(),
+            topo.node(members[dst]).unwrap().ip().unwrap(),
+            sport,
+            80,
+        ),
+        src: members[src],
+        dst: members[dst],
+        demand,
+        size,
+    }
+}
+
+fn assert_states_agree(full: &FluidNet, inc: &FluidNet, step: usize) {
+    assert_eq!(
+        full.active_flow_count(),
+        inc.active_flow_count(),
+        "step {step}: active flow counts diverged"
+    );
+    for (a, b) in full.active_flows().zip(inc.active_flows()) {
+        assert_eq!(a.id, b.id, "step {step}: flow sets diverged");
+        let (ra, rb) = (a.rate.as_bps(), b.rate.as_bps());
+        assert!(
+            (ra - rb).abs() <= 1e-6 * rb.abs().max(1.0),
+            "step {step}: flow {} rate {} (full) vs {} (incremental)",
+            a.id,
+            ra,
+            rb
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn incremental_matches_full_after_every_event(seed in 1u64..u64::MAX) {
+        let (mut full, members) = star_net(AllocMode::Full);
+        let (mut inc, _) = star_net(AllocMode::Incremental);
+        let topo = full.topology().clone();
+
+        let mut x = seed | 1;
+        let mut rnd = move || { x ^= x << 13; x ^= x >> 7; x ^= x << 17; x };
+        let mut active: Vec<FlowId> = Vec::new();
+        let mut sport = 1000u16;
+
+        for step in 0..60usize {
+            let t = SimTime::from_millis(step as u64);
+            let admit = active.is_empty() || rnd() % 3 != 0;
+            if admit {
+                let src = (rnd() % MEMBERS as u64) as usize;
+                let mut dst = (rnd() % MEMBERS as u64) as usize;
+                if dst == src {
+                    dst = (dst + 1) % MEMBERS;
+                }
+                let demand = if rnd() % 4 == 0 {
+                    DemandModel::Cbr(Rate::mbps((50 + rnd() % 400) as f64))
+                } else {
+                    DemandModel::Greedy
+                };
+                let size = if rnd() % 3 == 0 { None } else { Some(ByteSize::mib(32)) };
+                sport = sport.wrapping_add(1);
+                let id_f = full.reserve_id();
+                let id_i = inc.reserve_id();
+                prop_assert_eq!(id_f, id_i, "id streams must stay aligned");
+                let s = mk_spec(&topo, &members, src, dst, sport, demand, size);
+                let of = full.try_admit(id_f, s.clone(), t);
+                let oi = inc.try_admit(id_i, s, t);
+                match (&of, &oi) {
+                    (AdmitOutcome::Admitted, AdmitOutcome::Admitted) => active.push(id_f),
+                    (AdmitOutcome::Dropped(_), AdmitOutcome::Dropped(_)) => {}
+                    _ => prop_assert!(false, "step {}: admit outcomes diverged", step),
+                }
+            } else {
+                let idx = (rnd() % active.len() as u64) as usize;
+                let id = active.swap_remove(idx);
+                let rf = full.remove_flow(id, t, true);
+                let ri = inc.remove_flow(id, t, true);
+                prop_assert_eq!(rf.is_some(), ri.is_some());
+            }
+            full.reallocate(t);
+            inc.reallocate(t);
+            assert_states_agree(&full, &inc, step);
+        }
+        prop_assert!(full.realloc_flows_touched >= inc.realloc_flows_touched,
+            "incremental must never touch more flows than full");
+    }
+}

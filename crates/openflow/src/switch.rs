@@ -327,13 +327,23 @@ impl OpenFlowSwitch {
     ///
     /// [`classify`]: OpenFlowSwitch::classify
     pub fn commit_classification(&mut self, res: &PipelineResult, now: SimTime) {
-        if res.matched.is_empty() {
+        self.commit_matched(&res.matched, now);
+    }
+
+    /// Like [`commit_classification`], but takes the matched-entry trail
+    /// directly by borrow — the fluid engine's admission path commits from
+    /// stored route hops without rebuilding (or cloning into) a
+    /// [`PipelineResult`].
+    ///
+    /// [`commit_classification`]: OpenFlowSwitch::commit_classification
+    pub fn commit_matched(&mut self, matched: &[(TableId, u16, FlowMatch, u64)], now: SimTime) {
+        if matched.is_empty() {
             if let Some(t0) = self.tables.get_mut(0) {
                 t0.counters.lookups += 1;
             }
             return;
         }
-        for (t, prio, m, _) in &res.matched {
+        for (t, prio, m, _) in matched {
             if let Some(table) = self.tables.get_mut(t.0 as usize) {
                 table.counters.lookups += 1;
                 table.counters.matches += 1;

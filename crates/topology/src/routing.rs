@@ -89,15 +89,6 @@ impl PartialOrd for QueueEntry {
 /// Dijkstra from `src`, honouring link state and an optional ban-list of
 /// links/nodes (used by Yen's spur computation). Returns per-node best cost
 /// and the incoming link on the best path.
-fn dijkstra(
-    topo: &Topology,
-    src: NodeId,
-    banned_links: &HashSet<LinkId>,
-    banned_nodes: &HashSet<NodeId>,
-) -> (HashMap<NodeId, u64>, HashMap<NodeId, LinkId>) {
-    dijkstra_metric(topo, src, Metric::Hops, banned_links, banned_nodes)
-}
-
 fn dijkstra_metric(
     topo: &Topology,
     src: NodeId,
@@ -167,6 +158,96 @@ fn extract_path(
     })
 }
 
+/// A single-source shortest-path tree: per-node best cost plus the
+/// deterministic incoming link, computed once and queried for every
+/// destination. Bulk consumers (the control plane's path database builds
+/// next-hops and ECMP sets for *every* host from *every* switch) share one
+/// tree per source instead of re-running Dijkstra per pair — identical
+/// results, orders of magnitude less work.
+pub struct SsspTree {
+    src: NodeId,
+    metric: Metric,
+    dist: HashMap<NodeId, u64>,
+    prev: HashMap<NodeId, LinkId>,
+}
+
+/// Computes the shortest-path tree from `src` under `metric` (honouring
+/// link state, like every algorithm here).
+pub fn sssp(topo: &Topology, src: NodeId, metric: Metric) -> SsspTree {
+    let (dist, prev) = dijkstra_metric(topo, src, metric, &HashSet::new(), &HashSet::new());
+    SsspTree {
+        src,
+        metric,
+        dist,
+        prev,
+    }
+}
+
+impl SsspTree {
+    /// The tree's source node.
+    pub fn src(&self) -> NodeId {
+        self.src
+    }
+
+    /// Best-path cost to `dst`, if reachable.
+    pub fn cost_to(&self, dst: NodeId) -> Option<u64> {
+        self.dist.get(&dst).copied()
+    }
+
+    /// The minimum-cost path to `dst` — exactly what
+    /// [`shortest_path`] returns for the same endpoints.
+    pub fn path_to(&self, topo: &Topology, dst: NodeId) -> Option<Path> {
+        if dst == self.src {
+            return Some(Path {
+                nodes: vec![self.src],
+                links: vec![],
+            });
+        }
+        self.dist.get(&dst)?;
+        extract_path(topo, self.src, dst, &self.prev)
+    }
+
+    /// Every minimum-hop path to `dst`, up to `max_paths` — exactly what
+    /// [`ecmp_paths`] returns for the same endpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the tree was built with [`Metric::Hops`]: the DAG
+    /// membership test is `dist + 1`, which is meaningless for weighted
+    /// metrics, and returning silently-wrong path sets would be worse
+    /// than refusing.
+    pub fn ecmp_paths_to(&self, topo: &Topology, dst: NodeId, max_paths: usize) -> Vec<Path> {
+        assert_eq!(self.metric, Metric::Hops, "ECMP enumerates hop DAGs");
+        if max_paths == 0 {
+            return vec![];
+        }
+        if dst == self.src {
+            return vec![Path {
+                nodes: vec![self.src],
+                links: vec![],
+            }];
+        }
+        let Some(&best) = self.dist.get(&dst) else {
+            return vec![];
+        };
+        let mut out = Vec::new();
+        let mut stack_nodes = vec![self.src];
+        let mut stack_links: Vec<LinkId> = vec![];
+        ecmp_dfs(
+            topo,
+            self.src,
+            dst,
+            best,
+            &self.dist,
+            &mut stack_nodes,
+            &mut stack_links,
+            &mut out,
+            max_paths,
+        );
+        out
+    }
+}
+
 /// The minimum-cost path from `src` to `dst`, or `None` if unreachable.
 pub fn shortest_path(topo: &Topology, src: NodeId, dst: NodeId, metric: Metric) -> Option<Path> {
     if src == dst {
@@ -175,14 +256,15 @@ pub fn shortest_path(topo: &Topology, src: NodeId, dst: NodeId, metric: Metric) 
             links: vec![],
         });
     }
-    let (dist, prev) = dijkstra_metric(topo, src, metric, &HashSet::new(), &HashSet::new());
-    dist.get(&dst)?;
-    extract_path(topo, src, dst, &prev)
+    sssp(topo, src, metric).path_to(topo, dst)
 }
 
 /// Every minimum-hop path from `src` to `dst`, up to `max_paths`, in a
 /// deterministic order. This is the path set an ECMP select-group spreads
 /// flows over.
+///
+/// The enumeration walks the shortest-path DAG forward: edges with
+/// `dist[u] + 1 == dist[v]` lie on some minimum-hop path, pruned at `dst`.
 pub fn ecmp_paths(topo: &Topology, src: NodeId, dst: NodeId, max_paths: usize) -> Vec<Path> {
     if max_paths == 0 {
         return vec![];
@@ -193,85 +275,62 @@ pub fn ecmp_paths(topo: &Topology, src: NodeId, dst: NodeId, max_paths: usize) -
             links: vec![],
         }];
     }
-    // Distances *to* dst: run Dijkstra backwards over reverse adjacency by
-    // computing forward distances from src and from each node... simpler and
-    // still correct: compute dist-from-src, then DFS forward along edges that
-    // lie on some shortest path (dist[u] + 1 == dist[v]), pruning at dst.
-    let (dist, _) = dijkstra(topo, src, &HashSet::new(), &HashSet::new());
-    let Some(&best) = dist.get(&dst) else {
-        return vec![];
-    };
-    let mut out = Vec::new();
-    let mut stack_nodes = vec![src];
-    let mut stack_links: Vec<LinkId> = vec![];
+    sssp(topo, src, Metric::Hops).ecmp_paths_to(topo, dst, max_paths)
+}
 
-    #[allow(clippy::too_many_arguments)] // recursion state, not an API
-    fn dfs(
-        topo: &Topology,
-        cur: NodeId,
-        dst: NodeId,
-        best: u64,
-        dist: &HashMap<NodeId, u64>,
-        stack_nodes: &mut Vec<NodeId>,
-        stack_links: &mut Vec<LinkId>,
-        out: &mut Vec<Path>,
-        max_paths: usize,
-    ) {
-        if out.len() >= max_paths {
-            return;
-        }
-        if cur == dst {
-            out.push(Path {
-                nodes: stack_nodes.clone(),
-                links: stack_links.clone(),
-            });
-            return;
-        }
-        let d_cur = *dist.get(&cur).unwrap_or(&u64::MAX);
-        if d_cur >= best {
-            return;
-        }
-        let mut edges: Vec<(LinkId, NodeId)> = topo
-            .out_links(cur)
-            .filter(|(_, l)| l.is_up())
-            .map(|(id, l)| (id, l.dst))
-            .collect();
-        edges.sort_by_key(|(id, _)| *id);
-        for (lid, nxt) in edges {
-            if let Some(&d_nxt) = dist.get(&nxt) {
-                if d_nxt == d_cur + 1 && d_nxt <= best {
-                    stack_nodes.push(nxt);
-                    stack_links.push(lid);
-                    dfs(
-                        topo,
-                        nxt,
-                        dst,
-                        best,
-                        dist,
-                        stack_nodes,
-                        stack_links,
-                        out,
-                        max_paths,
-                    );
-                    stack_nodes.pop();
-                    stack_links.pop();
-                }
+#[allow(clippy::too_many_arguments)] // recursion state, not an API
+fn ecmp_dfs(
+    topo: &Topology,
+    cur: NodeId,
+    dst: NodeId,
+    best: u64,
+    dist: &HashMap<NodeId, u64>,
+    stack_nodes: &mut Vec<NodeId>,
+    stack_links: &mut Vec<LinkId>,
+    out: &mut Vec<Path>,
+    max_paths: usize,
+) {
+    if out.len() >= max_paths {
+        return;
+    }
+    if cur == dst {
+        out.push(Path {
+            nodes: stack_nodes.clone(),
+            links: stack_links.clone(),
+        });
+        return;
+    }
+    let d_cur = *dist.get(&cur).unwrap_or(&u64::MAX);
+    if d_cur >= best {
+        return;
+    }
+    let mut edges: Vec<(LinkId, NodeId)> = topo
+        .out_links(cur)
+        .filter(|(_, l)| l.is_up())
+        .map(|(id, l)| (id, l.dst))
+        .collect();
+    edges.sort_by_key(|(id, _)| *id);
+    for (lid, nxt) in edges {
+        if let Some(&d_nxt) = dist.get(&nxt) {
+            if d_nxt == d_cur + 1 && d_nxt <= best {
+                stack_nodes.push(nxt);
+                stack_links.push(lid);
+                ecmp_dfs(
+                    topo,
+                    nxt,
+                    dst,
+                    best,
+                    dist,
+                    stack_nodes,
+                    stack_links,
+                    out,
+                    max_paths,
+                );
+                stack_nodes.pop();
+                stack_links.pop();
             }
         }
     }
-
-    dfs(
-        topo,
-        src,
-        dst,
-        best,
-        &dist,
-        &mut stack_nodes,
-        &mut stack_links,
-        &mut out,
-        max_paths,
-    );
-    out
 }
 
 /// Yen's k-shortest loop-free paths (by `metric`), deterministic.
