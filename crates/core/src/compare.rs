@@ -11,6 +11,21 @@
 //!
 //! The packet plane needs proactive rules (reactive misses drop packets),
 //! so comparisons run with proactive policy specs (MAC forwarding / LB).
+//!
+//! ## Hybrid vs. this offline comparison
+//!
+//! This module runs the two engines **separately, one after the other**,
+//! over identical inputs — use it to *quantify the fluid abstraction's
+//! error* (accuracy sweeps, regression benches, the paper's E3 table).
+//! When you instead need packet-level answers for a handful of flows
+//! *inside* a large fluid scenario — their FCTs and losses under
+//! realistic background, at a fraction of the full packet-level cost —
+//! reach for the hybrid co-simulation ([`crate::hybrid`]): tag the
+//! foreground flows with [`Fidelity::Packet`](horse_dataplane::Fidelity)
+//! (or set [`Scenario::packet_foreground`]) and both fidelities run in
+//! **one** simulation, coupled at shared links, under one controller.
+//! Rule of thumb: offline comparison to *validate* the abstraction,
+//! hybrid to *use* packet fidelity surgically in production scenarios.
 
 use crate::config::SimConfig;
 use crate::scenario::Scenario;
@@ -19,7 +34,6 @@ use horse_controlplane::PolicyGenerator;
 use horse_dataplane::{DemandModel, FlowSpec};
 use horse_monitoring::series::{summarize, Summary};
 use horse_packetsim::engine::{PacketNet, PacketSimConfig, PktFlowSpec};
-use horse_packetsim::source::{SourceKind, TcpState};
 use horse_types::{Rate, SimDuration, SimTime};
 use std::collections::HashMap;
 
@@ -182,22 +196,9 @@ pub fn compare_planes(scenario: &Scenario, config: SimConfig) -> AccuracyReport 
 }
 
 /// Converts a fluid-plane spec to a packet-plane spec (sized flows only).
+/// Shared with the hybrid driver so both paths build identical sources.
 fn pkt_spec(f: &FlowSpec, at: SimTime) -> Option<PktFlowSpec> {
-    let size = f.size?;
-    let source = match f.demand {
-        DemandModel::Greedy => SourceKind::Tcp(TcpState::new()),
-        DemandModel::Cbr(r) => SourceKind::Cbr {
-            rate_bps: r.as_bps(),
-        },
-    };
-    Some(PktFlowSpec {
-        key: f.key,
-        src: f.src,
-        dst: f.dst,
-        size,
-        start: at,
-        source,
-    })
+    crate::hybrid::pkt_flow_spec(f, at)
 }
 
 /// Materializes `n` workload arrivals into a scenario's explicit flow list

@@ -25,6 +25,12 @@ pub struct SimConfig {
     pub admit_retry_limit: u32,
     /// Congestion alarm threshold for the collector (utilization 0–1).
     pub alarm_threshold: Option<f64>,
+    /// Hybrid coupling floor: a packet serializer always drains at at
+    /// least this fraction of link capacity even while the fluid
+    /// allocator momentarily holds the whole link — the live-lock guard
+    /// for the window between a port going busy and the next coupling
+    /// point. Irrelevant to pure fluid runs.
+    pub hybrid_min_drain_frac: f64,
 }
 
 impl Default for SimConfig {
@@ -37,6 +43,7 @@ impl Default for SimConfig {
             expiry_scan: Some(SimDuration::from_secs(1)),
             admit_retry_limit: 8,
             alarm_threshold: None,
+            hybrid_min_drain_frac: 0.05,
         }
     }
 }
@@ -66,6 +73,18 @@ impl SimConfig {
     /// Builder: set the stats epoch.
     pub fn with_stats_epoch(mut self, d: Option<SimDuration>) -> Self {
         self.stats_epoch = d;
+        self
+    }
+
+    /// Builder: set the flow-entry expiry scan period.
+    pub fn with_expiry_scan(mut self, d: Option<SimDuration>) -> Self {
+        self.expiry_scan = d;
+        self
+    }
+
+    /// Builder: set the hybrid coupling floor (fraction of capacity).
+    pub fn with_hybrid_min_drain_frac(mut self, f: f64) -> Self {
+        self.hybrid_min_drain_frac = f.clamp(0.0, 1.0);
         self
     }
 }

@@ -6,6 +6,7 @@
 
 use horse_dataplane::FlowSpec;
 use horse_openflow::messages::{CtrlMsg, SwitchMsg};
+use horse_packetsim::PktEvent;
 use horse_types::{FlowId, LinkId, NodeId};
 
 /// Everything that can happen in a Horse simulation.
@@ -58,4 +59,7 @@ pub enum SimEvent {
     StatsEpoch,
     /// Periodic flow-entry timeout scan.
     ExpiryScan,
+    /// A packet-plane event of the hybrid co-simulation (only scheduled
+    /// when packet-fidelity flows are present).
+    Pkt(PktEvent),
 }

@@ -50,14 +50,16 @@
 pub mod compare;
 pub mod config;
 pub mod event;
+pub mod hybrid;
 pub mod results;
 pub mod scenario;
 pub mod sim;
 
 pub use compare::{compare_planes, AccuracyReport};
 pub use config::SimConfig;
+pub use hybrid::HybridNet;
 pub use results::SimResults;
-pub use scenario::{IxpScenarioParams, Scenario};
+pub use scenario::{FidelityMode, IxpScenarioParams, Scenario};
 pub use sim::Simulation;
 
 // Re-export the component crates under stable names.
@@ -74,11 +76,12 @@ pub use horse_workloads as workloads;
 /// Convenient glob import for examples and tests.
 pub mod prelude {
     pub use crate::config::SimConfig;
+    pub use crate::hybrid::HybridNet;
     pub use crate::results::SimResults;
-    pub use crate::scenario::{IxpScenarioParams, Scenario};
+    pub use crate::scenario::{FidelityMode, IxpScenarioParams, Scenario};
     pub use crate::sim::Simulation;
     pub use horse_controlplane::{Controller, LbMode, PolicyRule, PolicySpec};
-    pub use horse_dataplane::{AllocMode, DemandModel, FlowSpec};
+    pub use horse_dataplane::{AllocMode, DemandModel, Fidelity, FlowSpec};
     pub use horse_topology::builders::{self, IxpFabricParams};
     pub use horse_topology::Topology;
     pub use horse_types::{

@@ -40,6 +40,11 @@ pub struct SimResults {
     pub realloc_runs: u64,
     /// Total flows touched across allocator runs.
     pub realloc_flows_touched: u64,
+    /// Packet-fidelity flows in the hybrid co-simulation (0 in a pure
+    /// fluid run).
+    pub pkt_flows: u64,
+    /// FCT summary of completed packet-fidelity (foreground) flows.
+    pub fct_foreground: Summary,
     /// The monitoring collector (epoch reports, per-link series, alarms).
     pub collector: StatsCollector,
 }
@@ -137,6 +142,8 @@ mod tests {
             flow_ins: 5,
             realloc_runs: 18,
             realloc_flows_touched: 40,
+            pkt_flows: 0,
+            fct_foreground: Summary::default(),
             collector: StatsCollector::new(),
         }
     }

@@ -1,7 +1,7 @@
 //! Scenarios: topology + policies + workload + failure schedule.
 
 use horse_controlplane::PolicySpec;
-use horse_dataplane::{DemandModel, FlowSpec};
+use horse_dataplane::{DemandModel, Fidelity, FlowSpec};
 use horse_topology::builders::{self, FabricHandles, IxpFabricParams};
 use horse_topology::{Topology, TopologySpec};
 use horse_types::{AppClass, ByteSize, FlowKey, LinkId, NodeId, Rate, SimTime};
@@ -26,6 +26,11 @@ pub struct Scenario {
     pub failures: Vec<(SimTime, LinkId, bool)>,
     /// Simulation horizon.
     pub horizon: SimTime,
+    /// Hybrid foreground: the first `packet_foreground` workload arrivals
+    /// are admitted at packet fidelity (0 = pure fluid workload;
+    /// `usize::MAX` = every workload arrival at packet fidelity).
+    /// Explicit flows carry their own [`FlowSpec::fidelity`] tag.
+    pub packet_foreground: usize,
 }
 
 impl Scenario {
@@ -40,6 +45,7 @@ impl Scenario {
             explicit_flows: Vec::new(),
             failures: Vec::new(),
             horizon,
+            packet_foreground: 0,
         }
     }
 
@@ -73,6 +79,7 @@ impl Scenario {
             dst,
             demand,
             size,
+            fidelity: Fidelity::Fluid,
         })
     }
 
@@ -106,6 +113,7 @@ impl Scenario {
             failures: Vec::new(),
             horizon,
             topology,
+            packet_foreground: 0,
         }
     }
 
@@ -131,6 +139,7 @@ impl Scenario {
             explicit_flows: Vec::new(),
             failures: Vec::new(),
             horizon: params.horizon,
+            packet_foreground: 0,
         }
     }
 }
@@ -148,6 +157,8 @@ struct ScenarioRepr {
     explicit_flows: Vec<(SimTime, FlowSpec)>,
     failures: Vec<(SimTime, LinkId, bool)>,
     horizon: SimTime,
+    #[serde(default)]
+    packet_foreground: usize,
 }
 
 impl Serialize for Scenario {
@@ -160,6 +171,7 @@ impl Serialize for Scenario {
             explicit_flows: self.explicit_flows.clone(),
             failures: self.failures.clone(),
             horizon: self.horizon,
+            packet_foreground: self.packet_foreground,
         }
         .to_value()
     }
@@ -207,7 +219,38 @@ impl Deserialize for Scenario {
             explicit_flows: repr.explicit_flows,
             failures: repr.failures,
             horizon: repr.horizon,
+            packet_foreground: repr.packet_foreground,
         })
+    }
+}
+
+/// Scenario-level fidelity mode — how the canned scenario families (and
+/// the lab's sweep specs) pick per-flow fidelities. Lowered onto
+/// [`Scenario::packet_foreground`] by the builders.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum FidelityMode {
+    /// Every flow at fluid fidelity (the classic Horse abstraction).
+    #[default]
+    Fluid,
+    /// A packet-fidelity foreground over a fluid background (the hybrid
+    /// co-simulation): the first `foreground_flows` workload arrivals run
+    /// packet-level.
+    Hybrid,
+    /// Every workload arrival at packet fidelity (the ns-3-class
+    /// baseline, orders of magnitude more events).
+    Packet,
+}
+
+impl FidelityMode {
+    /// The [`Scenario::packet_foreground`] value this mode lowers to,
+    /// given the hybrid foreground size.
+    pub fn foreground(self, foreground_flows: usize) -> usize {
+        match self {
+            FidelityMode::Fluid => 0,
+            FidelityMode::Hybrid => foreground_flows,
+            FidelityMode::Packet => usize::MAX,
+        }
     }
 }
 

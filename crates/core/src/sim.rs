@@ -17,14 +17,17 @@
 
 use crate::config::SimConfig;
 use crate::event::SimEvent;
+use crate::hybrid::{pkt_flow_spec, HybridNet};
 use crate::results::SimResults;
 use crate::scenario::Scenario;
 use horse_controlplane::{Controller, ControllerCtx, Outbox, PolicyGenerator};
 use horse_dataplane::stats::DropCause;
-use horse_dataplane::{AdmitOutcome, DemandModel, FlowSpec, FluidNet, RateChange};
+use horse_dataplane::{AdmitOutcome, DemandModel, Fidelity, FlowSpec, FluidNet, RateChange};
 use horse_events::EventQueue;
 use horse_monitoring::collector::StatsCollector;
+use horse_monitoring::series::summarize;
 use horse_openflow::messages::SwitchMsg;
+use horse_packetsim::PktEvent;
 use horse_types::{ByteSize, FlowId, NodeId, SimDuration, SimTime};
 use horse_workloads::{DemandKind, FlowGenerator};
 use std::collections::HashMap;
@@ -50,6 +53,9 @@ impl std::error::Error for BuildError {}
 /// The Horse simulator (see module docs).
 pub struct Simulation {
     fluid: FluidNet,
+    /// The packet half of the hybrid co-simulation; only materializes
+    /// when packet-fidelity flows exist (see [`crate::hybrid`]).
+    hybrid: Option<Box<HybridNet>>,
     controller: Box<dyn Controller>,
     queue: EventQueue<SimEvent>,
     config: SimConfig,
@@ -73,6 +79,10 @@ pub struct Simulation {
 struct WorkloadAdapter {
     generator: FlowGenerator,
     members: Vec<NodeId>,
+    /// The first `packet_foreground` emitted arrivals get
+    /// [`Fidelity::Packet`] — the scenario's hybrid foreground.
+    packet_foreground: usize,
+    emitted: usize,
 }
 
 impl WorkloadAdapter {
@@ -107,6 +117,12 @@ impl WorkloadAdapter {
                 DemandKind::Greedy => DemandModel::Greedy,
                 DemandKind::Cbr(bps) => DemandModel::Cbr(horse_types::Rate::bps(bps)),
             };
+            let fidelity = if self.emitted < self.packet_foreground {
+                Fidelity::Packet
+            } else {
+                Fidelity::Fluid
+            };
+            self.emitted += 1;
             return Some((
                 a.at,
                 FlowSpec {
@@ -115,6 +131,7 @@ impl WorkloadAdapter {
                     dst,
                     demand,
                     size: Some(ByteSize::bytes(a.size_bytes)),
+                    fidelity,
                 },
             ));
         }
@@ -160,13 +177,27 @@ impl Simulation {
         let workload = scenario.workload.as_ref().map(|params| WorkloadAdapter {
             generator: FlowGenerator::new(params.clone()),
             members: scenario.members.clone(),
+            packet_foreground: scenario.packet_foreground,
+            emitted: 0,
         });
         let mut collector = StatsCollector::new();
         if let Some(th) = config.alarm_threshold {
             collector = collector.with_alarm_threshold(th);
         }
+        // The packet half attaches up front when the scenario declares
+        // packet-fidelity traffic (explicit tags or a workload
+        // foreground); otherwise it materializes lazily on the first
+        // packet-fidelity injection.
+        let wants_hybrid = (scenario.packet_foreground > 0 && scenario.workload.is_some())
+            || scenario
+                .explicit_flows
+                .iter()
+                .any(|(_, s)| s.fidelity.is_packet());
+        let hybrid =
+            wants_hybrid.then(|| Box::new(HybridNet::new(fluid.topology().link_count(), &config)));
         Simulation {
             fluid,
+            hybrid,
             controller,
             queue,
             config,
@@ -187,6 +218,24 @@ impl Simulation {
     /// Read access to the fluid plane (inspection in tests/examples).
     pub fn fluid(&self) -> &FluidNet {
         &self.fluid
+    }
+
+    /// Read access to the hybrid packet half, if any packet-fidelity
+    /// traffic exists.
+    pub fn hybrid(&self) -> Option<&HybridNet> {
+        self.hybrid.as_deref()
+    }
+
+    /// Attaches the hybrid machinery up front even without packet-fidelity
+    /// flows (the degenerate-equivalence tests pin down that doing so is
+    /// byte-identical to a pure fluid run).
+    pub fn enable_hybrid(&mut self) {
+        if self.hybrid.is_none() {
+            self.hybrid = Some(Box::new(HybridNet::new(
+                self.fluid.topology().link_count(),
+                &self.config,
+            )));
+        }
     }
 
     /// Current simulated time.
@@ -327,6 +376,12 @@ impl Simulation {
     /// slice of its scratch; it is copied into a reused buffer so the
     /// queue can be scheduled against while iterating.
     fn reallocate(&mut self, now: SimTime) {
+        // Piggybacked hybrid coupling point: refresh the packet plane's
+        // per-link demands before the allocator runs (no-op without
+        // watched links, so pure fluid runs are untouched).
+        if let Some(h) = self.hybrid.as_mut() {
+            h.recouple(now, &mut self.fluid);
+        }
         self.realloc_buf.clear();
         self.realloc_buf
             .extend_from_slice(self.fluid.reallocate(now));
@@ -375,9 +430,28 @@ impl Simulation {
                 spec,
                 from_workload,
             } => {
-                let id = self.fluid.reserve_id();
-                self.admit(id, spec, 0, now, now);
-                self.reallocate(now);
+                if spec.fidelity.is_packet() && spec.size.is_some() {
+                    // Packet-fidelity foreground: into the packet half of
+                    // the co-simulation (fluid state is untouched, so no
+                    // reallocation happens here — coupling starts when
+                    // its first packet hits a serializer).
+                    let id = self.fluid.reserve_id();
+                    if self.hybrid.is_none() {
+                        self.enable_hybrid();
+                    }
+                    let h = self.hybrid.as_mut().expect("hybrid enabled above");
+                    let pkt = pkt_flow_spec(&spec, now).expect("sized flow converts");
+                    let idx = h.admit(id, pkt);
+                    self.queue
+                        .schedule_at(now, SimEvent::Pkt(PktEvent::Start(idx)));
+                    self.flows_admitted += 1;
+                } else {
+                    // Open-ended flows cannot run at packet fidelity
+                    // (packet sources are finite); they stay fluid.
+                    let id = self.fluid.reserve_id();
+                    self.admit(id, spec, 0, now, now);
+                    self.reallocate(now);
+                }
                 if from_workload {
                     self.schedule_next_workload_arrival();
                 }
@@ -476,21 +550,50 @@ impl Simulation {
                     }
                 }
             }
+            SimEvent::Pkt(ev) => {
+                let step = {
+                    let h = self
+                        .hybrid
+                        .as_mut()
+                        .expect("packet events only exist with the hybrid half");
+                    h.handle_pkt(now, ev, &mut self.fluid, &mut self.queue, &self.config)
+                };
+                self.flows_completed += step.finished;
+                if step.needs_realloc {
+                    // Serializer busy/idle transition: re-couple and let
+                    // the fluid allocator redistribute around the new
+                    // packet load.
+                    self.reallocate(now);
+                }
+            }
         }
     }
 
     fn build_results(&mut self, wall_seconds: f64) -> SimResults {
         let records = self.fluid.records();
+        // Completed packet-fidelity flows were pushed into the fluid
+        // plane's records as they finished, so the FCT/goodput summaries
+        // and the CSV exports cover both planes uniformly; only the
+        // still-active remainder needs explicit merging here.
         let (fct, goodput) = SimResults::summarize_records(records);
-        let bytes_delivered = self.fluid.total_bytes_delivered();
+        let mut bytes_delivered = self.fluid.total_bytes_delivered();
         let bytes_dropped: f64 = records.iter().map(|r| r.dropped_bytes).sum();
+        let mut flows_active_at_end = self.fluid.active_flow_count() as u64;
+        let mut pkt_flows = 0;
+        let mut fct_foreground = horse_monitoring::series::Summary::default();
+        if let Some(h) = self.hybrid.as_ref() {
+            bytes_delivered += h.unfinished_delivered_bytes();
+            flows_active_at_end += h.active_count() as u64;
+            pkt_flows = h.flow_count() as u64;
+            fct_foreground = summarize(h.completed_fcts());
+        }
         SimResults {
             sim_time: self.horizon,
             wall_seconds,
             events: self.events,
             flows_admitted: self.flows_admitted,
             flows_completed: self.flows_completed,
-            flows_active_at_end: self.fluid.active_flow_count() as u64,
+            flows_active_at_end,
             flows_dropped: self.fluid.drops().len() as u64,
             bytes_delivered,
             bytes_dropped,
@@ -501,6 +604,8 @@ impl Simulation {
             flow_ins: self.flow_ins,
             realloc_runs: self.fluid.realloc_runs,
             realloc_flows_touched: self.fluid.realloc_flows_touched,
+            pkt_flows,
+            fct_foreground,
             collector: std::mem::take(&mut self.collector),
         }
     }

@@ -143,6 +143,11 @@ struct ReallocScratch {
     /// Dense problem: CSR flow → link adjacency.
     fl_off: Vec<u32>,
     fl_links: Vec<u32>,
+    /// Raw link index of each dense problem link (aligned with `caps`).
+    problem_links: Vec<u32>,
+    /// Raw link index of each appended virtual external-demand flow
+    /// (aligned with the tail of `demands` past the real flows).
+    ext_links: Vec<u32>,
     /// Allocator output.
     rates: Vec<f64>,
     /// Rate changes reported to the caller (borrowed out of `reallocate`).
@@ -168,6 +173,20 @@ pub struct FluidNet {
     dirty_links: Vec<LinkId>,
     dirty_stamp: Vec<u64>,
     dirty_epoch: u64,
+    /// Per-link demand (bps) of an external co-simulated plane — the
+    /// hybrid packet plane's serialization load. A nonzero entry makes the
+    /// allocator water-fill a *virtual single-link flow* with that demand
+    /// (`f64::INFINITY` = backlogged serializer claiming a full fair
+    /// share), so fluid flows water-fill over the residual capacity and
+    /// the packet aggregate receives a max-min-fair grant instead of
+    /// either plane starving the other. All-zero in a pure fluid run, in
+    /// which case no virtual flow is ever appended and the allocation
+    /// problem is bit-identical to a build without the hybrid machinery.
+    external_demand: Vec<f64>,
+    /// The rate (bps) the last allocation granted each link's external
+    /// aggregate (stale for links outside the recomputed component —
+    /// their state did not change).
+    external_granted: Vec<f64>,
     scratch: ReallocScratch,
     /// Number of allocator runs (exported with results; ablation metric).
     pub realloc_runs: u64,
@@ -202,6 +221,8 @@ impl FluidNet {
             dirty_links: Vec::new(),
             dirty_stamp: vec![0; nl],
             dirty_epoch: 1,
+            external_demand: vec![0.0; nl],
+            external_granted: vec![0.0; nl],
             scratch: ReallocScratch {
                 link_idx: vec![(0, 0); nl],
                 link_stamp: vec![0; nl],
@@ -410,6 +431,55 @@ impl FluidNet {
                 AdmitOutcome::Dropped(DropCause::NoRoute)
             }
         }
+    }
+
+    /// Sets the demand (bps) an external co-simulated plane offers on a
+    /// link; `f64::INFINITY` marks a backlogged serializer that should
+    /// receive a full max-min fair share. Marks the link dirty so the
+    /// next incremental reallocation picks up the change. Returns the
+    /// previous demand.
+    pub fn set_external_demand(&mut self, link: LinkId, bps: f64) -> f64 {
+        let slot = &mut self.external_demand[link.index()];
+        let prev = *slot;
+        *slot = bps.max(0.0);
+        if prev != *slot {
+            self.mark_dirty(link);
+        }
+        prev
+    }
+
+    /// The demand (bps) currently registered on a link by an external
+    /// plane.
+    pub fn external_demand(&self, link: LinkId) -> f64 {
+        self.external_demand[link.index()]
+    }
+
+    /// The rate the last allocation granted a link's external aggregate
+    /// (0 until the link first appears in a recomputed problem).
+    pub fn external_granted(&self, link: LinkId) -> f64 {
+        self.external_granted[link.index()]
+    }
+
+    /// Split borrow for a co-simulated packet plane: topology (shared,
+    /// read-only), the OpenFlow switches (shared pipeline, mutable for
+    /// classification side effects) and the live per-link statistics
+    /// (whose `current_rate_bps` is the fluid load the packet serializers
+    /// drain around).
+    pub fn packet_plane_parts(
+        &mut self,
+    ) -> (
+        &Topology,
+        &mut HashMap<NodeId, OpenFlowSwitch>,
+        &[LinkStats],
+    ) {
+        (&self.topo, &mut self.switches, &self.link_stats)
+    }
+
+    /// Appends a completion record produced outside the fluid mechanics
+    /// (the hybrid driver records packet-fidelity flows here so results
+    /// and exports cover both planes uniformly).
+    pub fn push_external_record(&mut self, record: FlowRecord) {
+        self.records.push(record);
     }
 
     /// Records a drop for a flow the *caller* gave up on (e.g. controller
@@ -680,6 +750,8 @@ impl FluidNet {
         scratch.demands.clear();
         scratch.fl_off.clear();
         scratch.fl_links.clear();
+        scratch.problem_links.clear();
+        scratch.ext_links.clear();
         for &slot in &scratch.ids {
             let flow = self.flows.flow_at(slot);
             scratch.fl_off.push(scratch.fl_links.len() as u32);
@@ -698,11 +770,26 @@ impl FluidNet {
                         })
                         .unwrap_or(0.0);
                     scratch.caps.push(cap);
+                    scratch.problem_links.push(l.index() as u32);
                     *entry = (gen, (scratch.caps.len() - 1) as u32);
                 }
                 scratch.fl_links.push(entry.1);
             }
             scratch.demands.push(flow.effective_demand());
+        }
+        // Hybrid coupling: every problem link carrying external (packet
+        // plane) load contributes one virtual single-link flow, so the
+        // packet aggregate takes part in the same water-filling instead of
+        // being carved out of capacity. No external demand (the pure
+        // fluid case) appends nothing and the problem is unchanged.
+        for (dense, &li) in scratch.problem_links.iter().enumerate() {
+            let d = self.external_demand[li as usize];
+            if d > 0.0 {
+                scratch.fl_off.push(scratch.fl_links.len() as u32);
+                scratch.fl_links.push(dense as u32);
+                scratch.demands.push(d);
+                scratch.ext_links.push(li);
+            }
         }
         scratch.fl_off.push(scratch.fl_links.len() as u32);
 
@@ -741,6 +828,12 @@ impl FluidNet {
                 }
                 scratch.changes.push(change);
             }
+        }
+        // Record the grants handed to the external (packet) aggregates;
+        // their rates sit past the real flows in the allocator output.
+        let n_real = scratch.ids.len();
+        for (k, &li) in scratch.ext_links.iter().enumerate() {
+            self.external_granted[li as usize] = scratch.rates[n_real + k];
         }
         &scratch.changes
     }
@@ -953,6 +1046,7 @@ mod tests {
             dst,
             demand: DemandModel::Greedy,
             size: Some(ByteSize::mib(10)),
+            fidelity: Default::default(),
         }
     }
 
@@ -1279,6 +1373,7 @@ mod tests {
             dst: f.members[dst],
             demand: DemandModel::Greedy,
             size: None,
+            fidelity: Default::default(),
         };
         let a = net.reserve_id();
         assert!(matches!(

@@ -32,6 +32,30 @@ impl DemandModel {
     }
 }
 
+/// Which simulation mechanics carry a flow in a hybrid run.
+///
+/// The fidelity tag is honored by the hybrid co-simulation driver in
+/// `horse-core`: `Fluid` flows are aggregates with a max-min rate (this
+/// crate's model), `Packet` flows are driven packet by packet through
+/// `horse-packetsim`'s queues and TCP sources. A pure-fluid engine
+/// ignores the tag entirely.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Fidelity {
+    /// Flow-level fluid abstraction (the default).
+    #[default]
+    Fluid,
+    /// Packet-level mechanics (queues, serialization, windowed TCP).
+    Packet,
+}
+
+impl Fidelity {
+    /// True for packet-level fidelity.
+    pub fn is_packet(self) -> bool {
+        matches!(self, Fidelity::Packet)
+    }
+}
+
 /// A flow to inject: the paper's traffic-matrix entry / generated event.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct FlowSpec {
@@ -45,6 +69,10 @@ pub struct FlowSpec {
     pub demand: DemandModel,
     /// Bytes to transfer; `None` = open-ended (runs until removed).
     pub size: Option<ByteSize>,
+    /// Simulation fidelity for this flow in hybrid runs (absent in
+    /// serialized scenarios ⇒ fluid).
+    #[serde(default)]
+    pub fidelity: Fidelity,
 }
 
 /// One switch traversal of a resolved route.
@@ -179,6 +207,7 @@ mod tests {
             dst: NodeId(1),
             demand,
             size,
+            fidelity: Default::default(),
         }
     }
 

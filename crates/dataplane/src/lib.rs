@@ -38,7 +38,7 @@ pub mod stats;
 pub mod tcp;
 
 pub use engine::{AdmitOutcome, FluidConfig, FluidNet, RateChange};
-pub use flow::{ActiveFlow, DemandModel, FlowSpec, Route, RouteHop};
+pub use flow::{ActiveFlow, DemandModel, Fidelity, FlowSpec, Route, RouteHop};
 pub use maxmin::{max_min_allocate, max_min_allocate_csr, AllocMode, MaxMinScratch};
 pub use slab::FlowArena;
 pub use stats::{DropRecord, FlowRecord, LinkStats};

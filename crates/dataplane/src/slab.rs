@@ -384,6 +384,7 @@ mod tests {
                 dst: NodeId(1),
                 demand: DemandModel::Greedy,
                 size: None,
+                fidelity: Default::default(),
             },
             route: Route {
                 hops: Vec::new(),

@@ -90,6 +90,7 @@ fn spec(
         dst: members[dst],
         demand: DemandModel::Greedy,
         size: Some(ByteSize::mib(64)),
+        fidelity: Default::default(),
     }
 }
 

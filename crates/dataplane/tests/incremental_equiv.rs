@@ -61,6 +61,7 @@ fn mk_spec(
         dst: members[dst],
         demand,
         size,
+        fidelity: Default::default(),
     }
 }
 

@@ -45,6 +45,13 @@ pub enum ScenarioSpec {
         horizon_secs: f64,
         /// Workload seed.
         seed: Option<u64>,
+        /// Fidelity mode: `"fluid"` (default), `"hybrid"` (packet
+        /// foreground over fluid background) or `"packet"` (every
+        /// arrival packet-level).
+        fidelity: Option<FidelityMode>,
+        /// Hybrid foreground size: how many leading workload arrivals
+        /// run at packet fidelity (default 8; only used by `"hybrid"`).
+        foreground_flows: Option<usize>,
     },
     /// The parameterized IXP fabric (experiments E1–E5).
     Ixp {
@@ -80,6 +87,13 @@ pub enum ScenarioSpec {
         member_port_speeds_gbps: Option<Vec<f64>>,
         /// Edge→core uplink speed in Gbit/s (default 400).
         uplink_gbps: Option<f64>,
+        /// Fidelity mode: `"fluid"` (default), `"hybrid"` (packet
+        /// foreground over fluid background) or `"packet"` (every
+        /// arrival packet-level).
+        fidelity: Option<FidelityMode>,
+        /// Hybrid foreground size: how many leading workload arrivals
+        /// run at packet fidelity (default 8; only used by `"hybrid"`).
+        foreground_flows: Option<usize>,
     },
 }
 
@@ -103,12 +117,32 @@ impl ScenarioSpec {
         }
     }
 
+    /// The scenario-level fidelity knobs (mode + hybrid foreground).
+    fn fidelity_knobs(&self) -> (FidelityMode, usize) {
+        let (fidelity, foreground) = match self {
+            ScenarioSpec::Figure1 {
+                fidelity,
+                foreground_flows,
+                ..
+            }
+            | ScenarioSpec::Ixp {
+                fidelity,
+                foreground_flows,
+                ..
+            } => (fidelity, foreground_flows),
+        };
+        (fidelity.unwrap_or_default(), foreground.unwrap_or(8))
+    }
+
     /// Lowers the spec to a concrete [`Scenario`].
     pub fn build(&self) -> Result<Scenario, LabError> {
-        match self {
-            ScenarioSpec::Figure1 { horizon_secs, seed } => {
+        let (mode, foreground) = self.fidelity_knobs();
+        let mut scenario = match self {
+            ScenarioSpec::Figure1 {
+                horizon_secs, seed, ..
+            } => {
                 let horizon = horizon_from_secs(*horizon_secs)?;
-                Ok(Scenario::figure1(horizon, seed.unwrap_or(1)))
+                Scenario::figure1(horizon, seed.unwrap_or(1))
             }
             ScenarioSpec::Ixp {
                 members,
@@ -124,6 +158,7 @@ impl ScenarioSpec {
                 policies,
                 member_port_speeds_gbps,
                 uplink_gbps,
+                ..
             } => {
                 if *members == 0 {
                     return Err(LabError::spec(
@@ -178,9 +213,11 @@ impl ScenarioSpec {
                 };
                 params.horizon = horizon;
                 params.seed = seed.unwrap_or(1);
-                Ok(Scenario::ixp(&params))
+                Scenario::ixp(&params)
             }
-        }
+        };
+        scenario.packet_foreground = mode.foreground(foreground);
+        Ok(scenario)
     }
 }
 

@@ -129,8 +129,8 @@ fn apply_axis(
     Err(LabError::spec(format!(
         "unknown axis `{name}`; sweepable parameters are the scenario fields \
          and the config fields of this spec (e.g. members, offered_gbps, \
-         zipf_alpha, horizon_secs, seed, ctrl_latency_us, alloc_mode, \
-         stats_epoch_secs, admit_retry_limit)"
+         zipf_alpha, horizon_secs, seed, fidelity, foreground_flows, \
+         ctrl_latency_us, alloc_mode, stats_epoch_secs, admit_retry_limit)"
     )))
 }
 
@@ -196,6 +196,29 @@ mod tests {
             }
             other => panic!("unexpected scenario {other:?}"),
         }
+    }
+
+    #[test]
+    fn fidelity_axis_rewrites_scenario_mode() {
+        let s = spec(
+            r#"
+            name = "fid"
+            [scenario]
+            kind = "ixp"
+            members = 8
+            horizon_secs = 1.0
+            foreground_flows = 4
+            [axes]
+            fidelity = ["fluid", "hybrid", "packet"]
+            "#,
+        );
+        let plans = expand(&s).unwrap();
+        assert_eq!(plans.len(), 3);
+        let foregrounds: Vec<usize> = plans
+            .iter()
+            .map(|p| p.scenario.build().unwrap().packet_foreground)
+            .collect();
+        assert_eq!(foregrounds, vec![0, 4, usize::MAX]);
     }
 
     #[test]

@@ -1,4 +1,22 @@
 //! The packet-level engine.
+//!
+//! The mechanics live in [`PacketPlane`] — a drivable core that owns the
+//! per-port queues, flow sources and drop counters but **not** the
+//! topology, the OpenFlow switches or the event queue. Every event is
+//! pushed through [`PacketPlane::handle`], which borrows the topology and
+//! switch pipeline, asks a caller-supplied drain-rate oracle how fast a
+//! link may serialize, and emits follow-up events / controller messages /
+//! serializer busy-idle transitions into a [`PktOut`] buffer.
+//!
+//! Two drivers exist:
+//!
+//! * [`PacketNet`] — the standalone baseline (this file): owns its own
+//!   topology, switches and event loop; links drain at full capacity.
+//!   This is the reference the accuracy comparisons run against.
+//! * the hybrid co-simulation in `horse-core` — shares one event queue,
+//!   topology and switch pipeline with the fluid plane; links drain at
+//!   `capacity − fluid utilization`, and the busy/idle transitions feed
+//!   capacity reservations back into the fluid allocator.
 
 use crate::source::SourceKind;
 use horse_controlplane::{Controller, ControllerCtx, Outbox};
@@ -63,6 +81,9 @@ pub struct PktFlowRecord {
     pub key: FlowKey,
     /// Bytes delivered in order to the receiver.
     pub bytes_delivered: u64,
+    /// Bytes of this flow's packets lost to tail drops, meters, table
+    /// misses and dead links.
+    pub dropped_bytes: u64,
     /// Start time.
     pub started: SimTime,
     /// Finish time (delivery of the last in-order byte), or horizon.
@@ -106,38 +127,43 @@ impl PacketResults {
     }
 }
 
+/// A packet-plane event. Drivers schedule these on their event queue and
+/// feed them back through [`PacketPlane::handle`].
 #[derive(Debug)]
-enum Ev {
+pub enum PktEvent {
     /// A flow's source starts.
     Start(usize),
     /// CBR pacing tick: try to send the next data packet.
     CbrSend(usize),
     /// Packet arrives at a node after crossing a link.
     Arrive {
+        /// Receiving node.
         node: NodeId,
+        /// Ingress port at that node.
         in_port: PortNo,
+        /// The packet.
         pkt: Pkt,
     },
     /// Serializer on (node, port) finished the packet in flight.
     TxDone {
+        /// The transmitting node.
         node: NodeId,
+        /// Its egress port.
         port: PortNo,
     },
     /// TCP retransmission timer.
     Rto {
+        /// Flow index.
         flow: usize,
+        /// Cumulative ACK when the timer was armed (staleness check).
         cum_ack_at_arm: u64,
-    },
-    /// Control-plane crossings.
-    ToController(Box<SwitchMsg>),
-    ToSwitch {
-        switch: NodeId,
-        msg: Box<CtrlMsg>,
     },
 }
 
+/// A packet in flight (internal representation; drivers only carry these
+/// inside [`PktEvent`]s they got from [`PktOut`]).
 #[derive(Clone, Debug)]
-struct Pkt {
+pub struct Pkt {
     flow: usize,
     key: FlowKey,
     size: u32,
@@ -170,131 +196,188 @@ struct FlowRt {
     total_segs: u64,
     delivered_segs: u64,
     cbr_sent_segs: u64,
+    dropped_bytes: u64,
     finished: Option<SimTime>,
 }
 
-/// The packet-level network simulator (see crate docs).
-pub struct PacketNet {
-    topo: Topology,
-    switches: HashMap<NodeId, OpenFlowSwitch>,
-    queues: HashMap<(NodeId, PortNo), PortQueue>,
+/// Everything one [`PacketPlane::handle`] call asks its driver to do:
+/// follow-up events to schedule, `FlowIn`s to deliver to the controller
+/// (the driver applies the control-channel latency), serializer busy/idle
+/// transitions (the hybrid coupling signal) and flows that just finished.
+#[derive(Debug, Default)]
+pub struct PktOut {
+    /// Events to schedule at their absolute times.
+    pub events: Vec<(SimTime, PktEvent)>,
+    /// Table-miss `FlowIn`s raised while forwarding.
+    pub flow_ins: Vec<SwitchMsg>,
+    /// `(link, busy)` serializer transitions: `true` when an idle port
+    /// started transmitting, `false` when a port drained to idle.
+    pub transitions: Vec<(LinkId, bool)>,
+    /// Flows whose byte budget completed during this event.
+    pub finished: Vec<usize>,
+}
+
+impl PktOut {
+    /// Clears all buffers (drivers reuse one `PktOut` across events).
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.flow_ins.clear();
+        self.transitions.clear();
+        self.finished.clear();
+    }
+}
+
+/// The per-link serialization-rate oracle: effective drain rate in bps
+/// for packets leaving on `link`. The standalone baseline answers with
+/// link capacity; the hybrid driver answers with
+/// `capacity − fluid utilization` (floored).
+pub type DrainFn<'a> = dyn Fn(LinkId) -> f64 + 'a;
+
+/// The drivable packet-mechanics core (see module docs). Owns queues,
+/// flow runtime state and drop counters; borrows topology and switches
+/// per event.
+pub struct PacketPlane {
     flows: Vec<FlowRt>,
+    queues: HashMap<(NodeId, PortNo), PortQueue>,
     link_bytes: Vec<f64>,
     drops: u64,
     config: PacketSimConfig,
 }
 
-impl PacketNet {
-    /// Builds the packet plane over a topology.
-    pub fn new(topo: Topology, config: PacketSimConfig) -> Self {
-        let mut switches = HashMap::new();
-        for (id, node) in topo.nodes() {
-            if node.kind.is_switch() {
-                let ports = topo.ports(id);
-                switches.insert(id, OpenFlowSwitch::new(id, 2, &ports));
-            }
-        }
-        let nl = topo.link_count();
-        PacketNet {
-            topo,
-            switches,
-            queues: HashMap::new(),
+impl PacketPlane {
+    /// A fresh plane for a topology with `link_count` directed links.
+    pub fn new(link_count: usize, config: PacketSimConfig) -> Self {
+        PacketPlane {
             flows: Vec::new(),
-            link_bytes: vec![0.0; nl],
+            queues: HashMap::new(),
+            link_bytes: vec![0.0; link_count],
             drops: 0,
             config,
         }
     }
 
-    /// Runs `specs` through the network under `controller` until `horizon`.
-    pub fn run(
-        mut self,
-        controller: &mut dyn Controller,
-        specs: Vec<PktFlowSpec>,
-        horizon: SimTime,
-    ) -> PacketResults {
-        let start_wall = Instant::now();
-        let mut q: EventQueue<Ev> = EventQueue::new();
+    /// The plane's configuration.
+    pub fn config(&self) -> &PacketSimConfig {
+        &self.config
+    }
 
-        // Controller bootstrap at t=0, synchronous (as in the fluid plane).
-        let mut out = Outbox::new();
-        {
-            let ctx = ControllerCtx {
-                topo: &self.topo,
-                now: SimTime::ZERO,
-            };
-            controller.on_start(&ctx, &mut out);
-        }
-        for (sw, msg) in out.msgs.drain(..) {
-            if let Some(s) = self.switches.get_mut(&sw) {
-                let _ = s.apply(&msg, SimTime::ZERO);
-            }
-        }
+    /// Registers a flow; the caller schedules [`PktEvent::Start`] with the
+    /// returned index at `spec.start`.
+    pub fn add_flow(&mut self, spec: PktFlowSpec) -> usize {
+        let total_segs = spec.size.as_bytes().div_ceil(self.config.data_pkt as u64);
+        self.flows.push(FlowRt {
+            source: spec.source.clone(),
+            spec,
+            total_segs: total_segs.max(1),
+            delivered_segs: 0,
+            cbr_sent_segs: 0,
+            dropped_bytes: 0,
+            finished: None,
+        });
+        self.flows.len() - 1
+    }
 
-        for (i, spec) in specs.into_iter().enumerate() {
-            q.schedule_at(spec.start, Ev::Start(i));
-            let total_segs = spec.size.as_bytes().div_ceil(self.config.data_pkt as u64);
-            self.flows.push(FlowRt {
-                source: spec.source.clone(),
-                spec,
-                total_segs: total_segs.max(1),
-                delivered_segs: 0,
-                cbr_sent_segs: 0,
-                finished: None,
-            });
-        }
+    /// Number of registered flows.
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
 
-        let mut events = 0u64;
-        while let Some(t) = q.peek_time() {
-            if t > horizon {
-                break;
-            }
-            let ev = q.pop().expect("peeked");
-            events += 1;
-            self.handle(ev.time, ev.event, &mut q, controller);
-        }
+    /// The spec a flow was registered with.
+    pub fn spec(&self, index: usize) -> &PktFlowSpec {
+        &self.flows[index].spec
+    }
 
-        let sim_time = horizon;
-        let records = self
-            .flows
-            .iter()
-            .enumerate()
-            .map(|(i, f)| PktFlowRecord {
-                index: i,
-                key: f.spec.key,
-                bytes_delivered: f.delivered_segs * self.config.data_pkt as u64,
-                started: f.spec.start,
-                finished: f.finished.unwrap_or(horizon),
-                completed: f.finished.is_some(),
-            })
-            .collect();
-        PacketResults {
-            records,
-            link_bytes: self.link_bytes,
-            drops: self.drops,
-            events,
-            wall_seconds: start_wall.elapsed().as_secs_f64(),
-            sim_time,
+    /// Whether a flow's byte budget has completed.
+    pub fn is_finished(&self, index: usize) -> bool {
+        self.flows[index].finished.is_some()
+    }
+
+    /// Bytes delivered in order to a flow's receiver so far.
+    pub fn delivered_bytes(&self, index: usize) -> u64 {
+        self.flows[index].delivered_segs * self.config.data_pkt as u64
+    }
+
+    /// Total queue/policy/meter drops so far.
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+
+    /// Whether the serializer on `(node, port)` is mid-transmission.
+    pub fn is_busy(&self, node: NodeId, port: PortNo) -> bool {
+        self.queues
+            .get(&(node, port))
+            .map(|q| q.busy)
+            .unwrap_or(false)
+    }
+
+    /// Packets queued behind the one in flight on `(node, port)`.
+    pub fn queued_packets(&self, node: NodeId, port: PortNo) -> usize {
+        self.queues
+            .get(&(node, port))
+            .map(|q| q.queue.len())
+            .unwrap_or(0)
+    }
+
+    /// Bytes of a flow's packets dropped so far.
+    pub fn dropped_bytes(&self, index: usize) -> u64 {
+        self.flows[index].dropped_bytes
+    }
+
+    /// Bytes carried per directed link (indexed by link id).
+    pub fn link_bytes(&self) -> &[f64] {
+        &self.link_bytes
+    }
+
+    /// Counts a lost packet against the aggregate and its flow.
+    fn drop_pkt(&mut self, pkt: &Pkt) {
+        self.drops += 1;
+        self.flows[pkt.flow].dropped_bytes += pkt.size as u64;
+    }
+
+    /// The completion record of one flow (`finished` falls back to
+    /// `horizon` for incomplete flows, as in [`PacketResults`]).
+    pub fn record(&self, index: usize, horizon: SimTime) -> PktFlowRecord {
+        let f = &self.flows[index];
+        PktFlowRecord {
+            index,
+            key: f.spec.key,
+            bytes_delivered: f.delivered_segs * self.config.data_pkt as u64,
+            dropped_bytes: f.dropped_bytes,
+            started: f.spec.start,
+            finished: f.finished.unwrap_or(horizon),
+            completed: f.finished.is_some(),
         }
     }
 
-    fn handle(
+    /// All completion records, in registration order.
+    pub fn records(&self, horizon: SimTime) -> Vec<PktFlowRecord> {
+        (0..self.flows.len())
+            .map(|i| self.record(i, horizon))
+            .collect()
+    }
+
+    /// Processes one event against the shared topology/switch pipeline.
+    /// Everything the driver must act on lands in `out` (which is NOT
+    /// cleared here — drivers drain or clear it between calls).
+    pub fn handle(
         &mut self,
         now: SimTime,
-        ev: Ev,
-        q: &mut EventQueue<Ev>,
-        controller: &mut dyn Controller,
+        ev: PktEvent,
+        topo: &Topology,
+        switches: &mut HashMap<NodeId, OpenFlowSwitch>,
+        drain: &DrainFn<'_>,
+        out: &mut PktOut,
     ) {
         match ev {
-            Ev::Start(i) => match self.flows[i].source {
+            PktEvent::Start(i) => match self.flows[i].source {
                 SourceKind::Cbr { .. } => {
-                    q.schedule_at(now, Ev::CbrSend(i));
+                    out.events.push((now, PktEvent::CbrSend(i)));
                 }
                 SourceKind::Tcp(_) => {
-                    self.tcp_pump(i, now, q);
+                    self.tcp_pump(i, now, topo, drain, out);
                 }
             },
-            Ev::CbrSend(i) => {
+            PktEvent::CbrSend(i) => {
                 let (done, interval) = {
                     let f = &self.flows[i];
                     let SourceKind::Cbr { rate_bps } = f.source else {
@@ -317,27 +400,41 @@ impl PacketNet {
                     sent_at: now,
                 };
                 let src = self.flows[i].spec.src;
-                self.host_emit(src, pkt, now, q);
-                q.schedule_at(now + SimDuration::from_secs_f64(interval), Ev::CbrSend(i));
+                self.host_emit(src, pkt, now, topo, drain, out);
+                out.events.push((
+                    now + SimDuration::from_secs_f64(interval),
+                    PktEvent::CbrSend(i),
+                ));
             }
-            Ev::Arrive { node, in_port, pkt } => {
-                let Some(nd) = self.topo.node(node) else {
+            PktEvent::Arrive { node, in_port, pkt } => {
+                let Some(nd) = topo.node(node) else {
                     return;
                 };
                 if nd.kind.is_host() {
-                    self.host_receive(node, pkt, now, q);
+                    self.host_receive(node, pkt, now, topo, drain, out);
                 } else {
-                    self.switch_forward(node, in_port, pkt, now, q, controller);
+                    self.switch_forward(node, in_port, pkt, now, topo, switches, drain, out);
                 }
             }
-            Ev::TxDone { node, port } => {
+            PktEvent::TxDone { node, port } => {
                 // current packet leaves the serializer onto the wire
                 if let Some(pq) = self.queues.get_mut(&(node, port)) {
                     pq.busy = false;
                 }
-                self.start_tx_if_idle(node, port, now, q);
+                self.start_tx_if_idle(node, port, now, topo, drain, out);
+                // still idle after the restart attempt ⇒ the port drained
+                if !self
+                    .queues
+                    .get(&(node, port))
+                    .map(|q| q.busy)
+                    .unwrap_or(false)
+                {
+                    if let Some(link) = topo.link_from(node, port) {
+                        out.transitions.push((link, false));
+                    }
+                }
             }
-            Ev::Rto {
+            PktEvent::Rto {
                 flow,
                 cum_ack_at_arm,
             } => {
@@ -372,46 +469,16 @@ impl PacketNet {
                         };
                         t.cum_ack
                     };
-                    q.schedule_at(
+                    out.events.push((
                         now + SimDuration::from_secs_f64(rto),
-                        Ev::Rto {
+                        PktEvent::Rto {
                             flow,
                             cum_ack_at_arm: arm,
                         },
-                    );
+                    ));
                 }
                 if fire {
-                    self.tcp_pump(flow, now, q);
-                }
-            }
-            Ev::ToController(msg) => {
-                let mut out = Outbox::new();
-                {
-                    let ctx = ControllerCtx {
-                        topo: &self.topo,
-                        now,
-                    };
-                    controller.dispatch(&msg, &ctx, &mut out);
-                }
-                for (sw, m) in out.msgs {
-                    q.schedule_at(
-                        now + self.config.ctrl_latency,
-                        Ev::ToSwitch {
-                            switch: sw,
-                            msg: Box::new(m),
-                        },
-                    );
-                }
-                // timers unsupported in the packet baseline (documented)
-            }
-            Ev::ToSwitch { switch, msg } => {
-                if let Some(sw) = self.switches.get_mut(&switch) {
-                    for reply in sw.apply(&msg, now) {
-                        q.schedule_at(
-                            now + self.config.ctrl_latency,
-                            Ev::ToController(Box::new(reply)),
-                        );
-                    }
+                    self.tcp_pump(flow, now, topo, drain, out);
                 }
             }
         }
@@ -419,7 +486,14 @@ impl PacketNet {
 
     /// TCP sender: transmit fresh segments while the window allows; arm
     /// the RTO.
-    fn tcp_pump(&mut self, i: usize, now: SimTime, q: &mut EventQueue<Ev>) {
+    fn tcp_pump(
+        &mut self,
+        i: usize,
+        now: SimTime,
+        topo: &Topology,
+        drain: &DrainFn<'_>,
+        out: &mut PktOut,
+    ) {
         let rto_floor = self.config.rto_floor;
         let mut to_send: Vec<u64> = Vec::new();
         let (src, key) = (self.flows[i].spec.src, self.flows[i].spec.key);
@@ -436,13 +510,13 @@ impl PacketNet {
             if !to_send.is_empty() {
                 let rto = t.rto(rto_floor);
                 let arm = t.cum_ack;
-                q.schedule_at(
+                out.events.push((
                     now + SimDuration::from_secs_f64(rto),
-                    Ev::Rto {
+                    PktEvent::Rto {
                         flow: i,
                         cum_ack_at_arm: arm,
                     },
-                );
+                ));
             }
         }
         for seq in to_send {
@@ -454,20 +528,36 @@ impl PacketNet {
                 is_ack: false,
                 sent_at: now,
             };
-            self.host_emit(src, pkt, now, q);
+            self.host_emit(src, pkt, now, topo, drain, out);
         }
     }
 
     /// Host pushes a packet onto its access link.
-    fn host_emit(&mut self, host: NodeId, pkt: Pkt, now: SimTime, q: &mut EventQueue<Ev>) {
-        let Some(port) = self.topo.ports(host).first().copied() else {
+    fn host_emit(
+        &mut self,
+        host: NodeId,
+        pkt: Pkt,
+        now: SimTime,
+        topo: &Topology,
+        drain: &DrainFn<'_>,
+        out: &mut PktOut,
+    ) {
+        let Some(port) = topo.ports(host).first().copied() else {
             return;
         };
-        self.enqueue(host, port, pkt, now, q);
+        self.enqueue(host, port, pkt, now, topo, drain, out);
     }
 
     /// Host receives a packet: data → receiver/ACK, ACK → sender.
-    fn host_receive(&mut self, host: NodeId, pkt: Pkt, now: SimTime, q: &mut EventQueue<Ev>) {
+    fn host_receive(
+        &mut self,
+        host: NodeId,
+        pkt: Pkt,
+        now: SimTime,
+        topo: &Topology,
+        drain: &DrainFn<'_>,
+        out: &mut PktOut,
+    ) {
         let i = pkt.flow;
         if pkt.is_ack {
             if self.flows[i].spec.src != host {
@@ -498,9 +588,9 @@ impl PacketNet {
                     sent_at: now,
                 };
                 let src = self.flows[i].spec.src;
-                self.host_emit(src, p, now, q);
+                self.host_emit(src, p, now, topo, drain, out);
             }
-            self.tcp_pump(i, now, q);
+            self.tcp_pump(i, now, topo, drain, out);
         } else {
             if self.flows[i].spec.dst != host {
                 return; // stray (flood copy)
@@ -518,6 +608,7 @@ impl PacketNet {
                     self.flows[i].delivered_segs = delivered;
                     if delivered >= self.flows[i].total_segs && self.flows[i].finished.is_none() {
                         self.flows[i].finished = Some(now);
+                        out.finished.push(i);
                     }
                     // send cumulative ACK back
                     let ack_pkt = Pkt {
@@ -529,7 +620,7 @@ impl PacketNet {
                         sent_at: pkt.sent_at,
                     };
                     let dst = self.flows[i].spec.dst;
-                    self.host_emit(dst, ack_pkt, now, q);
+                    self.host_emit(dst, ack_pkt, now, topo, drain, out);
                 }
                 SourceKind::Cbr { .. } => {
                     self.flows[i].delivered_segs += 1;
@@ -537,6 +628,7 @@ impl PacketNet {
                         && self.flows[i].finished.is_none()
                     {
                         self.flows[i].finished = Some(now);
+                        out.finished.push(i);
                     }
                 }
             }
@@ -544,16 +636,19 @@ impl PacketNet {
     }
 
     /// Switch classifies and forwards a packet.
+    #[allow(clippy::too_many_arguments)]
     fn switch_forward(
         &mut self,
         node: NodeId,
         in_port: PortNo,
         pkt: Pkt,
         now: SimTime,
-        q: &mut EventQueue<Ev>,
-        _controller: &mut dyn Controller,
+        topo: &Topology,
+        switches: &mut HashMap<NodeId, OpenFlowSwitch>,
+        drain: &DrainFn<'_>,
+        out: &mut PktOut,
     ) {
-        let Some(sw) = self.switches.get_mut(&node) else {
+        let Some(sw) = switches.get_mut(&node) else {
             return;
         };
         let res = sw.process(in_port, &pkt.key, now);
@@ -561,7 +656,7 @@ impl PacketNet {
         for m in &res.meters {
             if let Some(me) = sw.meter_mut(*m) {
                 if !me.try_consume(pkt.size as u64, now) {
-                    self.drops += 1;
+                    self.drop_pkt(&pkt);
                     return;
                 }
             }
@@ -578,58 +673,71 @@ impl PacketNet {
                 for port in ports {
                     let mut p = pkt.clone();
                     p.key = key_out;
-                    self.enqueue(node, port, p, now, q);
+                    self.enqueue(node, port, p, now, topo, drain, out);
                 }
             }
             Verdict::ToController => {
                 // bufferless reactive setup: packet dropped, FlowIn raised
-                self.drops += 1;
-                let msg = self
-                    .switches
+                self.drop_pkt(&pkt);
+                let msg = switches
                     .get(&node)
                     .expect("switch exists")
                     .flow_in(in_port, &pkt.key);
-                q.schedule_at(
-                    now + self.config.ctrl_latency,
-                    Ev::ToController(Box::new(msg)),
-                );
+                out.flow_ins.push(msg);
             }
             Verdict::Drop(_) => {
-                self.drops += 1;
+                self.drop_pkt(&pkt);
             }
         }
     }
 
     /// Enqueues a packet on an output port (tail drop) and kicks the
     /// serializer if idle.
+    #[allow(clippy::too_many_arguments)]
     fn enqueue(
         &mut self,
         node: NodeId,
         port: PortNo,
         pkt: Pkt,
         now: SimTime,
-        q: &mut EventQueue<Ev>,
+        topo: &Topology,
+        drain: &DrainFn<'_>,
+        out: &mut PktOut,
     ) {
-        let Some(link_id) = self.topo.link_from(node, port) else {
-            self.drops += 1;
+        let Some(link_id) = topo.link_from(node, port) else {
+            self.drop_pkt(&pkt);
             return;
         };
-        if !self.topo.link(link_id).map(|l| l.is_up()).unwrap_or(false) {
-            self.drops += 1;
+        if !topo.link(link_id).map(|l| l.is_up()).unwrap_or(false) {
+            self.drop_pkt(&pkt);
             return;
         }
         let buffer = self.config.buffer.as_bytes();
-        let pq = self
-            .queues
-            .entry((node, port))
-            .or_insert_with(PortQueue::new);
-        if pq.queued_bytes + pkt.size as u64 > buffer {
-            self.drops += 1;
+        let over = {
+            let pq = self
+                .queues
+                .entry((node, port))
+                .or_insert_with(PortQueue::new);
+            pq.queued_bytes + pkt.size as u64 > buffer
+        };
+        if over {
+            self.drop_pkt(&pkt);
             return;
         }
+        let pq = self.queues.get_mut(&(node, port)).expect("inserted above");
         pq.queued_bytes += pkt.size as u64;
         pq.queue.push_back(pkt);
-        self.start_tx_if_idle(node, port, now, q);
+        let was_busy = pq.busy;
+        self.start_tx_if_idle(node, port, now, topo, drain, out);
+        if !was_busy
+            && self
+                .queues
+                .get(&(node, port))
+                .map(|q| q.busy)
+                .unwrap_or(false)
+        {
+            out.transitions.push((link_id, true));
+        }
     }
 
     /// Starts serializing the head-of-line packet if the port is idle.
@@ -638,12 +746,15 @@ impl PacketNet {
         node: NodeId,
         port: PortNo,
         now: SimTime,
-        q: &mut EventQueue<Ev>,
+        topo: &Topology,
+        drain: &DrainFn<'_>,
+        out: &mut PktOut,
     ) {
-        let Some(link_id) = self.topo.link_from(node, port) else {
+        let Some(link_id) = topo.link_from(node, port) else {
             return;
         };
-        let link = self.topo.link(link_id).expect("link exists").clone();
+        let link = topo.link(link_id).expect("link exists");
+        let (dst, dst_port, prop) = (link.dst, link.dst_port, link.delay);
         let Some(pq) = self.queues.get_mut(&(node, port)) else {
             return;
         };
@@ -654,22 +765,168 @@ impl PacketNet {
             return;
         };
         pq.queued_bytes -= pkt.size as u64;
-        pq.busy = true;
-        let Some(ser) = link.serialization_time(pkt.size as u64) else {
-            self.drops += 1;
+        let bps = drain(link_id);
+        if bps <= f64::EPSILON {
+            // The link cannot serialize right now (zero capacity or no
+            // residual): the head packet is lost, but the port must not
+            // wedge — leave the serializer idle so later packets retry.
+            pq.busy = false;
+            self.drop_pkt(&pkt);
             return;
-        };
+        }
+        pq.busy = true;
+        let ser = SimDuration::from_secs_f64(pkt.size as f64 * 8.0 / bps);
         self.link_bytes[link_id.index()] += pkt.size as f64;
         let tx_end = now + ser;
-        q.schedule_at(tx_end, Ev::TxDone { node, port });
-        q.schedule_at(
-            tx_end + link.delay,
-            Ev::Arrive {
-                node: link.dst,
-                in_port: link.dst_port,
+        out.events.push((tx_end, PktEvent::TxDone { node, port }));
+        out.events.push((
+            tx_end + prop,
+            PktEvent::Arrive {
+                node: dst,
+                in_port: dst_port,
                 pkt,
             },
-        );
+        ));
+    }
+}
+
+/// Standalone driver events: the packet mechanics plus the control-plane
+/// crossings the baseline models itself.
+#[derive(Debug)]
+enum Ev {
+    Pkt(PktEvent),
+    ToController(Box<SwitchMsg>),
+    ToSwitch { switch: NodeId, msg: Box<CtrlMsg> },
+}
+
+/// The standalone packet-level network simulator (see module docs).
+pub struct PacketNet {
+    topo: Topology,
+    switches: HashMap<NodeId, OpenFlowSwitch>,
+    plane: PacketPlane,
+    config: PacketSimConfig,
+}
+
+impl PacketNet {
+    /// Builds the packet plane over a topology.
+    pub fn new(topo: Topology, config: PacketSimConfig) -> Self {
+        let mut switches = HashMap::new();
+        for (id, node) in topo.nodes() {
+            if node.kind.is_switch() {
+                let ports = topo.ports(id);
+                switches.insert(id, OpenFlowSwitch::new(id, 2, &ports));
+            }
+        }
+        let nl = topo.link_count();
+        PacketNet {
+            plane: PacketPlane::new(nl, config),
+            topo,
+            switches,
+            config,
+        }
+    }
+
+    /// Runs `specs` through the network under `controller` until `horizon`.
+    pub fn run(
+        mut self,
+        controller: &mut dyn Controller,
+        specs: Vec<PktFlowSpec>,
+        horizon: SimTime,
+    ) -> PacketResults {
+        let start_wall = Instant::now();
+        let mut q: EventQueue<Ev> = EventQueue::new();
+
+        // Controller bootstrap at t=0, synchronous (as in the fluid plane).
+        let mut out = Outbox::new();
+        {
+            let ctx = ControllerCtx {
+                topo: &self.topo,
+                now: SimTime::ZERO,
+            };
+            controller.on_start(&ctx, &mut out);
+        }
+        for (sw, msg) in out.msgs.drain(..) {
+            if let Some(s) = self.switches.get_mut(&sw) {
+                let _ = s.apply(&msg, SimTime::ZERO);
+            }
+        }
+
+        for spec in specs {
+            let start = spec.start;
+            let i = self.plane.add_flow(spec);
+            q.schedule_at(start, Ev::Pkt(PktEvent::Start(i)));
+        }
+
+        let mut events = 0u64;
+        let mut pkt_out = PktOut::default();
+        while let Some(t) = q.peek_time() {
+            if t > horizon {
+                break;
+            }
+            let ev = q.pop().expect("peeked");
+            events += 1;
+            let now = ev.time;
+            match ev.event {
+                Ev::Pkt(p) => {
+                    // Baseline coupling: links drain at full capacity.
+                    let topo = &self.topo;
+                    let drain =
+                        |l: LinkId| topo.link(l).map(|lk| lk.capacity.as_bps()).unwrap_or(0.0);
+                    self.plane
+                        .handle(now, p, topo, &mut self.switches, &drain, &mut pkt_out);
+                    for (t, e) in pkt_out.events.drain(..) {
+                        q.schedule_at(t, Ev::Pkt(e));
+                    }
+                    for msg in pkt_out.flow_ins.drain(..) {
+                        q.schedule_at(
+                            now + self.config.ctrl_latency,
+                            Ev::ToController(Box::new(msg)),
+                        );
+                    }
+                    pkt_out.clear();
+                }
+                Ev::ToController(msg) => {
+                    let mut out = Outbox::new();
+                    {
+                        let ctx = ControllerCtx {
+                            topo: &self.topo,
+                            now,
+                        };
+                        controller.dispatch(&msg, &ctx, &mut out);
+                    }
+                    for (sw, m) in out.msgs {
+                        q.schedule_at(
+                            now + self.config.ctrl_latency,
+                            Ev::ToSwitch {
+                                switch: sw,
+                                msg: Box::new(m),
+                            },
+                        );
+                    }
+                    // timers unsupported in the packet baseline (documented)
+                }
+                Ev::ToSwitch { switch, msg } => {
+                    if let Some(sw) = self.switches.get_mut(&switch) {
+                        for reply in sw.apply(&msg, now) {
+                            q.schedule_at(
+                                now + self.config.ctrl_latency,
+                                Ev::ToController(Box::new(reply)),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        let sim_time = horizon;
+        PacketResults {
+            records: self.plane.records(horizon),
+            link_bytes: self.plane.link_bytes.clone(),
+            drops: self.plane.drops,
+            events,
+            wall_seconds: start_wall.elapsed().as_secs_f64(),
+            sim_time,
+        }
     }
 }
 
@@ -882,5 +1139,78 @@ mod tests {
         };
         let res = net.run(&mut gen, vec![spec], SimTime::from_secs(1));
         assert!(res.drops > 0, "tail drop must kick in");
+    }
+
+    #[test]
+    fn plane_reports_transitions_and_finishes() {
+        // Drive the plane directly: one CBR packet start-to-finish must
+        // produce a busy transition, an idle transition and a finish.
+        let f = builders::star(2, Rate::mbps(100.0));
+        let mut gen = PolicyGenerator::new(
+            PolicySpec::new().with(PolicyRule::MacForwarding),
+            &f.topology,
+        )
+        .unwrap();
+        let mut switches: HashMap<NodeId, OpenFlowSwitch> = HashMap::new();
+        for (id, node) in f.topology.nodes() {
+            if node.kind.is_switch() {
+                switches.insert(id, OpenFlowSwitch::new(id, 2, &f.topology.ports(id)));
+            }
+        }
+        let mut boot = Outbox::new();
+        gen.on_start(
+            &ControllerCtx {
+                topo: &f.topology,
+                now: SimTime::ZERO,
+            },
+            &mut boot,
+        );
+        for (sw, msg) in boot.msgs.drain(..) {
+            if let Some(s) = switches.get_mut(&sw) {
+                let _ = s.apply(&msg, SimTime::ZERO);
+            }
+        }
+        let mut plane = PacketPlane::new(f.topology.link_count(), PacketSimConfig::default());
+        let spec = PktFlowSpec {
+            start: SimTime::ZERO,
+            ..mk_spec(
+                &f.topology,
+                f.members[0],
+                f.members[1],
+                1000,
+                ByteSize::bytes(1000), // single packet
+                SourceKind::Cbr { rate_bps: 10e6 },
+            )
+        };
+        let idx = plane.add_flow(spec);
+        let drain = |l: LinkId| {
+            f.topology
+                .link(l)
+                .map(|lk| lk.capacity.as_bps())
+                .unwrap_or(0.0)
+        };
+        let mut out = PktOut::default();
+        let mut q: Vec<(SimTime, PktEvent)> = vec![(SimTime::ZERO, PktEvent::Start(idx))];
+        let mut saw_busy = false;
+        let mut saw_idle = false;
+        while !q.is_empty() {
+            q.sort_by_key(|(t, _)| *t);
+            let (now, ev) = q.remove(0);
+            plane.handle(now, ev, &f.topology, &mut switches, &drain, &mut out);
+            for (l, busy) in out.transitions.drain(..) {
+                assert!(l.index() < f.topology.link_count());
+                if busy {
+                    saw_busy = true;
+                } else {
+                    saw_idle = true;
+                }
+            }
+            q.append(&mut out.events);
+            out.clear();
+        }
+        assert!(saw_busy && saw_idle, "serializer transitions reported");
+        assert!(plane.is_finished(idx), "single packet delivered");
+        assert_eq!(plane.delivered_bytes(idx), 1500);
+        assert_eq!(plane.drops(), 0);
     }
 }

@@ -31,5 +31,8 @@
 pub mod engine;
 pub mod source;
 
-pub use engine::{PacketNet, PacketResults, PacketSimConfig, PktFlowRecord};
+pub use engine::{
+    DrainFn, PacketNet, PacketPlane, PacketResults, PacketSimConfig, Pkt, PktEvent, PktFlowRecord,
+    PktFlowSpec, PktOut,
+};
 pub use source::{SourceKind, TcpState};

@@ -11,9 +11,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub use horse_core::{compare, config, event, results, scenario, sim};
+pub use horse_core::{compare, config, event, hybrid, results, scenario, sim};
 pub use horse_core::{
-    compare_planes, AccuracyReport, IxpScenarioParams, Scenario, SimConfig, SimResults, Simulation,
+    compare_planes, AccuracyReport, FidelityMode, HybridNet, IxpScenarioParams, Scenario,
+    SimConfig, SimResults, Simulation,
 };
 
 // Component crates under stable names (mirrors `horse_core`'s aliases).
