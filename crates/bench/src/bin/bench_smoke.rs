@@ -141,6 +141,30 @@ fn gate(baseline: &Value, fresh: &Value) -> Vec<String> {
             }
         }
     }
+    // Fat-tree point (present from PR 4 on): same wall metrics as the
+    // scale points; skipped silently against older baselines.
+    if let (Some(b), Some(f)) = (get(baseline, "fat_tree"), get(fresh, "fat_tree")) {
+        for (metric, higher_is_better) in [("events_per_sec", true), ("realloc_ns_per_op", false)] {
+            if let (Some(bv), Some(fv)) = (get_f(b, metric), get_f(f, metric)) {
+                failures.extend(check(
+                    &format!("fat_tree.{metric}"),
+                    bv,
+                    fv,
+                    higher_is_better,
+                ));
+            }
+        }
+        for counter in ["events", "realloc_runs"] {
+            if let (Some(bv), Some(fv)) = (get_f(b, counter), get_f(f, counter)) {
+                if bv != fv {
+                    println!(
+                        "note: fat_tree.{counter} changed {bv} -> {fv} \
+                         (deterministic counter; refresh the committed baseline if intended)"
+                    );
+                }
+            }
+        }
+    }
     failures
 }
 
@@ -229,7 +253,52 @@ fn main() {
         ]));
     }
 
-    // 3. Hybrid point: the 25-member scenario with an 8-flow packet
+    // 3. Fat-tree point: a k=8 fat-tree (80 switches, 128 hosts,
+    //    16 equal-cost inter-pod paths) under gravity traffic with ECMP
+    //    groups — the generated-topology cost trajectory: PathDb build
+    //    over a 3-tier Clos plus allocation over long multipath routes.
+    let fat_tree_point = {
+        let run = || {
+            let mut params = FabricScenarioParams::default();
+            params.generator.kind = TopologyKind::FatTree;
+            params.generator.fat_tree_k = 8;
+            params.horizon = SimTime::from_secs(1);
+            params.seed = 1;
+            let scenario = Scenario::fabric(&params).expect("fat-tree builds");
+            let mut sim = Simulation::new(scenario, fast_config()).expect("valid scenario");
+            let t = Instant::now();
+            let r = sim.run();
+            (r, t.elapsed().as_secs_f64())
+        };
+        let _ = run(); // warmup
+        let (mut best_r, mut best_w) = run();
+        for _ in 0..2 {
+            let (r, w) = run();
+            if w < best_w {
+                best_w = w;
+                best_r = r;
+            }
+        }
+        Value::Map(vec![
+            ("kind".into(), Value::Str("fat_tree".into())),
+            ("k".into(), num_u(8)),
+            ("hosts".into(), num_u(128)),
+            ("switches".into(), num_u(80)),
+            ("wall_ms".into(), num_f(best_w * 1e3)),
+            ("events".into(), num_u(best_r.events)),
+            (
+                "events_per_sec".into(),
+                num_f(best_r.events as f64 / best_w.max(1e-9)),
+            ),
+            ("realloc_runs".into(), num_u(best_r.realloc_runs)),
+            (
+                "realloc_ns_per_op".into(),
+                num_f(best_w * 1e9 / best_r.realloc_runs.max(1) as f64),
+            ),
+        ])
+    };
+
+    // 4. Hybrid point: the 25-member scenario with an 8-flow packet
     //    foreground over the fluid background — the co-simulation's cost
     //    trajectory (packet events dominate; couplings measure the
     //    plane-interaction rate).
@@ -253,13 +322,14 @@ fn main() {
         ("mode".into(), Value::Str("quick".into())),
         ("runner_throughput".into(), runner),
         ("scale".into(), Value::Seq(scale_points)),
+        ("fat_tree".into(), fat_tree_point),
         ("hybrid".into(), hybrid),
     ]);
     let json = serde_json::to_string_pretty(&doc).expect("serializes");
     std::fs::write(&out_path, json + "\n").expect("write bench json");
     println!("wrote {out_path}");
 
-    // 4. Regression gate against a committed baseline.
+    // 5. Regression gate against a committed baseline.
     if let Some(path) = baseline_path {
         let text = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));

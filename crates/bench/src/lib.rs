@@ -4,6 +4,8 @@
 //! benches in `benches/` track the same code paths as regression
 //! benchmarks. EXPERIMENTS.md records paper-expectation vs measured.
 
+#![warn(missing_docs)]
+
 use horse::prelude::*;
 
 /// Builds the standard IXP scenario used across E1/E2/E5:

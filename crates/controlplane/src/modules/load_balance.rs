@@ -1,10 +1,18 @@
 //! Load balancing ("load balancing: edge->core" in Fig. 2).
 //!
-//! At every edge switch, traffic toward every remote host is sent through a
-//! **select group** whose buckets are the equal-cost uplink ports (one per
-//! core switch); the deterministic flow-key hash keeps each flow on one
-//! path. Local hosts get a direct output rule. Core switches forward by
-//! destination with plain next-hop rules.
+//! At every switch where the path database reports **more than one**
+//! equal-cost egress port toward a destination host, traffic is sent
+//! through a **select group** whose buckets are those ports; the
+//! deterministic flow-key hash keeps each flow on one path. Where the
+//! shortest path is unique (core switches of a two-tier fabric, the last
+//! hop toward a host) a plain next-hop output rule is installed, and
+//! local hosts always get a direct output rule.
+//!
+//! On the paper's two-tier IXP fabric this reduces to the classic
+//! "groups at the edge, next-hop at the core" layout; on a fat-tree it
+//! additionally spreads pod-aggregation traffic over the core tier, and
+//! on Jellyfish/WAN graphs (where every switch is an edge) multipath is
+//! used wherever the random graph offers it.
 //!
 //! In [`LbMode::Adaptive`] the module polls edge port counters every
 //! `poll_interval` and re-weights the group buckets inversely to each
@@ -69,30 +77,30 @@ impl LoadBalanceModule {
         GroupId(host.0 + 1)
     }
 
-    fn publish_groups(&mut self, edge: NodeId, ctx: &CompileCtx<'_>, out: &mut Outbox) {
-        let Some(uplinks) = self.uplinks.get(&edge) else {
-            return;
-        };
+    /// True when `sw` should reach `host` through a select group: the
+    /// host is remote and the shortest-path DAG offers more than one
+    /// egress port.
+    fn wants_group(ctx: &CompileCtx<'_>, sw: NodeId, host: NodeId) -> bool {
+        ctx.paths.attachment(host).map(|(at, _)| at) != Some(sw)
+            && ctx.paths.ecmp(sw, host).len() > 1
+    }
+
+    fn publish_groups(&mut self, sw: NodeId, ctx: &CompileCtx<'_>, out: &mut Outbox) {
         for &host in ctx.paths.hosts() {
-            // local hosts need no group
-            if ctx.paths.attachment(host).map(|(sw, _)| sw) == Some(edge) {
+            if !Self::wants_group(ctx, sw, host) {
                 continue;
             }
-            // restrict buckets to uplinks that are on some shortest path
-            let ecmp = ctx.paths.ecmp(edge, host);
-            let buckets: Vec<Bucket> = uplinks
+            let buckets: Vec<Bucket> = ctx
+                .paths
+                .ecmp(sw, host)
                 .iter()
-                .filter(|p| ecmp.contains(p))
                 .map(|&p| {
-                    let w = *self.weights.get(&(edge, p)).unwrap_or(&1);
+                    let w = *self.weights.get(&(sw, p)).unwrap_or(&1);
                     Bucket::weighted_output(p, w)
                 })
                 .collect();
-            if buckets.is_empty() {
-                continue;
-            }
             out.send(
-                edge,
+                sw,
                 CtrlMsg::GroupMod(GroupMod::Add(GroupEntry {
                     id: Self::group_for(host),
                     group_type: GroupType::Select,
@@ -138,54 +146,26 @@ impl PolicyModule for LoadBalanceModule {
             self.uplinks.insert(sw, ups);
         }
 
-        let edges: Vec<NodeId> = self.uplinks.keys().copied().collect();
-        let mut sorted_edges = edges;
-        sorted_edges.sort();
-        for edge in sorted_edges {
-            self.publish_groups(edge, ctx, out);
-            // forwarding entries: local hosts direct, remote via group
+        // Per switch (ascending id — edges precede cores in the canned
+        // fabrics, preserving the historical message order): publish the
+        // multipath groups, then the forwarding entries that reference
+        // them. Local hosts get direct output; remote hosts a group where
+        // the ECMP set is wider than one port, a next-hop rule otherwise.
+        let mut switches: Vec<NodeId> = ctx.topo.switches().collect();
+        switches.sort();
+        for sw in switches {
+            self.publish_groups(sw, ctx, out);
             for &host in ctx.paths.hosts() {
                 let Some(mac) = ctx.topo.node(host).and_then(|n| n.mac()) else {
                     continue;
                 };
-                let local = ctx.paths.attachment(host).map(|(sw, _)| sw) == Some(edge);
-                let instruction = if local {
-                    match ctx.paths.next_hop(edge, host) {
+                let instruction = if Self::wants_group(ctx, sw, host) {
+                    Instruction::group(Self::group_for(host))
+                } else {
+                    match ctx.paths.next_hop(sw, host) {
                         Some(p) => Instruction::output(p),
                         None => continue,
                     }
-                } else if !ctx.paths.ecmp(edge, host).is_empty() {
-                    Instruction::group(Self::group_for(host))
-                } else {
-                    continue;
-                };
-                out.send(
-                    edge,
-                    CtrlMsg::FlowMod(FlowMod {
-                        table: TableId(1),
-                        command: FlowModCommand::Add,
-                        entry: FlowEntry::new(
-                            priorities::FORWARDING,
-                            FlowMatch::ANY.with_eth_dst(mac),
-                            vec![instruction],
-                        )
-                        .with_cookie(cookies::FORWARDING | host.0 as u64),
-                    }),
-                );
-            }
-        }
-
-        // Core switches: plain next-hop forwarding by destination MAC.
-        for sw in ctx.topo.switches() {
-            if ctx.topo.node(sw).and_then(|n| n.role()) != Some(SwitchRole::Core) {
-                continue;
-            }
-            for &host in ctx.paths.hosts() {
-                let (Some(mac), Some(port)) = (
-                    ctx.topo.node(host).and_then(|n| n.mac()),
-                    ctx.paths.next_hop(sw, host),
-                ) else {
-                    continue;
                 };
                 out.send(
                     sw,
@@ -195,7 +175,7 @@ impl PolicyModule for LoadBalanceModule {
                         entry: FlowEntry::new(
                             priorities::FORWARDING,
                             FlowMatch::ANY.with_eth_dst(mac),
-                            vec![Instruction::output(port)],
+                            vec![instruction],
                         )
                         .with_cookie(cookies::FORWARDING | host.0 as u64),
                     }),

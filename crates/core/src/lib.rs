@@ -38,7 +38,8 @@
 //! ```
 //!
 //! The [`Simulation`] couples a fluid data plane
-//! ([`horse_dataplane::FluidNet`]) with any [`Controller`]
+//! ([`horse_dataplane::FluidNet`]) with any
+//! [`Controller`](horse_controlplane::Controller)
 //! implementation; control messages cross with configurable latency
 //! ([`SimConfig::ctrl_latency`]) instead of real OpenFlow connections.
 //! [`compare`] runs the same scenario through the packet-level baseline
@@ -59,7 +60,9 @@ pub use compare::{compare_planes, AccuracyReport};
 pub use config::SimConfig;
 pub use hybrid::HybridNet;
 pub use results::SimResults;
-pub use scenario::{FidelityMode, IxpScenarioParams, Scenario};
+pub use scenario::{
+    default_traffic_pattern, FabricScenarioParams, FidelityMode, IxpScenarioParams, Scenario,
+};
 pub use sim::Simulation;
 
 // Re-export the component crates under stable names.
@@ -78,16 +81,20 @@ pub mod prelude {
     pub use crate::config::SimConfig;
     pub use crate::hybrid::HybridNet;
     pub use crate::results::SimResults;
-    pub use crate::scenario::{FidelityMode, IxpScenarioParams, Scenario};
+    pub use crate::scenario::{
+        default_traffic_pattern, FabricScenarioParams, FidelityMode, IxpScenarioParams, Scenario,
+    };
     pub use crate::sim::Simulation;
     pub use horse_controlplane::{Controller, LbMode, PolicyRule, PolicySpec};
     pub use horse_dataplane::{AllocMode, DemandModel, Fidelity, FlowSpec};
     pub use horse_topology::builders::{self, IxpFabricParams};
-    pub use horse_topology::Topology;
+    pub use horse_topology::generators::{self, generate, GeneratorParams, TopologyKind};
+    pub use horse_topology::{Topology, TopologySpec};
     pub use horse_types::{
         AppClass, ByteSize, FlowKey, LinkId, MacAddr, NodeId, Rate, SimDuration, SimTime,
     };
     pub use horse_workloads::{
-        AppMix, DiurnalProfile, FlowGenerator, FlowSizeDist, TrafficMatrix, WorkloadParams,
+        AppMix, DiurnalProfile, FlowGenerator, FlowSizeDist, TrafficMatrix, TrafficPattern,
+        WorkloadParams,
     };
 }

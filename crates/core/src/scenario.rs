@@ -3,9 +3,12 @@
 use horse_controlplane::PolicySpec;
 use horse_dataplane::{DemandModel, Fidelity, FlowSpec};
 use horse_topology::builders::{self, FabricHandles, IxpFabricParams};
+use horse_topology::generators::{generate, GeneratorError, GeneratorParams, TopologyKind};
 use horse_topology::{Topology, TopologySpec};
 use horse_types::{AppClass, ByteSize, FlowKey, LinkId, NodeId, Rate, SimTime};
-use horse_workloads::{AppMix, DiurnalProfile, FlowSizeDist, TrafficMatrix, WorkloadParams};
+use horse_workloads::{
+    AppMix, DiurnalProfile, FlowSizeDist, TrafficMatrix, TrafficPattern, WorkloadParams,
+};
 use serde::{Deserialize, Serialize};
 
 /// A complete experiment description.
@@ -115,6 +118,80 @@ impl Scenario {
             topology,
             packet_foreground: 0,
         }
+    }
+
+    /// A scenario over one of the generated topology families (fat-tree,
+    /// leaf-spine, jellyfish, linear/ring chains, WAN), with a traffic
+    /// matrix derived per generator: the pattern defaults to
+    /// [`default_traffic_pattern`] (gravity for Clos fabrics, uniform
+    /// for jellyfish, hotspot for chains, degree-weighted gravity for
+    /// WANs). Deterministic for a given parameter set.
+    pub fn fabric(params: &FabricScenarioParams) -> Result<Self, GeneratorError> {
+        let fabric = generate(&params.generator)?;
+        let n = fabric.members.len();
+        if n == 0 {
+            return Err(GeneratorError::BadParam(
+                "the generator produced no hosts, so there is nothing to offer traffic".into(),
+            ));
+        }
+        let pattern = params
+            .pattern
+            .unwrap_or_else(|| default_traffic_pattern(params.generator.kind));
+        // Structural member weights for the WAN gravity model: the
+        // inter-switch degree of each member's attachment PoP (bigger
+        // PoPs originate and sink more traffic).
+        let weights: Option<Vec<f64>> = match params.generator.kind {
+            TopologyKind::Wan => Some(
+                fabric
+                    .members
+                    .iter()
+                    .map(|&m| {
+                        fabric
+                            .topology
+                            .out_links(m)
+                            .next()
+                            .map(|(_, access)| {
+                                fabric
+                                    .topology
+                                    .out_links(access.dst)
+                                    .filter(|(_, l)| {
+                                        fabric
+                                            .topology
+                                            .node(l.dst)
+                                            .map(|d| d.kind.is_switch())
+                                            .unwrap_or(false)
+                                    })
+                                    .count() as f64
+                            })
+                            .unwrap_or(1.0)
+                            .max(1.0)
+                    })
+                    .collect(),
+            ),
+            _ => None,
+        };
+        let total = params
+            .offered_bps
+            .unwrap_or(n as f64 * 40e6 * params.load_factor);
+        let matrix = pattern.matrix(n, total, weights.as_deref());
+        let workload = WorkloadParams {
+            matrix,
+            sizes: params.sizes,
+            apps: AppMix::default_ixp(),
+            diurnal: None,
+            udp_rate: Rate::mbps(4.0),
+            seed: params.seed,
+        };
+        Ok(Scenario {
+            topology: fabric.topology,
+            members: fabric.members,
+            policy: params.policy.clone(),
+            workload: Some(workload),
+            explicit_flows: Vec::new(),
+            failures: Vec::new(),
+            horizon: params.horizon,
+            packet_foreground: 0,
+        })
     }
 
     /// A parameterized IXP scenario (experiments E1–E5).
@@ -254,6 +331,73 @@ impl FidelityMode {
     }
 }
 
+/// The traffic-matrix shape a topology family defaults to, chosen to
+/// exercise what the family is for: gravity skew on the Clos fabrics
+/// (fat-tree, leaf-spine — the data-center case), uniform all-to-all on
+/// jellyfish (the random-graph papers evaluate permutation/uniform
+/// load), a hotspot on chains (every flow crosses the whole diameter
+/// toward the head host), and degree-weighted gravity on WANs (large
+/// PoPs originate more traffic).
+pub fn default_traffic_pattern(kind: TopologyKind) -> TrafficPattern {
+    match kind {
+        TopologyKind::FatTree | TopologyKind::LeafSpine => TrafficPattern::Gravity { alpha: 0.8 },
+        TopologyKind::Jellyfish => TrafficPattern::Uniform,
+        TopologyKind::Linear | TopologyKind::Ring => TrafficPattern::Hotspot { frac: 0.5 },
+        TopologyKind::Wan => TrafficPattern::Gravity { alpha: 1.0 },
+    }
+}
+
+/// Parameters of [`Scenario::fabric`]: a generated topology plus the
+/// workload and policy riding on it.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FabricScenarioParams {
+    /// Which topology to generate, and its shape.
+    pub generator: GeneratorParams,
+    /// Traffic-matrix shape; `None` picks [`default_traffic_pattern`]
+    /// for the generator's family.
+    pub pattern: Option<TrafficPattern>,
+    /// Aggregate offered load at peak (bps); `None` derives
+    /// `hosts × 40 Mbps × load_factor`, the same per-host rule the IXP
+    /// scenarios use, so fabrics of equal host count carry comparable
+    /// load.
+    pub offered_bps: Option<f64>,
+    /// Multiplier on the derived offered load (ignored when
+    /// `offered_bps` is explicit).
+    pub load_factor: f64,
+    /// Flow sizes.
+    pub sizes: FlowSizeDist,
+    /// Policy configuration.
+    pub policy: PolicySpec,
+    /// Horizon.
+    pub horizon: SimTime,
+    /// Workload (arrival-stream) seed. Topology wiring has its own seed
+    /// — [`GeneratorParams::seed`] inside `generator` — so a random
+    /// fabric can stay fixed while workloads vary; set both to the same
+    /// value to rewire per run (the lab's `kind = "fabric"` specs do).
+    pub seed: u64,
+}
+
+impl Default for FabricScenarioParams {
+    fn default() -> Self {
+        FabricScenarioParams {
+            generator: GeneratorParams::default(),
+            pattern: None,
+            offered_bps: None,
+            load_factor: 1.0,
+            sizes: FlowSizeDist::Pareto {
+                alpha: 1.3,
+                min_bytes: 1_000_000,
+                max_bytes: 1_000_000_000,
+            },
+            policy: PolicySpec::new().with(horse_controlplane::PolicyRule::LoadBalancing {
+                mode: horse_controlplane::LbMode::Ecmp,
+            }),
+            horizon: SimTime::from_secs(10),
+            seed: 1,
+        }
+    }
+}
+
 /// Parameters of the canned IXP scenario.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct IxpScenarioParams {
@@ -352,5 +496,78 @@ mod tests {
         let s = Scenario::ixp(&p);
         assert_eq!(s.members.len(), 20);
         assert!(s.topology.node_count() > 20);
+    }
+
+    #[test]
+    fn fabric_scenario_builds_every_family() {
+        for kind in [
+            TopologyKind::FatTree,
+            TopologyKind::LeafSpine,
+            TopologyKind::Jellyfish,
+            TopologyKind::Linear,
+            TopologyKind::Ring,
+        ] {
+            let mut p = FabricScenarioParams::default();
+            p.generator.kind = kind;
+            let s = Scenario::fabric(&p).unwrap_or_else(|e| panic!("{kind}: {e}"));
+            assert!(!s.members.is_empty(), "{kind}");
+            let w = s.workload.expect("fabric scenarios carry a workload");
+            assert!(w.matrix.total() > 0.0, "{kind} offers no traffic");
+            assert_eq!(w.matrix.len(), s.members.len(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn fabric_patterns_follow_family_defaults() {
+        let mut p = FabricScenarioParams::default();
+        p.generator.kind = TopologyKind::Linear;
+        let s = Scenario::fabric(&p).unwrap();
+        let m = &s.workload.unwrap().matrix;
+        // hotspot: member 0 sinks at least half of the offered load
+        let n = m.len();
+        let into_hot: f64 = (0..n).map(|i| m.rate(i, 0)).sum();
+        assert!(into_hot >= m.total() * 0.5);
+
+        let mut p = FabricScenarioParams::default();
+        p.generator.kind = TopologyKind::FatTree;
+        p.pattern = Some(horse_workloads::TrafficPattern::Uniform);
+        let s = Scenario::fabric(&p).unwrap();
+        let m = &s.workload.unwrap().matrix;
+        assert!((m.rate(0, 1) - m.rate(2, 3)).abs() < 1e-6, "override wins");
+    }
+
+    #[test]
+    fn wan_fabric_weighs_by_pop_degree() {
+        // chain of 3 PoPs: the middle one has degree 2, the ends 1.
+        let chain = horse_topology::generators::chain(
+            &GeneratorParams {
+                kind: TopologyKind::Linear,
+                switches: 3,
+                hosts: 0,
+                ..Default::default()
+            },
+            false,
+        )
+        .unwrap();
+        let spec = TopologySpec::from_topology(&chain.topology);
+        let mut p = FabricScenarioParams::default();
+        p.generator.kind = TopologyKind::Wan;
+        p.generator.wan = Some(spec);
+        p.generator.hosts_per_pop = 1;
+        let s = Scenario::fabric(&p).unwrap();
+        assert_eq!(s.members.len(), 3);
+        let m = &s.workload.unwrap().matrix;
+        // the middle PoP's host (index 1) attracts more than an end host
+        assert!(m.rate(0, 1) > m.rate(2, 0));
+    }
+
+    #[test]
+    fn fabric_scenario_is_deterministic() {
+        let mut p = FabricScenarioParams::default();
+        p.generator.kind = TopologyKind::Jellyfish;
+        p.generator.seed = 11;
+        let a = serde_json::to_string(&Scenario::fabric(&p).unwrap()).unwrap();
+        let b = serde_json::to_string(&Scenario::fabric(&p).unwrap()).unwrap();
+        assert_eq!(a, b);
     }
 }

@@ -201,7 +201,7 @@ impl FluidNet {
         let mut switches = HashMap::new();
         for (id, node) in topo.nodes() {
             if node.kind.is_switch() {
-                let ports = topo.ports(id);
+                let ports: Vec<_> = topo.ports(id).collect();
                 switches.insert(id, OpenFlowSwitch::new(id, 2, &ports));
             }
         }

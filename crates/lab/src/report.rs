@@ -138,7 +138,8 @@ impl CampaignReport {
     }
 
     /// Campaign-level aggregates: a [`Summary`] (mean/min/p50/p95/p99/max
-    /// over runs) for each metric in [`AGGREGATED`].
+    /// over runs) for each headline metric (FCT percentiles, throughput,
+    /// goodput, events, completions).
     pub fn aggregate(&self) -> Vec<(String, Summary)> {
         AGGREGATED
             .iter()

@@ -1,6 +1,6 @@
 //! The parallel batch runner: a shared-queue thread pool executing
 //! independent simulations and streaming their results into a
-//! [`CampaignReport`](crate::report::CampaignReport).
+//! [`crate::report::CampaignReport`].
 //!
 //! Work distribution is dynamic (workers pull the next plan when free) so
 //! uneven run lengths don't idle threads, while reported order is always

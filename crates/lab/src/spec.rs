@@ -31,8 +31,10 @@ use serde::{Deserialize, Serialize};
 ///
 /// `kind = "figure1"` is the paper's Figure-1 fabric with its full policy
 /// mix; `kind = "ixp"` is the parameterized two-tier IXP fabric behind
-/// experiments E1–E5. All fields except `members`/`horizon_secs` have
-/// defaults matching the experiment harness.
+/// experiments E1–E5; `kind = "fabric"` is the generated-topology
+/// suite (fat-tree / leaf-spine / jellyfish / linear / ring / WAN) with
+/// a sweepable `topology` axis. All fields except the family selector
+/// and `horizon_secs` have defaults matching the experiment harness.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 #[serde(tag = "kind", rename_all = "snake_case")]
 // the variant size gap is real but specs are built a handful at a time;
@@ -95,6 +97,72 @@ pub enum ScenarioSpec {
         /// run at packet fidelity (default 8; only used by `"hybrid"`).
         foreground_flows: Option<usize>,
     },
+    /// A generated topology family (`horse_topology::generators`):
+    /// fat-tree, leaf-spine, jellyfish, linear/ring chains, or a WAN
+    /// graph loaded from disk. The `topology` field takes the family
+    /// name as a string and is itself sweepable, so one spec can compare
+    /// fabrics under an identical workload.
+    Fabric {
+        /// Topology family: `"fat_tree"`, `"leaf_spine"`,
+        /// `"jellyfish"`, `"linear"`, `"ring"` or `"wan"`.
+        topology: TopologyKind,
+        /// Simulation horizon in seconds.
+        horizon_secs: f64,
+        /// Fat-tree arity `k` (even; default 4 → 16 hosts, 20 switches).
+        fat_tree_k: Option<usize>,
+        /// Leaf-spine: leaf count (default 4).
+        leaves: Option<usize>,
+        /// Leaf-spine: spine count (default 2).
+        spines: Option<usize>,
+        /// Leaf-spine: hosts per leaf (default 4).
+        hosts_per_leaf: Option<usize>,
+        /// Leaf-spine oversubscription ratio (default 1.0 =
+        /// non-blocking; uplink speed is derived from it).
+        oversubscription: Option<f64>,
+        /// Jellyfish / linear / ring: switch count (default 8).
+        switches: Option<usize>,
+        /// Jellyfish: inter-switch ports per switch (default 3).
+        degree: Option<usize>,
+        /// Jellyfish / linear / ring: host count, spread round-robin
+        /// (default 16).
+        hosts: Option<usize>,
+        /// WAN graph file (a `TopologySpec` in JSON or TOML, e.g.
+        /// `examples/topologies/abilene.json`); required when
+        /// `topology = "wan"`, rejected otherwise.
+        wan_file: Option<String>,
+        /// WAN: hosts attached per PoP when the graph carries none
+        /// (default 1).
+        hosts_per_pop: Option<usize>,
+        /// Host access-link speed in Gbit/s (default 10).
+        access_gbps: Option<f64>,
+        /// Switch-to-switch link speed in Gbit/s (default 40;
+        /// leaf-spine derives uplink speed from `oversubscription`
+        /// instead).
+        trunk_gbps: Option<f64>,
+        /// Traffic-matrix shape (`{ model = "gravity", alpha = 0.8 }`,
+        /// `{ model = "hotspot", frac = 0.5 }`, `{ model = "uniform" }`);
+        /// default per family.
+        pattern: Option<TrafficPattern>,
+        /// Aggregate offered load in Gbit/s; default
+        /// `hosts × 0.04 × load_factor` (40 Mbit/s per host).
+        offered_gbps: Option<f64>,
+        /// Multiplier on the default offered load (ignored when
+        /// `offered_gbps` is set).
+        load_factor: Option<f64>,
+        /// Workload seed, also the jellyfish wiring seed (default 1).
+        seed: Option<u64>,
+        /// Flow-size distribution; default bounded Pareto
+        /// (α=1.3, 1 MB–1 GB).
+        sizes: Option<FlowSizeDist>,
+        /// Policy rules; default ECMP load balancing (which installs
+        /// select groups wherever the fabric offers equal-cost paths).
+        policies: Option<Vec<PolicyRule>>,
+        /// Fidelity mode: `"fluid"` (default), `"hybrid"` or
+        /// `"packet"`.
+        fidelity: Option<FidelityMode>,
+        /// Hybrid foreground size (default 8; only used by `"hybrid"`).
+        foreground_flows: Option<usize>,
+    },
 }
 
 impl ScenarioSpec {
@@ -102,18 +170,18 @@ impl ScenarioSpec {
     /// replicate).
     pub fn seed(&self) -> u64 {
         match self {
-            ScenarioSpec::Figure1 { seed, .. } | ScenarioSpec::Ixp { seed, .. } => {
-                seed.unwrap_or(1)
-            }
+            ScenarioSpec::Figure1 { seed, .. }
+            | ScenarioSpec::Ixp { seed, .. }
+            | ScenarioSpec::Fabric { seed, .. } => seed.unwrap_or(1),
         }
     }
 
     /// Sets the seed (used by replicate expansion).
     pub fn set_seed(&mut self, new_seed: u64) {
         match self {
-            ScenarioSpec::Figure1 { seed, .. } | ScenarioSpec::Ixp { seed, .. } => {
-                *seed = Some(new_seed)
-            }
+            ScenarioSpec::Figure1 { seed, .. }
+            | ScenarioSpec::Ixp { seed, .. }
+            | ScenarioSpec::Fabric { seed, .. } => *seed = Some(new_seed),
         }
     }
 
@@ -126,6 +194,11 @@ impl ScenarioSpec {
                 ..
             }
             | ScenarioSpec::Ixp {
+                fidelity,
+                foreground_flows,
+                ..
+            }
+            | ScenarioSpec::Fabric {
                 fidelity,
                 foreground_flows,
                 ..
@@ -214,6 +287,129 @@ impl ScenarioSpec {
                 params.horizon = horizon;
                 params.seed = seed.unwrap_or(1);
                 Scenario::ixp(&params)
+            }
+            ScenarioSpec::Fabric {
+                topology,
+                horizon_secs,
+                fat_tree_k,
+                leaves,
+                spines,
+                hosts_per_leaf,
+                oversubscription,
+                switches,
+                degree,
+                hosts,
+                wan_file,
+                hosts_per_pop,
+                access_gbps,
+                trunk_gbps,
+                pattern,
+                offered_gbps,
+                load_factor,
+                seed,
+                sizes,
+                policies,
+                ..
+            } => {
+                let horizon = horizon_from_secs(*horizon_secs)?;
+                let mut gen = GeneratorParams {
+                    kind: *topology,
+                    seed: seed.unwrap_or(1),
+                    ..Default::default()
+                };
+                if let Some(k) = fat_tree_k {
+                    gen.fat_tree_k = *k;
+                }
+                if let Some(v) = leaves {
+                    gen.leaves = *v;
+                }
+                if let Some(v) = spines {
+                    gen.spines = *v;
+                }
+                if let Some(v) = hosts_per_leaf {
+                    gen.hosts_per_leaf = *v;
+                }
+                if let Some(v) = oversubscription {
+                    gen.oversubscription = *v;
+                }
+                if let Some(v) = switches {
+                    gen.switches = *v;
+                }
+                if let Some(v) = degree {
+                    gen.degree = *v;
+                }
+                if let Some(v) = hosts {
+                    gen.hosts = *v;
+                }
+                if let Some(v) = hosts_per_pop {
+                    gen.hosts_per_pop = *v;
+                }
+                if let Some(g) = access_gbps {
+                    if *g <= 0.0 {
+                        return Err(LabError::spec(format!(
+                            "scenario.access_gbps must be positive, got {g}"
+                        )));
+                    }
+                    gen.access = Rate::gbps(*g);
+                }
+                if let Some(g) = trunk_gbps {
+                    if *g <= 0.0 {
+                        return Err(LabError::spec(format!(
+                            "scenario.trunk_gbps must be positive, got {g}"
+                        )));
+                    }
+                    gen.trunk = Rate::gbps(*g);
+                }
+                match (*topology == TopologyKind::Wan, wan_file) {
+                    (true, Some(path)) => {
+                        gen.wan = Some(
+                            horse::topology::generators::load_topology_spec(std::path::Path::new(
+                                path,
+                            ))
+                            .map_err(|e| LabError::spec(e.to_string()))?,
+                        );
+                    }
+                    (true, None) => {
+                        return Err(LabError::spec(
+                            "topology = \"wan\" needs `wan_file` \
+                             (e.g. examples/topologies/abilene.json)",
+                        ))
+                    }
+                    (false, Some(_)) => {
+                        return Err(LabError::spec(format!(
+                            "`wan_file` only applies to topology = \"wan\", not {topology}"
+                        )))
+                    }
+                    (false, None) => {}
+                }
+                let mut params = FabricScenarioParams {
+                    generator: gen,
+                    pattern: *pattern,
+                    load_factor: load_factor.unwrap_or(1.0),
+                    horizon,
+                    seed: seed.unwrap_or(1),
+                    ..Default::default()
+                };
+                params.offered_bps = match offered_gbps {
+                    Some(g) if *g <= 0.0 => {
+                        return Err(LabError::spec(format!(
+                            "scenario.offered_gbps must be positive, got {g}"
+                        )))
+                    }
+                    Some(g) => Some(g * 1e9),
+                    None => None,
+                };
+                if let Some(s) = sizes {
+                    params.sizes = *s;
+                }
+                if let Some(rules) = policies {
+                    let mut p = PolicySpec::new();
+                    for r in rules {
+                        p = p.with(r.clone());
+                    }
+                    params.policy = p;
+                }
+                Scenario::fabric(&params).map_err(|e| LabError::spec(e.to_string()))?
             }
         };
         scenario.packet_foreground = mode.foreground(foreground);
@@ -499,6 +695,80 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.to_string().contains("members"), "{err}");
+    }
+
+    #[test]
+    fn fabric_spec_builds_each_family() {
+        for (family, extra) in [
+            ("fat_tree", "fat_tree_k = 4"),
+            ("leaf_spine", "oversubscription = 4.0"),
+            ("jellyfish", "switches = 6\ndegree = 3\nhosts = 12"),
+            ("linear", "switches = 4\nhosts = 8"),
+            ("ring", "switches = 4\nhosts = 8"),
+        ] {
+            let spec = SweepSpec::from_toml(&format!(
+                r#"
+                name = "fab"
+                [scenario]
+                kind = "fabric"
+                topology = "{family}"
+                horizon_secs = 1.0
+                {extra}
+                "#,
+            ))
+            .unwrap_or_else(|e| panic!("{family}: {e}"));
+            let s = spec
+                .scenario
+                .build()
+                .unwrap_or_else(|e| panic!("{family}: {e}"));
+            assert!(!s.members.is_empty(), "{family}");
+        }
+    }
+
+    #[test]
+    fn fabric_spec_wan_requires_file() {
+        let err = SweepSpec::from_toml(
+            r#"
+            name = "w"
+            [scenario]
+            kind = "fabric"
+            topology = "wan"
+            horizon_secs = 1.0
+            "#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("wan_file"), "{err}");
+
+        let err = SweepSpec::from_toml(
+            r#"
+            name = "w"
+            [scenario]
+            kind = "fabric"
+            topology = "fat_tree"
+            horizon_secs = 1.0
+            wan_file = "nope.json"
+            "#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("wan"), "{err}");
+    }
+
+    #[test]
+    fn fabric_pattern_override_parses() {
+        let spec = SweepSpec::from_toml(
+            r#"
+            name = "pat"
+            [scenario]
+            kind = "fabric"
+            topology = "jellyfish"
+            horizon_secs = 1.0
+            pattern = { model = "gravity", alpha = 1.2 }
+            "#,
+        )
+        .unwrap();
+        let s = spec.scenario.build().unwrap();
+        let m = s.workload.unwrap().matrix;
+        assert!(m.rate(0, 1) > m.rate(10, 11), "gravity skew applied");
     }
 
     #[test]

@@ -130,6 +130,7 @@ fn apply_axis(
         "unknown axis `{name}`; sweepable parameters are the scenario fields \
          and the config fields of this spec (e.g. members, offered_gbps, \
          zipf_alpha, horizon_secs, seed, fidelity, foreground_flows, \
+         topology, hosts, fat_tree_k, oversubscription, \
          ctrl_latency_us, alloc_mode, stats_epoch_secs, admit_retry_limit)"
     )))
 }
@@ -219,6 +220,30 @@ mod tests {
             .map(|p| p.scenario.build().unwrap().packet_foreground)
             .collect();
         assert_eq!(foregrounds, vec![0, 4, usize::MAX]);
+    }
+
+    #[test]
+    fn topology_axis_sweeps_fabric_families() {
+        let s = spec(
+            r#"
+            name = "fabrics"
+            [scenario]
+            kind = "fabric"
+            topology = "fat_tree"
+            horizon_secs = 1.0
+            hosts = 16
+            [axes]
+            topology = ["fat_tree", "leaf_spine", "jellyfish"]
+            "#,
+        );
+        let plans = expand(&s).unwrap();
+        assert_eq!(plans.len(), 3);
+        let built: Vec<usize> = plans
+            .iter()
+            .map(|p| p.scenario.build().unwrap().members.len())
+            .collect();
+        assert_eq!(built, vec![16, 16, 16], "identical workload size");
+        assert_eq!(plans[2].label(), "topology=jellyfish seed=1");
     }
 
     #[test]

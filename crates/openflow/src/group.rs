@@ -78,15 +78,21 @@ impl GroupEntry {
         }
     }
 
-    /// Resolves the buckets to execute for `key`, given a port-liveness
-    /// oracle. Returns indices into `buckets`.
+    /// Resolves the buckets to execute for `key`, given a per-switch
+    /// hash seed and a port-liveness oracle. Returns indices into
+    /// `buckets`.
     ///
     /// * `All` → every bucket with a live (or unwatched) port.
     /// * `Select` → one bucket by weighted deterministic hash **among live
     ///   buckets** (OpenFlow allows liveness-aware selection; taking it
-    ///   makes select groups degrade gracefully during failures).
+    ///   makes select groups degrade gracefully during failures). The
+    ///   flow-key hash is mixed with `seed` — switches pass their own id
+    ///   — so consecutive ECMP tiers make *independent* choices: with an
+    ///   unseeded hash every switch picks the same bucket index and a
+    ///   fat-tree's aggregation tier polarizes onto one core per slot
+    ///   (the classic CEF-polarization failure).
     /// * `FastFailover` → the first live bucket.
-    pub fn resolve<F>(&self, key: &FlowKey, port_up: F) -> Vec<usize>
+    pub fn resolve<F>(&self, key: &FlowKey, seed: u64, port_up: F) -> Vec<usize>
     where
         F: Fn(PortNo) -> bool,
     {
@@ -117,7 +123,13 @@ impl GroupEntry {
                 if total == 0 {
                     return vec![];
                 }
-                let mut point = key.stable_hash() % total;
+                // SplitMix64 finalizer over (key hash ⊕ seed): small
+                // consecutive seeds (node ids) must decorrelate fully.
+                let mut h = key.stable_hash() ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                h ^= h >> 31;
+                let mut point = h % total;
                 for (i, b) in candidates {
                     if point < b.weight as u64 {
                         return vec![i];
@@ -156,8 +168,8 @@ mod tests {
         let g = ecmp3();
         let up = |_: PortNo| true;
         for sport in [1000u16, 2000, 3000, 4000] {
-            let a = g.resolve(&key(sport), up);
-            let b = g.resolve(&key(sport), up);
+            let a = g.resolve(&key(sport), 7, up);
+            let b = g.resolve(&key(sport), 7, up);
             assert_eq!(a, b);
             assert_eq!(a.len(), 1);
         }
@@ -169,9 +181,27 @@ mod tests {
         let up = |_: PortNo| true;
         let mut seen = std::collections::HashSet::new();
         for sport in 0..200u16 {
-            seen.insert(g.resolve(&key(sport), up)[0]);
+            seen.insert(g.resolve(&key(sport), 7, up)[0]);
         }
         assert_eq!(seen.len(), 3, "200 flows should hit all 3 buckets");
+    }
+
+    #[test]
+    fn select_seeds_decorrelate_tiers() {
+        // The anti-polarization property: the same flow population
+        // resolved under two different switch seeds must not land on
+        // the same bucket sequence (else a downstream ECMP tier only
+        // ever sees one of its uplinks per upstream choice).
+        let g = ecmp3();
+        let up = |_: PortNo| true;
+        let differs = (0..300u16)
+            .filter(|&s| g.resolve(&key(s), 1, up) != g.resolve(&key(s), 2, up))
+            .count();
+        assert!(
+            differs > 100,
+            "seeds 1 and 2 agree on {}/300 flows — tiers polarized",
+            300 - differs
+        );
     }
 
     #[test]
@@ -179,7 +209,7 @@ mod tests {
         let g = ecmp3();
         let up = |p: PortNo| p != PortNo(2);
         for sport in 0..100u16 {
-            let r = g.resolve(&key(sport), up);
+            let r = g.resolve(&key(sport), 7, up);
             assert_eq!(r.len(), 1);
             assert_ne!(r[0], 1, "bucket 1 (port 2) is dead");
         }
@@ -198,7 +228,7 @@ mod tests {
         let up = |_: PortNo| true;
         let mut counts = [0usize; 2];
         for sport in 0..1000u16 {
-            counts[g.resolve(&key(sport), up)[0]] += 1;
+            counts[g.resolve(&key(sport), 7, up)[0]] += 1;
         }
         assert!(
             counts[0] > counts[1] * 4,
@@ -218,7 +248,7 @@ mod tests {
         };
         let up = |_: PortNo| true;
         for sport in 0..50u16 {
-            assert_eq!(g.resolve(&key(sport), up), vec![1]);
+            assert_eq!(g.resolve(&key(sport), 7, up), vec![1]);
         }
     }
 
@@ -229,8 +259,8 @@ mod tests {
             group_type: GroupType::All,
             buckets: vec![Bucket::output(PortNo(1)), Bucket::output(PortNo(2))],
         };
-        assert_eq!(g.resolve(&key(1), |_| true), vec![0, 1]);
-        assert_eq!(g.resolve(&key(1), |p| p == PortNo(2)), vec![1]);
+        assert_eq!(g.resolve(&key(1), 7, |_| true), vec![0, 1]);
+        assert_eq!(g.resolve(&key(1), 7, |p| p == PortNo(2)), vec![1]);
     }
 
     #[test]
@@ -240,9 +270,9 @@ mod tests {
             group_type: GroupType::FastFailover,
             buckets: vec![Bucket::output(PortNo(1)), Bucket::output(PortNo(2))],
         };
-        assert_eq!(g.resolve(&key(1), |_| true), vec![0]);
-        assert_eq!(g.resolve(&key(1), |p| p != PortNo(1)), vec![1]);
-        assert!(g.resolve(&key(1), |_| false).is_empty());
+        assert_eq!(g.resolve(&key(1), 7, |_| true), vec![0]);
+        assert_eq!(g.resolve(&key(1), 7, |p| p != PortNo(1)), vec![1]);
+        assert!(g.resolve(&key(1), 7, |_| false).is_empty());
     }
 
     #[test]
@@ -256,6 +286,6 @@ mod tests {
                 actions: vec![Action::Drop],
             }],
         };
-        assert_eq!(g.resolve(&key(1), |_| false), vec![0]);
+        assert_eq!(g.resolve(&key(1), 7, |_| false), vec![0]);
     }
 }

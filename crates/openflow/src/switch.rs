@@ -237,7 +237,10 @@ impl OpenFlowSwitch {
                                 Action::Group(g) => {
                                     if let Some(ge) = self.groups.get(g) {
                                         let port_state = &self.port_state;
-                                        let chosen = ge.resolve(&cur_key, |p| {
+                                        // Per-switch hash seed: keeps
+                                        // consecutive ECMP tiers from
+                                        // polarizing onto correlated buckets.
+                                        let chosen = ge.resolve(&cur_key, self.id.0 as u64, |p| {
                                             *port_state.get(&p).unwrap_or(&false)
                                         });
                                         if chosen.is_empty() {

@@ -542,7 +542,7 @@ impl PacketPlane {
         drain: &DrainFn<'_>,
         out: &mut PktOut,
     ) {
-        let Some(port) = topo.ports(host).first().copied() else {
+        let Some(port) = topo.ports(host).next() else {
             return;
         };
         self.enqueue(host, port, pkt, now, topo, drain, out);
@@ -813,7 +813,7 @@ impl PacketNet {
         let mut switches = HashMap::new();
         for (id, node) in topo.nodes() {
             if node.kind.is_switch() {
-                let ports = topo.ports(id);
+                let ports: Vec<_> = topo.ports(id).collect();
                 switches.insert(id, OpenFlowSwitch::new(id, 2, &ports));
             }
         }
@@ -1154,7 +1154,8 @@ mod tests {
         let mut switches: HashMap<NodeId, OpenFlowSwitch> = HashMap::new();
         for (id, node) in f.topology.nodes() {
             if node.kind.is_switch() {
-                switches.insert(id, OpenFlowSwitch::new(id, 2, &f.topology.ports(id)));
+                let ports: Vec<_> = f.topology.ports(id).collect();
+                switches.insert(id, OpenFlowSwitch::new(id, 2, &ports));
             }
         }
         let mut boot = Outbox::new();

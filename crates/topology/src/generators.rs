@@ -1,0 +1,821 @@
+//! Parameterized, seed-deterministic topology generators.
+//!
+//! [`builders`](crate::builders) holds the paper's canned fabrics; this
+//! module opens the scenario space with the standard families the
+//! literature evaluates on, all behind one [`generate`] entry point
+//! driven by [`GeneratorParams`]:
+//!
+//! * [`fat_tree`] — the k-ary fat-tree (Al-Fares et al.): `k` pods of
+//!   `k/2` edge + `k/2` aggregation switches over `(k/2)²` cores,
+//!   `k³/4` hosts. The canonical data-center Clos with rich equal-cost
+//!   multipath at every tier.
+//! * [`leaf_spine`] — two-tier Clos with an explicit **oversubscription**
+//!   knob: leaf uplink capacity is derived from the host-facing
+//!   bandwidth so `oversubscription = 1.0` is non-blocking and `4.0`
+//!   is a typical cost-reduced fabric.
+//! * [`jellyfish`] — the Jellyfish random regular graph (Singla et al.),
+//!   wired deterministically from a seed: a Hamiltonian ring guarantees
+//!   connectivity, remaining port stubs are paired at random.
+//! * [`chain`] — linear and ring chains of switches with hosts spread
+//!   round-robin (worst-case diameter; ring adds one redundant path).
+//! * [`wan`] — a wide-area topology loaded from a Topology-Zoo-style
+//!   [`TopologySpec`] (JSON or TOML, see [`load_topology_spec`]), with
+//!   hosts attached per PoP; `examples/topologies/` ships real WAN
+//!   graphs (Abilene, GÉANT, NSFNET).
+//!
+//! Every generator is **deterministic**: the same parameters (and seed,
+//! where randomness is involved) produce a byte-identical topology —
+//! the property the lab's reproducible sweeps rest on, pinned by
+//! `tests/proptest_generators.rs`.
+
+use crate::builders::FabricHandles;
+use crate::graph::{Topology, TopologyError};
+use crate::spec::{SpecError, TopologySpec};
+use horse_types::{MacAddr, NodeId, Rate, SimDuration};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// The topology family a [`GeneratorParams`] builds.
+///
+/// Serialized as a snake_case string (`"fat_tree"`, `"leaf_spine"`,
+/// `"jellyfish"`, `"linear"`, `"ring"`, `"wan"`), which makes the family
+/// a directly sweepable axis in lab specs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum TopologyKind {
+    /// k-ary fat-tree (data-center Clos).
+    #[default]
+    FatTree,
+    /// Two-tier leaf-spine with configurable oversubscription.
+    LeafSpine,
+    /// Jellyfish random regular graph.
+    Jellyfish,
+    /// Linear chain of switches.
+    Linear,
+    /// Ring of switches.
+    Ring,
+    /// Wide-area graph loaded from a [`TopologySpec`].
+    Wan,
+}
+
+impl fmt::Display for TopologyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TopologyKind::FatTree => "fat_tree",
+            TopologyKind::LeafSpine => "leaf_spine",
+            TopologyKind::Jellyfish => "jellyfish",
+            TopologyKind::Linear => "linear",
+            TopologyKind::Ring => "ring",
+            TopologyKind::Wan => "wan",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Errors raised by topology generation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GeneratorError {
+    /// A parameter is out of its valid range.
+    BadParam(String),
+    /// The `wan` family was selected without a graph to load.
+    MissingWanSpec,
+    /// Loading or instantiating a WAN spec failed.
+    Wan(String),
+    /// Underlying topology construction failed (duplicate names in a
+    /// WAN spec, for instance).
+    Topology(TopologyError),
+}
+
+impl fmt::Display for GeneratorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeneratorError::BadParam(m) => write!(f, "bad generator parameter: {m}"),
+            GeneratorError::MissingWanSpec => {
+                write!(f, "topology kind `wan` needs a graph (set `wan_file`)")
+            }
+            GeneratorError::Wan(m) => write!(f, "wan topology: {m}"),
+            GeneratorError::Topology(e) => write!(f, "topology error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GeneratorError {}
+
+impl From<TopologyError> for GeneratorError {
+    fn from(e: TopologyError) -> Self {
+        GeneratorError::Topology(e)
+    }
+}
+
+impl From<SpecError> for GeneratorError {
+    fn from(e: SpecError) -> Self {
+        GeneratorError::Wan(e.to_string())
+    }
+}
+
+/// Parameters of [`generate`]: one struct covering every family, with
+/// per-family fields ignored by the others (so lab specs can sweep the
+/// `kind` axis while holding the rest constant).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GeneratorParams {
+    /// Which family to build.
+    pub kind: TopologyKind,
+    /// Fat-tree arity `k` (even, ≥ 2): `k` pods, `(k/2)²` cores,
+    /// `k³/4` hosts.
+    pub fat_tree_k: usize,
+    /// Leaf-spine: number of leaf (edge) switches.
+    pub leaves: usize,
+    /// Leaf-spine: number of spine (core) switches.
+    pub spines: usize,
+    /// Leaf-spine: hosts attached to each leaf.
+    pub hosts_per_leaf: usize,
+    /// Leaf-spine oversubscription ratio: host-facing bandwidth per leaf
+    /// divided by its aggregate uplink bandwidth. `1.0` = non-blocking;
+    /// each uplink runs at `access × hosts_per_leaf / (spines × ratio)`.
+    pub oversubscription: f64,
+    /// Jellyfish / linear / ring: number of switches.
+    pub switches: usize,
+    /// Jellyfish: inter-switch ports per switch (network degree, ≥ 2).
+    pub degree: usize,
+    /// Jellyfish / linear / ring: hosts, spread round-robin over
+    /// switches.
+    pub hosts: usize,
+    /// WAN graph (switch-level; hosts are attached per PoP when the
+    /// spec carries none). Required when `kind` is [`TopologyKind::Wan`].
+    pub wan: Option<TopologySpec>,
+    /// WAN: hosts attached to each PoP switch when the spec has no
+    /// hosts of its own.
+    pub hosts_per_pop: usize,
+    /// Host access-link speed.
+    pub access: Rate,
+    /// Switch-to-switch link speed (fat-tree fabric links, jellyfish
+    /// trunks, chain/ring segments; leaf-spine derives uplink speed from
+    /// `oversubscription` instead).
+    pub trunk: Rate,
+    /// Host access-link propagation delay.
+    pub access_delay: SimDuration,
+    /// Switch-to-switch propagation delay (WAN specs carry their own).
+    pub trunk_delay: SimDuration,
+    /// Wiring seed (jellyfish stub pairing; other families are
+    /// seed-independent).
+    pub seed: u64,
+}
+
+impl Default for GeneratorParams {
+    fn default() -> Self {
+        GeneratorParams {
+            kind: TopologyKind::FatTree,
+            fat_tree_k: 4,
+            leaves: 4,
+            spines: 2,
+            hosts_per_leaf: 4,
+            oversubscription: 1.0,
+            switches: 8,
+            degree: 3,
+            hosts: 16,
+            wan: None,
+            hosts_per_pop: 1,
+            access: Rate::gbps(10.0),
+            trunk: Rate::gbps(40.0),
+            access_delay: SimDuration::from_micros(5),
+            trunk_delay: SimDuration::from_micros(10),
+            seed: 1,
+        }
+    }
+}
+
+impl GeneratorParams {
+    /// Number of hosts this parameter set will produce (without
+    /// building), useful for sizing workloads.
+    pub fn host_count(&self) -> usize {
+        match self.kind {
+            TopologyKind::FatTree => {
+                let k = self.fat_tree_k;
+                k * k * k / 4
+            }
+            TopologyKind::LeafSpine => self.leaves * self.hosts_per_leaf,
+            TopologyKind::Jellyfish | TopologyKind::Linear | TopologyKind::Ring => self.hosts,
+            TopologyKind::Wan => self
+                .wan
+                .as_ref()
+                .map(|spec| {
+                    let own = spec
+                        .nodes
+                        .iter()
+                        .filter(|n| matches!(n.kind, crate::spec::NodeKindSpec::Host { .. }))
+                        .count();
+                    if own > 0 {
+                        own
+                    } else {
+                        (spec.nodes.len() - own) * self.hosts_per_pop
+                    }
+                })
+                .unwrap_or(0),
+        }
+    }
+}
+
+/// Builds the topology family selected by `params.kind`.
+pub fn generate(params: &GeneratorParams) -> Result<FabricHandles, GeneratorError> {
+    match params.kind {
+        TopologyKind::FatTree => fat_tree(params),
+        TopologyKind::LeafSpine => leaf_spine(params),
+        TopologyKind::Jellyfish => jellyfish(params),
+        TopologyKind::Linear => chain(params, false),
+        TopologyKind::Ring => chain(params, true),
+        TopologyKind::Wan => {
+            let spec = params.wan.as_ref().ok_or(GeneratorError::MissingWanSpec)?;
+            wan(spec, params)
+        }
+    }
+}
+
+/// Unique host IPv4 in 10/8 for host index `i` (the scheme the canned
+/// builders use, stretched to ~16 M hosts).
+fn host_ip(i: usize) -> Ipv4Addr {
+    Ipv4Addr::new(
+        10,
+        (i / (250 * 250)) as u8,
+        (i / 250 % 250) as u8,
+        (i % 250 + 1) as u8,
+    )
+}
+
+/// Attaches `count` hosts round-robin over `switches`, in switch-major
+/// order (host `i` lands on `switches[i % len]`). MACs and IPs are
+/// allocated from the running `host_idx`.
+fn attach_hosts(
+    t: &mut Topology,
+    switches: &[NodeId],
+    count: usize,
+    access: Rate,
+    access_delay: SimDuration,
+) -> Result<Vec<NodeId>, GeneratorError> {
+    let mut members = Vec::with_capacity(count);
+    for i in 0..count {
+        let m = t.add_host(
+            &format!("h{}", i + 1),
+            MacAddr::local_from_id(i as u32 + 1),
+            host_ip(i),
+        )?;
+        t.connect(m, switches[i % switches.len()], access, access_delay)?;
+        members.push(m);
+    }
+    Ok(members)
+}
+
+/// The k-ary fat-tree (Al-Fares et al., SIGCOMM 2008).
+///
+/// `k` pods, each with `k/2` edge and `k/2` aggregation switches;
+/// `(k/2)²` core switches; `k/2` hosts per edge switch (`k³/4` total).
+/// Core `c` connects to aggregation switch `c / (k/2)` of every pod;
+/// edge and aggregation switches are fully meshed within a pod. Edge
+/// switches carry [`SwitchRole::Edge`](crate::node::SwitchRole::Edge);
+/// aggregation and core switches are both
+/// [`SwitchRole::Core`](crate::node::SwitchRole::Core) (interconnect
+/// tiers). In [`FabricHandles::cores`] the pod aggregation switches come
+/// first, then the true cores.
+pub fn fat_tree(params: &GeneratorParams) -> Result<FabricHandles, GeneratorError> {
+    let k = params.fat_tree_k;
+    if k < 2 || !k.is_multiple_of(2) {
+        return Err(GeneratorError::BadParam(format!(
+            "fat_tree_k must be an even number >= 2, got {k}"
+        )));
+    }
+    let half = k / 2;
+    let mut t = Topology::new();
+
+    // Edge then aggregation switches, pod-major.
+    let mut edges = Vec::with_capacity(k * half);
+    let mut aggs = Vec::with_capacity(k * half);
+    for pod in 0..k {
+        for i in 0..half {
+            edges.push(t.add_edge_switch(&format!("edge_p{}_{}", pod + 1, i + 1))?);
+        }
+        for i in 0..half {
+            aggs.push(t.add_core_switch(&format!("agg_p{}_{}", pod + 1, i + 1))?);
+        }
+    }
+    let cores: Vec<NodeId> = (0..half * half)
+        .map(|i| t.add_core_switch(&format!("core_{}", i + 1)))
+        .collect::<Result<_, _>>()?;
+
+    // Pod mesh: every edge to every aggregation switch in its pod.
+    for pod in 0..k {
+        for e in 0..half {
+            for a in 0..half {
+                t.connect(
+                    edges[pod * half + e],
+                    aggs[pod * half + a],
+                    params.trunk,
+                    params.trunk_delay,
+                )?;
+            }
+        }
+    }
+    // Core c serves aggregation slot c / half of every pod.
+    for (c, &core) in cores.iter().enumerate() {
+        let slot = c / half;
+        for pod in 0..k {
+            t.connect(
+                aggs[pod * half + slot],
+                core,
+                params.trunk,
+                params.trunk_delay,
+            )?;
+        }
+    }
+
+    // k/2 hosts per edge switch, edge-major, matching round-robin
+    // attachment over the edge list.
+    let members = attach_hosts(
+        &mut t,
+        &edges,
+        edges.len() * half,
+        params.access,
+        params.access_delay,
+    )?;
+
+    let mut interconnect = aggs;
+    interconnect.extend_from_slice(&cores);
+    Ok(FabricHandles {
+        topology: t,
+        members,
+        edges,
+        cores: interconnect,
+    })
+}
+
+/// Two-tier leaf-spine with an oversubscription knob.
+///
+/// Each leaf carries `hosts_per_leaf` hosts at `access` speed and one
+/// uplink to every spine; the uplink speed is derived so the leaf's
+/// oversubscription ratio (host-facing over uplink bandwidth) equals
+/// `params.oversubscription`.
+pub fn leaf_spine(params: &GeneratorParams) -> Result<FabricHandles, GeneratorError> {
+    if params.leaves == 0 || params.spines == 0 {
+        return Err(GeneratorError::BadParam(format!(
+            "leaf_spine needs leaves >= 1 and spines >= 1, got {} / {}",
+            params.leaves, params.spines
+        )));
+    }
+    if !(params.oversubscription.is_finite() && params.oversubscription > 0.0) {
+        return Err(GeneratorError::BadParam(format!(
+            "oversubscription must be a positive ratio, got {}",
+            params.oversubscription
+        )));
+    }
+    let mut t = Topology::new();
+    let edges: Vec<NodeId> = (0..params.leaves)
+        .map(|i| t.add_edge_switch(&format!("leaf{}", i + 1)))
+        .collect::<Result<_, _>>()?;
+    let cores: Vec<NodeId> = (0..params.spines)
+        .map(|i| t.add_core_switch(&format!("spine{}", i + 1)))
+        .collect::<Result<_, _>>()?;
+    // Host-facing bandwidth per leaf, split across the spines at the
+    // requested oversubscription ratio (≥ 1 kbps so degenerate
+    // parameter corners still build a usable link).
+    let uplink = Rate::bps(
+        (params.access.as_bps() * params.hosts_per_leaf as f64
+            / (params.spines as f64 * params.oversubscription))
+            .max(1e3),
+    );
+    for &l in &edges {
+        for &s in &cores {
+            t.connect(l, s, uplink, params.trunk_delay)?;
+        }
+    }
+    let members = attach_hosts(
+        &mut t,
+        &edges,
+        params.leaves * params.hosts_per_leaf,
+        params.access,
+        params.access_delay,
+    )?;
+    Ok(FabricHandles {
+        topology: t,
+        members,
+        edges,
+        cores,
+    })
+}
+
+/// The Jellyfish random regular graph (Singla et al., NSDI 2012),
+/// deterministic for a given seed.
+///
+/// Construction: a Hamiltonian ring over the switches first (2 ports
+/// each — this is what guarantees connectivity for every seed), then
+/// the remaining `degree - 2` port stubs per switch are paired
+/// uniformly at random, skipping self-loops and parallel links. Stubs
+/// that cannot be paired off (odd totals, or only already-adjacent
+/// switches left) stay free, mirroring the incremental construction in
+/// the paper. Hosts spread round-robin; every switch is an edge switch.
+pub fn jellyfish(params: &GeneratorParams) -> Result<FabricHandles, GeneratorError> {
+    let n = params.switches;
+    if n < 3 {
+        return Err(GeneratorError::BadParam(format!(
+            "jellyfish needs at least 3 switches for the connectivity ring, got {n}"
+        )));
+    }
+    if params.degree < 2 {
+        return Err(GeneratorError::BadParam(format!(
+            "jellyfish degree must be >= 2 (the ring uses 2 ports), got {}",
+            params.degree
+        )));
+    }
+    let mut t = Topology::new();
+    let switches: Vec<NodeId> = (0..n)
+        .map(|i| t.add_edge_switch(&format!("jf{}", i + 1)))
+        .collect::<Result<_, _>>()?;
+
+    let mut linked: HashSet<(usize, usize)> = HashSet::new();
+    let mut free: Vec<usize> = vec![params.degree; n]; // stubs per switch
+    let pair = |t: &mut Topology,
+                linked: &mut HashSet<(usize, usize)>,
+                free: &mut Vec<usize>,
+                a: usize,
+                b: usize|
+     -> Result<(), GeneratorError> {
+        t.connect(switches[a], switches[b], params.trunk, params.trunk_delay)?;
+        linked.insert((a.min(b), a.max(b)));
+        free[a] -= 1;
+        free[b] -= 1;
+        Ok(())
+    };
+
+    // Connectivity ring.
+    for i in 0..n {
+        pair(&mut t, &mut linked, &mut free, i, (i + 1) % n)?;
+    }
+
+    // Random stub pairing for the remaining degree - 2 ports.
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut attempts = 0usize;
+    let attempt_budget = n * params.degree * 20;
+    loop {
+        let open: Vec<usize> = (0..n).filter(|&i| free[i] > 0).collect();
+        if open.len() < 2 || attempts > attempt_budget {
+            break;
+        }
+        attempts += 1;
+        let a = open[rng.random_range_u64(0, open.len() as u64) as usize];
+        let b = open[rng.random_range_u64(0, open.len() as u64) as usize];
+        if a == b || linked.contains(&(a.min(b), a.max(b))) {
+            continue;
+        }
+        pair(&mut t, &mut linked, &mut free, a, b)?;
+    }
+
+    let members = attach_hosts(
+        &mut t,
+        &switches,
+        params.hosts,
+        params.access,
+        params.access_delay,
+    )?;
+    Ok(FabricHandles {
+        topology: t,
+        members,
+        edges: switches,
+        cores: vec![],
+    })
+}
+
+/// A chain of `params.switches` switches — linear, or closed into a
+/// ring when `closed` — with `params.hosts` hosts round-robin over the
+/// switches. The linear chain is the worst-case-diameter stress
+/// topology; the ring adds exactly one redundant path, the smallest
+/// failover scenario.
+pub fn chain(params: &GeneratorParams, closed: bool) -> Result<FabricHandles, GeneratorError> {
+    let n = params.switches;
+    if n == 0 {
+        return Err(GeneratorError::BadParam(
+            "chain topologies need at least one switch".into(),
+        ));
+    }
+    if closed && n < 3 {
+        return Err(GeneratorError::BadParam(format!(
+            "a ring needs at least 3 switches, got {n}"
+        )));
+    }
+    let mut t = Topology::new();
+    let switches: Vec<NodeId> = (0..n)
+        .map(|i| t.add_edge_switch(&format!("s{}", i + 1)))
+        .collect::<Result<_, _>>()?;
+    for w in switches.windows(2) {
+        t.connect(w[0], w[1], params.trunk, params.trunk_delay)?;
+    }
+    if closed {
+        t.connect(
+            switches[n - 1],
+            switches[0],
+            params.trunk,
+            params.trunk_delay,
+        )?;
+    }
+    let members = attach_hosts(
+        &mut t,
+        &switches,
+        params.hosts,
+        params.access,
+        params.access_delay,
+    )?;
+    Ok(FabricHandles {
+        topology: t,
+        members,
+        edges: switches,
+        cores: vec![],
+    })
+}
+
+/// Builds a WAN topology from a Topology-Zoo-style [`TopologySpec`].
+///
+/// The spec carries the PoP switches and their (geographically delayed)
+/// trunks. When it contains hosts, those become the members as-is; when
+/// it is switch-only (the usual Topology-Zoo shape), `hosts_per_pop`
+/// hosts are attached to every switch at `params.access` /
+/// `params.access_delay`, named `<pop>_h<i>`.
+pub fn wan(spec: &TopologySpec, params: &GeneratorParams) -> Result<FabricHandles, GeneratorError> {
+    if params.hosts_per_pop == 0 {
+        return Err(GeneratorError::BadParam(
+            "hosts_per_pop must be at least 1 (a WAN without traffic sources is inert)".into(),
+        ));
+    }
+    let mut t = spec.build()?;
+    if t.node_count() == 0 {
+        return Err(GeneratorError::Wan("the spec contains no nodes".into()));
+    }
+    let mut edges: Vec<NodeId> = Vec::new();
+    let mut cores: Vec<NodeId> = Vec::new();
+    for (id, node) in t.nodes() {
+        match node.role() {
+            Some(crate::node::SwitchRole::Edge) => edges.push(id),
+            Some(crate::node::SwitchRole::Core) => cores.push(id),
+            None => {}
+        }
+    }
+    let mut members: Vec<NodeId> = t.hosts().collect();
+    if members.is_empty() {
+        if edges.is_empty() && cores.is_empty() {
+            return Err(GeneratorError::Wan(
+                "the spec contains no switches to attach hosts to".into(),
+            ));
+        }
+        // Attach hosts per PoP. MACs continue past any MAC space the
+        // spec might use by starting at a high offset.
+        let pops: Vec<NodeId> = edges.iter().chain(cores.iter()).copied().collect();
+        let mut idx = 0usize;
+        for &pop in &pops {
+            let pop_name = t.node(pop).expect("pop exists").name.clone();
+            for h in 0..params.hosts_per_pop {
+                let m = t.add_host(
+                    &format!("{}_h{}", pop_name, h + 1),
+                    MacAddr::local_from_id(0x0080_0000 + idx as u32),
+                    host_ip(idx),
+                )?;
+                t.connect(m, pop, params.access, params.access_delay)?;
+                members.push(m);
+                idx += 1;
+            }
+        }
+    }
+    Ok(FabricHandles {
+        topology: t,
+        members,
+        edges,
+        cores,
+    })
+}
+
+/// Loads a [`TopologySpec`] from disk, dispatching on the extension
+/// (`.json` parses as JSON, anything else as TOML).
+pub fn load_topology_spec(path: &std::path::Path) -> Result<TopologySpec, GeneratorError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| GeneratorError::Wan(format!("cannot read {}: {e}", path.display())))?;
+    if path.extension().is_some_and(|e| e == "json") {
+        serde_json::from_str(&text).map_err(|e| {
+            GeneratorError::Wan(format!("{} is not a topology spec: {e}", path.display()))
+        })
+    } else {
+        toml::from_str(&text).map_err(|e| {
+            GeneratorError::Wan(format!("{} is not a topology spec: {e}", path.display()))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::{ecmp_paths, shortest_path, Metric};
+
+    fn connected(t: &Topology) -> bool {
+        let Some((first, _)) = t.nodes().next() else {
+            return true;
+        };
+        t.nodes()
+            .all(|(id, _)| shortest_path(t, first, id, Metric::Hops).is_some())
+    }
+
+    #[test]
+    fn fat_tree_shape_k4() {
+        let f = fat_tree(&GeneratorParams::default()).unwrap();
+        // k = 4: 8 edge, 8 agg, 4 core switches, 16 hosts.
+        assert_eq!(f.edges.len(), 8);
+        assert_eq!(f.cores.len(), 12);
+        assert_eq!(f.members.len(), 16);
+        assert_eq!(f.topology.node_count(), 36);
+        // cables: 8 edges×2 aggs + 4 cores×4 pods + 16 access = 48
+        assert_eq!(f.topology.link_count(), 96);
+        assert!(connected(&f.topology));
+    }
+
+    #[test]
+    fn fat_tree_multipath_width() {
+        let f = fat_tree(&GeneratorParams::default()).unwrap();
+        // Hosts in different pods: (k/2)² = 4 equal-cost paths between
+        // their edge switches.
+        let e_pod1 = f.edges[0];
+        let e_pod2 = f.edges[2];
+        let paths = ecmp_paths(&f.topology, e_pod1, e_pod2, 32);
+        assert_eq!(paths.len(), 4);
+        // Same pod, different edge: one path per aggregation switch.
+        let paths = ecmp_paths(&f.topology, f.edges[0], f.edges[1], 32);
+        assert_eq!(paths.len(), 2);
+    }
+
+    #[test]
+    fn fat_tree_rejects_odd_k() {
+        let p = GeneratorParams {
+            fat_tree_k: 5,
+            ..Default::default()
+        };
+        assert!(matches!(fat_tree(&p), Err(GeneratorError::BadParam(_))));
+    }
+
+    #[test]
+    fn leaf_spine_oversubscription_sets_uplinks() {
+        let p = GeneratorParams {
+            kind: TopologyKind::LeafSpine,
+            leaves: 4,
+            spines: 2,
+            hosts_per_leaf: 8,
+            oversubscription: 4.0,
+            access: Rate::gbps(10.0),
+            ..Default::default()
+        };
+        let f = generate(&p).unwrap();
+        assert_eq!(f.members.len(), 32);
+        // 8 hosts × 10G / (2 spines × 4.0) = 10G per uplink.
+        let uplink = f
+            .topology
+            .out_links(f.edges[0])
+            .find(|(_, l)| l.dst == f.cores[0])
+            .map(|(_, l)| l.capacity.as_gbps())
+            .unwrap();
+        assert!((uplink - 10.0).abs() < 1e-9, "got {uplink}");
+        assert!(connected(&f.topology));
+    }
+
+    #[test]
+    fn jellyfish_is_connected_and_seeded() {
+        for seed in 0..8 {
+            let p = GeneratorParams {
+                kind: TopologyKind::Jellyfish,
+                switches: 12,
+                degree: 4,
+                hosts: 24,
+                seed,
+                ..Default::default()
+            };
+            let f = generate(&p).unwrap();
+            assert!(connected(&f.topology), "seed {seed} disconnected");
+            assert_eq!(f.members.len(), 24);
+            // no switch exceeds its inter-switch degree
+            for &sw in &f.edges {
+                let trunk_deg = f
+                    .topology
+                    .out_links(sw)
+                    .filter(|(_, l)| f.topology.node(l.dst).unwrap().kind.is_switch())
+                    .count();
+                assert!(trunk_deg <= 4, "switch degree {trunk_deg} > 4");
+            }
+        }
+    }
+
+    #[test]
+    fn jellyfish_same_seed_same_wiring() {
+        let p = GeneratorParams {
+            kind: TopologyKind::Jellyfish,
+            switches: 10,
+            degree: 4,
+            seed: 7,
+            ..Default::default()
+        };
+        let a = TopologySpec::from_topology(&generate(&p).unwrap().topology);
+        let b = TopologySpec::from_topology(&generate(&p).unwrap().topology);
+        assert_eq!(a, b);
+        let c = TopologySpec::from_topology(
+            &generate(&GeneratorParams { seed: 8, ..p })
+                .unwrap()
+                .topology,
+        );
+        assert_ne!(a, c, "different seed should rewire");
+    }
+
+    #[test]
+    fn chain_and_ring_shapes() {
+        let p = GeneratorParams {
+            kind: TopologyKind::Linear,
+            switches: 5,
+            hosts: 5,
+            ..Default::default()
+        };
+        let lin = generate(&p).unwrap();
+        assert_eq!(lin.topology.link_count(), (4 + 5) * 2);
+        assert!(connected(&lin.topology));
+        let ring = generate(&GeneratorParams {
+            kind: TopologyKind::Ring,
+            ..p
+        })
+        .unwrap();
+        assert_eq!(ring.topology.link_count(), (5 + 5) * 2);
+        // ring survives one trunk failure
+        let mut t = ring.topology.clone();
+        let trunk = t
+            .links()
+            .find(|(_, l)| {
+                t.node(l.src).unwrap().kind.is_switch() && t.node(l.dst).unwrap().kind.is_switch()
+            })
+            .map(|(id, _)| id)
+            .unwrap();
+        t.set_cable_state(trunk, crate::link::LinkState::Down)
+            .unwrap();
+        assert!(
+            shortest_path(&t, ring.members[0], ring.members[4], Metric::Hops).is_some(),
+            "ring reroutes around a failed segment"
+        );
+    }
+
+    #[test]
+    fn wan_attaches_hosts_per_pop() {
+        let f = crate::builders::linear(3, Rate::gbps(10.0));
+        // strip the hosts: emit a switch-only spec
+        let mut spec = TopologySpec::from_topology(&f.topology);
+        spec.nodes
+            .retain(|n| !matches!(n.kind, crate::spec::NodeKindSpec::Host { .. }));
+        spec.cables
+            .retain(|c| !c.a.starts_with("h_") && !c.b.starts_with("h_"));
+        let p = GeneratorParams {
+            kind: TopologyKind::Wan,
+            wan: Some(spec),
+            hosts_per_pop: 2,
+            ..Default::default()
+        };
+        let w = generate(&p).unwrap();
+        assert_eq!(w.members.len(), 6);
+        assert!(connected(&w.topology));
+        assert!(w.topology.node_by_name("s1_h1").is_some());
+    }
+
+    #[test]
+    fn wan_without_spec_errors() {
+        let p = GeneratorParams {
+            kind: TopologyKind::Wan,
+            ..Default::default()
+        };
+        assert!(matches!(generate(&p), Err(GeneratorError::MissingWanSpec)));
+    }
+
+    #[test]
+    fn host_count_matches_build() {
+        for kind in [
+            TopologyKind::FatTree,
+            TopologyKind::LeafSpine,
+            TopologyKind::Jellyfish,
+            TopologyKind::Linear,
+            TopologyKind::Ring,
+        ] {
+            let p = GeneratorParams {
+                kind,
+                ..Default::default()
+            };
+            assert_eq!(
+                p.host_count(),
+                generate(&p).unwrap().members.len(),
+                "{kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn kind_serde_is_snake_case() {
+        let js = serde_json::to_string(&TopologyKind::FatTree).unwrap();
+        assert_eq!(js, "\"fat_tree\"");
+        let back: TopologyKind = serde_json::from_str("\"leaf_spine\"").unwrap();
+        assert_eq!(back, TopologyKind::LeafSpine);
+    }
+}

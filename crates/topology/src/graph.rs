@@ -281,15 +281,19 @@ impl Topology {
     }
 
     /// Physical egress ports of `node`, ascending.
-    pub fn ports(&self, node: NodeId) -> Vec<PortNo> {
-        let mut ps: Vec<PortNo> = self
-            .links
-            .iter()
-            .filter(|l| l.src == node)
-            .map(|l| l.src_port)
-            .collect();
-        ps.sort();
-        ps
+    ///
+    /// Ports are allocated densely by [`connect`](Self::connect) and never
+    /// removed, so this is a constant-time range — no allocation, safe to
+    /// call on hot paths (the packet plane resolves a host's access port
+    /// per emitted packet).
+    pub fn ports(&self, node: NodeId) -> impl ExactSizeIterator<Item = PortNo> + Clone {
+        let end = self.next_port.get(node.index()).copied().unwrap_or(1);
+        (1..end).map(PortNo)
+    }
+
+    /// Number of physical ports on `node`.
+    pub fn port_count(&self, node: NodeId) -> usize {
+        self.ports(node).len()
     }
 
     /// Sets the state of one directed link.
@@ -409,8 +413,10 @@ mod tests {
     #[test]
     fn connect_allocates_fresh_ports() {
         let (t, h1, _, s) = two_hosts_one_switch();
-        assert_eq!(t.ports(h1), vec![PortNo(1)]);
-        assert_eq!(t.ports(s), vec![PortNo(1), PortNo(2)]);
+        assert_eq!(t.ports(h1).collect::<Vec<_>>(), vec![PortNo(1)]);
+        assert_eq!(t.ports(s).collect::<Vec<_>>(), vec![PortNo(1), PortNo(2)]);
+        assert_eq!(t.port_count(s), 2);
+        assert_eq!(t.ports(NodeId(99)).len(), 0, "unknown node has no ports");
     }
 
     #[test]

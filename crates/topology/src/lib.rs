@@ -8,14 +8,18 @@
 //! * [`graph`] — the [`Topology`] container, petgraph-backed.
 //! * [`routing`] — shortest path (hops or latency), Yen k-shortest paths,
 //!   and equal-cost multipath enumeration; all respect link state.
-//! * [`builders`] — canned topologies: linear, star, leaf-spine, fat-tree
-//!   and the two-tier **IXP fabric** used by the paper's evaluation.
-//! * [`spec`] — serde (JSON) round-trip of topologies.
+//! * [`builders`] — canned topologies: linear, star, leaf-spine and the
+//!   two-tier **IXP fabric** used by the paper's evaluation.
+//! * [`generators`] — parameterized, seed-deterministic families: k-ary
+//!   fat-tree, oversubscribed leaf-spine, Jellyfish random graphs,
+//!   linear/ring chains and Topology-Zoo-style WAN graphs.
+//! * [`spec`] — serde (JSON/TOML) round-trip of topologies.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod builders;
+pub mod generators;
 pub mod graph;
 pub mod link;
 pub mod node;
@@ -23,6 +27,7 @@ pub mod routing;
 pub mod spec;
 
 pub use builders::{FabricHandles, IxpFabricParams};
+pub use generators::{generate, GeneratorParams, TopologyKind};
 pub use graph::Topology;
 pub use link::{Link, LinkState};
 pub use node::{Node, NodeKind, SwitchRole};

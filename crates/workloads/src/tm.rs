@@ -137,6 +137,55 @@ impl TrafficMatrix {
     }
 }
 
+/// A declarative traffic-matrix shape: how an aggregate offered load is
+/// spread over member pairs. Scenario families pick a default per
+/// topology (gravity for meshy fabrics, hotspot for chains, degree-
+/// weighted gravity for WANs) and lab specs can override it.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "model", rename_all = "snake_case")]
+pub enum TrafficPattern {
+    /// Gravity model over skewed member weights: rank-Zipf
+    /// (`1/rank^alpha`) by default, or — when the caller supplies
+    /// structural weights such as PoP degrees — those weights raised to
+    /// `alpha`.
+    Gravity {
+        /// Skew exponent (0 = uniform weights, 1 = classic Zipf).
+        alpha: f64,
+    },
+    /// `frac` of the total converges on the first member, the rest is
+    /// uniform — the incast/hot-object shape.
+    Hotspot {
+        /// Fraction of the total load converging on the hot member
+        /// (clamped to `[0, 1]`).
+        frac: f64,
+    },
+    /// Every ordered pair carries the same rate.
+    Uniform,
+}
+
+impl TrafficPattern {
+    /// Materializes the pattern into a dense matrix over `n` members
+    /// totalling `total_bps`. `weights`, when given, supplies structural
+    /// member weights (e.g. attachment-PoP degrees for a WAN) used by
+    /// the gravity model in place of rank-Zipf; other patterns ignore
+    /// it.
+    pub fn matrix(&self, n: usize, total_bps: f64, weights: Option<&[f64]>) -> TrafficMatrix {
+        match *self {
+            TrafficPattern::Gravity { alpha } => {
+                let w: Vec<f64> = match weights {
+                    Some(ws) if ws.len() == n => {
+                        ws.iter().map(|x| x.max(1e-12).powf(alpha)).collect()
+                    }
+                    _ => TrafficMatrix::zipf_weights(n, alpha),
+                };
+                TrafficMatrix::gravity(&w, total_bps)
+            }
+            TrafficPattern::Hotspot { frac } => TrafficMatrix::hotspot(n, total_bps, 0, frac),
+            TrafficPattern::Uniform => TrafficMatrix::uniform(n, total_bps),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,5 +251,43 @@ mod tests {
         let js = serde_json::to_string(&m).unwrap();
         let back: TrafficMatrix = serde_json::from_str(&js).unwrap();
         assert_eq!(m, back);
+    }
+
+    #[test]
+    fn pattern_materializes_each_shape() {
+        let g = TrafficPattern::Gravity { alpha: 1.0 }.matrix(6, 1e9, None);
+        assert!((g.total() - 1e9).abs() < 1.0);
+        assert!(g.rate(0, 1) > g.rate(4, 5), "gravity skews toward rank 1");
+        let h = TrafficPattern::Hotspot { frac: 0.7 }.matrix(6, 1e9, None);
+        let into_hot: f64 = (0..6).map(|i| h.rate(i, 0)).sum();
+        assert!(into_hot >= 0.7e9);
+        let u = TrafficPattern::Uniform.matrix(6, 1e9, None);
+        assert!((u.rate(0, 1) - u.rate(4, 5)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gravity_uses_structural_weights_when_given() {
+        // member 2 has the dominant weight (a high-degree WAN PoP)
+        let w = [1.0, 1.0, 8.0, 1.0];
+        let m = TrafficPattern::Gravity { alpha: 1.0 }.matrix(4, 1e9, Some(&w));
+        assert!(m.rate(0, 2) > m.rate(0, 1) * 4.0);
+        // mismatched weight length falls back to rank-Zipf
+        let fallback = TrafficPattern::Gravity { alpha: 1.0 }.matrix(4, 1e9, Some(&[1.0]));
+        assert!(fallback.rate(0, 1) > fallback.rate(2, 3));
+    }
+
+    #[test]
+    fn pattern_serde_roundtrip() {
+        for p in [
+            TrafficPattern::Gravity { alpha: 0.8 },
+            TrafficPattern::Hotspot { frac: 0.5 },
+            TrafficPattern::Uniform,
+        ] {
+            let js = serde_json::to_string(&p).unwrap();
+            let back: TrafficPattern = serde_json::from_str(&js).unwrap();
+            assert_eq!(p, back);
+        }
+        let from_toml: TrafficPattern = toml::from_str("model = \"uniform\"").unwrap();
+        assert_eq!(from_toml, TrafficPattern::Uniform);
     }
 }
