@@ -17,13 +17,19 @@
 //! Usage: `bench_smoke [--pr N] [--out PATH] [--baseline BENCH_prM.json]`
 
 use horse::prelude::*;
-use horse_bench::{fast_config, ixp_scenario, lb_policy};
+use horse_bench::{fast_config, ixp_scenario, lb_policy, wave_ixp_scenario};
 use serde::{Number, Value};
 use std::time::Instant;
 
 /// Regression tolerance: quick-mode numbers on shared CI runners are
 /// noisy; only flag changes beyond this factor.
 const TOLERANCE: f64 = 0.25;
+
+/// The epoch-batching acceptance bar: on the 400-member IXP wave
+/// fabric, the batched loop (+ 4 engine threads) must beat the per-event
+/// serial cadence by at least this factor in useful events/sec. Asserted
+/// on every run, so CI fails if the win ever erodes.
+const WAVE_SPEEDUP_FLOOR: f64 = 1.5;
 
 fn num_f(v: f64) -> Value {
     Value::Number(Number::Float(v))
@@ -43,18 +49,24 @@ fn timed_run(members: usize, seed: u64, packet_foreground: usize) -> (SimResults
     (r, t.elapsed().as_secs_f64())
 }
 
-/// Best-of-3 with one warmup (quick-mode noise guard).
-fn best_of_3(members: usize, packet_foreground: usize) -> (SimResults, f64) {
-    let _ = timed_run(members, 1, packet_foreground);
-    let (mut best_r, mut best_w) = timed_run(members, 1, packet_foreground);
+/// One warmup run, then best-of-3 by wall time (quick-mode noise
+/// guard) — the shared timing harness of every point in this file.
+fn best_of<R>(mut run: impl FnMut() -> (R, f64)) -> (R, f64) {
+    let _ = run(); // warmup
+    let (mut best_r, mut best_w) = run();
     for _ in 0..2 {
-        let (r, w) = timed_run(members, 1, packet_foreground);
+        let (r, w) = run();
         if w < best_w {
             best_w = w;
             best_r = r;
         }
     }
     (best_r, best_w)
+}
+
+/// [`best_of`] over the standard IXP scenario.
+fn best_of_3(members: usize, packet_foreground: usize) -> (SimResults, f64) {
+    best_of(|| timed_run(members, 1, packet_foreground))
 }
 
 fn get<'v>(v: &'v Value, key: &str) -> Option<&'v Value> {
@@ -138,6 +150,29 @@ fn gate(baseline: &Value, fresh: &Value) -> Vec<String> {
                          (deterministic counter; refresh the committed baseline if intended)"
                     );
                 }
+            }
+        }
+    }
+    // Epoch-wave point (present from PR 5 on): the batched side's
+    // throughput and the batched-vs-serial speedup must not collapse.
+    if let (Some(b), Some(f)) = (get(baseline, "epoch_waves"), get(fresh, "epoch_waves")) {
+        if let (Some(bv), Some(fv)) = (
+            get(b, "batched_t4").and_then(|v| get_f(v, "useful_events_per_sec")),
+            get(f, "batched_t4").and_then(|v| get_f(v, "useful_events_per_sec")),
+        ) {
+            failures.extend(check(
+                "epoch_waves.batched_t4.useful_events_per_sec",
+                bv,
+                fv,
+                true,
+            ));
+        }
+        if let (Some(bv), Some(fv)) = (get_f(b, "flows"), get_f(f, "flows")) {
+            if bv != fv {
+                println!(
+                    "note: epoch_waves.flows changed {bv} -> {fv} \
+                     (deterministic counter; refresh the committed baseline if intended)"
+                );
             }
         }
     }
@@ -270,15 +305,7 @@ fn main() {
             let r = sim.run();
             (r, t.elapsed().as_secs_f64())
         };
-        let _ = run(); // warmup
-        let (mut best_r, mut best_w) = run();
-        for _ in 0..2 {
-            let (r, w) = run();
-            if w < best_w {
-                best_w = w;
-                best_r = r;
-            }
-        }
+        let (best_r, best_w) = best_of(run);
         Value::Map(vec![
             ("kind".into(), Value::Str("fat_tree".into())),
             ("k".into(), num_u(8)),
@@ -298,7 +325,80 @@ fn main() {
         ])
     };
 
-    // 4. Hybrid point: the 25-member scenario with an 8-flow packet
+    // 4. Epoch-wave point: a 400-member IXP (16 edges, 4 cores,
+    //    oversubscribed 40G uplinks) under synchronized waves of
+    //    transfers — 400 arrivals per timestamp, trunk-wide rate churn
+    //    on every event, completions in waves too. Run twice over
+    //    identical inputs: the PR-4 serial cadence (one allocator run
+    //    per triggering event, single-threaded) versus the epoch-batched
+    //    loop with a 4-worker component-parallel solve. Throughput is
+    //    compared in *useful* events/sec (stale completion pops are
+    //    scheduling overhead, and the per-event cadence fabricates far
+    //    more of them); the batched loop must win by ≥ 1.5× or the
+    //    process exits non-zero — the acceptance gate CI enforces.
+    let (epoch_waves, wave_speedup) = {
+        let scenario = || wave_ixp_scenario(400, 6, 400, ByteSize::mib(25), SimTime::from_secs(1));
+        let quiet = SimConfig::default()
+            .with_stats_epoch(None)
+            .with_expiry_scan(None);
+        let serial_cfg = quiet.with_realloc_per_event(true).with_engine_threads(1);
+        let batched_cfg = quiet.with_engine_threads(4);
+        let timed = |cfg: SimConfig| {
+            best_of(|| {
+                let mut sim = Simulation::new(scenario(), cfg).expect("valid scenario");
+                let t = Instant::now();
+                let r = sim.run();
+                (r, t.elapsed().as_secs_f64())
+            })
+        };
+        let (ser_r, ser_w) = timed(serial_cfg);
+        let (bat_r, bat_w) = timed(batched_cfg);
+        let useful = |r: &SimResults, w: f64| {
+            r.events.saturating_sub(r.stale_completions) as f64 / w.max(1e-9)
+        };
+        let (ser_eps, bat_eps) = (useful(&ser_r, ser_w), useful(&bat_r, bat_w));
+        let speedup = bat_eps / ser_eps.max(1e-9);
+        let side = |r: &SimResults, w: f64, eps: f64| {
+            Value::Map(vec![
+                ("wall_ms".into(), num_f(w * 1e3)),
+                ("events".into(), num_u(r.events)),
+                ("stale_completions".into(), num_u(r.stale_completions)),
+                ("useful_events_per_sec".into(), num_f(eps)),
+                ("epochs".into(), num_u(r.epochs)),
+                ("epoch_batch_mean".into(), num_f(r.mean_epoch_batch())),
+                ("epoch_batch_max".into(), num_u(r.max_epoch_batch)),
+                ("realloc_runs".into(), num_u(r.realloc_runs)),
+                ("realloc_saved".into(), num_u(r.realloc_saved())),
+                ("flows_completed".into(), num_u(r.flows_completed)),
+            ])
+        };
+        // Same physics, different scheduling: the deterministic outcome
+        // must agree before the wall comparison means anything.
+        assert_eq!(
+            ser_r.flows_completed, bat_r.flows_completed,
+            "cadences disagree on completions"
+        );
+        let point = Value::Map(vec![
+            ("kind".into(), Value::Str("ixp_waves".into())),
+            ("members".into(), num_u(400)),
+            ("flows".into(), num_u(bat_r.flows_admitted)),
+            ("serial_per_event".into(), side(&ser_r, ser_w, ser_eps)),
+            ("batched_t4".into(), side(&bat_r, bat_w, bat_eps)),
+            ("speedup_useful_events_per_sec".into(), num_f(speedup)),
+            ("speedup_wall".into(), num_f(ser_w / bat_w.max(1e-9))),
+        ]);
+        println!(
+            "epoch_waves: serial {:.1} ms ({:.0} useful ev/s) vs batched+4t {:.1} ms \
+             ({:.0} useful ev/s) -> {speedup:.2}x",
+            ser_w * 1e3,
+            ser_eps,
+            bat_w * 1e3,
+            bat_eps
+        );
+        (point, speedup)
+    };
+
+    // 5. Hybrid point: the 25-member scenario with an 8-flow packet
     //    foreground over the fluid background — the co-simulation's cost
     //    trajectory (packet events dominate; couplings measure the
     //    plane-interaction rate).
@@ -323,11 +423,22 @@ fn main() {
         ("runner_throughput".into(), runner),
         ("scale".into(), Value::Seq(scale_points)),
         ("fat_tree".into(), fat_tree_point),
+        ("epoch_waves".into(), epoch_waves),
         ("hybrid".into(), hybrid),
     ]);
     let json = serde_json::to_string_pretty(&doc).expect("serializes");
     std::fs::write(&out_path, json + "\n").expect("write bench json");
     println!("wrote {out_path}");
+
+    // Epoch-batching acceptance: enforced on every invocation (CI runs
+    // this binary), not just when a baseline is supplied.
+    if wave_speedup < WAVE_SPEEDUP_FLOOR {
+        eprintln!(
+            "FAIL epoch_waves: batched+4t useful events/sec is only {wave_speedup:.2}x \
+             the per-event serial cadence (floor {WAVE_SPEEDUP_FLOOR:.1}x)"
+        );
+        std::process::exit(1);
+    }
 
     // 5. Regression gate against a committed baseline.
     if let Some(path) = baseline_path {

@@ -62,6 +62,61 @@ pub fn fast_config() -> SimConfig {
         .with_stats_epoch(Some(SimDuration::from_secs(1)))
 }
 
+/// A large IXP scenario driven by synchronized *waves* of transfers —
+/// the shuffle-like shape that motivates epoch batching: every wave
+/// drops `flows_per_wave` greedy arrivals onto a single timestamp, and
+/// the edge→core uplinks are oversubscribed, so every arrival and every
+/// completion shifts the max-min shares of whole trunk components. The
+/// per-event cadence therefore pays one allocator run *and a round of
+/// completion rescheduling* per event, while the epoch-batched loop pays
+/// one run per wave; the flows are equal-sized, so completions arrive in
+/// waves too. Traffic is spread round-robin over the edges, so each wave
+/// decomposes into per-trunk allocation components — the shape the
+/// `engine_threads` worker pool parallelizes over.
+pub fn wave_ixp_scenario(
+    members: usize,
+    waves: usize,
+    flows_per_wave: usize,
+    size: ByteSize,
+    horizon: SimTime,
+) -> Scenario {
+    let fabric = builders::ixp_fabric(&builders::IxpFabricParams {
+        members,
+        edge_switches: (members / 25).clamp(2, 16),
+        core_switches: (members / 100).clamp(2, 4),
+        // uniform fast access ports + tight uplinks: the waves contend at
+        // the fabric trunks, not at a lucky member's slow port
+        member_port_speeds: vec![Rate::gbps(10.0)],
+        uplink_speed: Rate::gbps(40.0),
+        ..Default::default()
+    });
+    let mut s = Scenario::bare(fabric.topology, horizon);
+    s.members = fabric.members;
+    s.policy = lb_policy();
+    for w in 0..waves {
+        let at = SimTime::from_millis(50 + 100 * w as u64);
+        for i in 0..flows_per_wave {
+            // src walks the members; dst sits half the ring away, so
+            // every flow crosses the fabric and srcs/dsts stay spread.
+            let src = i % members;
+            let dst = (i + members / 2 + (i / members)) % members;
+            let dst = if dst == src { (dst + 1) % members } else { dst };
+            let spec = s
+                .flow_between(
+                    s.members[src],
+                    s.members[dst],
+                    AppClass::Https,
+                    (4000 + w * 1500 + i) as u16,
+                    Some(size),
+                    DemandModel::Greedy,
+                )
+                .expect("member pair resolves");
+            s.explicit_flows.push((at, spec));
+        }
+    }
+    s
+}
+
 /// Formats a wall-clock duration for table cells.
 pub fn fmt_wall(secs: f64) -> String {
     if secs < 1.0 {
@@ -87,6 +142,26 @@ mod tests {
     fn policies_build() {
         assert_eq!(lb_policy().policies.len(), 1);
         assert_eq!(mac_policy().policies.len(), 1);
+    }
+
+    #[test]
+    fn wave_scenario_batches_arrivals() {
+        let s = wave_ixp_scenario(16, 2, 8, ByteSize::mib(4), SimTime::from_secs(1));
+        assert_eq!(s.explicit_flows.len(), 16);
+        let first_wave_at = s.explicit_flows[0].0;
+        assert_eq!(
+            s.explicit_flows
+                .iter()
+                .filter(|(at, _)| *at == first_wave_at)
+                .count(),
+            8,
+            "a whole wave shares one timestamp"
+        );
+        let r = run_fluid(s, SimConfig::default().with_stats_epoch(None));
+        assert_eq!(r.flows_admitted, 16);
+        assert_eq!(r.flows_completed, 16);
+        assert!(r.max_epoch_batch >= 8, "waves form epoch batches");
+        assert!(r.realloc_saved() > 0, "batching saves allocator runs");
     }
 
     #[test]

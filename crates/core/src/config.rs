@@ -31,6 +31,20 @@ pub struct SimConfig {
     /// for the window between a port going busy and the next coupling
     /// point. Irrelevant to pure fluid runs.
     pub hybrid_min_drain_frac: f64,
+    /// Worker threads for the component-parallel allocation solve inside
+    /// one simulation (`0` and `1` both mean fully serial). Results are
+    /// **bit-identical at any value** — disjoint components are
+    /// independent subproblems and their merge order is fixed — so this
+    /// knob trades wall clock only. Worth raising on large fabrics with
+    /// many independent traffic components.
+    #[serde(default)]
+    pub engine_threads: usize,
+    /// Run the allocator once per *event* instead of once per epoch
+    /// (batch of same-timestamp events) — the pre-epoch-batching cadence,
+    /// kept as the equivalence oracle for tests and as the bench
+    /// baseline. Leave `false` outside those uses.
+    #[serde(default)]
+    pub realloc_per_event: bool,
 }
 
 impl Default for SimConfig {
@@ -44,6 +58,8 @@ impl Default for SimConfig {
             admit_retry_limit: 8,
             alarm_threshold: None,
             hybrid_min_drain_frac: 0.05,
+            engine_threads: 1,
+            realloc_per_event: false,
         }
     }
 }
@@ -55,6 +71,7 @@ impl SimConfig {
             alloc_mode: self.alloc_mode,
             avg_packet: self.avg_packet,
             max_route_hops: 64,
+            engine_threads: self.engine_threads.max(1),
         }
     }
 
@@ -87,6 +104,18 @@ impl SimConfig {
         self.hybrid_min_drain_frac = f.clamp(0.0, 1.0);
         self
     }
+
+    /// Builder: set the component-parallel allocation thread count.
+    pub fn with_engine_threads(mut self, n: usize) -> Self {
+        self.engine_threads = n;
+        self
+    }
+
+    /// Builder: select the per-event reallocation oracle cadence.
+    pub fn with_realloc_per_event(mut self, on: bool) -> Self {
+        self.realloc_per_event = on;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -100,6 +129,17 @@ mod tests {
         assert_eq!(c.alloc_mode, AllocMode::Full);
         assert!(c.admit_retry_limit >= 1);
         assert_eq!(c.fluid().avg_packet, c.avg_packet);
+    }
+
+    #[test]
+    fn engine_threads_zero_means_serial() {
+        let c = SimConfig::default();
+        assert_eq!(c.engine_threads, 1);
+        assert!(!c.realloc_per_event);
+        let c = c.with_engine_threads(0);
+        assert_eq!(c.fluid().engine_threads, 1, "0 normalizes to serial");
+        let c = c.with_engine_threads(4);
+        assert_eq!(c.fluid().engine_threads, 4);
     }
 
     #[test]

@@ -126,6 +126,12 @@ pub struct HybridNet {
     pub pkt_events: u64,
     /// Coupling updates pushed into the fluid allocator.
     pub couplings: u64,
+    /// Coupling passes (recouple invocations; each may push several or
+    /// zero updates). Bounded by the epoch count under epoch batching.
+    pub couple_passes: u64,
+    /// The last epoch a coupling pass ran in (the at-most-once-per-epoch
+    /// guard; 0 = never).
+    coupled_epoch: u64,
     min_drain_frac: f64,
     /// Scratch for event emission (reused across events).
     out: PktOut,
@@ -156,6 +162,8 @@ impl HybridNet {
             completed_fcts: Vec::new(),
             pkt_events: 0,
             couplings: 0,
+            couple_passes: 0,
+            coupled_epoch: 0,
             min_drain_frac: config.hybrid_min_drain_frac,
             out: PktOut::default(),
         }
@@ -314,11 +322,28 @@ impl HybridNet {
         step
     }
 
+    /// Claims the coupling slot of `epoch`: returns `true` (and records
+    /// the claim) iff no coupling pass ran in this epoch yet. The
+    /// simulation driver calls this before [`recouple`] so coupling runs
+    /// **at most once per epoch** however many allocator runs the epoch's
+    /// flush points trigger.
+    ///
+    /// [`recouple`]: HybridNet::recouple
+    pub fn mark_coupled_epoch(&mut self, epoch: u64) -> bool {
+        if self.coupled_epoch == epoch {
+            return false;
+        }
+        self.coupled_epoch = epoch;
+        true
+    }
+
     /// Re-measures the packet load of every watched link and pushes the
-    /// demands into the fluid allocator. Called right before every fluid
-    /// reallocation (the piggybacked coupling point) — and therefore also
-    /// after serializer transitions, which request a reallocation.
+    /// demands into the fluid allocator. Called right before the fluid
+    /// reallocation (the piggybacked coupling point, at most once per
+    /// epoch) — and therefore also after serializer transitions, which
+    /// request a reallocation.
     pub fn recouple(&mut self, now: SimTime, fluid: &mut FluidNet) {
+        self.couple_passes += 1;
         if self.watch.is_empty() {
             return;
         }

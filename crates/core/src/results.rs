@@ -36,6 +36,19 @@ pub struct SimResults {
     pub msgs_to_switch: u64,
     /// `FlowIn` events among the controller messages.
     pub flow_ins: u64,
+    /// Epochs drained: batches of events sharing one timestamp, each
+    /// paying at most one allocator run.
+    pub epochs: u64,
+    /// Largest single epoch batch (events sharing one timestamp).
+    pub max_epoch_batch: u64,
+    /// Events that requested a reallocation; with epoch batching several
+    /// requests of one epoch collapse into a single run, so
+    /// `realloc_requests - realloc_runs` is the number of allocator runs
+    /// batching saved.
+    pub realloc_requests: u64,
+    /// Completion events that popped with a superseded rate generation
+    /// (scheduling overhead, not simulation progress).
+    pub stale_completions: u64,
     /// Max-min allocator runs.
     pub realloc_runs: u64,
     /// Total flows touched across allocator runs.
@@ -57,6 +70,35 @@ impl SimResults {
         } else {
             0.0
         }
+    }
+
+    /// *Useful* events per wall-clock second: stale completion pops are
+    /// scheduling overhead (a superseded rate's leftover event), so they
+    /// are excluded — the honest throughput metric when comparing the
+    /// epoch-batched loop against the per-event cadence, which schedules
+    /// far more of them.
+    pub fn useful_events_per_sec(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.events.saturating_sub(self.stale_completions) as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean events per epoch (batch size); 0 before any epoch ran.
+    pub fn mean_epoch_batch(&self) -> f64 {
+        if self.epochs > 0 {
+            self.events as f64 / self.epochs as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Allocator runs the epoch batching saved versus the per-event
+    /// cadence (requests that were collapsed into an already-pending
+    /// epoch run).
+    pub fn realloc_saved(&self) -> u64 {
+        self.realloc_requests.saturating_sub(self.realloc_runs)
     }
 
     /// Simulated seconds per wall second (>1 ⇒ faster than real time).
@@ -96,7 +138,8 @@ impl SimResults {
              bytes dropped     {:>12.3e}\n\
              FCT p50/p95/p99   {:.4}s / {:.4}s / {:.4}s\n\
              ctrl msgs up/down {:>6} / {:<6} (flow-ins {})\n\
-             realloc runs      {:>12}   (flows touched {})",
+             epochs            {:>12}   (mean batch {:.2}, max {})\n\
+             realloc runs      {:>12}   (flows touched {}, saved {})",
             self.sim_time.as_secs_f64(),
             self.wall_seconds,
             self.speedup(),
@@ -114,8 +157,12 @@ impl SimResults {
             self.msgs_to_controller,
             self.msgs_to_switch,
             self.flow_ins,
+            self.epochs,
+            self.mean_epoch_batch(),
+            self.max_epoch_batch,
             self.realloc_runs,
             self.realloc_flows_touched,
+            self.realloc_saved(),
         )
     }
 }
@@ -140,6 +187,10 @@ mod tests {
             msgs_to_controller: 5,
             msgs_to_switch: 20,
             flow_ins: 5,
+            epochs: 800,
+            max_epoch_batch: 7,
+            realloc_requests: 30,
+            stale_completions: 100,
             realloc_runs: 18,
             realloc_flows_touched: 40,
             pkt_flows: 0,
@@ -168,6 +219,20 @@ mod tests {
         let mut r = blank();
         r.wall_seconds = 0.0;
         assert_eq!(r.events_per_sec(), 0.0);
+        assert_eq!(r.useful_events_per_sec(), 0.0);
         assert_eq!(r.speedup(), 0.0);
+    }
+
+    #[test]
+    fn batch_metrics_derive() {
+        let r = blank();
+        assert_eq!(r.mean_epoch_batch(), 1000.0 / 800.0);
+        assert_eq!(r.realloc_saved(), 12);
+        assert_eq!(r.useful_events_per_sec(), (1000.0 - 100.0) / 2.0);
+        let mut empty = blank();
+        empty.epochs = 0;
+        assert_eq!(empty.mean_epoch_batch(), 0.0);
+        empty.realloc_runs = 99;
+        assert_eq!(empty.realloc_saved(), 0, "saturates, never underflows");
     }
 }

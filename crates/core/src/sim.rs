@@ -7,6 +7,13 @@
 //! * **Traffic statistics and network state are updated after every
 //!   event** — byte accounting is lazily integrated per flow and forced
 //!   at every statistics export.
+//! * **Events sharing a timestamp form one epoch** — the loop drains the
+//!   whole batch (intra-epoch order preserved by queue seq) and runs the
+//!   max-min allocator **once per epoch** instead of once per triggering
+//!   event; handlers that read allocation-dependent state flush the
+//!   pending run first, so observable state matches the per-event
+//!   cadence (kept available as [`SimConfig::realloc_per_event`], the
+//!   equivalence oracle).
 //! * **No real OpenFlow connections** — messages are values crossing the
 //!   control channel with [`SimConfig::ctrl_latency`] delay in each
 //!   direction; a reactive flow setup therefore costs two crossings
@@ -65,10 +72,17 @@ pub struct Simulation {
     workload: Option<WorkloadAdapter>,
     collector: StatsCollector,
     /// Scratch for rate changes copied out of the fluid plane (reused so
-    /// the per-event reallocation path stays allocation-free).
+    /// the per-epoch reallocation path stays allocation-free).
     realloc_buf: Vec<RateChange>,
+    /// An event of the current epoch asked for a reallocation; consumed
+    /// by the end-of-epoch (or flush-point) allocator run.
+    realloc_pending: bool,
     // Counters.
     events: u64,
+    epochs: u64,
+    max_epoch_batch: u64,
+    realloc_requests: u64,
+    stale_completions: u64,
     flows_admitted: u64,
     flows_completed: u64,
     msgs_to_controller: u64,
@@ -206,7 +220,12 @@ impl Simulation {
             workload,
             collector,
             realloc_buf: Vec::new(),
+            realloc_pending: false,
             events: 0,
+            epochs: 0,
+            max_epoch_batch: 0,
+            realloc_requests: 0,
+            stale_completions: 0,
             flows_admitted: 0,
             flows_completed: 0,
             msgs_to_controller: 0,
@@ -305,14 +324,30 @@ impl Simulation {
                 .schedule_at(SimTime::ZERO + scan, SimEvent::ExpiryScan);
         }
 
-        // Main loop.
-        while let Some(next) = self.queue.peek_time() {
-            if next > self.horizon {
+        // Main loop: one iteration drains one **epoch** — every event
+        // sharing the head timestamp, in seq (scheduling) order, including
+        // events scheduled *for that instant* mid-drain — and then runs
+        // the allocator once for the whole batch. Handlers that read
+        // allocation-dependent state (stats export, expiry scans, packet
+        // serializer drains) flush the pending reallocation first, so the
+        // state they observe matches the per-event cadence. An epoch's
+        // completions can schedule follow-up work at the same timestamp
+        // *after* the drain ended (a rate change landing exactly at the
+        // epoch time); the outer loop then simply runs another epoch at
+        // the same instant.
+        while let Some(epoch_time) = self.queue.peek_time() {
+            if epoch_time > self.horizon {
                 break;
             }
-            let ev = self.queue.pop().expect("peeked event exists");
-            self.events += 1;
-            self.handle(ev.time, ev.event);
+            self.epochs += 1;
+            let mut batch = 0u64;
+            while let Some(ev) = self.queue.pop_if_at(epoch_time) {
+                self.events += 1;
+                batch += 1;
+                self.handle(ev.time, ev.event);
+            }
+            self.max_epoch_batch = self.max_epoch_batch.max(batch);
+            self.flush_realloc(epoch_time);
         }
 
         // Horizon reached: settle accounting.
@@ -371,16 +406,46 @@ impl Simulation {
         }
     }
 
+    /// Notes that the current event changed flow or link state and the
+    /// allocator must run before that state is observed. Under epoch
+    /// batching (the default) the run is deferred to the end of the epoch
+    /// (or the next flush point), so a batch of simultaneous arrivals,
+    /// completions and failures pays for **one** allocator run; the
+    /// `realloc_per_event` oracle runs it immediately instead.
+    fn request_realloc(&mut self, now: SimTime) {
+        self.realloc_requests += 1;
+        if self.config.realloc_per_event {
+            self.reallocate(now);
+        } else {
+            self.realloc_pending = true;
+        }
+    }
+
+    /// Runs a pending reallocation now — called at the end of every epoch
+    /// and before handlers that read allocation-dependent state.
+    fn flush_realloc(&mut self, now: SimTime) {
+        if self.realloc_pending {
+            self.reallocate(now);
+        }
+    }
+
     /// Runs the allocator and (re)schedules completion events for every
     /// flow whose rate changed. The fluid plane hands back a borrowed
     /// slice of its scratch; it is copied into a reused buffer so the
     /// queue can be scheduled against while iterating.
     fn reallocate(&mut self, now: SimTime) {
+        self.realloc_pending = false;
         // Piggybacked hybrid coupling point: refresh the packet plane's
         // per-link demands before the allocator runs (no-op without
-        // watched links, so pure fluid runs are untouched).
+        // watched links, so pure fluid runs are untouched). Under epoch
+        // batching the coupling runs at most once per epoch — a flush
+        // point and the epoch end share one coupling — while the
+        // per-event oracle keeps the historical couple-on-every-run
+        // cadence.
         if let Some(h) = self.hybrid.as_mut() {
-            h.recouple(now, &mut self.fluid);
+            if self.config.realloc_per_event || h.mark_coupled_epoch(self.epochs) {
+                h.recouple(now, &mut self.fluid);
+            }
         }
         self.realloc_buf.clear();
         self.realloc_buf
@@ -450,7 +515,7 @@ impl Simulation {
                     // (packet sources are finite); they stay fluid.
                     let id = self.fluid.reserve_id();
                     self.admit(id, spec, 0, now, now);
-                    self.reallocate(now);
+                    self.request_realloc(now);
                 }
                 if from_workload {
                     self.schedule_next_workload_arrival();
@@ -459,14 +524,19 @@ impl Simulation {
             SimEvent::AdmitRetry { id } => {
                 if let Some((spec, attempt, arrived)) = self.pending.remove(&id) {
                     self.admit(id, spec, attempt + 1, now, arrived);
-                    self.reallocate(now);
+                    self.request_realloc(now);
                 }
             }
             SimEvent::Completion { id, generation } => {
                 if self.fluid.completion_is_current(id, generation) {
                     self.fluid.remove_flow(id, now, true);
                     self.flows_completed += 1;
-                    self.reallocate(now);
+                    self.request_realloc(now);
+                } else {
+                    // An earlier event of this epoch (or a prior one)
+                    // rescheduled the flow's completion: this event is a
+                    // leftover of a superseded rate.
+                    self.stale_completions += 1;
                 }
             }
             SimEvent::ToController { msg, retry } => {
@@ -482,6 +552,16 @@ impl Simulation {
                 }
             }
             SimEvent::ToSwitch { switch, msg } => {
+                // A stats request served here reads switch port/entry
+                // counters that the reallocation's byte sync credits — an
+                // adaptive controller polling in the same epoch as a rate
+                // change must see the same counters the per-event cadence
+                // produced. Flow/group/meter mods are pure writes, so
+                // only stats reads pay the flush (keeping FlowMod bursts
+                // batched, the common reactive-setup shape).
+                if matches!(&*msg, horse_openflow::messages::CtrlMsg::StatsRequest(_)) {
+                    self.flush_realloc(now);
+                }
                 self.msgs_to_switch += 1;
                 let replies = self.fluid.apply_ctrl(switch, &msg, now);
                 for r in replies {
@@ -508,16 +588,20 @@ impl Simulation {
                     let id = self.fluid.reserve_id();
                     self.admit(id, spec, 0, now, now);
                 }
-                self.reallocate(now);
+                self.request_realloc(now);
             }
             SimEvent::CableUp(link) => {
                 let msgs = self.fluid.cable_up(link, now);
                 for m in msgs {
                     self.schedule_to_controller(now, m, None);
                 }
-                self.reallocate(now);
+                self.request_realloc(now);
             }
             SimEvent::StatsEpoch => {
+                // Flush first: the exported utilizations and rates must
+                // reflect every earlier event of this epoch, exactly as
+                // they did under the per-event cadence.
+                self.flush_realloc(now);
                 self.fluid.sync_all(now);
                 let topo = self.fluid.topology();
                 let stats = self.fluid.link_stats();
@@ -539,6 +623,9 @@ impl Simulation {
                 }
             }
             SimEvent::ExpiryScan => {
+                // Flush first: expiry compares entry last-use times that
+                // the reallocation's byte sync refreshes.
+                self.flush_realloc(now);
                 let msgs = self.fluid.expire_entries(now);
                 for m in msgs {
                     self.schedule_to_controller(now, m, None);
@@ -551,6 +638,11 @@ impl Simulation {
                 }
             }
             SimEvent::Pkt(ev) => {
+                // Flush first: packet serializers drain at capacity minus
+                // the *current* fluid load, so a same-instant fluid change
+                // must land before this packet event observes the link —
+                // the same order the per-event cadence produced.
+                self.flush_realloc(now);
                 let step = {
                     let h = self
                         .hybrid
@@ -563,7 +655,7 @@ impl Simulation {
                     // Serializer busy/idle transition: re-couple and let
                     // the fluid allocator redistribute around the new
                     // packet load.
-                    self.reallocate(now);
+                    self.request_realloc(now);
                 }
             }
         }
@@ -602,6 +694,10 @@ impl Simulation {
             msgs_to_controller: self.msgs_to_controller,
             msgs_to_switch: self.msgs_to_switch,
             flow_ins: self.flow_ins,
+            epochs: self.epochs,
+            max_epoch_batch: self.max_epoch_batch,
+            realloc_requests: self.realloc_requests,
+            stale_completions: self.stale_completions,
             realloc_runs: self.fluid.realloc_runs,
             realloc_flows_touched: self.fluid.realloc_flows_touched,
             pkt_flows,

@@ -22,7 +22,27 @@
 //! [`FluidNet::reallocate`], which re-runs max-min fair allocation (full or
 //! incremental per [`AllocMode`]) and returns the flows whose rate changed
 //! together with fresh completion predictions; the caller reschedules
-//! completion events and invalidates stale ones by generation.
+//! completion events and invalidates stale ones by generation. The
+//! `horse-core` driver batches all events sharing one timestamp into an
+//! **epoch** and calls `reallocate` once per epoch.
+//!
+//! ## Discovery / solve split
+//!
+//! `reallocate` runs in two phases:
+//!
+//! 1. **Discovery** walks the dirty flows (all active flows in `Full`
+//!    mode) into *disjoint link-sharing components* using epoch-stamped
+//!    bitmaps, in deterministic first-touch order, and builds one dense
+//!    subproblem (capacities, demands, CSR adjacency) per component.
+//! 2. **Solve** water-fills each component independently. Components
+//!    share no links by construction, so their allocations are
+//!    independent subproblems; with [`FluidConfig::engine_threads`] > 1
+//!    they are solved on a scoped-thread worker pool, each worker owning
+//!    its own solver scratch. Results merge into one rate array whose
+//!    layout is fixed by discovery order, and every observable side
+//!    effect (byte syncs, rate application, [`RateChange`] emission) is
+//!    applied serially in ascending flow-id order afterwards — so rates,
+//!    records and reports are **bit-identical at any thread count**.
 //!
 //! ## Hot-path layout
 //!
@@ -31,12 +51,13 @@
 //! intrusive active list and per-link intrusive membership lists — all in
 //! deterministic admission order, so the hot path never hashes and only
 //! re-sorts the nearly-sorted slot sets it actually processes.
-//! `reallocate` builds its allocation problem (dense
+//! `reallocate` builds its allocation problems (dense
 //! link capacities, demands, CSR flow→link adjacency) into scratch buffers
 //! owned by the engine and runs the bottleneck-heap allocator
 //! ([`crate::maxmin::max_min_allocate_csr`]) over them: in steady state
-//! the whole path performs **zero heap allocations** (covered by the
-//! `alloc_free` integration test).
+//! the single-threaded path performs **zero heap allocations** (covered by
+//! the `alloc_free` integration test; per-worker scratch is pre-grown,
+//! not per-epoch).
 
 use crate::flow::{ActiveFlow, FlowSpec, Route, RouteHop};
 use crate::maxmin::{max_min_allocate_csr, AllocMode, MaxMinScratch};
@@ -57,6 +78,13 @@ pub struct FluidConfig {
     pub avg_packet: ByteSize,
     /// Maximum switch hops during route resolution (loop guard).
     pub max_route_hops: usize,
+    /// Worker threads for the component-parallel solve pass of
+    /// [`FluidNet::reallocate`]. `0`/`1` solve serially; larger values
+    /// water-fill disjoint components concurrently on a scoped-thread
+    /// pool. Results are **bit-identical at any value** — only wall
+    /// clock changes. Worth > 1 on large fabrics with many independent
+    /// traffic components; small problems pay thread setup per call.
+    pub engine_threads: usize,
 }
 
 impl Default for FluidConfig {
@@ -65,6 +93,7 @@ impl Default for FluidConfig {
             alloc_mode: AllocMode::Full,
             avg_packet: ByteSize::bytes(1000),
             max_route_hops: 64,
+            engine_threads: 1,
         }
     }
 }
@@ -119,6 +148,48 @@ enum ResolveOutcome {
     NoRoute,
 }
 
+/// One disjoint allocation component discovered by the dirty walk. Every
+/// field is an index range into the concatenated per-component problem
+/// arrays of [`ReallocScratch`]; ranges of successive components are
+/// contiguous, which is what lets the solve pass split the merged rate
+/// array into disjoint per-component output slices.
+#[derive(Clone, Copy, Debug, Default)]
+struct CompRange {
+    /// Real flows: range into `ids` (discovery fills this; the rest is
+    /// filled by the build pass).
+    flows: (u32, u32),
+    /// Demands/rates: real flows first, then virtual external flows.
+    dem: (u32, u32),
+    /// Component links: range into `caps` / `problem_links`.
+    links: (u32, u32),
+    /// Component-local CSR offsets: range into `fl_off`.
+    off: (u32, u32),
+    /// Component-local CSR link indices: range into `fl_links`.
+    lnk: (u32, u32),
+    /// Virtual external-demand flows: range into `ext_links`.
+    ext: (u32, u32),
+}
+
+/// Per-worker solver memory for the component-parallel solve pass. Each
+/// worker owns its allocator scratch and output buffer outright, so
+/// workers share no mutable state; buffers are pre-grown across calls
+/// (high-water reuse), not re-allocated per epoch.
+#[derive(Default)]
+struct WorkerScratch {
+    maxmin: MaxMinScratch,
+    rates: Vec<f64>,
+}
+
+/// One component's solve job: shared read-only problem slices plus the
+/// exclusive output slice it merges its rates into.
+struct SolveTask<'a> {
+    demands: &'a [f64],
+    offsets: &'a [u32],
+    links: &'a [u32],
+    caps: &'a [f64],
+    out: &'a mut [f64],
+}
+
 /// Reusable working memory for [`FluidNet::reallocate`] (and the other
 /// bulk walks). Buffers grow to the high-water problem size, then every
 /// later call is allocation-free.
@@ -126,34 +197,101 @@ enum ResolveOutcome {
 struct ReallocScratch {
     /// Epoch for all the stamped maps below (bumped once per use site).
     gen: u64,
-    /// Link → dense problem index, gen-stamped (no per-call clearing).
+    /// Link → component-local dense problem index, gen-stamped (no
+    /// per-call clearing; the generation is bumped once per component
+    /// build, so entries never leak across components).
     link_idx: Vec<(u64, u32)>,
-    /// Per-slot visited stamp for the incremental component walk.
+    /// Per-slot visited stamp for the component walk.
     flow_stamp: Vec<u64>,
-    /// Per-link visited stamp for the incremental component walk.
+    /// Per-link visited stamp for the component walk.
     link_stamp: Vec<u64>,
-    /// Slots of the flows under recomputation, ascending flow-id order.
+    /// Slots of the flows under recomputation, concatenated per
+    /// component (ascending flow-id order within each component).
     ids: Vec<u32>,
+    /// Discovered components, in deterministic first-touch order.
+    comps: Vec<CompRange>,
+    /// Indices into `ids` sorted ascending by flow id across *all*
+    /// components: the order every observable side effect is applied in.
+    order: Vec<u32>,
+    /// For each `ids` entry, the index of its demand/rate slot (real
+    /// flows and virtual external flows interleave per component).
+    rate_idx: Vec<u32>,
     /// DFS stack for the component walk.
     stack: Vec<u32>,
-    /// Dense problem: link capacities.
+    /// Dense problems: link capacities, concatenated per component.
     caps: Vec<f64>,
-    /// Dense problem: per-flow demands.
+    /// Dense problems: per-flow demands, concatenated per component.
     demands: Vec<f64>,
-    /// Dense problem: CSR flow → link adjacency.
+    /// Dense problems: component-local CSR flow → link adjacency.
     fl_off: Vec<u32>,
     fl_links: Vec<u32>,
     /// Raw link index of each dense problem link (aligned with `caps`).
     problem_links: Vec<u32>,
-    /// Raw link index of each appended virtual external-demand flow
-    /// (aligned with the tail of `demands` past the real flows).
+    /// Raw link index of each appended virtual external-demand flow.
     ext_links: Vec<u32>,
-    /// Allocator output.
+    /// Merged allocator output (aligned with `demands`).
     rates: Vec<f64>,
     /// Rate changes reported to the caller (borrowed out of `reallocate`).
     changes: Vec<RateChange>,
-    /// Allocator working memory.
-    maxmin: MaxMinScratch,
+}
+
+/// Expands `scratch.stack` to the full link-sharing closure, stamping
+/// links and flows with `gen` and appending newly discovered flows to
+/// `scratch.ids`.
+fn component_closure(flows: &FlowArena, scratch: &mut ReallocScratch, gen: u64) {
+    while let Some(slot) = scratch.stack.pop() {
+        for &l in &flows.flow_at(slot).route.links {
+            let li = l.index();
+            if scratch.link_stamp[li] == gen {
+                continue;
+            }
+            scratch.link_stamp[li] = gen;
+            for s2 in flows.flows_on_link(li) {
+                if scratch.flow_stamp[s2 as usize] != gen {
+                    scratch.flow_stamp[s2 as usize] = gen;
+                    scratch.ids.push(s2);
+                    scratch.stack.push(s2);
+                }
+            }
+        }
+    }
+}
+
+/// Sorts a freshly discovered component (`ids[start..]`) ascending by
+/// flow id and records its flow range (the build pass fills the problem
+/// ranges later). Empty walks (a dirty link with no flows) record
+/// nothing.
+fn finish_component(flows: &FlowArena, scratch: &mut ReallocScratch, start: usize) {
+    if scratch.ids.len() == start {
+        return;
+    }
+    scratch.ids[start..].sort_unstable_by_key(|&s| flows.flow_at(s).id);
+    scratch.comps.push(CompRange {
+        flows: (start as u32, scratch.ids.len() as u32),
+        ..CompRange::default()
+    });
+}
+
+/// Water-fills one component's subproblem into the merged rate array
+/// (serial path; the parallel path routes through [`SolveTask`]s).
+fn solve_component(
+    c: &CompRange,
+    demands: &[f64],
+    fl_off: &[u32],
+    fl_links: &[u32],
+    caps: &[f64],
+    rates_all: &mut [f64],
+    w: &mut WorkerScratch,
+) {
+    max_min_allocate_csr(
+        &demands[c.dem.0 as usize..c.dem.1 as usize],
+        &fl_off[c.off.0 as usize..c.off.1 as usize],
+        &fl_links[c.lnk.0 as usize..c.lnk.1 as usize],
+        &caps[c.links.0 as usize..c.links.1 as usize],
+        &mut w.rates,
+        &mut w.maxmin,
+    );
+    rates_all[c.dem.0 as usize..c.dem.1 as usize].copy_from_slice(&w.rates);
 }
 
 /// The fluid data plane (see module docs).
@@ -188,6 +326,10 @@ pub struct FluidNet {
     /// their state did not change).
     external_granted: Vec<f64>,
     scratch: ReallocScratch,
+    /// Per-worker solver state for the component-parallel solve pass
+    /// (`workers[0]` serves the serial path; grown lazily to
+    /// [`FluidConfig::engine_threads`] on the first parallel call).
+    workers: Vec<WorkerScratch>,
     /// Number of allocator runs (exported with results; ablation metric).
     pub realloc_runs: u64,
     /// Total flows touched by allocator runs (ablation metric).
@@ -228,6 +370,7 @@ impl FluidNet {
                 link_stamp: vec![0; nl],
                 ..ReallocScratch::default()
             },
+            workers: vec![WorkerScratch::default()],
             realloc_runs: 0,
             realloc_flows_touched: 0,
         }
@@ -640,6 +783,10 @@ impl FluidNet {
             for hop in &flow.route.hops {
                 if let Some(sw) = switches.get_mut(&hop.node) {
                     sw.credit_bytes(&hop.matched, moved_bytes, avg, now);
+                    // Port counters follow the same integration, so
+                    // port-stats polling (the adaptive LB's feedback
+                    // signal) observes fluid traffic too.
+                    sw.credit_port_bytes(hop.in_port, hop.out_port, moved_bytes, avg);
                 }
             }
         }
@@ -650,163 +797,287 @@ impl FluidNet {
     /// returned slice borrows engine scratch — copy what must outlive the
     /// next call.
     ///
-    /// In `Incremental` mode only the connected component of flows sharing
-    /// links with dirty links (accumulated since the last call) is
-    /// recomputed.
+    /// In `Incremental` mode only the connected components of flows
+    /// sharing links with dirty links (accumulated since the last call)
+    /// are recomputed; `Full` mode recomputes every active flow. Either
+    /// way the affected flows decompose into disjoint link-sharing
+    /// components, each water-filled as an independent subproblem — see
+    /// the module docs for the discovery/solve split and the determinism
+    /// contract.
     pub fn reallocate(&mut self, now: SimTime) -> &[RateChange] {
         self.realloc_runs += 1;
         self.scratch.gen += 1;
         let gen = self.scratch.gen;
         self.scratch.changes.clear();
         self.scratch.ids.clear();
+        self.scratch.comps.clear();
+        self.scratch.order.clear();
 
-        // Choose the flow set to recompute (slots, ascending flow id).
-        match self.config.alloc_mode {
-            AllocMode::Full => {
-                // The global active list is in admission order — almost
-                // ascending-id, except that controller-retry re-admissions
-                // insert an earlier-reserved id after younger flows. The
-                // processing order must be ascending-id (it fixes the
-                // RateChange emission order and float-accumulation order),
-                // so sort the nearly-sorted list in place (no allocation;
-                // cheap in the common no-retry case).
-                let flows = &self.flows;
-                let ids = &mut self.scratch.ids;
-                ids.extend(flows.iter_slots());
-                ids.sort_unstable_by_key(|&s| flows.flow_at(s).id);
-                self.dirty_links.clear();
-                self.dirty_epoch += 1;
+        // ---- Discovery pass ----
+        // Partition the affected flows into disjoint link-sharing
+        // components, in deterministic first-touch order (all-flows
+        // ascending-id in Full mode, dirty-link insertion order in
+        // Incremental mode); each component's flows are sorted ascending
+        // by id. Epoch-stamped visited maps over slots and links replace
+        // per-call hash sets.
+        {
+            let flows = &self.flows;
+            let scratch = &mut self.scratch;
+            let slots = flows.slot_count();
+            if scratch.flow_stamp.len() < slots {
+                scratch.flow_stamp.resize(slots, 0);
             }
-            AllocMode::Incremental => {
-                // Epoch-stamped visited maps over slots and links replace
-                // the old per-call hash sets.
-                let slots = self.flows.slot_count();
-                if self.scratch.flow_stamp.len() < slots {
-                    self.scratch.flow_stamp.resize(slots, 0);
-                }
-                let scratch = &mut self.scratch;
-                let flows = &self.flows;
-                scratch.stack.clear();
-                for &l in &self.dirty_links {
-                    let li = l.index();
-                    if scratch.link_stamp[li] == gen {
-                        continue;
-                    }
-                    scratch.link_stamp[li] = gen;
-                    for slot in flows.flows_on_link(li) {
-                        if scratch.flow_stamp[slot as usize] != gen {
-                            scratch.flow_stamp[slot as usize] = gen;
-                            scratch.ids.push(slot);
-                            scratch.stack.push(slot);
+            scratch.stack.clear();
+            match self.config.alloc_mode {
+                AllocMode::Full => {
+                    // The global active list is in admission order —
+                    // almost ascending-id, except that controller-retry
+                    // re-admissions insert an earlier-reserved id after
+                    // younger flows; sort the nearly-sorted list in place
+                    // so component first-touch order is ascending-min-id.
+                    scratch.order.extend(flows.iter_slots());
+                    scratch.order.sort_unstable_by_key(|&s| flows.flow_at(s).id);
+                    for i in 0..scratch.order.len() {
+                        let seed = scratch.order[i];
+                        if scratch.flow_stamp[seed as usize] == gen {
+                            continue;
                         }
+                        scratch.flow_stamp[seed as usize] = gen;
+                        let start = scratch.ids.len();
+                        scratch.ids.push(seed);
+                        scratch.stack.push(seed);
+                        component_closure(flows, scratch, gen);
+                        finish_component(flows, scratch, start);
                     }
+                    scratch.order.clear();
                 }
-                while let Some(slot) = scratch.stack.pop() {
-                    for &l in &flows.flow_at(slot).route.links {
-                        let li = l.index();
+                AllocMode::Incremental => {
+                    for k in 0..self.dirty_links.len() {
+                        let li = self.dirty_links[k].index();
                         if scratch.link_stamp[li] == gen {
                             continue;
                         }
                         scratch.link_stamp[li] = gen;
-                        for s2 in flows.flows_on_link(li) {
-                            if scratch.flow_stamp[s2 as usize] != gen {
-                                scratch.flow_stamp[s2 as usize] = gen;
-                                scratch.ids.push(s2);
-                                scratch.stack.push(s2);
+                        let start = scratch.ids.len();
+                        for slot in flows.flows_on_link(li) {
+                            if scratch.flow_stamp[slot as usize] != gen {
+                                scratch.flow_stamp[slot as usize] = gen;
+                                scratch.ids.push(slot);
+                                scratch.stack.push(slot);
                             }
                         }
+                        component_closure(flows, scratch, gen);
+                        finish_component(flows, scratch, start);
                     }
                 }
-                self.dirty_links.clear();
-                self.dirty_epoch += 1;
-                // The walk discovers the component in traversal order;
-                // processing order must stay ascending-id for byte-stable
-                // reports (sorting the component, not the world).
-                scratch.ids.sort_unstable_by_key(|&s| flows.flow_at(s).id);
             }
         }
+        self.dirty_links.clear();
+        self.dirty_epoch += 1;
         self.realloc_flows_touched += self.scratch.ids.len() as u64;
         if self.scratch.ids.is_empty() {
             return &self.scratch.changes;
         }
 
+        // ---- Global processing order ----
+        // Every observable side effect below (byte syncs, rate
+        // application, RateChange emission, link-rate accumulation) runs
+        // ascending by flow id across all components — the same order the
+        // joint solve used, independent of component discovery order and
+        // of solver scheduling.
+        {
+            let flows = &self.flows;
+            let ReallocScratch {
+                order, ids, comps, ..
+            } = &mut self.scratch;
+            order.clear();
+            order.extend(0..ids.len() as u32);
+            // One component (the steady-state incremental case) is
+            // already ascending from discovery — the merge is identity.
+            if comps.len() > 1 {
+                order.sort_unstable_by_key(|&i| flows.flow_at(ids[i as usize]).id);
+            }
+        }
+
         // Sync affected flows to now at their *old* rates before changing
         // anything.
-        for i in 0..self.scratch.ids.len() {
-            let slot = self.scratch.ids[i];
+        for k in 0..self.scratch.order.len() {
+            let slot = self.scratch.ids[self.scratch.order[k] as usize];
             self.sync_flow_slot(slot, now);
         }
 
-        // Build the allocation problem over the union of links the
-        // affected flows cross, straight into reusable scratch (CSR
-        // adjacency, dense capacities). In incremental mode flows outside
-        // the component cannot share these links (by construction), so
-        // full link capacity is available to the component. The link →
-        // dense index map is a generation-stamped scratch vector (no
-        // per-call clearing or hashing — this is the hottest loop in the
-        // engine).
-        let scratch = &mut self.scratch;
-        scratch.caps.clear();
-        scratch.demands.clear();
-        scratch.fl_off.clear();
-        scratch.fl_links.clear();
-        scratch.problem_links.clear();
-        scratch.ext_links.clear();
-        for &slot in &scratch.ids {
-            let flow = self.flows.flow_at(slot);
-            scratch.fl_off.push(scratch.fl_links.len() as u32);
-            for &l in &flow.route.links {
-                let entry = &mut scratch.link_idx[l.index()];
-                if entry.0 != gen {
-                    let cap = self
-                        .topo
-                        .link(l)
-                        .map(|lk| {
-                            if lk.is_up() {
-                                lk.capacity.as_bps()
-                            } else {
-                                0.0
-                            }
-                        })
-                        .unwrap_or(0.0);
-                    scratch.caps.push(cap);
-                    scratch.problem_links.push(l.index() as u32);
-                    *entry = (gen, (scratch.caps.len() - 1) as u32);
+        // ---- Build pass ----
+        // One dense subproblem per component (CSR adjacency with
+        // component-local link indices, dense capacities), concatenated
+        // into reusable scratch. Flows outside a component cannot share
+        // its links (by construction), so full link capacity is available
+        // to each component. The link → dense index map is a
+        // generation-stamped scratch vector, bumped once per component so
+        // entries never leak across components (no per-call clearing or
+        // hashing — this is the hottest loop in the engine).
+        {
+            let scratch = &mut self.scratch;
+            scratch.caps.clear();
+            scratch.demands.clear();
+            scratch.fl_off.clear();
+            scratch.fl_links.clear();
+            scratch.problem_links.clear();
+            scratch.ext_links.clear();
+            scratch.rate_idx.clear();
+            for c_idx in 0..scratch.comps.len() {
+                scratch.gen += 1;
+                let cgen = scratch.gen;
+                let mut c = scratch.comps[c_idx];
+                c.dem.0 = scratch.demands.len() as u32;
+                c.links.0 = scratch.caps.len() as u32;
+                c.off.0 = scratch.fl_off.len() as u32;
+                c.lnk.0 = scratch.fl_links.len() as u32;
+                c.ext.0 = scratch.ext_links.len() as u32;
+                for i in c.flows.0..c.flows.1 {
+                    let flow = self.flows.flow_at(scratch.ids[i as usize]);
+                    scratch.fl_off.push(scratch.fl_links.len() as u32 - c.lnk.0);
+                    for &l in &flow.route.links {
+                        let entry = &mut scratch.link_idx[l.index()];
+                        if entry.0 != cgen {
+                            let cap = self
+                                .topo
+                                .link(l)
+                                .map(|lk| {
+                                    if lk.is_up() {
+                                        lk.capacity.as_bps()
+                                    } else {
+                                        0.0
+                                    }
+                                })
+                                .unwrap_or(0.0);
+                            scratch.caps.push(cap);
+                            scratch.problem_links.push(l.index() as u32);
+                            *entry = (cgen, scratch.caps.len() as u32 - 1 - c.links.0);
+                        }
+                        scratch.fl_links.push(entry.1);
+                    }
+                    scratch.rate_idx.push(scratch.demands.len() as u32);
+                    scratch.demands.push(flow.effective_demand());
                 }
-                scratch.fl_links.push(entry.1);
+                // Hybrid coupling: every component link carrying external
+                // (packet plane) load contributes one virtual single-link
+                // flow, so the packet aggregate takes part in the same
+                // water-filling instead of being carved out of capacity.
+                // No external demand (the pure fluid case) appends nothing
+                // and the problem is unchanged.
+                for dense in c.links.0..scratch.caps.len() as u32 {
+                    let li = scratch.problem_links[dense as usize];
+                    let d = self.external_demand[li as usize];
+                    if d > 0.0 {
+                        scratch.fl_off.push(scratch.fl_links.len() as u32 - c.lnk.0);
+                        scratch.fl_links.push(dense - c.links.0);
+                        scratch.demands.push(d);
+                        scratch.ext_links.push(li);
+                    }
+                }
+                scratch.fl_off.push(scratch.fl_links.len() as u32 - c.lnk.0);
+                c.dem.1 = scratch.demands.len() as u32;
+                c.links.1 = scratch.caps.len() as u32;
+                c.off.1 = scratch.fl_off.len() as u32;
+                c.lnk.1 = scratch.fl_links.len() as u32;
+                c.ext.1 = scratch.ext_links.len() as u32;
+                scratch.comps[c_idx] = c;
             }
-            scratch.demands.push(flow.effective_demand());
         }
-        // Hybrid coupling: every problem link carrying external (packet
-        // plane) load contributes one virtual single-link flow, so the
-        // packet aggregate takes part in the same water-filling instead of
-        // being carved out of capacity. No external demand (the pure
-        // fluid case) appends nothing and the problem is unchanged.
-        for (dense, &li) in scratch.problem_links.iter().enumerate() {
-            let d = self.external_demand[li as usize];
-            if d > 0.0 {
-                scratch.fl_off.push(scratch.fl_links.len() as u32);
-                scratch.fl_links.push(dense as u32);
-                scratch.demands.push(d);
-                scratch.ext_links.push(li);
+
+        // ---- Solve pass ----
+        // Each component is an independent water-filling problem; its
+        // rates land in the component's own segment of the merged rate
+        // array, so the merge is position-fixed by discovery order and
+        // identical however the components were scheduled.
+        let par_threads = self
+            .config
+            .engine_threads
+            .max(1)
+            .min(self.scratch.comps.len());
+        {
+            let ReallocScratch {
+                comps,
+                demands,
+                fl_off,
+                fl_links,
+                caps,
+                rates,
+                ..
+            } = &mut self.scratch;
+            if par_threads <= 1 && comps.len() == 1 {
+                // Single component: solve straight into the merged array
+                // (the allocator clears/sizes it), skipping the
+                // per-worker staging copy.
+                max_min_allocate_csr(
+                    demands,
+                    fl_off,
+                    fl_links,
+                    caps,
+                    rates,
+                    &mut self.workers[0].maxmin,
+                );
+            } else if par_threads <= 1 {
+                rates.clear();
+                rates.resize(demands.len(), 0.0);
+                let w = &mut self.workers[0];
+                for c in comps.iter() {
+                    solve_component(c, demands, fl_off, fl_links, caps, rates, w);
+                }
+            } else {
+                rates.clear();
+                rates.resize(demands.len(), 0.0);
+                while self.workers.len() < par_threads {
+                    self.workers.push(WorkerScratch::default());
+                }
+                // Split the merged rate array into disjoint per-component
+                // output slices and let the scoped workers pull jobs off a
+                // shared stack (component sizes are skewed, so dynamic
+                // pull beats static striping).
+                let mut tasks: Vec<SolveTask> = Vec::with_capacity(comps.len());
+                let mut rest: &mut [f64] = rates.as_mut_slice();
+                for c in comps.iter() {
+                    let (out, tail) = rest.split_at_mut((c.dem.1 - c.dem.0) as usize);
+                    rest = tail;
+                    tasks.push(SolveTask {
+                        demands: &demands[c.dem.0 as usize..c.dem.1 as usize],
+                        offsets: &fl_off[c.off.0 as usize..c.off.1 as usize],
+                        links: &fl_links[c.lnk.0 as usize..c.lnk.1 as usize],
+                        caps: &caps[c.links.0 as usize..c.links.1 as usize],
+                        out,
+                    });
+                }
+                let queue = std::sync::Mutex::new(tasks);
+                std::thread::scope(|s| {
+                    for w in self.workers.iter_mut().take(par_threads) {
+                        let queue = &queue;
+                        s.spawn(move || loop {
+                            let task = match queue.lock() {
+                                Ok(mut q) => q.pop(),
+                                Err(_) => None, // a sibling panicked; stop
+                            };
+                            let Some(task) = task else { break };
+                            max_min_allocate_csr(
+                                task.demands,
+                                task.offsets,
+                                task.links,
+                                task.caps,
+                                &mut w.rates,
+                                &mut w.maxmin,
+                            );
+                            task.out.copy_from_slice(&w.rates);
+                        });
+                    }
+                });
             }
         }
-        scratch.fl_off.push(scratch.fl_links.len() as u32);
 
-        max_min_allocate_csr(
-            &scratch.demands,
-            &scratch.fl_off,
-            &scratch.fl_links,
-            &scratch.caps,
-            &mut scratch.rates,
-            &mut scratch.maxmin,
-        );
-
-        // Apply the new rates; report changes.
-        for i in 0..scratch.ids.len() {
-            let slot = scratch.ids[i];
+        // ---- Apply pass (serial, ascending flow id) ----
+        for k in 0..self.scratch.order.len() {
+            let i = self.scratch.order[k] as usize;
+            let slot = self.scratch.ids[i];
+            let new_rate = Rate::bps(self.scratch.rates[self.scratch.rate_idx[i] as usize]);
             let flow = self.flows.flow_at_mut(slot);
-            let new_rate = Rate::bps(scratch.rates[i]);
             let changed = (new_rate.as_bps() - flow.rate.as_bps()).abs() > 1e-6;
             // Only changed flows need rescheduling: an unchanged rate means
             // the previously scheduled completion event is still exact.
@@ -826,16 +1097,21 @@ impl FluidNet {
                     self.link_stats[l.index()].current_rate_bps =
                         (self.link_stats[l.index()].current_rate_bps + delta).max(0.0);
                 }
-                scratch.changes.push(change);
+                self.scratch.changes.push(change);
             }
         }
         // Record the grants handed to the external (packet) aggregates;
-        // their rates sit past the real flows in the allocator output.
-        let n_real = scratch.ids.len();
-        for (k, &li) in scratch.ext_links.iter().enumerate() {
-            self.external_granted[li as usize] = scratch.rates[n_real + k];
+        // their rates sit past the real flows of their component.
+        for c_idx in 0..self.scratch.comps.len() {
+            let c = self.scratch.comps[c_idx];
+            let real = c.flows.1 - c.flows.0;
+            for k in c.ext.0..c.ext.1 {
+                let li = self.scratch.ext_links[k as usize] as usize;
+                self.external_granted[li] =
+                    self.scratch.rates[(c.dem.0 + real + (k - c.ext.0)) as usize];
+            }
         }
-        &scratch.changes
+        &self.scratch.changes
     }
 
     /// Validates a completion event: true iff the flow exists and the
@@ -1393,6 +1669,79 @@ mod tests {
             1,
             "disjoint flow must not drag the other into the recomputation"
         );
+    }
+
+    #[test]
+    fn parallel_solve_is_bit_identical_to_serial() {
+        // Several disjoint host pairs (independent components) plus one
+        // shared sink (a multi-flow component): solving with a worker
+        // pool must reproduce the serial rates bit-for-bit, in the same
+        // emission order.
+        let run = |threads: usize, mode: AllocMode| {
+            let f = builders::star(8, Rate::gbps(1.0));
+            let cfg = FluidConfig {
+                alloc_mode: mode,
+                engine_threads: threads,
+                ..FluidConfig::default()
+            };
+            let mut net = FluidNet::new(f.topology, cfg);
+            let s_hub = f.edges[0];
+            let topo = net.topology().clone();
+            for (_, l) in topo.out_links(s_hub) {
+                if let Some(host) = topo.node(l.dst).filter(|n| n.kind.is_host()) {
+                    net.apply_ctrl(
+                        s_hub,
+                        &CtrlMsg::FlowMod(FlowMod::add(FlowEntry::new(
+                            100,
+                            FlowMatch::ANY.with_eth_dst(host.mac().unwrap()),
+                            vec![Instruction::output(l.src_port)],
+                        ))),
+                        SimTime::ZERO,
+                    );
+                }
+            }
+            let mk = |src: usize, dst: usize, sport: u16| FlowSpec {
+                key: FlowKey::tcp(
+                    MacAddr::local_from_id(src as u32 + 1),
+                    MacAddr::local_from_id(dst as u32 + 1),
+                    topo.node(f.members[src]).unwrap().ip().unwrap(),
+                    topo.node(f.members[dst]).unwrap().ip().unwrap(),
+                    sport,
+                    80,
+                ),
+                src: f.members[src],
+                dst: f.members[dst],
+                demand: DemandModel::Greedy,
+                size: Some(ByteSize::mib(64)),
+                fidelity: Default::default(),
+            };
+            // disjoint pairs 0→1, 2→3, 4→5 and a contended sink 6←{0,2}
+            for (src, dst, sport) in [
+                (0usize, 1usize, 1u16),
+                (2, 3, 2),
+                (4, 5, 3),
+                (0, 6, 4),
+                (2, 6, 5),
+            ] {
+                let id = net.reserve_id();
+                assert!(matches!(
+                    net.try_admit(id, mk(src, dst, sport), SimTime::ZERO),
+                    AdmitOutcome::Admitted
+                ));
+            }
+            let changes: Vec<(FlowId, u64)> = net
+                .reallocate(SimTime::ZERO)
+                .iter()
+                .map(|c| (c.id, c.rate.as_bps().to_bits()))
+                .collect();
+            changes
+        };
+        for mode in [AllocMode::Full, AllocMode::Incremental] {
+            let serial = run(1, mode);
+            let parallel = run(4, mode);
+            assert_eq!(serial.len(), 5, "every flow gets a first rate");
+            assert_eq!(serial, parallel, "thread count changed rates ({mode:?})");
+        }
     }
 
     #[test]

@@ -159,6 +159,90 @@ fn reallocate_steady_state_is_allocation_free_incremental_mode() {
     );
 }
 
+/// Epoch-batched cadence: a whole wave of admissions (or removals) marks
+/// dirty state first and pays **one** `reallocate` for the batch — the
+/// order the simulation driver now produces. Steady state must stay
+/// zero-allocation with the serial solve path (`engine_threads = 1`,
+/// explicitly): per-worker scratch is pre-grown across calls, not
+/// re-allocated per epoch.
+fn batched_churn_and_count(mode: AllocMode) -> u64 {
+    let f = builders::star(8, Rate::gbps(1.0));
+    let cfg = FluidConfig {
+        alloc_mode: mode,
+        engine_threads: 1,
+        ..FluidConfig::default()
+    };
+    let mut net = FluidNet::new(f.topology, cfg);
+    let hub = f.edges[0];
+    let topo = net.topology().clone();
+    for (_, l) in topo.out_links(hub) {
+        if let Some(host) = topo.node(l.dst).filter(|n| n.kind.is_host()) {
+            net.apply_ctrl(
+                hub,
+                &CtrlMsg::FlowMod(FlowMod::add(FlowEntry::new(
+                    100,
+                    FlowMatch::ANY.with_eth_dst(host.mac().unwrap()),
+                    vec![Instruction::output(l.src_port)],
+                ))),
+                SimTime::ZERO,
+            );
+        }
+    }
+    let members = f.members;
+    let mut sport = 4000u16;
+    let mut in_realloc = 0u64;
+    let mut measuring = false;
+    for cycle in 0..6 {
+        // One epoch: the whole admission wave, then a single realloc.
+        let t = SimTime::from_millis(cycle * 10);
+        let mut wave = Vec::new();
+        for i in 0..members.len() / 2 {
+            let id = net.reserve_id();
+            let s = spec(&topo, &members, i, members.len() - 1 - i, sport);
+            sport = sport.wrapping_add(1);
+            assert!(matches!(net.try_admit(id, s, t), AdmitOutcome::Admitted));
+            wave.push(id);
+        }
+        let before = allocs();
+        net.reallocate(t);
+        if measuring {
+            in_realloc += allocs() - before;
+        }
+        // One epoch: the whole completion wave, then a single realloc.
+        let t = SimTime::from_millis(cycle * 10 + 5);
+        for id in wave {
+            net.remove_flow(id, t, true);
+        }
+        let before = allocs();
+        net.reallocate(t);
+        if measuring {
+            in_realloc += allocs() - before;
+        }
+        if cycle >= 1 {
+            measuring = true;
+        }
+    }
+    in_realloc
+}
+
+#[test]
+fn epoch_batched_reallocate_is_allocation_free_full_mode() {
+    let n = batched_churn_and_count(AllocMode::Full);
+    assert_eq!(
+        n, 0,
+        "batched full-mode reallocate allocated {n} times in steady state"
+    );
+}
+
+#[test]
+fn epoch_batched_reallocate_is_allocation_free_incremental_mode() {
+    let n = batched_churn_and_count(AllocMode::Incremental);
+    assert_eq!(
+        n, 0,
+        "batched incremental-mode reallocate allocated {n} times in steady state"
+    );
+}
+
 #[test]
 fn sync_all_is_allocation_free_after_warmup() {
     let (mut net, members) = star_net(6, AllocMode::Full);

@@ -6,15 +6,21 @@
 //!
 //! * [`queue`] — the future event list: a binary-heap priority queue keyed
 //!   by `(SimTime, sequence)` so that events at equal timestamps pop in
-//!   scheduling (FIFO) order, making every run deterministic.
+//!   scheduling (FIFO) order, making every run deterministic. The
+//!   [`EventQueue::pop_if_at`](queue::EventQueue::pop_if_at) primitive
+//!   drains all events sharing one timestamp as a single **epoch batch**
+//!   (still in seq order), which is what lets the simulator run its
+//!   allocator once per epoch instead of once per event.
 //! * [`engine`] — a small driver that repeatedly pops events, advances the
 //!   clock and hands them to a handler, with run-until-time /
 //!   run-until-empty / single-step modes and wall-clock accounting.
 //!
-//! The engine is intentionally synchronous and single-threaded: simulation
-//! is CPU-bound, so (per the networking guides) an async runtime buys
-//! nothing here. Parallelism, where used, is across *replications* (see the
-//! bench crate), never inside one simulation.
+//! The event loop itself is synchronous and single-threaded: simulation is
+//! CPU-bound, so an async runtime buys nothing here. Parallelism lives at
+//! two levels *around* the loop instead: across replications (the lab
+//! runner) and, within one simulation, across the disjoint allocation
+//! components of an epoch (the data plane's component-parallel solve) —
+//! both engineered to be bit-identical at any thread count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -229,6 +229,35 @@ impl<E> EventQueue<E> {
         self.heap.peek().map(|e| e.time)
     }
 
+    /// Pops the next live event **only if** it fires exactly at `t` —
+    /// the epoch-drain primitive: the caller peeks the head timestamp
+    /// once and then drains the whole same-instant batch (including
+    /// events scheduled *for `t` during the drain*, which join the batch
+    /// in seq order) without interleaving peeks and branches.
+    ///
+    /// ```
+    /// use horse_events::EventQueue;
+    /// use horse_types::SimTime;
+    ///
+    /// let mut q: EventQueue<u32> = EventQueue::new();
+    /// q.schedule_at(SimTime::from_secs(1), 1);
+    /// q.schedule_at(SimTime::from_secs(1), 2);
+    /// q.schedule_at(SimTime::from_secs(2), 3);
+    /// let t = q.peek_time().unwrap();
+    /// let mut batch = Vec::new();
+    /// while let Some(e) = q.pop_if_at(t) {
+    ///     batch.push(e.event);
+    /// }
+    /// assert_eq!(batch, vec![1, 2]); // the t=2 event stays queued
+    /// ```
+    pub fn pop_if_at(&mut self, t: SimTime) -> Option<ScheduledEvent<E>> {
+        self.skip_dead();
+        if self.heap.peek()?.time != t {
+            return None;
+        }
+        self.pop()
+    }
+
     /// Pops the next live event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
         self.skip_dead();
@@ -434,6 +463,33 @@ mod tests {
         assert_eq!(order, vec![5, 6, 7]);
         assert_eq!(q.len(), 0, "no underflow from phantom tombstones");
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_if_at_drains_one_epoch_only() {
+        let mut q = EventQueue::new();
+        let t1 = SimTime::from_secs(1);
+        q.schedule_at(t1, 1u32);
+        q.schedule_at(SimTime::from_secs(2), 3);
+        let h = q.schedule_at(t1, 99);
+        q.schedule_at(t1, 2);
+        q.cancel(h);
+        let t = q.peek_time().unwrap();
+        assert_eq!(t, t1);
+        let mut batch = Vec::new();
+        while let Some(e) = q.pop_if_at(t) {
+            batch.push(e.event);
+            if e.event == 1 {
+                // events scheduled for the epoch time mid-drain join the
+                // batch in seq order
+                q.schedule_at(t1, 10);
+            }
+        }
+        assert_eq!(batch, vec![1, 2, 10], "seq order, tombstone skipped");
+        assert_eq!(q.now(), t1);
+        assert_eq!(q.pop_if_at(t1), None, "next event is a later epoch");
+        assert_eq!(q.pop().unwrap().event, 3);
+        assert_eq!(q.pop_if_at(SimTime::from_secs(9)), None, "empty queue");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The `horse-lab` command-line interface.
 //!
 //! ```text
-//! horse-lab run <sweep.toml|.json> [--threads N] [--out DIR] [--quiet]
+//! horse-lab run <sweep.toml|.json> [--threads N] [--engine-threads N] [--out DIR] [--quiet]
 //! horse-lab plan <sweep.toml>
 //! horse-lab validate <sweep.toml>
 //! ```
@@ -21,12 +21,16 @@ const USAGE: &str = "\
 horse-lab — declarative experiment sweeps for the Horse simulator
 
 USAGE:
-    horse-lab run <spec.toml|spec.json> [--threads N] [--out DIR] [--quiet]
+    horse-lab run <spec.toml|spec.json> [--threads N] [--engine-threads N] [--out DIR] [--quiet]
     horse-lab plan <spec>
     horse-lab validate <spec>
 
 OPTIONS:
     --threads N   worker threads (default: spec `threads`, then one per CPU)
+    --engine-threads N
+                  override `config.engine_threads` for every run: the
+                  component-parallel allocation threads *inside* each
+                  simulation (metrics are bit-identical at any value)
     --out DIR     report directory (default: lab-results)
     --quiet       suppress per-run progress lines
 ";
@@ -40,6 +44,8 @@ pub struct Cli {
     pub spec: PathBuf,
     /// `--threads` override.
     pub threads: Option<usize>,
+    /// `--engine-threads` override (in-simulation allocation threads).
+    pub engine_threads: Option<usize>,
     /// `--out` report directory.
     pub out: PathBuf,
     /// `--quiet`.
@@ -60,6 +66,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, LabError> {
     }
     let mut spec: Option<PathBuf> = None;
     let mut threads = None;
+    let mut engine_threads = None;
     let mut out = PathBuf::from("lab-results");
     let mut quiet = false;
     while let Some(arg) = it.next() {
@@ -72,6 +79,15 @@ pub fn parse_args(args: &[String]) -> Result<Cli, LabError> {
                     .parse()
                     .map_err(|_| LabError::cli(format!("--threads: `{v}` is not a number")))?;
                 threads = Some(n);
+            }
+            "--engine-threads" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| LabError::cli("--engine-threads needs a number"))?;
+                let n: usize = v.parse().map_err(|_| {
+                    LabError::cli(format!("--engine-threads: `{v}` is not a number"))
+                })?;
+                engine_threads = Some(n.max(1));
             }
             "--out" => {
                 let v = it
@@ -98,6 +114,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, LabError> {
         command,
         spec,
         threads,
+        engine_threads,
         out,
         quiet,
     })
@@ -138,7 +155,16 @@ fn main_inner(args: &[String]) -> Result<(), LabError> {
         }
         "run" => {
             let threads = resolve_threads(cli.threads, &spec);
-            let plans = expand(&spec)?;
+            let mut plans = expand(&spec)?;
+            if let Some(n) = cli.engine_threads {
+                // Applied after axis expansion, so it also overrides an
+                // `engine_threads` axis — the point is regenerating a
+                // campaign at a different thread count to prove the
+                // reports are identical.
+                for p in &mut plans {
+                    p.config.engine_threads = Some(n);
+                }
+            }
             let total = plans.len();
             println!(
                 "campaign `{}`: {} runs on {} thread(s)",
@@ -193,6 +219,8 @@ mod tests {
             "sweep.toml",
             "--threads",
             "4",
+            "--engine-threads",
+            "2",
             "--out",
             "o",
             "--quiet",
@@ -201,6 +229,7 @@ mod tests {
         assert_eq!(cli.command, "run");
         assert_eq!(cli.spec, PathBuf::from("sweep.toml"));
         assert_eq!(cli.threads, Some(4));
+        assert_eq!(cli.engine_threads, Some(2));
         assert_eq!(cli.out, PathBuf::from("o"));
         assert!(cli.quiet);
     }
@@ -212,5 +241,6 @@ mod tests {
         assert!(parse_args(&s(&["run"])).is_err());
         assert!(parse_args(&s(&["run", "a.toml", "b.toml"])).is_err());
         assert!(parse_args(&s(&["run", "a.toml", "--threads", "many"])).is_err());
+        assert!(parse_args(&s(&["run", "a.toml", "--engine-threads"])).is_err());
     }
 }

@@ -100,7 +100,11 @@ impl CampaignReport {
             "msgs_to_controller",
             "msgs_to_switch",
             "flow_ins",
+            "epochs",
+            "epoch_batch_mean",
+            "epoch_batch_max",
             "realloc_runs",
+            "realloc_saved",
             "realloc_flows_touched",
         ]);
         let rows: Vec<Vec<String>> = self
@@ -128,7 +132,11 @@ impl CampaignReport {
                     m.msgs_to_controller.to_string(),
                     m.msgs_to_switch.to_string(),
                     m.flow_ins.to_string(),
+                    m.epochs.to_string(),
+                    f(m.epoch_batch_mean),
+                    m.epoch_batch_max.to_string(),
                     m.realloc_runs.to_string(),
+                    m.realloc_saved.to_string(),
                     m.realloc_flows_touched.to_string(),
                 ]);
                 row

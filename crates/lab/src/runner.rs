@@ -53,8 +53,17 @@ pub struct RunMetrics {
     pub msgs_to_switch: u64,
     /// Reactive `FlowIn`s among them.
     pub flow_ins: u64,
+    /// Epochs drained (batches of same-timestamp events).
+    pub epochs: u64,
+    /// Mean events per epoch batch.
+    pub epoch_batch_mean: f64,
+    /// Largest single epoch batch.
+    pub epoch_batch_max: u64,
     /// Max-min allocator runs.
     pub realloc_runs: u64,
+    /// Allocator runs saved by epoch batching (requests collapsed into an
+    /// already-pending epoch run).
+    pub realloc_saved: u64,
     /// Flows touched across allocator runs.
     pub realloc_flows_touched: u64,
 }
@@ -82,7 +91,11 @@ impl RunMetrics {
             msgs_to_controller: r.msgs_to_controller,
             msgs_to_switch: r.msgs_to_switch,
             flow_ins: r.flow_ins,
+            epochs: r.epochs,
+            epoch_batch_mean: r.mean_epoch_batch(),
+            epoch_batch_max: r.max_epoch_batch,
             realloc_runs: r.realloc_runs,
+            realloc_saved: r.realloc_saved(),
             realloc_flows_touched: r.realloc_flows_touched,
         }
     }
@@ -237,6 +250,33 @@ mod tests {
             assert!(r.metrics.events > 0, "run {i} simulated nothing");
             assert!(r.wall_seconds >= 0.0);
         }
+    }
+
+    #[test]
+    fn engine_threads_do_not_change_metrics() {
+        // The in-simulation allocation thread count is a pure wall-clock
+        // knob: sweeping it must produce identical metric rows (which is
+        // what makes it safe to sweep and what CI's determinism
+        // acceptance re-checks on the committed campaigns).
+        let spec = SweepSpec::from_toml(
+            r#"
+            name = "et_det"
+            [scenario]
+            kind = "ixp"
+            members = 25
+            horizon_secs = 1.0
+            [axes]
+            engine_threads = [1, 4]
+            "#,
+        )
+        .unwrap();
+        let report = run_sweep(&spec, 1).unwrap();
+        assert_eq!(report.runs.len(), 2);
+        assert_eq!(
+            report.runs[0].metrics, report.runs[1].metrics,
+            "engine_threads=1 vs 4 must be bit-identical"
+        );
+        assert!(report.runs[0].metrics.epochs > 0);
     }
 
     #[test]

@@ -446,6 +446,12 @@ pub struct SimConfigSpec {
     pub admit_retry_limit: Option<u32>,
     /// Congestion alarm threshold (link utilization 0–1).
     pub alarm_threshold: Option<f64>,
+    /// Worker threads for the component-parallel allocation solve inside
+    /// each simulation (not to be confused with the sweep runner's
+    /// `threads`, which parallelizes across runs). Metrics are
+    /// bit-identical at any value, so this is sweepable purely as a
+    /// performance axis.
+    pub engine_threads: Option<usize>,
 }
 
 impl SimConfigSpec {
@@ -490,6 +496,9 @@ impl SimConfigSpec {
                 )));
             }
             c.alarm_threshold = Some(t);
+        }
+        if let Some(n) = self.engine_threads {
+            c.engine_threads = n.max(1);
         }
         Ok(c)
     }
@@ -656,14 +665,38 @@ mod tests {
         let c = SimConfigSpec {
             ctrl_latency_us: Some(1000.0),
             stats_epoch_secs: Some(0.0),
+            engine_threads: Some(4),
             ..Default::default()
         }
         .to_config()
         .unwrap();
         assert_eq!(c.ctrl_latency, SimDuration::from_micros(1000));
         assert!(c.stats_epoch.is_none());
+        assert_eq!(c.engine_threads, 4);
         // untouched fields inherit defaults
         assert_eq!(c.admit_retry_limit, SimConfig::default().admit_retry_limit);
+        let d = SimConfigSpec::default().to_config().unwrap();
+        assert_eq!(d.engine_threads, SimConfig::default().engine_threads);
+    }
+
+    #[test]
+    fn engine_threads_is_a_sweepable_axis() {
+        let spec = SweepSpec::from_toml(
+            r#"
+            name = "et"
+            [scenario]
+            kind = "ixp"
+            members = 6
+            horizon_secs = 0.5
+            [axes]
+            engine_threads = [1, 4]
+            "#,
+        )
+        .unwrap();
+        let plans = crate::sweep::expand(&spec).unwrap();
+        assert_eq!(plans.len(), 2);
+        assert_eq!(plans[0].config.engine_threads, Some(1));
+        assert_eq!(plans[1].config.engine_threads, Some(4));
     }
 
     #[test]

@@ -148,10 +148,37 @@ impl OpenFlowSwitch {
         }
     }
 
-    /// Port counters (packet plane credits them; fluid plane credits bytes
-    /// via the link stats instead).
+    /// Port counters (credited by the fluid plane's byte sync via
+    /// [`credit_port_bytes`]; port-stats replies serve them).
+    ///
+    /// [`credit_port_bytes`]: OpenFlowSwitch::credit_port_bytes
     pub fn port_counters_mut(&mut self, port: PortNo) -> &mut crate::counters::PortCounters {
         self.port_counters.entry(port).or_default()
+    }
+
+    /// Credits one switch traversal's worth of integrated bytes to the
+    /// port counters: received on `in_port`, transmitted on `out_port`
+    /// (packet counts derived from `avg_packet`, like
+    /// [`credit_bytes`]). This is what makes port-stats polling — the
+    /// adaptive load balancer's feedback signal — observe fluid traffic.
+    ///
+    /// [`credit_bytes`]: OpenFlowSwitch::credit_bytes
+    pub fn credit_port_bytes(
+        &mut self,
+        in_port: PortNo,
+        out_port: PortNo,
+        bytes: ByteSize,
+        avg_packet: ByteSize,
+    ) {
+        let pkts = if avg_packet.as_bytes() == 0 {
+            0
+        } else {
+            bytes.as_bytes() / avg_packet.as_bytes()
+        };
+        self.port_counters_mut(in_port)
+            .credit_rx(pkts, bytes.as_bytes());
+        self.port_counters_mut(out_port)
+            .credit_tx(pkts, bytes.as_bytes());
     }
 
     /// Traverses the pipeline for a flow arriving on `in_port` with header

@@ -1,0 +1,96 @@
+//! The determinism contract of the component-parallel allocator:
+//! `engine_threads` is a pure wall-clock knob. Disjoint components are
+//! independent water-filling subproblems and their merge order is fixed
+//! by discovery, so a run's aggregates **and** its per-flow records must
+//! be bit-identical at any thread count — the same contract the lab
+//! runner advertises for its cross-run parallelism, extended inside one
+//! simulation.
+
+use horse::prelude::*;
+
+/// Everything observable: bit-patterns of the aggregates plus every flow
+/// record field.
+#[derive(PartialEq, Debug)]
+struct Fingerprint {
+    events: u64,
+    epochs: u64,
+    max_epoch_batch: u64,
+    realloc_runs: u64,
+    realloc_requests: u64,
+    realloc_flows_touched: u64,
+    flows_admitted: u64,
+    flows_completed: u64,
+    flows_dropped: u64,
+    bytes_delivered: u64,
+    fct_p50: u64,
+    fct_p99: u64,
+    goodput_mean: u64,
+    records: Vec<(u64, u64, u64, u64, bool)>,
+}
+
+fn run_with_threads(scenario: Scenario, threads: usize) -> Fingerprint {
+    let config = SimConfig::default().with_engine_threads(threads);
+    let mut sim = Simulation::new(scenario, config).unwrap();
+    let r = sim.run();
+    let records = sim
+        .fluid()
+        .records()
+        .iter()
+        .map(|rec| {
+            (
+                rec.id.0,
+                rec.bytes.to_bits(),
+                rec.started.as_nanos(),
+                rec.finished.as_nanos(),
+                rec.completed,
+            )
+        })
+        .collect();
+    Fingerprint {
+        events: r.events,
+        epochs: r.epochs,
+        max_epoch_batch: r.max_epoch_batch,
+        realloc_runs: r.realloc_runs,
+        realloc_requests: r.realloc_requests,
+        realloc_flows_touched: r.realloc_flows_touched,
+        flows_admitted: r.flows_admitted,
+        flows_completed: r.flows_completed,
+        flows_dropped: r.flows_dropped,
+        bytes_delivered: r.bytes_delivered.to_bits(),
+        fct_p50: r.fct.p50.to_bits(),
+        fct_p99: r.fct.p99.to_bits(),
+        goodput_mean: r.goodput.mean.to_bits(),
+        records,
+    }
+}
+
+#[test]
+fn figure1_is_bit_identical_across_engine_threads() {
+    let scenario = || Scenario::figure1(SimTime::from_secs(3), 11);
+    let serial = run_with_threads(scenario(), 1);
+    let parallel = run_with_threads(scenario(), 4);
+    assert!(serial.flows_completed > 0, "scenario must exercise flows");
+    assert_eq!(serial, parallel, "engine_threads=1 vs 4 diverged");
+}
+
+#[test]
+fn fat_tree_k8_is_bit_identical_across_engine_threads() {
+    let scenario = || {
+        let mut params = FabricScenarioParams::default();
+        params.generator.kind = TopologyKind::FatTree;
+        params.generator.fat_tree_k = 8;
+        params.horizon = SimTime::from_secs(1);
+        params.seed = 3;
+        Scenario::fabric(&params).expect("fat-tree builds")
+    };
+    let serial = run_with_threads(scenario(), 1);
+    let parallel = run_with_threads(scenario(), 4);
+    assert!(serial.flows_admitted > 0, "scenario must offer traffic");
+    assert!(
+        serial.realloc_runs > 0 && serial.realloc_runs <= serial.realloc_requests,
+        "allocator runs ({}) never exceed the events that requested one ({})",
+        serial.realloc_runs,
+        serial.realloc_requests
+    );
+    assert_eq!(serial, parallel, "engine_threads=1 vs 4 diverged");
+}

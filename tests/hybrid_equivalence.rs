@@ -146,6 +146,37 @@ fn all_packet_hybrid_run_matches_packetsim_verbatim() {
 }
 
 #[test]
+fn hybrid_coupling_runs_at_most_once_per_epoch() {
+    // Pre-epoch-batching, `reallocate` re-coupled the planes on *every*
+    // trigger — several times per instant during arrival/transition
+    // bursts. With epoch batching the coupling pass is guarded: however
+    // many allocator runs an epoch's flush points force, the planes
+    // exchange load at most once per epoch.
+    let foreground = 6usize;
+    let mut s = figure1_fabric_scenario(21, 24, 20);
+    for (_, spec) in s.explicit_flows.iter_mut().take(foreground) {
+        spec.fidelity = Fidelity::Packet;
+    }
+    let mut sim = Simulation::new(s, packet_aligned_config()).unwrap();
+    let r = sim.run();
+    let hybrid = sim.hybrid().expect("hybrid attached");
+    assert!(
+        hybrid.couplings > 0,
+        "the planes must actually exchange load"
+    );
+    assert!(
+        hybrid.couple_passes <= r.epochs,
+        "coupling ran {} times over {} epochs — more than once per epoch",
+        hybrid.couple_passes,
+        r.epochs
+    );
+    assert!(
+        r.realloc_runs <= r.realloc_requests,
+        "batching collapses same-epoch reallocation requests"
+    );
+}
+
+#[test]
 fn mixed_fidelity_foreground_fct_tracks_full_packet_run() {
     let horizon = SimTime::from_secs(20);
     let foreground = 6usize;
