@@ -55,6 +55,7 @@ pub mod hybrid;
 pub mod results;
 pub mod scenario;
 pub mod sim;
+pub mod trace;
 
 pub use compare::{compare_planes, AccuracyReport};
 pub use config::SimConfig;
@@ -64,6 +65,7 @@ pub use scenario::{
     default_traffic_pattern, FabricScenarioParams, FidelityMode, IxpScenarioParams, Scenario,
 };
 pub use sim::Simulation;
+pub use trace::SimTracer;
 
 // Re-export the component crates under stable names.
 pub use horse_controlplane as controlplane;
@@ -73,6 +75,7 @@ pub use horse_monitoring as monitoring;
 pub use horse_openflow as openflow;
 pub use horse_packetsim as packetsim;
 pub use horse_topology as topology;
+pub use horse_trace as tracing;
 pub use horse_types as types;
 pub use horse_workloads as workloads;
 
@@ -85,6 +88,7 @@ pub mod prelude {
         default_traffic_pattern, FabricScenarioParams, FidelityMode, IxpScenarioParams, Scenario,
     };
     pub use crate::sim::Simulation;
+    pub use crate::trace::SimTracer;
     pub use horse_controlplane::{Controller, LbMode, PolicyRule, PolicySpec};
     pub use horse_dataplane::{AllocMode, DemandModel, Fidelity, FlowSpec};
     pub use horse_topology::builders::{self, IxpFabricParams};

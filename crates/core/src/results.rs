@@ -1,7 +1,9 @@
 //! Simulation results.
 
+use horse_events::QueueStats;
 use horse_monitoring::collector::StatsCollector;
 use horse_monitoring::series::{summarize, Summary};
+use horse_trace::MetricsSnapshot;
 use horse_types::SimTime;
 
 /// Everything a run produced. The benchmark harness prints tables from
@@ -58,6 +60,13 @@ pub struct SimResults {
     pub pkt_flows: u64,
     /// FCT summary of completed packet-fidelity (foreground) flows.
     pub fct_foreground: Summary,
+    /// Event-queue statistics (scheduling volume, tombstone overhead,
+    /// heap compactions) — all deterministic counts.
+    pub queue: QueueStats,
+    /// Snapshot of the run's metrics registry (empty without a tracer).
+    /// Contains only deterministic quantities, so it may be embedded in
+    /// reproducible reports.
+    pub metrics: MetricsSnapshot,
     /// The monitoring collector (epoch reports, per-link series, alarms).
     pub collector: StatsCollector,
 }
@@ -195,6 +204,8 @@ mod tests {
             realloc_flows_touched: 40,
             pkt_flows: 0,
             fct_foreground: Summary::default(),
+            queue: QueueStats::default(),
+            metrics: MetricsSnapshot::default(),
             collector: StatsCollector::new(),
         }
     }

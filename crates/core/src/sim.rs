@@ -27,6 +27,7 @@ use crate::event::SimEvent;
 use crate::hybrid::{pkt_flow_spec, HybridNet};
 use crate::results::SimResults;
 use crate::scenario::Scenario;
+use crate::trace::{event_fingerprint, SimTracer};
 use horse_controlplane::{Controller, ControllerCtx, Outbox, PolicyGenerator};
 use horse_dataplane::stats::DropCause;
 use horse_dataplane::{AdmitOutcome, DemandModel, Fidelity, FlowSpec, FluidNet, RateChange};
@@ -77,6 +78,11 @@ pub struct Simulation {
     /// An event of the current epoch asked for a reallocation; consumed
     /// by the end-of-epoch (or flush-point) allocator run.
     realloc_pending: bool,
+    /// Observability (metrics/spans/journal/progress); `None` unless
+    /// [`Simulation::set_tracer`] installed one. Tracing never feeds
+    /// back into simulation state — results are byte-identical with it
+    /// on or off.
+    tracer: Option<Box<SimTracer>>,
     // Counters.
     events: u64,
     epochs: u64,
@@ -221,6 +227,7 @@ impl Simulation {
             collector,
             realloc_buf: Vec::new(),
             realloc_pending: false,
+            tracer: None,
             events: 0,
             epochs: 0,
             max_epoch_batch: 0,
@@ -260,6 +267,23 @@ impl Simulation {
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.queue.now()
+    }
+
+    /// Installs a tracer: registers the data plane's hot-path counters
+    /// with its metrics registry and enables allocator phase timing when
+    /// span collection is on. Call before [`Simulation::run`].
+    pub fn set_tracer(&mut self, tracer: SimTracer) {
+        self.fluid.attach_metrics(tracer.registry());
+        self.fluid.set_phase_timing(tracer.spans_enabled());
+        self.tracer = Some(Box::new(tracer));
+    }
+
+    /// Removes and returns the tracer (span export, journal flush).
+    /// The journal sink is *not* flushed here — call
+    /// [`SimTracer::finish_journal`] on the returned tracer.
+    pub fn take_tracer(&mut self) -> Option<SimTracer> {
+        self.fluid.set_phase_timing(false);
+        self.tracer.take().map(|b| *b)
     }
 
     /// Schedules an explicit flow arrival (before or during a run).
@@ -335,19 +359,36 @@ impl Simulation {
         // *after* the drain ended (a rate change landing exactly at the
         // epoch time); the outer loop then simply runs another epoch at
         // the same instant.
+        let journal_on = self.tracer.as_ref().is_some_and(|t| t.journal_enabled());
         while let Some(epoch_time) = self.queue.peek_time() {
             if epoch_time > self.horizon {
                 break;
             }
             self.epochs += 1;
+            let span_start = self.tracer.as_ref().and_then(|t| t.epoch_start());
             let mut batch = 0u64;
             while let Some(ev) = self.queue.pop_if_at(epoch_time) {
                 self.events += 1;
                 batch += 1;
-                self.handle(ev.time, ev.event);
+                if journal_on {
+                    let (kind, identity) = event_fingerprint(&ev.event);
+                    self.handle(ev.time, ev.event);
+                    if let Some(t) = self.tracer.as_mut() {
+                        t.journal_event(ev.time.as_nanos(), kind, identity);
+                    }
+                } else {
+                    self.handle(ev.time, ev.event);
+                }
             }
             self.max_epoch_batch = self.max_epoch_batch.max(batch);
             self.flush_realloc(epoch_time);
+            if let Some(t) = self.tracer.as_mut() {
+                t.epoch_done(batch);
+                if let Some(start_ns) = span_start {
+                    t.push_epoch_span(start_ns, batch, epoch_time);
+                }
+                t.maybe_progress(epoch_time);
+            }
         }
 
         // Horizon reached: settle accounting.
@@ -450,6 +491,30 @@ impl Simulation {
         self.realloc_buf.clear();
         self.realloc_buf
             .extend_from_slice(self.fluid.reallocate(now));
+        // Span export of the allocator's phase timing (wall clock, kept
+        // strictly out of simulation state). Cloned out first so the
+        // tracer borrow does not overlap the fluid borrow.
+        let timing = if self.tracer.as_ref().is_some_and(|t| t.spans_enabled()) {
+            self.fluid.last_timing().cloned()
+        } else {
+            None
+        };
+        if let Some(t) = self.tracer.as_mut() {
+            if let Some(timing) = timing {
+                t.push_realloc_spans(&timing);
+            }
+            if t.journal_enabled() {
+                // The applied rate changes are the allocator's state
+                // delta; fold them so the journal digest covers them.
+                for change in &self.realloc_buf {
+                    t.fold_rate_change(
+                        change.id.index() as u64,
+                        change.rate.as_bps().to_bits(),
+                        change.generation,
+                    );
+                }
+            }
+        }
         for change in &self.realloc_buf {
             if let Some(secs) = change.completes_in {
                 self.queue.schedule_at(
@@ -679,6 +744,48 @@ impl Simulation {
             pkt_flows = h.flow_count() as u64;
             fct_foreground = summarize(h.completed_fcts());
         }
+        let queue_stats = self.queue.stats();
+        // End-of-run scrape: totals that are kept as plain fields on
+        // their subsystems (no hot-path cost) land in the registry here,
+        // so one snapshot carries them all. Every scraped quantity is
+        // deterministic — wall clock never enters the registry.
+        let metrics = match self.tracer.as_ref() {
+            Some(t) => {
+                let reg = t.registry();
+                reg.counter("queue.scheduled").add(queue_stats.scheduled);
+                reg.counter("queue.delivered").add(queue_stats.delivered);
+                reg.counter("queue.cancelled").add(queue_stats.cancelled);
+                reg.counter("queue.skipped").add(queue_stats.skipped);
+                reg.counter("queue.clamped").add(queue_stats.clamped);
+                reg.counter("queue.compactions")
+                    .add(queue_stats.compactions);
+                let (mut hits, mut misses) = (0u64, 0u64);
+                for &sw in self.fluid.switch_ids() {
+                    if let Some(s) = self.fluid.switch(sw) {
+                        for ti in 0..s.table_count() {
+                            if let Some(tbl) = s.table(horse_types::TableId(ti as u8)) {
+                                hits += tbl.counters.matches;
+                                misses += tbl.counters.lookups - tbl.counters.matches;
+                            }
+                        }
+                    }
+                }
+                reg.counter("openflow.table_hits").add(hits);
+                reg.counter("openflow.table_misses").add(misses);
+                if let Some(h) = self.hybrid.as_ref() {
+                    reg.counter("hybrid.couple_passes").add(h.couple_passes);
+                }
+                let peak = self
+                    .collector
+                    .epochs
+                    .iter()
+                    .map(|e| e.max_utilization)
+                    .fold(0.0f64, f64::max);
+                reg.gauge("links.peak_utilization").set_max(peak);
+                reg.snapshot()
+            }
+            None => horse_trace::MetricsSnapshot::default(),
+        };
         SimResults {
             sim_time: self.horizon,
             wall_seconds,
@@ -702,6 +809,8 @@ impl Simulation {
             realloc_flows_touched: self.fluid.realloc_flows_touched,
             pkt_flows,
             fct_foreground,
+            queue: queue_stats,
+            metrics,
             collector: std::mem::take(&mut self.collector),
         }
     }

@@ -66,8 +66,10 @@ use crate::stats::{DropCause, DropRecord, FlowRecord, LinkStats};
 use horse_openflow::messages::{CtrlMsg, SwitchMsg};
 use horse_openflow::switch::{DropReason, OpenFlowSwitch, PipelineResult, Verdict};
 use horse_topology::{LinkState, Topology};
+use horse_trace::{Counter, Histogram, MetricsRegistry};
 use horse_types::{ByteSize, FlowId, FlowKey, LinkId, NodeId, PortNo, Rate, SimTime};
 use std::collections::{HashMap, HashSet};
+use std::time::Instant;
 
 /// Tunables of the fluid plane.
 #[derive(Clone, Copy, Debug)]
@@ -178,6 +180,41 @@ struct CompRange {
 struct WorkerScratch {
     maxmin: MaxMinScratch,
     rates: Vec<f64>,
+    /// Wall-clock nanoseconds this worker spent solving during the last
+    /// parallel pass. Only written when phase timing is enabled; never
+    /// read by the allocation itself (determinism contract).
+    busy_ns: u64,
+}
+
+/// Hot-path metric handles (no-ops until [`FluidNet::attach_metrics`]).
+/// An increment through a detached handle is a single branch, so the
+/// zero-allocation steady state is preserved either way (pinned down by
+/// the `alloc_free` integration test, which runs with metrics attached).
+#[derive(Default)]
+struct EngineMetrics {
+    realloc_runs: Counter,
+    realloc_components: Counter,
+    realloc_flows_touched: Counter,
+    component_flows: Histogram,
+}
+
+/// Wall-clock timing of the last [`FluidNet::reallocate`] call, split by
+/// phase, captured only when [`FluidNet::set_phase_timing`] enabled it.
+/// Wall clock never feeds the allocation or any deterministic output —
+/// the core exports these as Chrome-trace spans, nothing else.
+#[derive(Clone, Debug, Default)]
+pub struct ReallocTiming {
+    /// Discovery pass (component walk + processing order + rate sync).
+    pub discovery_ns: u64,
+    /// Build pass (dense subproblem construction).
+    pub build_ns: u64,
+    /// Solve pass (serial or parallel water-filling).
+    pub solve_ns: u64,
+    /// Apply pass (serial rate application + grant recording).
+    pub apply_ns: u64,
+    /// Per-worker busy time inside the solve pass (empty on the serial
+    /// path; index = worker lane).
+    pub workers_busy_ns: Vec<u64>,
 }
 
 /// One component's solve job: shared read-only problem slices plus the
@@ -334,6 +371,10 @@ pub struct FluidNet {
     pub realloc_runs: u64,
     /// Total flows touched by allocator runs (ablation metric).
     pub realloc_flows_touched: u64,
+    metrics: EngineMetrics,
+    /// Capture wall-clock phase timing on the next `reallocate` calls.
+    timing_enabled: bool,
+    timing: ReallocTiming,
 }
 
 impl FluidNet {
@@ -373,7 +414,35 @@ impl FluidNet {
             workers: vec![WorkerScratch::default()],
             realloc_runs: 0,
             realloc_flows_touched: 0,
+            metrics: EngineMetrics::default(),
+            timing_enabled: false,
+            timing: ReallocTiming::default(),
         }
+    }
+
+    /// Registers the engine's hot-path counters with a metrics registry.
+    /// Without this call (or with a disabled registry) every handle is a
+    /// no-op branch.
+    pub fn attach_metrics(&mut self, registry: &MetricsRegistry) {
+        self.metrics = EngineMetrics {
+            realloc_runs: registry.counter("alloc.runs"),
+            realloc_components: registry.counter("alloc.components"),
+            realloc_flows_touched: registry.counter("alloc.flows_touched"),
+            component_flows: registry.histogram("alloc.component_flows"),
+        };
+    }
+
+    /// Enables (or disables) wall-clock phase timing of `reallocate`.
+    /// Off by default; when on, [`FluidNet::last_timing`] reports the
+    /// phases of the most recent call.
+    pub fn set_phase_timing(&mut self, enabled: bool) {
+        self.timing_enabled = enabled;
+    }
+
+    /// Phase timing of the most recent [`FluidNet::reallocate`] call,
+    /// `None` unless [`FluidNet::set_phase_timing`] was enabled.
+    pub fn last_timing(&self) -> Option<&ReallocTiming> {
+        self.timing_enabled.then_some(&self.timing)
     }
 
     /// The topology (read access).
@@ -805,7 +874,11 @@ impl FluidNet {
     /// the module docs for the discovery/solve split and the determinism
     /// contract.
     pub fn reallocate(&mut self, now: SimTime) -> &[RateChange] {
+        // Wall clock is read only when phase timing is on, and feeds
+        // nothing but the span export.
+        let t_enter = self.timing_enabled.then(Instant::now);
         self.realloc_runs += 1;
+        self.metrics.realloc_runs.inc();
         self.scratch.gen += 1;
         let gen = self.scratch.gen;
         self.scratch.changes.clear();
@@ -875,7 +948,24 @@ impl FluidNet {
         self.dirty_links.clear();
         self.dirty_epoch += 1;
         self.realloc_flows_touched += self.scratch.ids.len() as u64;
+        self.metrics
+            .realloc_flows_touched
+            .add(self.scratch.ids.len() as u64);
+        self.metrics
+            .realloc_components
+            .add(self.scratch.comps.len() as u64);
+        for c in &self.scratch.comps {
+            self.metrics
+                .component_flows
+                .observe((c.flows.1 - c.flows.0) as u64);
+        }
         if self.scratch.ids.is_empty() {
+            if let Some(t0) = t_enter {
+                self.timing = ReallocTiming {
+                    discovery_ns: t0.elapsed().as_nanos() as u64,
+                    ..ReallocTiming::default()
+                };
+            }
             return &self.scratch.changes;
         }
 
@@ -905,6 +995,7 @@ impl FluidNet {
             let slot = self.scratch.ids[self.scratch.order[k] as usize];
             self.sync_flow_slot(slot, now);
         }
+        let t_discovered = t_enter.map(|_| Instant::now());
 
         // ---- Build pass ----
         // One dense subproblem per component (CSR adjacency with
@@ -984,6 +1075,7 @@ impl FluidNet {
                 scratch.comps[c_idx] = c;
             }
         }
+        let t_built = t_enter.map(|_| Instant::now());
 
         // ---- Solve pass ----
         // Each component is an independent water-filling problem; its
@@ -995,6 +1087,7 @@ impl FluidNet {
             .engine_threads
             .max(1)
             .min(self.scratch.comps.len());
+        let timing_enabled = self.timing_enabled;
         {
             let ReallocScratch {
                 comps,
@@ -1051,12 +1144,14 @@ impl FluidNet {
                 std::thread::scope(|s| {
                     for w in self.workers.iter_mut().take(par_threads) {
                         let queue = &queue;
+                        w.busy_ns = 0;
                         s.spawn(move || loop {
                             let task = match queue.lock() {
                                 Ok(mut q) => q.pop(),
                                 Err(_) => None, // a sibling panicked; stop
                             };
                             let Some(task) = task else { break };
+                            let t_task = timing_enabled.then(Instant::now);
                             max_min_allocate_csr(
                                 task.demands,
                                 task.offsets,
@@ -1066,11 +1161,16 @@ impl FluidNet {
                                 &mut w.maxmin,
                             );
                             task.out.copy_from_slice(&w.rates);
+                            if let Some(t) = t_task {
+                                w.busy_ns += t.elapsed().as_nanos() as u64;
+                            }
                         });
                     }
                 });
             }
         }
+
+        let t_solved = t_enter.map(|_| Instant::now());
 
         // ---- Apply pass (serial, ascending flow id) ----
         for k in 0..self.scratch.order.len() {
@@ -1109,6 +1209,19 @@ impl FluidNet {
                 let li = self.scratch.ext_links[k as usize] as usize;
                 self.external_granted[li] =
                     self.scratch.rates[(c.dem.0 + real + (k - c.ext.0)) as usize];
+            }
+        }
+        if let (Some(t0), Some(t1), Some(t2), Some(t3)) = (t_enter, t_discovered, t_built, t_solved)
+        {
+            self.timing.discovery_ns = t1.duration_since(t0).as_nanos() as u64;
+            self.timing.build_ns = t2.duration_since(t1).as_nanos() as u64;
+            self.timing.solve_ns = t3.duration_since(t2).as_nanos() as u64;
+            self.timing.apply_ns = t3.elapsed().as_nanos() as u64;
+            self.timing.workers_busy_ns.clear();
+            if par_threads > 1 {
+                self.timing
+                    .workers_busy_ns
+                    .extend(self.workers.iter().take(par_threads).map(|w| w.busy_ns));
             }
         }
         &self.scratch.changes

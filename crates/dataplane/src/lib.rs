@@ -37,7 +37,7 @@ pub mod slab;
 pub mod stats;
 pub mod tcp;
 
-pub use engine::{AdmitOutcome, FluidConfig, FluidNet, RateChange};
+pub use engine::{AdmitOutcome, FluidConfig, FluidNet, RateChange, ReallocTiming};
 pub use flow::{ActiveFlow, DemandModel, Fidelity, FlowSpec, Route, RouteHop};
 pub use maxmin::{max_min_allocate, max_min_allocate_csr, AllocMode, MaxMinScratch};
 pub use slab::FlowArena;

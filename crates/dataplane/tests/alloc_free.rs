@@ -13,6 +13,7 @@ use horse_openflow::flow_match::FlowMatch;
 use horse_openflow::messages::{CtrlMsg, FlowMod};
 use horse_openflow::table::FlowEntry;
 use horse_topology::builders;
+use horse_trace::MetricsRegistry;
 use horse_types::{ByteSize, FlowKey, MacAddr, NodeId, Rate, SimTime};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -95,9 +96,14 @@ fn spec(
 }
 
 /// Admission/completion churn; counts allocations strictly inside the
-/// `reallocate` calls of the post-warmup cycles.
-fn churn_and_count(mode: AllocMode) -> u64 {
+/// `reallocate` calls of the post-warmup cycles. With `metrics` set, a
+/// live [`MetricsRegistry`] is attached first — counter/histogram updates
+/// ride the hot path and must not allocate either.
+fn churn_and_count_opts(mode: AllocMode, metrics: Option<&MetricsRegistry>) -> u64 {
     let (mut net, members) = star_net(8, mode);
+    if let Some(reg) = metrics {
+        net.attach_metrics(reg);
+    }
     let topo = net.topology().clone();
     let mut sport = 1000u16;
     let mut in_realloc = 0u64;
@@ -143,7 +149,7 @@ fn churn_and_count(mode: AllocMode) -> u64 {
 
 #[test]
 fn reallocate_steady_state_is_allocation_free_full_mode() {
-    let n = churn_and_count(AllocMode::Full);
+    let n = churn_and_count_opts(AllocMode::Full, None);
     assert_eq!(
         n, 0,
         "full-mode reallocate allocated {n} times in steady state"
@@ -152,11 +158,32 @@ fn reallocate_steady_state_is_allocation_free_full_mode() {
 
 #[test]
 fn reallocate_steady_state_is_allocation_free_incremental_mode() {
-    let n = churn_and_count(AllocMode::Incremental);
+    let n = churn_and_count_opts(AllocMode::Incremental, None);
     assert_eq!(
         n, 0,
         "incremental-mode reallocate allocated {n} times in steady state"
     );
+}
+
+#[test]
+fn reallocate_with_live_metrics_is_still_allocation_free() {
+    let reg = MetricsRegistry::new();
+    for mode in [AllocMode::Full, AllocMode::Incremental] {
+        let n = churn_and_count_opts(mode, Some(&reg));
+        assert_eq!(
+            n, 0,
+            "{mode:?}-mode reallocate with metrics attached allocated {n} times"
+        );
+    }
+    // The counters really were live, not detached no-ops.
+    let snap = reg.snapshot();
+    let runs = snap
+        .entries()
+        .iter()
+        .find(|(k, _)| k == "alloc.runs")
+        .map(|&(_, v)| v)
+        .unwrap_or(0.0);
+    assert!(runs > 0.0, "metrics registry never saw a reallocate run");
 }
 
 /// Epoch-batched cadence: a whole wave of admissions (or removals) marks

@@ -29,4 +29,4 @@ pub mod engine;
 pub mod queue;
 
 pub use engine::{EngineStats, EventLoop, HandlerOutcome};
-pub use queue::{EventHandle, EventQueue, ScheduledEvent};
+pub use queue::{EventHandle, EventQueue, QueueStats, ScheduledEvent};

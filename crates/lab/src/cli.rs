@@ -11,17 +11,19 @@
 //! table and wall-clock timing to stdout. `plan` prints the expanded run
 //! grid without simulating; `validate` just checks the spec.
 
-use crate::runner::{resolve_threads, run_plans_with};
+use crate::runner::{resolve_threads, run_plans_opts, RunOptions};
 use crate::spec::SweepSpec;
 use crate::sweep::expand;
 use crate::LabError;
+use horse::tracing::chrome_trace;
 use std::path::PathBuf;
 
 const USAGE: &str = "\
 horse-lab — declarative experiment sweeps for the Horse simulator
 
 USAGE:
-    horse-lab run <spec.toml|spec.json> [--threads N] [--engine-threads N] [--out DIR] [--quiet]
+    horse-lab run <spec.toml|spec.json> [--threads N] [--engine-threads N] [--out DIR]
+                  [--trace FILE] [--journal DIR] [--progress] [--quiet]
     horse-lab plan <spec>
     horse-lab validate <spec>
 
@@ -32,6 +34,13 @@ OPTIONS:
                   component-parallel allocation threads *inside* each
                   simulation (metrics are bit-identical at any value)
     --out DIR     report directory (default: lab-results)
+    --trace FILE  write wall-clock phase spans (epoch, allocator
+                  discovery/build/solve/apply, solver workers) of every
+                  run as Chrome-trace JSON — load in chrome://tracing or
+                  https://ui.perfetto.dev. Does not affect the reports.
+    --journal DIR write one sim-time event journal per run (JSONL) —
+                  compare two runs with `horse-trace diff`
+    --progress    periodic stderr heartbeat (sim-time, events/s, epochs)
     --quiet       suppress per-run progress lines
 ";
 
@@ -48,6 +57,12 @@ pub struct Cli {
     pub engine_threads: Option<usize>,
     /// `--out` report directory.
     pub out: PathBuf,
+    /// `--trace` Chrome-trace output file.
+    pub trace: Option<PathBuf>,
+    /// `--journal` per-run event-journal directory.
+    pub journal: Option<PathBuf>,
+    /// `--progress` stderr heartbeat.
+    pub progress: bool,
     /// `--quiet`.
     pub quiet: bool,
 }
@@ -68,6 +83,9 @@ pub fn parse_args(args: &[String]) -> Result<Cli, LabError> {
     let mut threads = None;
     let mut engine_threads = None;
     let mut out = PathBuf::from("lab-results");
+    let mut trace = None;
+    let mut journal = None;
+    let mut progress = false;
     let mut quiet = false;
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -95,6 +113,19 @@ pub fn parse_args(args: &[String]) -> Result<Cli, LabError> {
                     .ok_or_else(|| LabError::cli("--out needs a directory"))?;
                 out = PathBuf::from(v);
             }
+            "--trace" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| LabError::cli("--trace needs a file path"))?;
+                trace = Some(PathBuf::from(v));
+            }
+            "--journal" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| LabError::cli("--journal needs a directory"))?;
+                journal = Some(PathBuf::from(v));
+            }
+            "--progress" => progress = true,
             "--quiet" => quiet = true,
             "--help" | "-h" => return Err(LabError::cli(USAGE)),
             other if other.starts_with('-') => {
@@ -116,6 +147,9 @@ pub fn parse_args(args: &[String]) -> Result<Cli, LabError> {
         threads,
         engine_threads,
         out,
+        trace,
+        journal,
+        progress,
         quiet,
     })
 }
@@ -171,7 +205,12 @@ fn main_inner(args: &[String]) -> Result<(), LabError> {
                 spec.name, total, threads
             );
             let quiet = cli.quiet;
-            let report = run_plans_with(&spec.name, plans, threads, |rec| {
+            let opts = RunOptions {
+                trace: cli.trace.is_some(),
+                journal_dir: cli.journal.clone(),
+                progress: cli.progress,
+            };
+            let (report, traces) = run_plans_opts(&spec.name, plans, threads, &opts, |rec| {
                 if !quiet {
                     println!(
                         "  done {:>3}/{total}  {:.3}s  {}",
@@ -181,6 +220,19 @@ fn main_inner(args: &[String]) -> Result<(), LabError> {
                     );
                 }
             })?;
+            if let Some(trace_path) = cli.trace.as_ref() {
+                let processes: Vec<(u32, &str, &horse::tracing::SpanLog)> = traces
+                    .iter()
+                    .map(|t| (t.index as u32, t.label.as_str(), &t.spans))
+                    .collect();
+                std::fs::write(trace_path, chrome_trace(&processes)).map_err(|e| {
+                    LabError::cli(format!("cannot write {}: {e}", trace_path.display()))
+                })?;
+                println!("trace: {} ({} runs)", trace_path.display(), traces.len());
+            }
+            if let Some(dir) = cli.journal.as_ref() {
+                println!("journals: {}/run*.jsonl", dir.display());
+            }
             std::fs::create_dir_all(&cli.out)
                 .map_err(|e| LabError::cli(format!("cannot create {}: {e}", cli.out.display())))?;
             let csv_path = cli.out.join(format!("{}.csv", spec.name));
@@ -223,6 +275,11 @@ mod tests {
             "2",
             "--out",
             "o",
+            "--trace",
+            "t.json",
+            "--journal",
+            "j",
+            "--progress",
             "--quiet",
         ]))
         .unwrap();
@@ -231,7 +288,18 @@ mod tests {
         assert_eq!(cli.threads, Some(4));
         assert_eq!(cli.engine_threads, Some(2));
         assert_eq!(cli.out, PathBuf::from("o"));
+        assert_eq!(cli.trace, Some(PathBuf::from("t.json")));
+        assert_eq!(cli.journal, Some(PathBuf::from("j")));
+        assert!(cli.progress);
         assert!(cli.quiet);
+    }
+
+    #[test]
+    fn tracing_flags_default_off() {
+        let cli = parse_args(&s(&["run", "sweep.toml"])).unwrap();
+        assert_eq!(cli.trace, None);
+        assert_eq!(cli.journal, None);
+        assert!(!cli.progress);
     }
 
     #[test]
@@ -242,5 +310,7 @@ mod tests {
         assert!(parse_args(&s(&["run", "a.toml", "b.toml"])).is_err());
         assert!(parse_args(&s(&["run", "a.toml", "--threads", "many"])).is_err());
         assert!(parse_args(&s(&["run", "a.toml", "--engine-threads"])).is_err());
+        assert!(parse_args(&s(&["run", "a.toml", "--trace"])).is_err());
+        assert!(parse_args(&s(&["run", "a.toml", "--journal"])).is_err());
     }
 }

@@ -44,7 +44,10 @@ pub mod spec;
 pub mod sweep;
 
 pub use report::{CampaignReport, RunRecord};
-pub use runner::{execute_plan, run_plans_with, run_sweep, run_sweep_with, RunMetrics};
+pub use runner::{
+    execute_plan, execute_plan_opts, run_plans_opts, run_plans_with, run_sweep, run_sweep_with,
+    RunMetrics, RunOptions, TraceOut,
+};
 pub use spec::{Axes, ScenarioSpec, SimConfigSpec, SweepSpec};
 pub use sweep::{expand, RunPlan};
 
@@ -90,7 +93,10 @@ impl std::error::Error for LabError {}
 /// Glob import for tests, examples and the umbrella crate's prelude.
 pub mod prelude {
     pub use crate::report::{CampaignReport, RunRecord};
-    pub use crate::runner::{execute_plan, run_plans_with, run_sweep, run_sweep_with, RunMetrics};
+    pub use crate::runner::{
+        execute_plan, execute_plan_opts, run_plans_opts, run_plans_with, run_sweep, run_sweep_with,
+        RunMetrics, RunOptions, TraceOut,
+    };
     pub use crate::spec::{Axes, ScenarioSpec, SimConfigSpec, SweepSpec};
     pub use crate::sweep::{expand, RunPlan};
     pub use crate::LabError;

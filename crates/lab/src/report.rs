@@ -106,6 +106,8 @@ impl CampaignReport {
             "realloc_runs",
             "realloc_saved",
             "realloc_flows_touched",
+            "queue_compactions",
+            "queue_tombstones",
         ]);
         let rows: Vec<Vec<String>> = self
             .runs
@@ -138,6 +140,8 @@ impl CampaignReport {
                     m.realloc_runs.to_string(),
                     m.realloc_saved.to_string(),
                     m.realloc_flows_touched.to_string(),
+                    m.queue_compactions.to_string(),
+                    m.queue_tombstones.to_string(),
                 ]);
                 row
             })

@@ -13,11 +13,14 @@ use crate::sweep::{expand, RunPlan};
 use crate::LabError;
 use horse::monitoring::series::Summary;
 use horse::prelude::*;
+use horse::tracing::{MetricsSnapshot, SpanLog};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+use std::io::BufWriter;
+use std::path::PathBuf;
 use std::sync::mpsc;
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// The deterministic metrics of one run — everything in
 /// [`SimResults`] except wall-clock derived quantities, plus offered-load
@@ -66,6 +69,15 @@ pub struct RunMetrics {
     pub realloc_saved: u64,
     /// Flows touched across allocator runs.
     pub realloc_flows_touched: u64,
+    /// Event-queue heap compactions (tombstone-pressure rebuilds).
+    pub queue_compactions: u64,
+    /// Events cancelled before firing (left as heap tombstones until a
+    /// pop skips them or a compaction drops them).
+    pub queue_tombstones: u64,
+    /// The run's metrics-registry snapshot (allocator, queue, OpenFlow,
+    /// hybrid and utilization counters). Deterministic quantities only —
+    /// part of the reproducible report.
+    pub metrics: MetricsSnapshot,
 }
 
 impl RunMetrics {
@@ -97,25 +109,95 @@ impl RunMetrics {
             realloc_runs: r.realloc_runs,
             realloc_saved: r.realloc_saved(),
             realloc_flows_touched: r.realloc_flows_touched,
+            queue_compactions: r.queue.compactions,
+            queue_tombstones: r.queue.cancelled,
+            metrics: r.metrics.clone(),
         }
     }
 }
 
+/// Observability options for a campaign (all off by default; none of
+/// them changes any deterministic output).
+#[derive(Clone, Debug, Default)]
+pub struct RunOptions {
+    /// Collect wall-clock phase spans for Chrome-trace export.
+    pub trace: bool,
+    /// Write one sim-time event journal per run into this directory
+    /// (`run000.jsonl`, `run001.jsonl`, …).
+    pub journal_dir: Option<PathBuf>,
+    /// Print a periodic stderr heartbeat (sim-time, events/sec, epochs).
+    pub progress: bool,
+}
+
+impl RunOptions {
+    fn journal_path(&self, index: usize) -> Option<PathBuf> {
+        self.journal_dir
+            .as_ref()
+            .map(|d| d.join(format!("run{index:03}.jsonl")))
+    }
+}
+
+/// The wall-clock spans one run produced (for Chrome-trace export).
+pub struct TraceOut {
+    /// Plan index of the run.
+    pub index: usize,
+    /// The run's `axis=value` label.
+    pub label: String,
+    /// Its span log.
+    pub spans: SpanLog,
+}
+
 /// Executes one plan to completion (builds scenario + config, runs the
-/// simulation, extracts metrics).
+/// simulation, extracts metrics). Every run carries a metrics-only
+/// tracer, so [`RunMetrics::metrics`] is populated with or without the
+/// optional span/journal machinery.
 pub fn execute_plan(plan: &RunPlan) -> Result<RunRecord, LabError> {
+    execute_plan_opts(plan, &RunOptions::default()).map(|(rec, _)| rec)
+}
+
+/// [`execute_plan`] with observability options; also returns the span
+/// log when `opts.trace` is on.
+pub fn execute_plan_opts(
+    plan: &RunPlan,
+    opts: &RunOptions,
+) -> Result<(RunRecord, Option<SpanLog>), LabError> {
     let scenario = plan.scenario.build()?;
     let config = plan.config.to_config()?;
     let started = Instant::now();
     let mut sim = Simulation::new(scenario, config)
         .map_err(|e| LabError::build(format!("run {} ({}): {e}", plan.index, plan.label())))?;
+    let mut tracer = SimTracer::new();
+    if opts.trace {
+        tracer = tracer.with_spans();
+    }
+    if let Some(path) = opts.journal_path(plan.index) {
+        let file = std::fs::File::create(&path).map_err(|e| {
+            LabError::build(format!(
+                "run {}: journal {}: {e}",
+                plan.index,
+                path.display()
+            ))
+        })?;
+        tracer = tracer.with_journal(BufWriter::new(file));
+    }
+    if opts.progress {
+        tracer = tracer.with_progress(Duration::from_secs(2));
+    }
+    sim.set_tracer(tracer);
     let results = sim.run();
-    Ok(RunRecord {
-        index: plan.index,
-        params: plan.params.clone(),
-        metrics: RunMetrics::from_results(&results),
-        wall_seconds: started.elapsed().as_secs_f64(),
-    })
+    let spans = sim.take_tracer().and_then(|mut t| {
+        t.finish_journal();
+        t.take_spans()
+    });
+    Ok((
+        RunRecord {
+            index: plan.index,
+            params: plan.params.clone(),
+            metrics: RunMetrics::from_results(&results),
+            wall_seconds: started.elapsed().as_secs_f64(),
+        },
+        spans,
+    ))
 }
 
 /// Resolves the effective worker count: CLI override, then the spec's
@@ -151,19 +233,41 @@ pub fn run_plans_with<F>(
     name: &str,
     plans: Vec<RunPlan>,
     threads: usize,
-    mut progress: F,
+    progress: F,
 ) -> Result<CampaignReport, LabError>
 where
     F: FnMut(&RunRecord),
 {
+    run_plans_opts(name, plans, threads, &RunOptions::default(), progress).map(|(rep, _)| rep)
+}
+
+/// [`run_plans_with`] plus observability: per-run journals land in
+/// `opts.journal_dir` and, with `opts.trace`, every run's span log is
+/// returned (sorted by plan index) for Chrome-trace export.
+pub fn run_plans_opts<F>(
+    name: &str,
+    plans: Vec<RunPlan>,
+    threads: usize,
+    opts: &RunOptions,
+    mut progress: F,
+) -> Result<(CampaignReport, Vec<TraceOut>), LabError>
+where
+    F: FnMut(&RunRecord),
+{
+    if let Some(dir) = opts.journal_dir.as_ref() {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| LabError::build(format!("journal dir {}: {e}", dir.display())))?;
+    }
     let total = plans.len();
     let threads = threads.clamp(1, total.max(1));
     let campaign_started = Instant::now();
 
     let queue: Mutex<VecDeque<RunPlan>> = Mutex::new(plans.into());
-    let (tx, rx) = mpsc::channel::<Result<RunRecord, LabError>>();
+    type Outcome = Result<(RunRecord, Option<SpanLog>), LabError>;
+    let (tx, rx) = mpsc::channel::<Outcome>();
 
     let mut records: Vec<RunRecord> = Vec::with_capacity(total);
+    let mut traces: Vec<TraceOut> = Vec::new();
     let mut first_error: Option<LabError> = None;
     std::thread::scope(|scope| {
         for _ in 0..threads {
@@ -175,7 +279,7 @@ where
                     Err(_) => None, // a sibling panicked; drain out
                 };
                 let Some(plan) = plan else { break };
-                if tx.send(execute_plan(&plan)).is_err() {
+                if tx.send(execute_plan_opts(&plan, opts)).is_err() {
                     break; // collector is gone (error short-circuit)
                 }
             });
@@ -183,8 +287,15 @@ where
         drop(tx);
         for outcome in rx {
             match outcome {
-                Ok(rec) => {
+                Ok((rec, spans)) => {
                     progress(&rec);
+                    if let Some(spans) = spans {
+                        traces.push(TraceOut {
+                            index: rec.index,
+                            label: rec.label(),
+                            spans,
+                        });
+                    }
                     records.push(rec);
                 }
                 Err(e) => {
@@ -204,12 +315,16 @@ where
     }
 
     records.sort_by_key(|r| r.index);
-    Ok(CampaignReport {
-        name: name.to_string(),
-        runs: records,
-        threads,
-        campaign_wall_seconds: campaign_started.elapsed().as_secs_f64(),
-    })
+    traces.sort_by_key(|t| t.index);
+    Ok((
+        CampaignReport {
+            name: name.to_string(),
+            runs: records,
+            threads,
+            campaign_wall_seconds: campaign_started.elapsed().as_secs_f64(),
+        },
+        traces,
+    ))
 }
 
 /// [`run_sweep_with`] without progress reporting.

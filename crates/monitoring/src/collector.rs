@@ -9,7 +9,7 @@
 use crate::series::TimeSeries;
 use horse_types::{LinkId, SimTime};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// One epoch's aggregate snapshot.
 #[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
@@ -54,6 +54,11 @@ pub struct StatsCollector {
     pub alarm_threshold: Option<f64>,
     /// Alarms raised.
     pub alarms: Vec<ThresholdAlarm>,
+    /// Links currently above threshold. Alarms are edge-triggered: a link
+    /// fires once when it crosses the threshold upward and re-arms only
+    /// after an epoch back below it, so a sustained hot link produces one
+    /// alarm per excursion instead of one per epoch.
+    latched: HashSet<LinkId>,
 }
 
 impl Default for StatsCollector {
@@ -72,6 +77,7 @@ impl StatsCollector {
             epochs: Vec::new(),
             alarm_threshold: None,
             alarms: Vec::new(),
+            latched: HashSet::new(),
         }
     }
 
@@ -107,11 +113,15 @@ impl StatsCollector {
             self.link_series.entry(link).or_default().push(time, util);
             if let Some(th) = self.alarm_threshold {
                 if util >= th {
-                    self.alarms.push(ThresholdAlarm {
-                        link,
-                        time,
-                        utilization: util,
-                    });
+                    if self.latched.insert(link) {
+                        self.alarms.push(ThresholdAlarm {
+                            link,
+                            time,
+                            utilization: util,
+                        });
+                    }
+                } else {
+                    self.latched.remove(&link);
                 }
             }
         }
@@ -185,6 +195,40 @@ mod tests {
         assert_eq!(c.alarms.len(), 1);
         assert_eq!(c.alarms[0].link, LinkId(0));
         assert_eq!(c.alarms[0].time, SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn sustained_excursion_fires_once() {
+        let mut c = StatsCollector::new().with_alarm_threshold(0.9);
+        c.record_epoch(SimTime::from_secs(1), view(0.95, 0.5), 0, 0);
+        c.record_epoch(SimTime::from_secs(2), view(0.97, 0.5), 0, 0);
+        c.record_epoch(SimTime::from_secs(3), view(0.99, 0.5), 0, 0);
+        assert_eq!(c.alarms.len(), 1, "latched while continuously hot");
+        assert_eq!(c.alarms[0].time, SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn alarm_rearms_after_dropping_below_threshold() {
+        let mut c = StatsCollector::new().with_alarm_threshold(0.9);
+        c.record_epoch(SimTime::from_secs(1), view(0.95, 0.5), 0, 0);
+        c.record_epoch(SimTime::from_secs(2), view(0.95, 0.5), 0, 0);
+        c.record_epoch(SimTime::from_secs(3), view(0.5, 0.5), 0, 0);
+        c.record_epoch(SimTime::from_secs(4), view(0.95, 0.5), 0, 0);
+        assert_eq!(c.alarms.len(), 2, "one alarm per excursion");
+        assert_eq!(c.alarms[0].time, SimTime::from_secs(1));
+        assert_eq!(c.alarms[1].time, SimTime::from_secs(4));
+        assert!(c.alarms.iter().all(|a| a.link == LinkId(0)));
+    }
+
+    #[test]
+    fn links_latch_independently() {
+        let mut c = StatsCollector::new().with_alarm_threshold(0.9);
+        c.record_epoch(SimTime::from_secs(1), view(0.95, 0.95), 0, 0);
+        c.record_epoch(SimTime::from_secs(2), view(0.95, 0.5), 0, 0);
+        c.record_epoch(SimTime::from_secs(3), view(0.95, 0.95), 0, 0);
+        assert_eq!(c.alarms.len(), 3, "link 1 re-fires; link 0 stays latched");
+        let link1: Vec<_> = c.alarms.iter().filter(|a| a.link == LinkId(1)).collect();
+        assert_eq!(link1.len(), 2);
     }
 
     #[test]

@@ -194,6 +194,52 @@ mod tests {
     }
 
     #[test]
+    fn quantile_single_sample_is_that_sample() {
+        let mut s = TimeSeries::new();
+        s.push(SimTime::from_secs(0), 7.5);
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), 7.5);
+        }
+    }
+
+    #[test]
+    fn quantile_with_duplicate_values() {
+        let mut s = TimeSeries::new();
+        for (i, v) in [5.0, 5.0, 5.0, 5.0, 9.0].iter().enumerate() {
+            s.push(SimTime::from_secs(i as u64), *v);
+        }
+        assert_eq!(s.quantile(0.0), 5.0);
+        assert_eq!(s.quantile(0.5), 5.0);
+        assert_eq!(s.quantile(1.0), 9.0);
+    }
+
+    #[test]
+    fn quantile_out_of_range_q_is_clamped() {
+        let mut s = TimeSeries::new();
+        s.push(SimTime::from_secs(0), 1.0);
+        s.push(SimTime::from_secs(1), 2.0);
+        assert_eq!(s.quantile(-0.5), 1.0);
+        assert_eq!(s.quantile(1.5), 2.0);
+    }
+
+    #[test]
+    fn summarize_edge_shapes() {
+        // Single sample: every statistic collapses to it.
+        let one = summarize(&[3.0]);
+        assert_eq!(one.count, 1);
+        assert_eq!(
+            (one.min, one.p50, one.p95, one.p99, one.max),
+            (3.0, 3.0, 3.0, 3.0, 3.0)
+        );
+        // All-duplicate population.
+        let dup = summarize(&[2.0; 10]);
+        assert_eq!(dup.mean, 2.0);
+        assert_eq!(dup.p99, 2.0);
+        // Empty: everything zero.
+        assert_eq!(summarize(&[]), Summary::default());
+    }
+
+    #[test]
     fn time_weighted_mean_weights_intervals() {
         let mut s = TimeSeries::new();
         // value 0 for 9 s, then value 10 for 1 s

@@ -1,0 +1,48 @@
+//! `horse-trace` — the journal bisector CLI.
+//!
+//! ```text
+//! horse-trace diff a.jsonl b.jsonl
+//! ```
+//!
+//! Exit status: 0 when the journals are identical, 1 when they diverge
+//! (the first diverging event is printed), 2 on usage or I/O errors.
+
+use std::fs::File;
+use std::io::BufReader;
+use std::process::ExitCode;
+
+use horse_trace::journal::{describe_divergence, first_divergence, read_journal, Divergence};
+
+const USAGE: &str = "usage: horse-trace diff <a.jsonl> <b.jsonl>
+
+Compares two sim-time event journals (as written by `horse-lab run
+--journal DIR`) and reports the first diverging event.";
+
+fn load(path: &str) -> Result<Vec<horse_trace::JournalEntry>, String> {
+    let f = File::open(path).map_err(|e| format!("horse-trace: {path}: {e}"))?;
+    read_journal(BufReader::new(f)).map_err(|e| format!("horse-trace: {path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (a_path, b_path) = match args.as_slice() {
+        [cmd, a, b] if cmd == "diff" => (a.clone(), b.clone()),
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let (a, b) = match (load(&a_path), load(&b_path)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let d = first_divergence(&a, &b);
+    println!("{}", describe_divergence(&d));
+    match d {
+        Divergence::Identical { .. } => ExitCode::SUCCESS,
+        _ => ExitCode::from(1),
+    }
+}

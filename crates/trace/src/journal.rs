@@ -1,0 +1,396 @@
+//! The sim-time event journal and the first-divergence bisector.
+//!
+//! A journal is a JSONL stream with one line per **applied** simulation
+//! event:
+//!
+//! ```text
+//! {"n":17,"t":2500000000,"kind":"cable_down","d":"9a0b1c2d3e4f5061"}
+//! ```
+//!
+//! * `n` — 1-based ordinal of the applied event,
+//! * `t` — simulation time in nanoseconds (never wall clock),
+//! * `kind` — snake_case event kind,
+//! * `d` — running state digest (16 hex digits) *after* applying the
+//!   event, chained from the previous entry with [`fold_digest`].
+//!
+//! Because the digest chains, two journals of the same scenario agree on
+//! every prefix up to the first event whose application differed — which
+//! is exactly what [`first_divergence`] reports and what the
+//! `horse-trace diff` CLI prints when a CI determinism gate trips.
+
+use std::fmt::Write as FmtWrite;
+use std::io::{self, BufRead, Write};
+use std::sync::{Arc, Mutex};
+
+/// Folds one 64-bit value into a running digest (a splitmix64 step:
+/// advance the state by the golden gamma plus the value, then run the
+/// finalizer). Deterministic, order-sensitive, cheap, and free of the
+/// all-zero fixed point.
+pub fn fold_digest(d: u64, v: u64) -> u64 {
+    let mut z = d.wrapping_add(0x9E37_79B9_7F4A_7C15).wrapping_add(v);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One parsed journal line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JournalEntry {
+    /// 1-based ordinal of the applied event.
+    pub n: u64,
+    /// Simulation time of the event, nanoseconds.
+    pub t_ns: u64,
+    /// Event kind, snake_case (`flow_arrival`, `stats_epoch`, …).
+    pub kind: String,
+    /// Chained state digest after applying the event.
+    pub digest: u64,
+}
+
+impl JournalEntry {
+    /// Sim-time in seconds, for human-facing messages.
+    pub fn t_secs(&self) -> f64 {
+        self.t_ns as f64 / 1e9
+    }
+}
+
+/// Streaming JSONL writer. One [`JournalWriter::record`] call per
+/// applied event; the writer never buffers entries itself, so it can
+/// wrap a [`std::io::BufWriter`], an in-memory buffer, or
+/// [`std::io::sink`] for overhead measurement.
+#[derive(Debug)]
+pub struct JournalWriter<W: Write> {
+    out: W,
+    next_n: u64,
+    line: String,
+}
+
+impl<W: Write> JournalWriter<W> {
+    /// Wraps a byte sink.
+    pub fn new(out: W) -> Self {
+        JournalWriter {
+            out,
+            next_n: 1,
+            line: String::with_capacity(96),
+        }
+    }
+
+    /// Number of entries recorded so far.
+    pub fn entries(&self) -> u64 {
+        self.next_n - 1
+    }
+
+    /// Appends one entry, assigning the next ordinal.
+    pub fn record(&mut self, t_ns: u64, kind: &str, digest: u64) -> io::Result<()> {
+        self.line.clear();
+        let _ = writeln!(
+            self.line,
+            "{{\"n\":{},\"t\":{},\"kind\":\"{}\",\"d\":\"{:016x}\"}}",
+            self.next_n, t_ns, kind, digest
+        );
+        self.next_n += 1;
+        self.out.write_all(self.line.as_bytes())
+    }
+
+    /// Flushes and returns the inner sink.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// A cloneable in-memory byte sink, handy for capturing a journal from
+/// a simulation that demands a `Write + Send` sink while the test still
+/// holds a handle to read it back.
+#[derive(Clone, Debug, Default)]
+pub struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    /// An empty shared buffer.
+    pub fn new() -> Self {
+        SharedBuf::default()
+    }
+
+    /// Copies the bytes written so far into a `String` (lossy UTF-8).
+    pub fn contents(&self) -> String {
+        String::from_utf8_lossy(&self.0.lock().expect("shared buf poisoned")).into_owned()
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0
+            .lock()
+            .expect("shared buf poisoned")
+            .extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+fn parse_line(line: &str, lineno: usize) -> io::Result<JournalEntry> {
+    let bad = |what: &str| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("journal line {lineno}: {what}"),
+        )
+    };
+    let v = serde_json::parse_value(line).map_err(|e| bad(&format!("not JSON ({e})")))?;
+    let n = v["n"]
+        .as_number()
+        .and_then(|x| x.as_u64())
+        .ok_or_else(|| bad("missing \"n\""))?;
+    let t_ns = v["t"]
+        .as_number()
+        .and_then(|x| x.as_u64())
+        .ok_or_else(|| bad("missing \"t\""))?;
+    let kind = v["kind"].as_str().ok_or_else(|| bad("missing \"kind\""))?;
+    let digest = v["d"]
+        .as_str()
+        .and_then(|d| u64::from_str_radix(d, 16).ok())
+        .ok_or_else(|| bad("missing or malformed \"d\""))?;
+    Ok(JournalEntry {
+        n,
+        t_ns,
+        kind: kind.to_string(),
+        digest,
+    })
+}
+
+/// Parses a complete journal held in memory (blank lines skipped).
+pub fn parse_journal(text: &str) -> io::Result<Vec<JournalEntry>> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        out.push(parse_line(line, i + 1)?);
+    }
+    Ok(out)
+}
+
+/// Reads and parses a journal from any buffered reader.
+pub fn read_journal<R: BufRead>(r: R) -> io::Result<Vec<JournalEntry>> {
+    let mut out = Vec::new();
+    for (i, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        out.push(parse_line(line, i + 1)?);
+    }
+    Ok(out)
+}
+
+/// Outcome of comparing two journals.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Divergence {
+    /// Same length, every entry equal.
+    Identical {
+        /// Number of entries compared.
+        events: usize,
+    },
+    /// First index at which the entries differ.
+    Mismatch {
+        /// 0-based index of the first differing pair.
+        index: usize,
+        /// Entry from the first journal.
+        a: JournalEntry,
+        /// Entry from the second journal.
+        b: JournalEntry,
+    },
+    /// One journal is a strict prefix of the other.
+    Truncated {
+        /// Length of the shorter journal (== index of the first extra
+        /// entry in the longer one).
+        index: usize,
+        /// Which side is longer: `'a'` or `'b'`.
+        longer: char,
+        /// The first entry the shorter journal is missing.
+        next: JournalEntry,
+    },
+}
+
+/// Compares two journals entry by entry and reports the first
+/// divergence, if any.
+pub fn first_divergence(a: &[JournalEntry], b: &[JournalEntry]) -> Divergence {
+    let common = a.len().min(b.len());
+    for i in 0..common {
+        if a[i] != b[i] {
+            return Divergence::Mismatch {
+                index: i,
+                a: a[i].clone(),
+                b: b[i].clone(),
+            };
+        }
+    }
+    if a.len() == b.len() {
+        Divergence::Identical { events: common }
+    } else {
+        let longer = if a.len() > b.len() { 'a' } else { 'b' };
+        let next = if longer == 'a' {
+            &a[common]
+        } else {
+            &b[common]
+        };
+        Divergence::Truncated {
+            index: common,
+            longer,
+            next: next.clone(),
+        }
+    }
+}
+
+/// Renders a [`Divergence`] as the one-paragraph human diagnosis used
+/// by `horse-trace diff` and the CI determinism gate.
+pub fn describe_divergence(d: &Divergence) -> String {
+    match d {
+        Divergence::Identical { events } => {
+            format!("journals identical ({events} events)")
+        }
+        Divergence::Mismatch { index, a, b } => {
+            let mut what = Vec::new();
+            if a.t_ns != b.t_ns {
+                what.push(format!("t={:.6}s vs t={:.6}s", a.t_secs(), b.t_secs()));
+            }
+            if a.kind != b.kind {
+                what.push(format!("kind={} vs kind={}", a.kind, b.kind));
+            }
+            if a.digest != b.digest {
+                what.push(format!("digest {:016x} vs {:016x}", a.digest, b.digest));
+            }
+            format!(
+                "first divergence: event #{} at t={:.6}s, kind={} ({})",
+                index + 1,
+                a.t_secs(),
+                a.kind,
+                what.join("; "),
+            )
+        }
+        Divergence::Truncated {
+            index,
+            longer,
+            next,
+        } => {
+            format!(
+                "first divergence: journals agree on {} events, then '{}' continues with event #{} at t={:.6}s, kind={}",
+                index,
+                longer,
+                next.n,
+                next.t_secs(),
+                next.kind,
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(n: u64, t_ns: u64, kind: &str, digest: u64) -> JournalEntry {
+        JournalEntry {
+            n,
+            t_ns,
+            kind: kind.to_string(),
+            digest,
+        }
+    }
+
+    #[test]
+    fn fold_digest_is_order_sensitive() {
+        let a = fold_digest(fold_digest(0, 1), 2);
+        let b = fold_digest(fold_digest(0, 2), 1);
+        assert_ne!(a, b);
+        assert_ne!(fold_digest(0, 0), 0, "zero input still perturbs");
+    }
+
+    #[test]
+    fn writer_and_parser_round_trip() {
+        let mut w = JournalWriter::new(Vec::new());
+        w.record(1_000, "flow_arrival", 0xdead_beef).unwrap();
+        w.record(2_500_000_000, "cable_down", fold_digest(0xdead_beef, 7))
+            .unwrap();
+        assert_eq!(w.entries(), 2);
+        let bytes = w.finish().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.ends_with('\n'));
+        let parsed = parse_journal(&text).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0], entry(1, 1_000, "flow_arrival", 0xdead_beef));
+        assert_eq!(parsed[1].n, 2);
+        assert_eq!(parsed[1].t_ns, 2_500_000_000);
+        assert_eq!(parsed[1].kind, "cable_down");
+        let reread = read_journal(io::Cursor::new(text.as_bytes())).unwrap();
+        assert_eq!(reread, parsed);
+    }
+
+    #[test]
+    fn shared_buf_captures_writes() {
+        let buf = SharedBuf::new();
+        let mut w = JournalWriter::new(buf.clone());
+        w.record(5, "stats_epoch", 42).unwrap();
+        w.finish().unwrap();
+        let parsed = parse_journal(&buf.contents()).unwrap();
+        assert_eq!(parsed, vec![entry(1, 5, "stats_epoch", 42)]);
+    }
+
+    #[test]
+    fn malformed_lines_error_with_line_number() {
+        let err =
+            parse_journal("{\"n\":1,\"t\":2,\"kind\":\"x\",\"d\":\"00\"}\nnot json\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        let err = parse_journal("{\"n\":1,\"t\":2,\"kind\":\"x\"}\n").unwrap_err();
+        assert!(err.to_string().contains("\"d\""), "{err}");
+    }
+
+    #[test]
+    fn identical_journals_compare_identical() {
+        let a = vec![entry(1, 10, "pkt", 1), entry(2, 20, "pkt", 2)];
+        let d = first_divergence(&a, &a.clone());
+        assert_eq!(d, Divergence::Identical { events: 2 });
+        assert!(describe_divergence(&d).contains("identical (2 events)"));
+    }
+
+    #[test]
+    fn mismatch_reports_first_differing_event() {
+        let a = vec![
+            entry(1, 10, "pkt", 1),
+            entry(2, 2_500_000_000, "stats_epoch", 2),
+            entry(3, 30, "pkt", 3),
+        ];
+        let mut b = a.clone();
+        b[1] = entry(2, 2_500_000_000, "cable_down", 9);
+        let d = first_divergence(&a, &b);
+        match &d {
+            Divergence::Mismatch { index, .. } => assert_eq!(*index, 1),
+            other => panic!("expected mismatch, got {other:?}"),
+        }
+        let msg = describe_divergence(&d);
+        assert!(msg.contains("event #2"), "{msg}");
+        assert!(msg.contains("t=2.500000s"), "{msg}");
+        assert!(msg.contains("kind=stats_epoch vs kind=cable_down"), "{msg}");
+    }
+
+    #[test]
+    fn truncation_reports_the_first_missing_event() {
+        let a = vec![entry(1, 10, "pkt", 1)];
+        let b = vec![entry(1, 10, "pkt", 1), entry(2, 20, "expiry_scan", 2)];
+        let d = first_divergence(&a, &b);
+        assert_eq!(
+            d,
+            Divergence::Truncated {
+                index: 1,
+                longer: 'b',
+                next: entry(2, 20, "expiry_scan", 2),
+            }
+        );
+        let msg = describe_divergence(&d);
+        assert!(msg.contains("agree on 1 events"), "{msg}");
+        assert!(msg.contains("'b' continues"), "{msg}");
+    }
+}

@@ -1,0 +1,483 @@
+//! The metrics registry: named counters, gauges and histograms.
+//!
+//! Design constraints, in priority order:
+//!
+//! 1. **Zero allocation on the hot path.** Registering a metric
+//!    allocates (name interning, one `Arc` per cell); incrementing one
+//!    is a single `Option` branch plus a relaxed atomic op. A disabled
+//!    registry hands out no-op handles whose updates are one branch.
+//! 2. **Determinism-safe snapshots.** A [`MetricsSnapshot`] contains
+//!    only what the instrumented code put in — if the instrumented
+//!    quantities are deterministic (event counts, component sizes,
+//!    queue compactions), the snapshot is bit-identical across runs,
+//!    machines and thread counts, and may be embedded in reproducible
+//!    reports. Wall-clock derived quantities belong in [`crate::span`],
+//!    never here.
+//! 3. **Shared handles.** Handles are cheap clones (an `Option<Arc>`);
+//!    subsystems keep their own copies and the registry keeps the
+//!    authoritative name → cell table for snapshotting.
+
+use serde::{Deserialize, Serialize, Value};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Power-of-two histogram buckets: bucket `b` holds values whose bit
+/// length is `b` (bucket 0 holds the value 0), so `u64::BITS + 1` covers
+/// every input with no configuration.
+const HIST_BUCKETS: usize = (u64::BITS + 1) as usize;
+
+struct CounterCell(AtomicU64);
+
+/// Gauge cells store `f64` bit patterns.
+struct GaugeCell(AtomicU64);
+
+struct HistCell {
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+/// A monotonic counter handle. Cloning shares the underlying cell; a
+/// handle from a disabled registry ignores updates.
+#[derive(Clone, Default)]
+pub struct Counter(Option<Arc<CounterCell>>);
+
+impl Counter {
+    /// A no-op handle (what a disabled registry returns).
+    pub fn noop() -> Self {
+        Counter(None)
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            c.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 for a no-op handle).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.0.load(Ordering::Relaxed))
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Counter({})", self.get())
+    }
+}
+
+/// A gauge handle: a last-write-wins `f64`, with a monotone-max variant
+/// for peak tracking.
+#[derive(Clone, Default)]
+pub struct Gauge(Option<Arc<GaugeCell>>);
+
+impl Gauge {
+    /// A no-op handle (what a disabled registry returns).
+    pub fn noop() -> Self {
+        Gauge(None)
+    }
+
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if let Some(c) = &self.0 {
+            c.0.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Raises the gauge to `v` if `v` exceeds the current value
+    /// (peak-utilization style).
+    #[inline]
+    pub fn set_max(&self, v: f64) {
+        let Some(c) = &self.0 else { return };
+        let mut cur = c.0.load(Ordering::Relaxed);
+        while v > f64::from_bits(cur) {
+            match c
+                .0
+                .compare_exchange_weak(cur, v.to_bits(), Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value (0.0 for a no-op handle).
+    pub fn get(&self) -> f64 {
+        self.0
+            .as_ref()
+            .map_or(0.0, |c| f64::from_bits(c.0.load(Ordering::Relaxed)))
+    }
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Gauge({})", self.get())
+    }
+}
+
+/// A power-of-two histogram handle for `u64` observations (batch sizes,
+/// component flow counts). Fixed bucket layout — observing never
+/// allocates.
+#[derive(Clone, Default)]
+pub struct Histogram(Option<Arc<HistCell>>);
+
+impl Histogram {
+    /// A no-op handle (what a disabled registry returns).
+    pub fn noop() -> Self {
+        Histogram(None)
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        let Some(c) = &self.0 else { return };
+        c.count.fetch_add(1, Ordering::Relaxed);
+        c.sum.fetch_add(v, Ordering::Relaxed);
+        c.max.fetch_max(v, Ordering::Relaxed);
+        let bucket = (u64::BITS - v.leading_zeros()) as usize;
+        c.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |c| c.count.load(Ordering::Relaxed))
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Histogram(n={})", self.count())
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: Mutex<Vec<(&'static str, Arc<CounterCell>)>>,
+    gauges: Mutex<Vec<(&'static str, Arc<GaugeCell>)>>,
+    hists: Mutex<Vec<(&'static str, Arc<HistCell>)>>,
+}
+
+/// The registry subsystems register their metrics into.
+///
+/// Cloning shares the registry. The default value is **disabled**: every
+/// handle it returns is a no-op, so instrumented code needs no `if`s of
+/// its own.
+#[derive(Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl MetricsRegistry {
+    /// An enabled registry.
+    pub fn new() -> Self {
+        MetricsRegistry {
+            inner: Some(Arc::new(Inner::default())),
+        }
+    }
+
+    /// A disabled registry: every handle is a no-op.
+    pub fn disabled() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Whether handles from this registry record anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Registers (or re-attaches to) the counter `name`.
+    pub fn counter(&self, name: &'static str) -> Counter {
+        let Some(inner) = &self.inner else {
+            return Counter::noop();
+        };
+        let mut v = inner.counters.lock().expect("metrics lock");
+        if let Some((_, cell)) = v.iter().find(|(n, _)| *n == name) {
+            return Counter(Some(cell.clone()));
+        }
+        let cell = Arc::new(CounterCell(AtomicU64::new(0)));
+        v.push((name, cell.clone()));
+        Counter(Some(cell))
+    }
+
+    /// Registers (or re-attaches to) the gauge `name`.
+    pub fn gauge(&self, name: &'static str) -> Gauge {
+        let Some(inner) = &self.inner else {
+            return Gauge::noop();
+        };
+        let mut v = inner.gauges.lock().expect("metrics lock");
+        if let Some((_, cell)) = v.iter().find(|(n, _)| *n == name) {
+            return Gauge(Some(cell.clone()));
+        }
+        let cell = Arc::new(GaugeCell(AtomicU64::new(0.0f64.to_bits())));
+        v.push((name, cell.clone()));
+        Gauge(Some(cell))
+    }
+
+    /// Registers (or re-attaches to) the histogram `name`.
+    pub fn histogram(&self, name: &'static str) -> Histogram {
+        let Some(inner) = &self.inner else {
+            return Histogram::noop();
+        };
+        let mut v = inner.hists.lock().expect("metrics lock");
+        if let Some((_, cell)) = v.iter().find(|(n, _)| *n == name) {
+            return Histogram(Some(cell.clone()));
+        }
+        let cell = Arc::new(HistCell {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        });
+        v.push((name, cell.clone()));
+        Histogram(Some(cell))
+    }
+
+    /// Flattens every metric into a name-sorted snapshot. Histograms
+    /// expand to `name.count/.sum/.mean/.max/.p50/.p99` (quantiles are
+    /// bucket upper bounds — deterministic, not exact).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut entries: Vec<(String, f64)> = Vec::new();
+        let Some(inner) = &self.inner else {
+            return MetricsSnapshot { entries };
+        };
+        for (name, cell) in inner.counters.lock().expect("metrics lock").iter() {
+            entries.push((name.to_string(), cell.0.load(Ordering::Relaxed) as f64));
+        }
+        for (name, cell) in inner.gauges.lock().expect("metrics lock").iter() {
+            entries.push((
+                name.to_string(),
+                f64::from_bits(cell.0.load(Ordering::Relaxed)),
+            ));
+        }
+        for (name, cell) in inner.hists.lock().expect("metrics lock").iter() {
+            let count = cell.count.load(Ordering::Relaxed);
+            let sum = cell.sum.load(Ordering::Relaxed);
+            let mean = if count > 0 {
+                sum as f64 / count as f64
+            } else {
+                0.0
+            };
+            entries.push((format!("{name}.count"), count as f64));
+            entries.push((format!("{name}.sum"), sum as f64));
+            entries.push((format!("{name}.mean"), mean));
+            entries.push((
+                format!("{name}.max"),
+                cell.max.load(Ordering::Relaxed) as f64,
+            ));
+            entries.push((format!("{name}.p50"), bucket_quantile(cell, count, 0.50)));
+            entries.push((format!("{name}.p99"), bucket_quantile(cell, count, 0.99)));
+        }
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        MetricsSnapshot { entries }
+    }
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_enabled() {
+            write!(f, "MetricsRegistry(enabled)")
+        } else {
+            write!(f, "MetricsRegistry(disabled)")
+        }
+    }
+}
+
+/// Upper bound of the bucket containing the `q`-quantile rank
+/// (nearest-rank over bucket counts; bucket `b` covers values of bit
+/// length `b`, so the bound is `2^b − 1`).
+fn bucket_quantile(cell: &HistCell, count: u64, q: f64) -> f64 {
+    if count == 0 {
+        return 0.0;
+    }
+    let rank = ((count as f64 - 1.0) * q).round() as u64;
+    let mut seen = 0u64;
+    for (b, bucket) in cell.buckets.iter().enumerate() {
+        seen += bucket.load(Ordering::Relaxed);
+        if seen > rank {
+            return if b == 0 {
+                0.0
+            } else if b >= 64 {
+                u64::MAX as f64
+            } else {
+                ((1u64 << b) - 1) as f64
+            };
+        }
+    }
+    cell.max.load(Ordering::Relaxed) as f64
+}
+
+/// A flattened, name-sorted view of a registry at one instant.
+///
+/// Serializes as a JSON map (`{"name": value, …}`), so it can ride
+/// inside deterministic lab reports — provided the instrumented
+/// quantities themselves are deterministic (see the module docs).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    entries: Vec<(String, f64)>,
+}
+
+impl MetricsSnapshot {
+    /// The `(name, value)` entries, sorted by name.
+    pub fn entries(&self) -> &[(String, f64)] {
+        &self.entries
+    }
+
+    /// Looks up one metric by exact name.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no metrics were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl Serialize for MetricsSnapshot {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.entries
+                .iter()
+                .map(|(k, v)| (k.clone(), Value::Number(serde::Number::Float(*v))))
+                .collect(),
+        )
+    }
+}
+
+impl Deserialize for MetricsSnapshot {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let map = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("MetricsSnapshot expects a map"))?;
+        let mut entries = Vec::with_capacity(map.len());
+        for (k, v) in map {
+            let n = v
+                .as_number()
+                .ok_or_else(|| serde::Error::custom(format!("metric `{k}` is not a number")))?;
+            entries.push((k.clone(), n.as_f64()));
+        }
+        Ok(MetricsSnapshot { entries })
+    }
+
+    fn absent() -> Option<Self> {
+        // Older reports carry no metrics map; treat absence as empty so
+        // they still deserialize.
+        Some(MetricsSnapshot::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("sim.events");
+        c.inc();
+        c.add(9);
+        let g = reg.gauge("links.peak_utilization");
+        g.set(0.5);
+        g.set_max(0.9);
+        g.set_max(0.2); // lower: ignored
+        assert_eq!(c.get(), 10);
+        assert_eq!(g.get(), 0.9);
+        let snap = reg.snapshot();
+        assert_eq!(snap.get("sim.events"), Some(10.0));
+        assert_eq!(snap.get("links.peak_utilization"), Some(0.9));
+    }
+
+    #[test]
+    fn same_name_shares_the_cell() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        assert_eq!(reg.snapshot().get("x"), Some(2.0));
+    }
+
+    #[test]
+    fn disabled_registry_is_noop() {
+        let reg = MetricsRegistry::disabled();
+        assert!(!reg.is_enabled());
+        let c = reg.counter("x");
+        c.add(5);
+        assert_eq!(c.get(), 0);
+        assert!(reg.snapshot().is_empty());
+        // Default handles are no-ops too (what un-attached subsystems hold).
+        Counter::default().inc();
+        Gauge::default().set(1.0);
+        Histogram::default().observe(1);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("epoch.batch");
+        for v in [0u64, 1, 1, 2, 3, 8, 1000] {
+            h.observe(v);
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.get("epoch.batch.count"), Some(7.0));
+        assert_eq!(snap.get("epoch.batch.sum"), Some(1015.0));
+        assert_eq!(snap.get("epoch.batch.max"), Some(1000.0));
+        // rank 3 of [0,1,1,2,3,8,1000] is 2 -> bucket b=2 -> bound 3
+        assert_eq!(snap.get("epoch.batch.p50"), Some(3.0));
+        // p99 rank is the largest sample's bucket (b=10 -> 1023)
+        assert_eq!(snap.get("epoch.batch.p99"), Some(1023.0));
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_serializes() {
+        let reg = MetricsRegistry::new();
+        reg.counter("zz").inc();
+        reg.counter("aa").add(2);
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.entries().iter().map(|(n, _)| n.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+        let v = serde::to_value(&snap);
+        let back = MetricsSnapshot::from_value(&v).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn gauge_set_max_races_keep_the_max() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("peak");
+        std::thread::scope(|s| {
+            for i in 0..4 {
+                let g = g.clone();
+                s.spawn(move || {
+                    for k in 0..1000 {
+                        g.set_max((i * 1000 + k) as f64);
+                    }
+                });
+            }
+        });
+        assert_eq!(g.get(), 3999.0);
+    }
+}

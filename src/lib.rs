@@ -11,15 +11,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub use horse_core::{compare, config, event, hybrid, results, scenario, sim};
+pub use horse_core::{compare, config, event, hybrid, results, scenario, sim, trace};
 pub use horse_core::{
     compare_planes, AccuracyReport, FidelityMode, HybridNet, IxpScenarioParams, Scenario,
-    SimConfig, SimResults, Simulation,
+    SimConfig, SimResults, SimTracer, Simulation,
 };
 
 // Component crates under stable names (mirrors `horse_core`'s aliases).
 pub use horse_core::{
-    controlplane, dataplane, events, monitoring, openflow, packetsim, topology, types, workloads,
+    controlplane, dataplane, events, monitoring, openflow, packetsim, topology, tracing, types,
+    workloads,
 };
 
 /// The experiment-orchestration subsystem (`horse-lab`).
