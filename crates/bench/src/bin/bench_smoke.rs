@@ -184,24 +184,34 @@ fn gate(baseline: &Value, fresh: &Value) -> Vec<String> {
             }
         }
     }
-    // Fat-tree point (present from PR 4 on): same wall metrics as the
-    // scale points; skipped silently against older baselines.
-    if let (Some(b), Some(f)) = (get(baseline, "fat_tree"), get(fresh, "fat_tree")) {
+    // Fat-tree (PR 4 on) and chaos-flaps (PR 7 on) points: same wall
+    // metrics as the scale points; skipped silently against older
+    // baselines.
+    for point in ["fat_tree", "chaos_flaps"] {
+        let (Some(b), Some(f)) = (get(baseline, point), get(fresh, point)) else {
+            continue;
+        };
         for (metric, higher_is_better) in [("events_per_sec", true), ("realloc_ns_per_op", false)] {
             if let (Some(bv), Some(fv)) = (get_f(b, metric), get_f(f, metric)) {
                 failures.extend(check(
-                    &format!("fat_tree.{metric}"),
+                    &format!("{point}.{metric}"),
                     bv,
                     fv,
                     higher_is_better,
                 ));
             }
         }
-        for counter in ["events", "realloc_runs"] {
+        for counter in [
+            "events",
+            "realloc_runs",
+            "cable_downs",
+            "flows_rerouted",
+            "flows_stranded",
+        ] {
             if let (Some(bv), Some(fv)) = (get_f(b, counter), get_f(f, counter)) {
                 if bv != fv {
                     println!(
-                        "note: fat_tree.{counter} changed {bv} -> {fv} \
+                        "note: {point}.{counter} changed {bv} -> {fv} \
                          (deterministic counter; refresh the committed baseline if intended)"
                     );
                 }
@@ -333,7 +343,61 @@ fn main() {
         ])
     };
 
-    // 4. Epoch-wave point: a 400-member IXP (16 edges, 4 cores,
+    // 4. Chaos point: the same k=8 fat-tree under a violent seeded flap
+    //    process plus one switch crash — the fault-injection cost
+    //    trajectory: route kills, controller repairs and lenient
+    //    re-admissions layered on top of the gravity load. The
+    //    deterministic chaos counters ride along so a behavior change in
+    //    the failure model is visible next to its wall cost.
+    let chaos_point = {
+        let run = || {
+            let mut params = FabricScenarioParams::default();
+            params.generator.kind = TopologyKind::FatTree;
+            params.generator.fat_tree_k = 8;
+            params.horizon = SimTime::from_secs(1);
+            params.seed = 1;
+            let mut scenario = Scenario::fabric(&params).expect("fat-tree builds");
+            scenario.chaos = Some(ChaosSpec {
+                seed: 7,
+                start_secs: 0.1,
+                link_flaps: 8,
+                flap_rate_per_sec: 8.0,
+                switch_crashes: 1,
+                crash_downtime_secs: 0.2,
+                ..Default::default()
+            });
+            let mut sim = Simulation::new(scenario, fast_config()).expect("valid scenario");
+            let t = Instant::now();
+            let r = sim.run();
+            (r, t.elapsed().as_secs_f64())
+        };
+        let (best_r, best_w) = best_of(run);
+        assert!(
+            best_r.chaos.cable_downs > 0,
+            "the flap process must actually fire"
+        );
+        Value::Map(vec![
+            ("kind".into(), Value::Str("fat_tree_flaps".into())),
+            ("k".into(), num_u(8)),
+            ("wall_ms".into(), num_f(best_w * 1e3)),
+            ("events".into(), num_u(best_r.events)),
+            (
+                "events_per_sec".into(),
+                num_f(best_r.events as f64 / best_w.max(1e-9)),
+            ),
+            ("realloc_runs".into(), num_u(best_r.realloc_runs)),
+            (
+                "realloc_ns_per_op".into(),
+                num_f(best_w * 1e9 / best_r.realloc_runs.max(1) as f64),
+            ),
+            ("cable_downs".into(), num_u(best_r.chaos.cable_downs)),
+            ("flows_rerouted".into(), num_u(best_r.chaos.flows_rerouted)),
+            ("flows_stranded".into(), num_u(best_r.chaos.flows_stranded)),
+            ("recovery_mean_s".into(), num_f(best_r.recovery.mean)),
+        ])
+    };
+
+    // 5. Epoch-wave point: a 400-member IXP (16 edges, 4 cores,
     //    oversubscribed 40G uplinks) under synchronized waves of
     //    transfers — 400 arrivals per timestamp, trunk-wide rate churn
     //    on every event, completions in waves too. Run twice over
@@ -406,7 +470,7 @@ fn main() {
         (point, speedup)
     };
 
-    // 5. Hybrid point: the 25-member scenario with an 8-flow packet
+    // 6. Hybrid point: the 25-member scenario with an 8-flow packet
     //    foreground over the fluid background — the co-simulation's cost
     //    trajectory (packet events dominate; couplings measure the
     //    plane-interaction rate).
@@ -424,7 +488,7 @@ fn main() {
         ("fct_foreground_p50".into(), num_f(hyb_r.fct_foreground.p50)),
     ]);
 
-    // 6. Tracing overhead point. Two claims, separately enforced:
+    // 7. Tracing overhead point. Two claims, separately enforced:
     //
     //    * Tracing DISABLED must stay free: a plain `Simulation` carries
     //      no tracer at all, so the default path is the same code the
@@ -482,6 +546,7 @@ fn main() {
         ("runner_throughput".into(), runner),
         ("scale".into(), Value::Seq(scale_points)),
         ("fat_tree".into(), fat_tree_point),
+        ("chaos_flaps".into(), chaos_point),
         ("epoch_waves".into(), epoch_waves),
         ("hybrid".into(), hybrid),
         ("trace_overhead".into(), trace_overhead),
@@ -500,7 +565,7 @@ fn main() {
         std::process::exit(1);
     }
 
-    // 5. Regression gate against a committed baseline.
+    // 8. Regression gate against a committed baseline.
     if let Some(path) = baseline_path {
         let text = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));

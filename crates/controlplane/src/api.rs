@@ -109,6 +109,12 @@ pub trait Controller {
     /// A previously requested timer fired.
     fn on_timer(&mut self, _token: u64, _ctx: &ControllerCtx<'_>, _out: &mut Outbox) {}
 
+    /// A crashed switch rejoined with empty tables. Reinstall whatever
+    /// proactive state the switch needs — a rejoining switch remembers
+    /// nothing. (Port-status callbacks for its restored cables arrive
+    /// separately; this hook is for the table/group/meter contents.)
+    fn on_switch_up(&mut self, _switch: NodeId, _ctx: &ControllerCtx<'_>, _out: &mut Outbox) {}
+
     /// Convenience dispatcher used by the core simulator.
     fn dispatch(&mut self, msg: &SwitchMsg, ctx: &ControllerCtx<'_>, out: &mut Outbox) {
         match msg {

@@ -292,6 +292,16 @@ impl Controller for PolicyGenerator {
         self.msgs_emitted += (out.msgs.len() - before) as u64;
     }
 
+    fn on_switch_up(&mut self, _switch: NodeId, ctx: &ControllerCtx<'_>, out: &mut Outbox) {
+        // The rejoined switch is empty; rules are idempotent overwrites,
+        // so rebuild paths against the restored topology and reinstall
+        // everywhere (surviving switches just re-apply identical state).
+        self.paths = PathDb::build(ctx.topo);
+        let before = out.msgs.len();
+        self.reinstall(ctx, out);
+        self.msgs_emitted += (out.msgs.len() - before) as u64;
+    }
+
     fn on_timer(&mut self, token: u64, ctx: &ControllerCtx<'_>, out: &mut Outbox) {
         let before = out.msgs.len();
         let cctx = CompileCtx {

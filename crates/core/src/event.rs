@@ -55,6 +55,35 @@ pub enum SimEvent {
     CableDown(LinkId),
     /// A cable recovers.
     CableUp(LinkId),
+    /// A switch crashes: flow tables wiped, every port down, all
+    /// incident cables cut (both directions).
+    SwitchDown(NodeId),
+    /// A crashed switch rejoins, empty, with its cables restored
+    /// (except those whose peer is itself down).
+    SwitchUp(NodeId),
+    /// A gray failure starts or clears on a cable: the link stays *up*
+    /// but runs at `capacity_factor` of nominal capacity and drops
+    /// `loss_frac` of the traffic it does carry. `capacity_factor = 1`
+    /// with `loss_frac = 0` clears the failure.
+    GraySet {
+        /// The affected cable (applied to both directions).
+        link: LinkId,
+        /// Fraction of nominal capacity retained, in `(0, 1]`.
+        capacity_factor: f64,
+        /// Fraction of carried traffic dropped, in `[0, 1)`.
+        loss_frac: f64,
+    },
+    /// The controller goes dark: switch→controller messages buffer
+    /// until the matching [`SimEvent::CtrlUp`].
+    CtrlDown,
+    /// The controller recovers and replays buffered messages in order.
+    CtrlUp,
+    /// The control channel's latency is multiplied by `factor`
+    /// (`factor = 1` restores the configured latency).
+    CtrlLatency {
+        /// Multiplier applied to `SimConfig::ctrl_latency`.
+        factor: f64,
+    },
     /// Periodic statistics export.
     StatsEpoch,
     /// Periodic flow-entry timeout scan.

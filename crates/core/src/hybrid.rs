@@ -244,9 +244,12 @@ impl HybridNet {
             // the residual *is* the grant; the floor only covers the
             // window between a port going busy and the coupling landing.
             let min_frac = self.min_drain_frac;
-            let (topo, switches, link_stats) = fluid.packet_plane_parts();
+            let (topo, switches, link_stats, gray) = fluid.packet_plane_parts();
             let drain = |l: LinkId| {
-                let cap = topo.link(l).map(|lk| lk.capacity.as_bps()).unwrap_or(0.0);
+                // Gray failures shrink the drainable capacity: a degraded
+                // link serializes packets at its reduced effective rate.
+                let cap =
+                    topo.link(l).map(|lk| lk.capacity.as_bps()).unwrap_or(0.0) * gray[l.index()];
                 let residual = cap - link_stats[l.index()].current_rate_bps;
                 residual.max(min_frac * cap)
             };

@@ -48,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod compare;
 pub mod config;
 pub mod event;
@@ -57,10 +58,11 @@ pub mod scenario;
 pub mod sim;
 pub mod trace;
 
+pub use chaos::{ChaosError, ChaosSpec};
 pub use compare::{compare_planes, AccuracyReport};
 pub use config::SimConfig;
 pub use hybrid::HybridNet;
-pub use results::SimResults;
+pub use results::{ChaosCounters, SimResults};
 pub use scenario::{
     default_traffic_pattern, FabricScenarioParams, FidelityMode, IxpScenarioParams, Scenario,
 };
@@ -81,9 +83,10 @@ pub use horse_workloads as workloads;
 
 /// Convenient glob import for examples and tests.
 pub mod prelude {
+    pub use crate::chaos::{ChaosError, ChaosSpec};
     pub use crate::config::SimConfig;
     pub use crate::hybrid::HybridNet;
-    pub use crate::results::SimResults;
+    pub use crate::results::{ChaosCounters, SimResults};
     pub use crate::scenario::{
         default_traffic_pattern, FabricScenarioParams, FidelityMode, IxpScenarioParams, Scenario,
     };

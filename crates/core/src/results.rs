@@ -5,6 +5,36 @@ use horse_monitoring::collector::StatsCollector;
 use horse_monitoring::series::{summarize, Summary};
 use horse_trace::MetricsSnapshot;
 use horse_types::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Deterministic counters for injected faults and their fallout. All zero
+/// in a fault-free run; the chaos engine and the failure handlers bump
+/// them as events fire.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChaosCounters {
+    /// Cable-down events applied (scenario failures, flaps, crashes).
+    pub cable_downs: u64,
+    /// Cable-up events applied (flap recoveries, scenario recoveries).
+    pub cable_ups: u64,
+    /// Switch crashes applied (table wipe + ports down).
+    pub switch_crashes: u64,
+    /// Switch rejoins applied (ports restored, tables empty).
+    pub switch_rejoins: u64,
+    /// Gray-failure set/clear events applied to links.
+    pub gray_events: u64,
+    /// Controller outage windows entered.
+    pub ctrl_outages: u64,
+    /// Controller latency-spike windows entered.
+    pub ctrl_latency_spikes: u64,
+    /// Switch→controller messages buffered during an outage and replayed
+    /// at recovery.
+    pub ctrl_msgs_buffered: u64,
+    /// Flows knocked off a failed element and later re-admitted.
+    pub flows_rerouted: u64,
+    /// Flows knocked off a failed element and never re-admitted (dropped
+    /// or timed out at the controller).
+    pub flows_stranded: u64,
+}
 
 /// Everything a run produced. The benchmark harness prints tables from
 /// this; EXPERIMENTS.md records them.
@@ -60,6 +90,11 @@ pub struct SimResults {
     pub pkt_flows: u64,
     /// FCT summary of completed packet-fidelity (foreground) flows.
     pub fct_foreground: Summary,
+    /// Recovery-time summary: for each flow knocked off a failed element
+    /// and re-admitted, seconds from the failure to re-admission.
+    pub recovery: Summary,
+    /// Fault-injection counters (all zero in a fault-free run).
+    pub chaos: ChaosCounters,
     /// Event-queue statistics (scheduling volume, tombstone overhead,
     /// heap compactions) — all deterministic counts.
     pub queue: QueueStats,
@@ -204,6 +239,8 @@ mod tests {
             realloc_flows_touched: 40,
             pkt_flows: 0,
             fct_foreground: Summary::default(),
+            recovery: Summary::default(),
+            chaos: ChaosCounters::default(),
             queue: QueueStats::default(),
             metrics: MetricsSnapshot::default(),
             collector: StatsCollector::new(),

@@ -1,5 +1,6 @@
 //! Scenarios: topology + policies + workload + failure schedule.
 
+use crate::chaos::ChaosSpec;
 use horse_controlplane::PolicySpec;
 use horse_dataplane::{DemandModel, Fidelity, FlowSpec};
 use horse_topology::builders::{self, FabricHandles, IxpFabricParams};
@@ -27,6 +28,10 @@ pub struct Scenario {
     pub explicit_flows: Vec<(SimTime, FlowSpec)>,
     /// Cable failure schedule: `(time, link, comes_back_up)`.
     pub failures: Vec<(SimTime, LinkId, bool)>,
+    /// Declarative chaos injection: expanded into a seed-deterministic
+    /// fault schedule (flaps, switch crashes, controller degradation,
+    /// gray failures) when the simulation is built. `None` = no chaos.
+    pub chaos: Option<ChaosSpec>,
     /// Simulation horizon.
     pub horizon: SimTime,
     /// Hybrid foreground: the first `packet_foreground` workload arrivals
@@ -47,6 +52,7 @@ impl Scenario {
             workload: None,
             explicit_flows: Vec::new(),
             failures: Vec::new(),
+            chaos: None,
             horizon,
             packet_foreground: 0,
         }
@@ -114,6 +120,7 @@ impl Scenario {
             workload: Some(workload),
             explicit_flows: Vec::new(),
             failures: Vec::new(),
+            chaos: None,
             horizon,
             topology,
             packet_foreground: 0,
@@ -189,6 +196,7 @@ impl Scenario {
             workload: Some(workload),
             explicit_flows: Vec::new(),
             failures: Vec::new(),
+            chaos: None,
             horizon: params.horizon,
             packet_foreground: 0,
         })
@@ -215,6 +223,7 @@ impl Scenario {
             workload: Some(workload),
             explicit_flows: Vec::new(),
             failures: Vec::new(),
+            chaos: None,
             horizon: params.horizon,
             packet_foreground: 0,
         }
@@ -233,6 +242,8 @@ struct ScenarioRepr {
     workload: Option<WorkloadParams>,
     explicit_flows: Vec<(SimTime, FlowSpec)>,
     failures: Vec<(SimTime, LinkId, bool)>,
+    #[serde(default)]
+    chaos: Option<ChaosSpec>,
     horizon: SimTime,
     #[serde(default)]
     packet_foreground: usize,
@@ -247,6 +258,7 @@ impl Serialize for Scenario {
             workload: self.workload.clone(),
             explicit_flows: self.explicit_flows.clone(),
             failures: self.failures.clone(),
+            chaos: self.chaos,
             horizon: self.horizon,
             packet_foreground: self.packet_foreground,
         }
@@ -295,6 +307,7 @@ impl Deserialize for Scenario {
             workload: repr.workload,
             explicit_flows: repr.explicit_flows,
             failures: repr.failures,
+            chaos: repr.chaos,
             horizon: repr.horizon,
             packet_foreground: repr.packet_foreground,
         })

@@ -22,10 +22,11 @@
 //! * **Events are the only inputs** — traffic arrivals, link failures,
 //!   timer fires, stats epochs.
 
+use crate::chaos::{self, ChaosError};
 use crate::config::SimConfig;
 use crate::event::SimEvent;
 use crate::hybrid::{pkt_flow_spec, HybridNet};
-use crate::results::SimResults;
+use crate::results::{ChaosCounters, SimResults};
 use crate::scenario::Scenario;
 use crate::trace::{event_fingerprint, SimTracer};
 use horse_controlplane::{Controller, ControllerCtx, Outbox, PolicyGenerator};
@@ -46,12 +47,30 @@ use std::time::Instant;
 pub enum BuildError {
     /// The policy spec failed validation.
     InvalidPolicy(horse_controlplane::ValidationReport),
+    /// The failure schedule references a link the topology does not have
+    /// (the engine would silently ignore the cable event, so the
+    /// experiment would quietly run without its failure — reject it).
+    UnknownFailureLink {
+        /// The dangling link id.
+        link: horse_types::LinkId,
+        /// When the failure was scheduled.
+        at: SimTime,
+    },
+    /// The chaos spec failed validation or could not be expanded against
+    /// this topology.
+    InvalidChaos(ChaosError),
 }
 
 impl std::fmt::Display for BuildError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             BuildError::InvalidPolicy(rep) => write!(f, "invalid policy spec:\n{rep}"),
+            BuildError::UnknownFailureLink { link, at } => write!(
+                f,
+                "failure schedule references {link} (at t={:.3}s), which is not in the topology",
+                at.as_secs_f64()
+            ),
+            BuildError::InvalidChaos(e) => write!(f, "invalid chaos spec: {e}"),
         }
     }
 }
@@ -70,6 +89,23 @@ pub struct Simulation {
     horizon: SimTime,
     /// Flows waiting on the controller: id → (spec, attempts, arrival).
     pending: HashMap<FlowId, (FlowSpec, u32, SimTime)>,
+    /// Flows detached by a fault and re-admitted: new id → fault time.
+    /// Resolved into `recovery_samples` (re-admitted) or
+    /// `chaos.flows_stranded` (terminally dropped).
+    recovering: HashMap<FlowId, SimTime>,
+    /// Seconds from fault to successful re-admission, per rerouted flow.
+    recovery_samples: Vec<f64>,
+    /// Controller outage nesting depth (overlapping chaos windows stack;
+    /// the controller is up only at depth 0).
+    ctrl_down_depth: u32,
+    /// Switch→controller messages that arrived during an outage, in
+    /// arrival order, replayed on recovery.
+    ctrl_buffer: Vec<(SwitchMsg, Option<FlowId>)>,
+    /// Control-channel latency multiplier (1.0 = the configured latency;
+    /// chaos latency-spike windows raise it).
+    ctrl_latency_factor: f64,
+    /// Chaos/fault counters (exported with results).
+    chaos_ctr: ChaosCounters,
     workload: Option<WorkloadAdapter>,
     collector: StatsCollector,
     /// Scratch for rate changes copied out of the fluid plane (reused so
@@ -164,15 +200,18 @@ impl Simulation {
     pub fn new(scenario: Scenario, config: SimConfig) -> Result<Self, BuildError> {
         let generator = PolicyGenerator::new(scenario.policy.clone(), &scenario.topology)
             .map_err(BuildError::InvalidPolicy)?;
-        Ok(Self::with_controller(scenario, config, Box::new(generator)))
+        Self::with_controller(scenario, config, Box::new(generator))
     }
 
     /// Builds a simulation with a custom controller implementation.
+    /// Validates the failure schedule (dangling links were previously a
+    /// silent no-op for programmatically built scenarios) and expands the
+    /// chaos spec, if any, into its seed-deterministic fault schedule.
     pub fn with_controller(
         scenario: Scenario,
         config: SimConfig,
         controller: Box<dyn Controller>,
-    ) -> Self {
+    ) -> Result<Self, BuildError> {
         let fluid = FluidNet::new(scenario.topology.clone(), config.fluid());
         let mut queue = EventQueue::new();
         for (at, spec) in &scenario.explicit_flows {
@@ -185,6 +224,12 @@ impl Simulation {
             );
         }
         for (at, link, up) in &scenario.failures {
+            if scenario.topology.link(*link).is_none() {
+                return Err(BuildError::UnknownFailureLink {
+                    link: *link,
+                    at: *at,
+                });
+            }
             queue.schedule_at(
                 *at,
                 if *up {
@@ -193,6 +238,13 @@ impl Simulation {
                     SimEvent::CableDown(*link)
                 },
             );
+        }
+        if let Some(spec) = &scenario.chaos {
+            let schedule = chaos::expand(spec, &scenario.topology, scenario.horizon)
+                .map_err(BuildError::InvalidChaos)?;
+            for (at, ev) in schedule {
+                queue.schedule_at(at, ev);
+            }
         }
         let workload = scenario.workload.as_ref().map(|params| WorkloadAdapter {
             generator: FlowGenerator::new(params.clone()),
@@ -215,7 +267,7 @@ impl Simulation {
                 .any(|(_, s)| s.fidelity.is_packet());
         let hybrid =
             wants_hybrid.then(|| Box::new(HybridNet::new(fluid.topology().link_count(), &config)));
-        Simulation {
+        Ok(Simulation {
             fluid,
             hybrid,
             controller,
@@ -223,6 +275,12 @@ impl Simulation {
             config,
             horizon: scenario.horizon,
             pending: HashMap::new(),
+            recovering: HashMap::new(),
+            recovery_samples: Vec::new(),
+            ctrl_down_depth: 0,
+            ctrl_buffer: Vec::new(),
+            ctrl_latency_factor: 1.0,
+            chaos_ctr: ChaosCounters::default(),
             workload,
             collector,
             realloc_buf: Vec::new(),
@@ -238,7 +296,7 @@ impl Simulation {
             msgs_to_controller: 0,
             msgs_to_switch: 0,
             flow_ins: 0,
-        }
+        })
     }
 
     /// Read access to the fluid plane (inspection in tests/examples).
@@ -305,6 +363,30 @@ impl Simulation {
     /// Schedules a cable recovery.
     pub fn schedule_cable_up(&mut self, at: SimTime, link: horse_types::LinkId) {
         self.queue.schedule_at(at, SimEvent::CableUp(link));
+    }
+
+    /// Schedules a switch crash (tables wiped, ports down, cables cut).
+    pub fn schedule_switch_down(&mut self, at: SimTime, switch: NodeId) {
+        self.queue.schedule_at(at, SimEvent::SwitchDown(switch));
+    }
+
+    /// Schedules a crashed switch's rejoin.
+    pub fn schedule_switch_up(&mut self, at: SimTime, switch: NodeId) {
+        self.queue.schedule_at(at, SimEvent::SwitchUp(switch));
+    }
+
+    /// The control channel's current one-way latency: the configured
+    /// value, stretched by the chaos latency factor during a spike
+    /// window. The exact-1.0 guard keeps fault-free runs bit-identical
+    /// to builds that never multiply.
+    fn ctrl_latency(&self) -> SimDuration {
+        if self.ctrl_latency_factor == 1.0 {
+            self.config.ctrl_latency
+        } else {
+            SimDuration::from_secs_f64(
+                self.config.ctrl_latency.as_secs_f64() * self.ctrl_latency_factor,
+            )
+        }
     }
 
     /// Delivers the controller's bootstrap rules synchronously (time 0),
@@ -416,7 +498,7 @@ impl Simulation {
 
     fn schedule_to_controller(&mut self, now: SimTime, msg: SwitchMsg, retry: Option<FlowId>) {
         self.queue.schedule_at(
-            now + self.config.ctrl_latency,
+            now + self.ctrl_latency(),
             SimEvent::ToController {
                 msg: Box::new(msg),
                 retry,
@@ -425,9 +507,23 @@ impl Simulation {
     }
 
     fn admit(&mut self, id: FlowId, spec: FlowSpec, attempt: u32, now: SimTime, arrived: SimTime) {
-        match self.fluid.try_admit_arrived(id, spec, now, arrived) {
+        // A flow knocked off a failed element gets the lenient re-admit:
+        // a dead-end walk over stale tables defers to the controller
+        // instead of dropping, so recovery time measures control-plane
+        // convergence rather than hash luck over half-dead groups.
+        let outcome = if self.recovering.contains_key(&id) {
+            self.fluid.try_readmit_arrived(id, spec, now, arrived)
+        } else {
+            self.fluid.try_admit_arrived(id, spec, now, arrived)
+        };
+        match outcome {
             AdmitOutcome::Admitted => {
                 self.flows_admitted += 1;
+                if let Some(t0) = self.recovering.remove(&id) {
+                    self.recovery_samples
+                        .push(now.saturating_since(t0).as_secs_f64());
+                    self.chaos_ctr.flows_rerouted += 1;
+                }
             }
             AdmitOutcome::NeedController { msg, spec } => {
                 if attempt >= self.config.admit_retry_limit {
@@ -437,13 +533,21 @@ impl Simulation {
                         DropCause::ControllerTimeout,
                         now,
                     );
+                    if self.recovering.remove(&id).is_some() {
+                        self.chaos_ctr.flows_stranded += 1;
+                    }
                 } else {
                     self.pending.insert(id, (spec, attempt, arrived));
                     self.flow_ins += 1;
                     self.schedule_to_controller(now, msg, Some(id));
                 }
             }
-            AdmitOutcome::Dropped(_) => { /* recorded inside the fluid plane */ }
+            AdmitOutcome::Dropped(_) => {
+                // recorded inside the fluid plane
+                if self.recovering.remove(&id).is_some() {
+                    self.chaos_ctr.flows_stranded += 1;
+                }
+            }
         }
     }
 
@@ -541,7 +645,7 @@ impl Simulation {
     fn flush_outbox(&mut self, now: SimTime, out: Outbox) {
         for (sw, msg) in out.msgs {
             self.queue.schedule_at(
-                now + self.config.ctrl_latency,
+                now + self.ctrl_latency(),
                 SimEvent::ToSwitch {
                     switch: sw,
                     msg: Box::new(msg),
@@ -551,6 +655,20 @@ impl Simulation {
         for (delay, token) in out.timers {
             self.queue
                 .schedule_at(now + delay, SimEvent::ControllerTimer { token });
+        }
+    }
+
+    /// Hands one switch→controller message to the controller and applies
+    /// its reaction (shared by live delivery and post-outage replay).
+    fn deliver_to_controller(&mut self, now: SimTime, msg: &SwitchMsg, retry: Option<FlowId>) {
+        let out = self.dispatch_to_controller(now, msg);
+        self.flush_outbox(now, out);
+        if let Some(id) = retry {
+            // Retry strictly after the controller's FlowMods land:
+            // they are scheduled at now + latency; FIFO ordering at
+            // equal timestamps applies them first.
+            self.queue
+                .schedule_at(now + self.ctrl_latency(), SimEvent::AdmitRetry { id });
         }
     }
 
@@ -606,14 +724,14 @@ impl Simulation {
             }
             SimEvent::ToController { msg, retry } => {
                 self.msgs_to_controller += 1;
-                let out = self.dispatch_to_controller(now, &msg);
-                self.flush_outbox(now, out);
-                if let Some(id) = retry {
-                    // Retry strictly after the controller's FlowMods land:
-                    // they are scheduled at now + latency; FIFO ordering at
-                    // equal timestamps applies them first.
-                    self.queue
-                        .schedule_at(now + self.config.ctrl_latency, SimEvent::AdmitRetry { id });
+                if self.ctrl_down_depth > 0 {
+                    // Outage: the message reached the controller's side of
+                    // the channel but the controller is dark — buffer in
+                    // arrival order, replay on recovery.
+                    self.chaos_ctr.ctrl_msgs_buffered += 1;
+                    self.ctrl_buffer.push((*msg, retry));
+                } else {
+                    self.deliver_to_controller(now, &msg, retry);
                 }
             }
             SimEvent::ToSwitch { switch, msg } => {
@@ -643,6 +761,7 @@ impl Simulation {
                 self.flush_outbox(now, out);
             }
             SimEvent::CableDown(link) => {
+                self.chaos_ctr.cable_downs += 1;
                 let (victims, msgs, _) = self.fluid.cable_down(link, now);
                 for m in msgs {
                     self.schedule_to_controller(now, m, None);
@@ -651,16 +770,96 @@ impl Simulation {
                 // pre-installed alternates repair without the controller.
                 for spec in victims {
                     let id = self.fluid.reserve_id();
+                    self.recovering.insert(id, now);
                     self.admit(id, spec, 0, now, now);
                 }
                 self.request_realloc(now);
             }
             SimEvent::CableUp(link) => {
+                self.chaos_ctr.cable_ups += 1;
                 let msgs = self.fluid.cable_up(link, now);
                 for m in msgs {
                     self.schedule_to_controller(now, m, None);
                 }
                 self.request_realloc(now);
+            }
+            SimEvent::SwitchDown(node) => {
+                self.chaos_ctr.switch_crashes += 1;
+                let (victims, msgs, _) = self.fluid.switch_down(node, now);
+                for m in msgs {
+                    self.schedule_to_controller(now, m, None);
+                }
+                // Detached flows retry immediately; those without a
+                // surviving pre-installed path go through the controller
+                // (which hears the neighbors' PortStatus after one
+                // channel delay) via the usual admit-retry loop.
+                for spec in victims {
+                    let id = self.fluid.reserve_id();
+                    self.recovering.insert(id, now);
+                    self.admit(id, spec, 0, now, now);
+                }
+                self.request_realloc(now);
+            }
+            SimEvent::SwitchUp(node) => {
+                self.chaos_ctr.switch_rejoins += 1;
+                let msgs = self.fluid.switch_up(node, now);
+                for m in msgs {
+                    self.schedule_to_controller(now, m, None);
+                }
+                // Out-of-band rejoin hook: the controller reinstalls the
+                // blank switch (its messages pay the usual channel
+                // latency). Skipped while the controller is dark — then
+                // the buffered PortStatus replay is how it finds out.
+                if self.ctrl_down_depth == 0 {
+                    let mut out = Outbox::new();
+                    {
+                        let ctx = ControllerCtx {
+                            topo: self.fluid.topology(),
+                            now,
+                        };
+                        self.controller.on_switch_up(node, &ctx, &mut out);
+                    }
+                    self.flush_outbox(now, out);
+                }
+                self.request_realloc(now);
+            }
+            SimEvent::GraySet {
+                link,
+                capacity_factor,
+                loss_frac,
+            } => {
+                self.chaos_ctr.gray_events += 1;
+                // Both degradations fold into one effective-capacity
+                // factor: a link dropping a fraction of its traffic
+                // delivers that much less goodput, which the fluid
+                // abstraction models as reduced usable capacity (a
+                // deterministic approximation — no per-packet coin flips).
+                self.fluid
+                    .set_gray(link, capacity_factor * (1.0 - loss_frac));
+                self.request_realloc(now);
+            }
+            SimEvent::CtrlDown => {
+                self.chaos_ctr.ctrl_outages += 1;
+                self.ctrl_down_depth += 1;
+            }
+            SimEvent::CtrlUp => {
+                if self.ctrl_down_depth > 0 {
+                    self.ctrl_down_depth -= 1;
+                    if self.ctrl_down_depth == 0 && !self.ctrl_buffer.is_empty() {
+                        // Replay in arrival order: the controller works
+                        // through its backlog the instant it comes back.
+                        let backlog: Vec<_> = self.ctrl_buffer.drain(..).collect();
+                        for (msg, retry) in backlog {
+                            self.deliver_to_controller(now, &msg, retry);
+                        }
+                    }
+                }
+            }
+            SimEvent::CtrlLatency { factor } => {
+                if factor != 1.0 {
+                    self.chaos_ctr.ctrl_latency_spikes += 1;
+                }
+                self.ctrl_latency_factor = factor;
             }
             SimEvent::StatsEpoch => {
                 // Flush first: the exported utilizations and rates must
@@ -782,10 +981,26 @@ impl Simulation {
                     .map(|e| e.max_utilization)
                     .fold(0.0f64, f64::max);
                 reg.gauge("links.peak_utilization").set_max(peak);
+                let c = &self.chaos_ctr;
+                for (name, v) in [
+                    ("chaos.cable_downs", c.cable_downs),
+                    ("chaos.cable_ups", c.cable_ups),
+                    ("chaos.switch_crashes", c.switch_crashes),
+                    ("chaos.switch_rejoins", c.switch_rejoins),
+                    ("chaos.gray_events", c.gray_events),
+                    ("chaos.ctrl_outages", c.ctrl_outages),
+                    ("chaos.ctrl_latency_spikes", c.ctrl_latency_spikes),
+                    ("chaos.ctrl_msgs_buffered", c.ctrl_msgs_buffered),
+                    ("chaos.flows_rerouted", c.flows_rerouted),
+                    ("chaos.flows_stranded", c.flows_stranded),
+                ] {
+                    reg.counter(name).add(v);
+                }
                 reg.snapshot()
             }
             None => horse_trace::MetricsSnapshot::default(),
         };
+        let recovery = summarize(&self.recovery_samples);
         SimResults {
             sim_time: self.horizon,
             wall_seconds,
@@ -809,6 +1024,8 @@ impl Simulation {
             realloc_flows_touched: self.fluid.realloc_flows_touched,
             pkt_flows,
             fct_foreground,
+            recovery,
+            chaos: self.chaos_ctr.clone(),
             queue: queue_stats,
             metrics,
             collector: std::mem::take(&mut self.collector),

@@ -55,6 +55,21 @@ pub fn event_fingerprint(ev: &SimEvent) -> (&'static str, u64) {
         SimEvent::ControllerTimer { token } => ("controller_timer", *token),
         SimEvent::CableDown(l) => ("cable_down", l.index() as u64),
         SimEvent::CableUp(l) => ("cable_up", l.index() as u64),
+        SimEvent::SwitchDown(n) => ("switch_down", n.index() as u64),
+        SimEvent::SwitchUp(n) => ("switch_up", n.index() as u64),
+        SimEvent::GraySet {
+            link,
+            capacity_factor,
+            loss_frac,
+        } => (
+            "gray_set",
+            (link.index() as u64)
+                ^ capacity_factor.to_bits().rotate_left(17)
+                ^ loss_frac.to_bits().rotate_left(31),
+        ),
+        SimEvent::CtrlDown => ("ctrl_down", 0),
+        SimEvent::CtrlUp => ("ctrl_up", 0),
+        SimEvent::CtrlLatency { factor } => ("ctrl_latency", factor.to_bits()),
         SimEvent::StatsEpoch => ("stats_epoch", 0),
         SimEvent::ExpiryScan => ("expiry_scan", 0),
         SimEvent::Pkt(_) => ("pkt", 0),
@@ -286,6 +301,54 @@ mod tests {
         let b = event_fingerprint(&SimEvent::CableUp(LinkId(3)));
         assert_eq!(b.0, "cable_up");
         assert_eq!(event_fingerprint(&SimEvent::StatsEpoch).0, "stats_epoch");
+    }
+
+    #[test]
+    fn fault_fingerprints_are_distinct_in_their_first_8_bytes() {
+        use horse_types::NodeId;
+        // The journal digest folds only the first 8 bytes of the kind, so
+        // every kind must stay unique under that truncation.
+        let kinds = [
+            event_fingerprint(&SimEvent::SwitchDown(NodeId(1))).0,
+            event_fingerprint(&SimEvent::SwitchUp(NodeId(1))).0,
+            event_fingerprint(&SimEvent::GraySet {
+                link: LinkId(0),
+                capacity_factor: 0.5,
+                loss_frac: 0.0,
+            })
+            .0,
+            event_fingerprint(&SimEvent::CtrlDown).0,
+            event_fingerprint(&SimEvent::CtrlUp).0,
+            event_fingerprint(&SimEvent::CtrlLatency { factor: 10.0 }).0,
+            "cable_down",
+            "cable_up",
+            "controller_timer",
+            "to_controller",
+            "to_switch",
+            "flow_arrival",
+            "admit_retry",
+            "completion",
+            "stats_epoch",
+            "expiry_scan",
+            "pkt",
+        ];
+        let truncated: std::collections::HashSet<&[u8]> = kinds
+            .iter()
+            .map(|k| &k.as_bytes()[..k.len().min(8)])
+            .collect();
+        assert_eq!(truncated.len(), kinds.len(), "8-byte kind-tag collision");
+        // Gray identity distinguishes set vs clear on the same cable.
+        let set = event_fingerprint(&SimEvent::GraySet {
+            link: LinkId(2),
+            capacity_factor: 0.5,
+            loss_frac: 0.1,
+        });
+        let clear = event_fingerprint(&SimEvent::GraySet {
+            link: LinkId(2),
+            capacity_factor: 1.0,
+            loss_frac: 0.0,
+        });
+        assert_ne!(set.1, clear.1);
     }
 
     #[test]

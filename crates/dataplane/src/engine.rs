@@ -362,6 +362,15 @@ pub struct FluidNet {
     /// aggregate (stale for links outside the recomputed component —
     /// their state did not change).
     external_granted: Vec<f64>,
+    /// Per-link gray-failure multiplier in `(0, 1]` (1.0 = healthy): the
+    /// fraction of nominal capacity the allocator may hand out on that
+    /// link. A gray link stays *up* — routes still cross it — but its
+    /// effective capacity shrinks, modelling degraded-but-not-dead
+    /// hardware as a deterministic fluid approximation.
+    gray: Vec<f64>,
+    /// Switches currently crashed (down, tables wiped). Used to suppress
+    /// cable restoration toward dead peers.
+    crashed: HashSet<NodeId>,
     scratch: ReallocScratch,
     /// Per-worker solver state for the component-parallel solve pass
     /// (`workers[0]` serves the serial path; grown lazily to
@@ -406,6 +415,8 @@ impl FluidNet {
             dirty_epoch: 1,
             external_demand: vec![0.0; nl],
             external_granted: vec![0.0; nl],
+            gray: vec![1.0; nl],
+            crashed: HashSet::new(),
             scratch: ReallocScratch {
                 link_idx: vec![(0, 0); nl],
                 link_stamp: vec![0; nl],
@@ -645,6 +656,51 @@ impl FluidNet {
         }
     }
 
+    /// Like [`try_admit_arrived`], but for a flow knocked off its path by
+    /// a failure. Right after a failure the tables are stale — installed
+    /// rules may dead-end on a downed port while the controller (which
+    /// hears `PortStatus` one channel delay later) is about to repair
+    /// them — so a stale-table dead end (no route, a rule pointing at a
+    /// downed port, a group with no live bucket) is not terminal here:
+    /// instead of recording a drop, the flow punts to the controller from
+    /// its access switch and re-enters the usual admit-retry loop.
+    /// Recovery time thus measures real control-plane convergence.
+    /// Deliberate policy drops stay terminal, and a flow whose access
+    /// link itself is gone (host cut off) falls through to the ordinary,
+    /// terminal admission path.
+    ///
+    /// [`try_admit_arrived`]: FluidNet::try_admit_arrived
+    pub fn try_readmit_arrived(
+        &mut self,
+        id: FlowId,
+        spec: FlowSpec,
+        now: SimTime,
+        arrived: SimTime,
+    ) -> AdmitOutcome {
+        let stale_dead_end = match self.resolve_route(&spec, now) {
+            ResolveOutcome::NoRoute => true,
+            ResolveOutcome::Dropped { reason, .. } => {
+                matches!(reason, DropReason::PortDown | DropReason::DeadGroup)
+            }
+            _ => false,
+        };
+        if stale_dead_end {
+            if let Some((_, al)) = self.topo.out_links(spec.src).find(|(_, l)| l.is_up()) {
+                let msg = self
+                    .switches
+                    .get(&al.dst)
+                    .map(|sw| sw.flow_in(al.dst_port, &spec.key))
+                    .unwrap_or(SwitchMsg::FlowIn {
+                        switch: al.dst,
+                        in_port: al.dst_port,
+                        key: spec.key,
+                    });
+                return AdmitOutcome::NeedController { msg, spec };
+            }
+        }
+        self.try_admit_arrived(id, spec, now, arrived)
+    }
+
     /// Sets the demand (bps) an external co-simulated plane offers on a
     /// link; `f64::INFINITY` marks a backlogged serializer that should
     /// receive a full max-min fair share. Marks the link dirty so the
@@ -672,19 +728,50 @@ impl FluidNet {
         self.external_granted[link.index()]
     }
 
+    /// Sets the gray-failure capacity multiplier of a cable (both
+    /// directions), in `(0, 1]`; `1.0` clears the failure. The links stay
+    /// *up*, so routing is unchanged — only allocatable capacity shrinks.
+    /// Marks both directions dirty for the next incremental reallocation.
+    pub fn set_gray(&mut self, link: LinkId, factor: f64) {
+        let factor = factor.clamp(f64::MIN_POSITIVE, 1.0);
+        let apply = |this: &mut Self, l: LinkId| {
+            if this.gray[l.index()] != factor {
+                this.gray[l.index()] = factor;
+                this.mark_dirty(l);
+            }
+        };
+        apply(self, link);
+        if let Some(rev) = self.topo.reverse_of(link) {
+            apply(self, rev);
+        }
+    }
+
+    /// The gray-failure capacity multiplier currently applied to a link
+    /// (1.0 = healthy).
+    pub fn gray_factor(&self, link: LinkId) -> f64 {
+        self.gray[link.index()]
+    }
+
+    /// True while `node` is a crashed (down) switch.
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.crashed.contains(&node)
+    }
+
     /// Split borrow for a co-simulated packet plane: topology (shared,
     /// read-only), the OpenFlow switches (shared pipeline, mutable for
-    /// classification side effects) and the live per-link statistics
+    /// classification side effects), the live per-link statistics
     /// (whose `current_rate_bps` is the fluid load the packet serializers
-    /// drain around).
+    /// drain around) and the per-link gray-failure capacity multipliers
+    /// the serializers must respect.
     pub fn packet_plane_parts(
         &mut self,
     ) -> (
         &Topology,
         &mut HashMap<NodeId, OpenFlowSwitch>,
         &[LinkStats],
+        &[f64],
     ) {
-        (&self.topo, &mut self.switches, &self.link_stats)
+        (&self.topo, &mut self.switches, &self.link_stats, &self.gray)
     }
 
     /// Appends a completion record produced outside the fluid mechanics
@@ -1035,7 +1122,7 @@ impl FluidNet {
                                 .link(l)
                                 .map(|lk| {
                                     if lk.is_up() {
-                                        lk.capacity.as_bps()
+                                        lk.capacity.as_bps() * self.gray[l.index()]
                                     } else {
                                         0.0
                                     }
@@ -1287,9 +1374,21 @@ impl FluidNet {
             }
             self.mark_dirty(l);
         }
-        // Detach flows crossing the failed cable (membership lists are
-        // per-direction; a flow using both directions appears once thanks
-        // to the stamp).
+        let (specs, ids) = self.detach_flows_on(&affected_links, now);
+        (specs, msgs, ids)
+    }
+
+    /// Detaches every flow crossing any of `affected_links`, returning
+    /// re-admittable remaining-bytes specs and the detached flow ids
+    /// (shared by cable and switch failures). Membership lists are
+    /// per-direction; a flow using several affected directions appears
+    /// once thanks to the stamp. Victims are processed ascending by flow
+    /// id for determinism.
+    fn detach_flows_on(
+        &mut self,
+        affected_links: &[LinkId],
+        now: SimTime,
+    ) -> (Vec<FlowSpec>, Vec<FlowId>) {
         self.scratch.gen += 1;
         let gen = self.scratch.gen;
         let slots = self.flows.slot_count();
@@ -1297,7 +1396,7 @@ impl FluidNet {
             self.scratch.flow_stamp.resize(slots, 0);
         }
         let mut victims: Vec<u32> = Vec::new();
-        for &l in &affected_links {
+        for &l in affected_links {
             for slot in self.flows.flows_on_link(l.index()) {
                 if self.scratch.flow_stamp[slot as usize] != gen {
                     self.scratch.flow_stamp[slot as usize] = gen;
@@ -1340,11 +1439,18 @@ impl FluidNet {
                 specs.push(spec);
             }
         }
-        (specs, msgs, ids)
+        (specs, ids)
     }
 
-    /// Restores a cable. Returns port-status messages.
+    /// Restores a cable. Returns port-status messages. A cable incident
+    /// to a crashed switch stays down (the rejoining switch restores its
+    /// cables itself in [`FluidNet::switch_up`]).
     pub fn cable_up(&mut self, link: LinkId, _now: SimTime) -> Vec<SwitchMsg> {
+        if let Some(lk) = self.topo.link(link) {
+            if self.crashed.contains(&lk.src) || self.crashed.contains(&lk.dst) {
+                return Vec::new();
+            }
+        }
         let affected = self
             .topo
             .set_cable_state(link, LinkState::Up)
@@ -1356,6 +1462,85 @@ impl FluidNet {
                 msgs.push(sw.set_port_state(lk.src_port, true));
             }
             self.mark_dirty(l);
+        }
+        msgs
+    }
+
+    /// Crashes a switch: every incident cable goes down (both
+    /// directions), the switch's flow tables / groups / meters are wiped
+    /// and its ports marked down, and every flow crossing it is detached
+    /// (returned for re-admission, like [`FluidNet::cable_down`]).
+    /// Port-status messages come only from the *surviving* neighbor
+    /// switches — a crashed switch cannot report its own failure, which
+    /// is exactly how the controller observes real crashes.
+    pub fn switch_down(
+        &mut self,
+        node: NodeId,
+        now: SimTime,
+    ) -> (Vec<FlowSpec>, Vec<SwitchMsg>, Vec<FlowId>) {
+        if !self.switches.contains_key(&node) || !self.crashed.insert(node) {
+            return (Vec::new(), Vec::new(), Vec::new());
+        }
+        let mut cables: Vec<LinkId> = self.topo.out_links(node).map(|(id, _)| id).collect();
+        cables.sort();
+        let mut affected: Vec<LinkId> = Vec::new();
+        for c in &cables {
+            affected.extend(
+                self.topo
+                    .set_cable_state(*c, LinkState::Down)
+                    .unwrap_or_default(),
+            );
+        }
+        affected.sort();
+        let mut msgs = Vec::new();
+        for &l in &affected {
+            let lk = self.topo.link(l).expect("affected link exists").clone();
+            if lk.src != node && !self.crashed.contains(&lk.src) {
+                if let Some(sw) = self.switches.get_mut(&lk.src) {
+                    msgs.push(sw.set_port_state(lk.src_port, false));
+                }
+            }
+            self.mark_dirty(l);
+        }
+        if let Some(sw) = self.switches.get_mut(&node) {
+            sw.crash();
+        }
+        let (specs, ids) = self.detach_flows_on(&affected, now);
+        (specs, msgs, ids)
+    }
+
+    /// Rejoins a crashed switch with empty tables: incident cables are
+    /// restored (except those whose peer is itself still crashed) and
+    /// port-status messages are generated from *both* sides of each
+    /// restored cable. The controller re-learns the switch through these
+    /// messages and reinstalls state; until then traffic through it
+    /// table-misses like any unknown switch.
+    pub fn switch_up(&mut self, node: NodeId, _now: SimTime) -> Vec<SwitchMsg> {
+        if !self.crashed.remove(&node) {
+            return Vec::new();
+        }
+        let mut cables: Vec<(LinkId, NodeId)> = self
+            .topo
+            .out_links(node)
+            .map(|(id, l)| (id, l.dst))
+            .collect();
+        cables.sort();
+        let mut msgs = Vec::new();
+        for (c, peer) in cables {
+            if self.crashed.contains(&peer) {
+                continue;
+            }
+            let affected = self
+                .topo
+                .set_cable_state(c, LinkState::Up)
+                .unwrap_or_default();
+            for l in affected {
+                let lk = self.topo.link(l).expect("affected link exists").clone();
+                if let Some(sw) = self.switches.get_mut(&lk.src) {
+                    msgs.push(sw.set_port_state(lk.src_port, true));
+                }
+                self.mark_dirty(l);
+            }
         }
         msgs
     }

@@ -56,10 +56,12 @@ const AGGREGATED: &[(&str, MetricFn)] = &[
     ("fct_mean", |m| m.fct.mean),
     ("fct_p50", |m| m.fct.p50),
     ("fct_p99", |m| m.fct.p99),
+    ("fct_p999", |m| m.fct.p999),
     ("throughput_bps", |m| m.throughput_bps),
     ("goodput_mean_bps", |m| m.goodput.mean),
     ("events", |m| m.events as f64),
     ("flows_completed", |m| m.flows_completed as f64),
+    ("recovery_time", |m| m.recovery.mean),
 ];
 
 fn f(v: f64) -> String {
@@ -96,6 +98,7 @@ impl CampaignReport {
             "fct_p50",
             "fct_p95",
             "fct_p99",
+            "fct_p999",
             "goodput_mean_bps",
             "msgs_to_controller",
             "msgs_to_switch",
@@ -108,6 +111,18 @@ impl CampaignReport {
             "realloc_flows_touched",
             "queue_compactions",
             "queue_tombstones",
+            "recovery_time",
+            "recovery_p99",
+            "flows_rerouted",
+            "flows_stranded",
+            "cable_downs",
+            "cable_ups",
+            "switch_crashes",
+            "switch_rejoins",
+            "gray_events",
+            "ctrl_outages",
+            "ctrl_latency_spikes",
+            "ctrl_msgs_buffered",
         ]);
         let rows: Vec<Vec<String>> = self
             .runs
@@ -130,6 +145,7 @@ impl CampaignReport {
                     f(m.fct.p50),
                     f(m.fct.p95),
                     f(m.fct.p99),
+                    f(m.fct.p999),
                     f(m.goodput.mean),
                     m.msgs_to_controller.to_string(),
                     m.msgs_to_switch.to_string(),
@@ -142,6 +158,18 @@ impl CampaignReport {
                     m.realloc_flows_touched.to_string(),
                     m.queue_compactions.to_string(),
                     m.queue_tombstones.to_string(),
+                    f(m.recovery.mean),
+                    f(m.recovery.p99),
+                    m.chaos.flows_rerouted.to_string(),
+                    m.chaos.flows_stranded.to_string(),
+                    m.chaos.cable_downs.to_string(),
+                    m.chaos.cable_ups.to_string(),
+                    m.chaos.switch_crashes.to_string(),
+                    m.chaos.switch_rejoins.to_string(),
+                    m.chaos.gray_events.to_string(),
+                    m.chaos.ctrl_outages.to_string(),
+                    m.chaos.ctrl_latency_spikes.to_string(),
+                    m.chaos.ctrl_msgs_buffered.to_string(),
                 ]);
                 row
             })

@@ -74,6 +74,13 @@ pub struct RunMetrics {
     /// Events cancelled before firing (left as heap tombstones until a
     /// pop skips them or a compaction drops them).
     pub queue_tombstones: u64,
+    /// Recovery-time summary (seconds from a fault knocking a flow off
+    /// its path to its re-admission); all-zero in a fault-free run.
+    #[serde(default)]
+    pub recovery: Summary,
+    /// Fault-injection counters (all zero in a fault-free run).
+    #[serde(default)]
+    pub chaos: ChaosCounters,
     /// The run's metrics-registry snapshot (allocator, queue, OpenFlow,
     /// hybrid and utilization counters). Deterministic quantities only —
     /// part of the reproducible report.
@@ -111,6 +118,8 @@ impl RunMetrics {
             realloc_flows_touched: r.realloc_flows_touched,
             queue_compactions: r.queue.compactions,
             queue_tombstones: r.queue.cancelled,
+            recovery: r.recovery,
+            chaos: r.chaos.clone(),
             metrics: r.metrics.clone(),
         }
     }

@@ -54,6 +54,44 @@ pub enum ScenarioSpec {
         /// Hybrid foreground size: how many leading workload arrivals
         /// run at packet fidelity (default 8; only used by `"hybrid"`).
         foreground_flows: Option<usize>,
+        /// Chaos: fault-schedule seed (default 0, independent of the
+        /// workload seed so one fault pattern replays against any
+        /// traffic).
+        chaos_seed: Option<u64>,
+        /// Chaos: warm-up seconds before the first fault (default 0).
+        chaos_start_secs: Option<f64>,
+        /// Chaos: number of flapping switch-to-switch cables.
+        chaos_link_flaps: Option<u32>,
+        /// Chaos: mean flaps per second per flapping cable (default 1.0).
+        chaos_flap_rate_per_sec: Option<f64>,
+        /// Chaos: mean downtime of one flap in seconds (default 0.05).
+        chaos_flap_downtime_secs: Option<f64>,
+        /// Chaos: number of switches that crash once (tables wiped,
+        /// ports down) and later rejoin empty.
+        chaos_switch_crashes: Option<u32>,
+        /// Chaos: seconds a crashed switch stays down (default 0.5).
+        chaos_crash_downtime_secs: Option<f64>,
+        /// Chaos: number of controller outage windows (messages buffer
+        /// and replay in order on recovery).
+        chaos_ctrl_outages: Option<u32>,
+        /// Chaos: length of one controller outage in seconds
+        /// (default 0.5).
+        chaos_ctrl_outage_secs: Option<f64>,
+        /// Chaos: number of control-latency spike windows.
+        chaos_ctrl_latency_spikes: Option<u32>,
+        /// Chaos: latency multiplier during a spike (default 10.0).
+        chaos_ctrl_latency_factor: Option<f64>,
+        /// Chaos: length of one latency spike in seconds (default 0.5).
+        chaos_ctrl_spike_secs: Option<f64>,
+        /// Chaos: number of cables suffering a gray-failure window
+        /// (up, but degraded).
+        chaos_gray_links: Option<u32>,
+        /// Chaos: capacity fraction a gray cable retains (default 0.5).
+        chaos_gray_capacity_factor: Option<f64>,
+        /// Chaos: extra loss fraction a gray cable drops (default 0).
+        chaos_gray_loss_frac: Option<f64>,
+        /// Chaos: length of one gray window in seconds (default 1.0).
+        chaos_gray_duration_secs: Option<f64>,
     },
     /// The parameterized IXP fabric (experiments E1–E5).
     Ixp {
@@ -96,6 +134,44 @@ pub enum ScenarioSpec {
         /// Hybrid foreground size: how many leading workload arrivals
         /// run at packet fidelity (default 8; only used by `"hybrid"`).
         foreground_flows: Option<usize>,
+        /// Chaos: fault-schedule seed (default 0, independent of the
+        /// workload seed so one fault pattern replays against any
+        /// traffic).
+        chaos_seed: Option<u64>,
+        /// Chaos: warm-up seconds before the first fault (default 0).
+        chaos_start_secs: Option<f64>,
+        /// Chaos: number of flapping switch-to-switch cables.
+        chaos_link_flaps: Option<u32>,
+        /// Chaos: mean flaps per second per flapping cable (default 1.0).
+        chaos_flap_rate_per_sec: Option<f64>,
+        /// Chaos: mean downtime of one flap in seconds (default 0.05).
+        chaos_flap_downtime_secs: Option<f64>,
+        /// Chaos: number of switches that crash once (tables wiped,
+        /// ports down) and later rejoin empty.
+        chaos_switch_crashes: Option<u32>,
+        /// Chaos: seconds a crashed switch stays down (default 0.5).
+        chaos_crash_downtime_secs: Option<f64>,
+        /// Chaos: number of controller outage windows (messages buffer
+        /// and replay in order on recovery).
+        chaos_ctrl_outages: Option<u32>,
+        /// Chaos: length of one controller outage in seconds
+        /// (default 0.5).
+        chaos_ctrl_outage_secs: Option<f64>,
+        /// Chaos: number of control-latency spike windows.
+        chaos_ctrl_latency_spikes: Option<u32>,
+        /// Chaos: latency multiplier during a spike (default 10.0).
+        chaos_ctrl_latency_factor: Option<f64>,
+        /// Chaos: length of one latency spike in seconds (default 0.5).
+        chaos_ctrl_spike_secs: Option<f64>,
+        /// Chaos: number of cables suffering a gray-failure window
+        /// (up, but degraded).
+        chaos_gray_links: Option<u32>,
+        /// Chaos: capacity fraction a gray cable retains (default 0.5).
+        chaos_gray_capacity_factor: Option<f64>,
+        /// Chaos: extra loss fraction a gray cable drops (default 0).
+        chaos_gray_loss_frac: Option<f64>,
+        /// Chaos: length of one gray window in seconds (default 1.0).
+        chaos_gray_duration_secs: Option<f64>,
     },
     /// A generated topology family (`horse_topology::generators`):
     /// fat-tree, leaf-spine, jellyfish, linear/ring chains, or a WAN
@@ -162,6 +238,44 @@ pub enum ScenarioSpec {
         fidelity: Option<FidelityMode>,
         /// Hybrid foreground size (default 8; only used by `"hybrid"`).
         foreground_flows: Option<usize>,
+        /// Chaos: fault-schedule seed (default 0, independent of the
+        /// workload seed so one fault pattern replays against any
+        /// traffic).
+        chaos_seed: Option<u64>,
+        /// Chaos: warm-up seconds before the first fault (default 0).
+        chaos_start_secs: Option<f64>,
+        /// Chaos: number of flapping switch-to-switch cables.
+        chaos_link_flaps: Option<u32>,
+        /// Chaos: mean flaps per second per flapping cable (default 1.0).
+        chaos_flap_rate_per_sec: Option<f64>,
+        /// Chaos: mean downtime of one flap in seconds (default 0.05).
+        chaos_flap_downtime_secs: Option<f64>,
+        /// Chaos: number of switches that crash once (tables wiped,
+        /// ports down) and later rejoin empty.
+        chaos_switch_crashes: Option<u32>,
+        /// Chaos: seconds a crashed switch stays down (default 0.5).
+        chaos_crash_downtime_secs: Option<f64>,
+        /// Chaos: number of controller outage windows (messages buffer
+        /// and replay in order on recovery).
+        chaos_ctrl_outages: Option<u32>,
+        /// Chaos: length of one controller outage in seconds
+        /// (default 0.5).
+        chaos_ctrl_outage_secs: Option<f64>,
+        /// Chaos: number of control-latency spike windows.
+        chaos_ctrl_latency_spikes: Option<u32>,
+        /// Chaos: latency multiplier during a spike (default 10.0).
+        chaos_ctrl_latency_factor: Option<f64>,
+        /// Chaos: length of one latency spike in seconds (default 0.5).
+        chaos_ctrl_spike_secs: Option<f64>,
+        /// Chaos: number of cables suffering a gray-failure window
+        /// (up, but degraded).
+        chaos_gray_links: Option<u32>,
+        /// Chaos: capacity fraction a gray cable retains (default 0.5).
+        chaos_gray_capacity_factor: Option<f64>,
+        /// Chaos: extra loss fraction a gray cable drops (default 0).
+        chaos_gray_loss_frac: Option<f64>,
+        /// Chaos: length of one gray window in seconds (default 1.0).
+        chaos_gray_duration_secs: Option<f64>,
     },
 }
 
@@ -205,6 +319,90 @@ impl ScenarioSpec {
             } => (fidelity, foreground_flows),
         };
         (fidelity.unwrap_or_default(), foreground.unwrap_or(8))
+    }
+
+    /// Folds the flattened `chaos_*` knobs (shared by every scenario
+    /// family, each individually sweepable as an axis) into a
+    /// [`ChaosSpec`]; `None` when no fault kind is requested, so
+    /// fault-free specs build byte-identical scenarios to before the
+    /// chaos engine existed.
+    fn chaos_spec(&self) -> Option<ChaosSpec> {
+        let (ScenarioSpec::Figure1 {
+            chaos_seed,
+            chaos_start_secs,
+            chaos_link_flaps,
+            chaos_flap_rate_per_sec,
+            chaos_flap_downtime_secs,
+            chaos_switch_crashes,
+            chaos_crash_downtime_secs,
+            chaos_ctrl_outages,
+            chaos_ctrl_outage_secs,
+            chaos_ctrl_latency_spikes,
+            chaos_ctrl_latency_factor,
+            chaos_ctrl_spike_secs,
+            chaos_gray_links,
+            chaos_gray_capacity_factor,
+            chaos_gray_loss_frac,
+            chaos_gray_duration_secs,
+            ..
+        }
+        | ScenarioSpec::Ixp {
+            chaos_seed,
+            chaos_start_secs,
+            chaos_link_flaps,
+            chaos_flap_rate_per_sec,
+            chaos_flap_downtime_secs,
+            chaos_switch_crashes,
+            chaos_crash_downtime_secs,
+            chaos_ctrl_outages,
+            chaos_ctrl_outage_secs,
+            chaos_ctrl_latency_spikes,
+            chaos_ctrl_latency_factor,
+            chaos_ctrl_spike_secs,
+            chaos_gray_links,
+            chaos_gray_capacity_factor,
+            chaos_gray_loss_frac,
+            chaos_gray_duration_secs,
+            ..
+        }
+        | ScenarioSpec::Fabric {
+            chaos_seed,
+            chaos_start_secs,
+            chaos_link_flaps,
+            chaos_flap_rate_per_sec,
+            chaos_flap_downtime_secs,
+            chaos_switch_crashes,
+            chaos_crash_downtime_secs,
+            chaos_ctrl_outages,
+            chaos_ctrl_outage_secs,
+            chaos_ctrl_latency_spikes,
+            chaos_ctrl_latency_factor,
+            chaos_ctrl_spike_secs,
+            chaos_gray_links,
+            chaos_gray_capacity_factor,
+            chaos_gray_loss_frac,
+            chaos_gray_duration_secs,
+            ..
+        }) = self;
+        let spec = ChaosSpec {
+            seed: chaos_seed.unwrap_or(0),
+            start_secs: chaos_start_secs.unwrap_or(0.0),
+            link_flaps: chaos_link_flaps.unwrap_or(0),
+            flap_rate_per_sec: chaos_flap_rate_per_sec.unwrap_or(0.0),
+            flap_downtime_secs: chaos_flap_downtime_secs.unwrap_or(0.0),
+            switch_crashes: chaos_switch_crashes.unwrap_or(0),
+            crash_downtime_secs: chaos_crash_downtime_secs.unwrap_or(0.0),
+            ctrl_outages: chaos_ctrl_outages.unwrap_or(0),
+            ctrl_outage_secs: chaos_ctrl_outage_secs.unwrap_or(0.0),
+            ctrl_latency_spikes: chaos_ctrl_latency_spikes.unwrap_or(0),
+            ctrl_latency_factor: chaos_ctrl_latency_factor.unwrap_or(0.0),
+            ctrl_spike_secs: chaos_ctrl_spike_secs.unwrap_or(0.0),
+            gray_links: chaos_gray_links.unwrap_or(0),
+            gray_capacity_factor: chaos_gray_capacity_factor.unwrap_or(0.0),
+            gray_loss_frac: chaos_gray_loss_frac.unwrap_or(0.0),
+            gray_duration_secs: chaos_gray_duration_secs.unwrap_or(0.0),
+        };
+        spec.is_active().then_some(spec)
     }
 
     /// Lowers the spec to a concrete [`Scenario`].
@@ -413,6 +611,7 @@ impl ScenarioSpec {
             }
         };
         scenario.packet_foreground = mode.foreground(foreground);
+        scenario.chaos = self.chaos_spec();
         Ok(scenario)
     }
 }
@@ -802,6 +1001,83 @@ mod tests {
         let s = spec.scenario.build().unwrap();
         let m = s.workload.unwrap().matrix;
         assert!(m.rate(0, 1) > m.rate(10, 11), "gravity skew applied");
+    }
+
+    #[test]
+    fn chaos_knobs_lower_to_a_chaos_spec() {
+        let spec = SweepSpec::from_toml(
+            r#"
+            name = "chaos"
+            [scenario]
+            kind = "fabric"
+            topology = "fat_tree"
+            horizon_secs = 2.0
+            chaos_link_flaps = 2
+            chaos_flap_rate_per_sec = 4.0
+            chaos_switch_crashes = 1
+            chaos_seed = 7
+            "#,
+        )
+        .unwrap();
+        let s = spec.scenario.build().unwrap();
+        let c = s.chaos.expect("chaos requested");
+        assert_eq!(c.link_flaps, 2);
+        assert_eq!(c.flap_rate_per_sec, 4.0);
+        assert_eq!(c.switch_crashes, 1);
+        assert_eq!(c.seed, 7);
+        assert!(c.is_active());
+    }
+
+    #[test]
+    fn chaos_free_spec_builds_chaos_free_scenario() {
+        let spec = SweepSpec::from_toml(
+            r#"
+            name = "calm"
+            [scenario]
+            kind = "ixp"
+            members = 6
+            horizon_secs = 0.5
+            "#,
+        )
+        .unwrap();
+        assert!(spec.scenario.build().unwrap().chaos.is_none());
+        // Parameters alone (no fault counts) keep chaos off too.
+        let spec = SweepSpec::from_toml(
+            r#"
+            name = "calm2"
+            [scenario]
+            kind = "ixp"
+            members = 6
+            horizon_secs = 0.5
+            chaos_flap_rate_per_sec = 9.0
+            "#,
+        )
+        .unwrap();
+        assert!(spec.scenario.build().unwrap().chaos.is_none());
+    }
+
+    #[test]
+    fn chaos_fields_are_sweepable_axes() {
+        let spec = SweepSpec::from_toml(
+            r#"
+            name = "chaos_axis"
+            [scenario]
+            kind = "fabric"
+            topology = "fat_tree"
+            horizon_secs = 1.0
+            chaos_link_flaps = 2
+            [axes]
+            chaos_flap_rate_per_sec = [1.0, 8.0]
+            "#,
+        )
+        .unwrap();
+        let plans = crate::sweep::expand(&spec).unwrap();
+        assert_eq!(plans.len(), 2);
+        let rates: Vec<f64> = plans
+            .iter()
+            .map(|p| p.scenario.build().unwrap().chaos.unwrap().flap_rate_per_sec)
+            .collect();
+        assert_eq!(rates, vec![1.0, 8.0]);
     }
 
     #[test]

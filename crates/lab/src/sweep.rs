@@ -131,6 +131,7 @@ fn apply_axis(
          and the config fields of this spec (e.g. members, offered_gbps, \
          zipf_alpha, horizon_secs, seed, fidelity, foreground_flows, \
          topology, hosts, fat_tree_k, oversubscription, \
+         chaos_link_flaps, chaos_flap_rate_per_sec, chaos_switch_crashes, \
          ctrl_latency_us, alloc_mode, stats_epoch_secs, admit_retry_limit)"
     )))
 }

@@ -124,6 +124,7 @@ pub fn summarize(values: &[f64]) -> Summary {
         p50: q(0.5),
         p95: q(0.95),
         p99: q(0.99),
+        p999: q(0.999),
         max: sorted[n - 1],
     }
 }
@@ -143,6 +144,9 @@ pub struct Summary {
     pub p95: f64,
     /// 99th percentile.
     pub p99: f64,
+    /// 99.9th percentile (the tail the chaos experiments watch).
+    #[serde(default)]
+    pub p999: f64,
     /// Maximum.
     pub max: f64,
 }
@@ -228,15 +232,32 @@ mod tests {
         let one = summarize(&[3.0]);
         assert_eq!(one.count, 1);
         assert_eq!(
-            (one.min, one.p50, one.p95, one.p99, one.max),
-            (3.0, 3.0, 3.0, 3.0, 3.0)
+            (one.min, one.p50, one.p95, one.p99, one.p999, one.max),
+            (3.0, 3.0, 3.0, 3.0, 3.0, 3.0)
         );
         // All-duplicate population.
         let dup = summarize(&[2.0; 10]);
         assert_eq!(dup.mean, 2.0);
         assert_eq!(dup.p99, 2.0);
+        assert_eq!(dup.p999, 2.0);
         // Empty: everything zero.
         assert_eq!(summarize(&[]), Summary::default());
+    }
+
+    #[test]
+    fn summarize_tail_quantiles_separate_with_enough_samples() {
+        // 1000 samples 0..999: nearest-rank lands p99 on 989 and p999 on
+        // 998 — distinct tail values once the population is big enough.
+        let vals: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let sm = summarize(&vals);
+        assert_eq!(sm.p99, 989.0);
+        assert_eq!(sm.p999, 998.0);
+        assert_eq!(sm.max, 999.0);
+        // With a tiny population the tail quantiles collapse onto the max
+        // rather than extrapolating past it.
+        let small = summarize(&[1.0, 2.0, 3.0]);
+        assert_eq!(small.p999, 3.0);
+        assert!(small.p999 <= small.max);
     }
 
     #[test]

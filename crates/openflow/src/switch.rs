@@ -148,6 +148,23 @@ impl OpenFlowSwitch {
         }
     }
 
+    /// Crashes the switch: every flow table is replaced by a fresh empty
+    /// one, groups and meters are cleared, and every port goes down —
+    /// volatile state is lost exactly as on a real power cycle. Counters
+    /// are *not* cleared (they model the observer's accounting, not the
+    /// switch's memory). The crashed switch emits nothing; its neighbors
+    /// report the failure.
+    pub fn crash(&mut self) {
+        for t in &mut self.tables {
+            *t = FlowTable::new();
+        }
+        self.groups.clear();
+        self.meters.clear();
+        for up in self.port_state.values_mut() {
+            *up = false;
+        }
+    }
+
     /// Port counters (credited by the fluid plane's byte sync via
     /// [`credit_port_bytes`]; port-stats replies serve them).
     ///

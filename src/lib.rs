@@ -11,10 +11,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub use horse_core::{compare, config, event, hybrid, results, scenario, sim, trace};
+pub use horse_core::{chaos, compare, config, event, hybrid, results, scenario, sim, trace};
 pub use horse_core::{
-    compare_planes, AccuracyReport, FidelityMode, HybridNet, IxpScenarioParams, Scenario,
-    SimConfig, SimResults, SimTracer, Simulation,
+    compare_planes, AccuracyReport, ChaosCounters, ChaosError, ChaosSpec, FidelityMode, HybridNet,
+    IxpScenarioParams, Scenario, SimConfig, SimResults, SimTracer, Simulation,
 };
 
 // Component crates under stable names (mirrors `horse_core`'s aliases).
