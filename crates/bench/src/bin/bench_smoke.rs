@@ -17,7 +17,7 @@
 //! Usage: `bench_smoke [--pr N] [--out PATH] [--baseline BENCH_prM.json]`
 
 use horse::prelude::*;
-use horse_bench::{fast_config, ixp_scenario, lb_policy, wave_ixp_scenario};
+use horse_bench::{fast_config, ixp_scenario, lb_policy, million_flow_point, wave_ixp_scenario};
 use serde::{Number, Value};
 use std::time::Instant;
 
@@ -38,6 +38,12 @@ const WAVE_SPEEDUP_FLOOR: f64 = 1.5;
 /// carries no tracer, so the `--baseline` comparison against the
 /// committed bench point IS the disabled-overhead regression check.
 const TRACE_EPS_FLOOR: f64 = 0.85;
+
+/// Million-flow superlinearity bound: per-flow per-epoch allocator cost
+/// at ~10^6 flows may be at most this factor of the cost at ~1.3·10^5
+/// flows (an 8× population jump). Flat means the per-epoch cost is
+/// linear in flows touched; this is asserted on every run.
+const MILLION_FLOW_RATIO_CEIL: f64 = 3.0;
 
 fn num_f(v: f64) -> Value {
     Value::Number(Number::Float(v))
@@ -214,6 +220,32 @@ fn gate(baseline: &Value, fresh: &Value) -> Vec<String> {
                         "note: {point}.{counter} changed {bv} -> {fv} \
                          (deterministic counter; refresh the committed baseline if intended)"
                     );
+                }
+            }
+        }
+    }
+    // Million-flow point (PR 8 on): per-flow per-epoch churn cost on the
+    // large side is the scaling headline; gated like the other wall
+    // metrics. Skipped silently against older baselines.
+    if let (Some(b), Some(f)) = (get(baseline, "million_flow"), get(fresh, "million_flow")) {
+        if let (Some(bv), Some(fv)) = (
+            get(b, "large").and_then(|v| get_f(v, "churn_ns_per_flow")),
+            get(f, "large").and_then(|v| get_f(v, "churn_ns_per_flow")),
+        ) {
+            failures.extend(check("million_flow.large.churn_ns_per_flow", bv, fv, false));
+        }
+        for side in ["small", "large"] {
+            for counter in ["flows", "macro_vars", "warm_hits", "cold_solves"] {
+                if let (Some(bv), Some(fv)) = (
+                    get(b, side).and_then(|v| get_f(v, counter)),
+                    get(f, side).and_then(|v| get_f(v, counter)),
+                ) {
+                    if bv != fv {
+                        println!(
+                            "note: million_flow.{side}.{counter} changed {bv} -> {fv} \
+                             (deterministic counter; refresh the committed baseline if intended)"
+                        );
+                    }
                 }
             }
         }
@@ -539,6 +571,53 @@ fn main() {
         ])
     };
 
+    // 8. Million-flow point: the fluid engine driven directly (no event
+    //    loop) at two population sizes on the same 1024-path-class star —
+    //    ~1.3·10^5 and ~10^6 concurrent greedy flows. Macro-flow
+    //    aggregation solves both as 1024 weighted variables; the scaling
+    //    claim is that the remaining per-epoch cost (build + materialize
+    //    + apply over the component's flows) is linear in flows touched,
+    //    so ns/flow/epoch must stay flat across the 8× jump — asserted
+    //    at `MILLION_FLOW_RATIO_CEIL` on every run. Too heavy for
+    //    best-of-3; each point runs once (the long epochs average the
+    //    noise down instead).
+    let (million_flow, million_ratio) = {
+        let small = million_flow_point(1024, 128, 8);
+        let large = million_flow_point(1024, 1024, 8);
+        let ratio = large.churn_ns_per_flow / small.churn_ns_per_flow.max(1e-9);
+        println!(
+            "million_flow: {} flows as {} vars; churn {:.1} ns/flow vs {:.1} ns/flow \
+             at {} flows -> ratio {ratio:.2}",
+            large.flows,
+            large.macro_vars,
+            large.churn_ns_per_flow,
+            small.churn_ns_per_flow,
+            small.flows
+        );
+        let side = |s: &horse_bench::MillionFlowStats| {
+            Value::Map(vec![
+                ("classes".into(), num_u(s.classes as u64)),
+                ("flows_per_class".into(), num_u(s.flows_per_class as u64)),
+                ("flows".into(), num_u(s.flows)),
+                ("macro_vars".into(), num_u(s.macro_vars)),
+                ("admit_secs".into(), num_f(s.admit_secs)),
+                ("full_solve_ms".into(), num_f(s.full_solve_secs * 1e3)),
+                ("churn_epochs".into(), num_u(s.churn_epochs)),
+                ("churn_ns_per_epoch".into(), num_f(s.churn_ns_per_epoch)),
+                ("churn_ns_per_flow".into(), num_f(s.churn_ns_per_flow)),
+                ("warm_hits".into(), num_u(s.warm_hits)),
+                ("cold_solves".into(), num_u(s.cold_solves)),
+            ])
+        };
+        let point = Value::Map(vec![
+            ("kind".into(), Value::Str("star_macro_flows".into())),
+            ("small".into(), side(&small)),
+            ("large".into(), side(&large)),
+            ("per_flow_cost_ratio".into(), num_f(ratio)),
+        ]);
+        (point, ratio)
+    };
+
     let doc = Value::Map(vec![
         ("bench".into(), Value::Str("bench_smoke".into())),
         ("pr".into(), num_u(pr)),
@@ -550,6 +629,7 @@ fn main() {
         ("epoch_waves".into(), epoch_waves),
         ("hybrid".into(), hybrid),
         ("trace_overhead".into(), trace_overhead),
+        ("million_flow".into(), million_flow),
     ]);
     let json = serde_json::to_string_pretty(&doc).expect("serializes");
     std::fs::write(&out_path, json + "\n").expect("write bench json");
@@ -565,7 +645,17 @@ fn main() {
         std::process::exit(1);
     }
 
-    // 8. Regression gate against a committed baseline.
+    // Million-flow acceptance: no superlinear growth in per-epoch
+    // allocator cost; enforced on every invocation, like the wave gate.
+    if million_ratio > MILLION_FLOW_RATIO_CEIL {
+        eprintln!(
+            "FAIL million_flow: per-flow per-epoch cost grew {million_ratio:.2}x across \
+             an 8x population jump (ceiling {MILLION_FLOW_RATIO_CEIL:.1}x)"
+        );
+        std::process::exit(1);
+    }
+
+    // 9. Regression gate against a committed baseline.
     if let Some(path) = baseline_path {
         let text = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));

@@ -10,7 +10,8 @@
 //! * enums with unit, tuple and struct variants, optionally
 //!   internally tagged via `#[serde(tag = "…")]`,
 //! * `#[serde(rename_all = "snake_case")]` and field-level
-//!   `#[serde(default)]`,
+//!   `#[serde(default)]` / `#[serde(default = "path")]` (the path names a
+//!   nullary function visible at the derive site, as in real serde),
 //! * explicit discriminants (`Tcp = 6`) are accepted and ignored.
 //!
 //! Generics are intentionally unsupported — no workspace type needs them.
@@ -18,16 +19,29 @@
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 use std::iter::Peekable;
 
+/// How a missing field is filled during deserialization.
+#[derive(Default, Clone, PartialEq)]
+enum FieldDefault {
+    /// No default: a missing field is an error (unless the type itself
+    /// reports an `absent()` value, e.g. `Option`).
+    #[default]
+    None,
+    /// `#[serde(default)]` — `Default::default()`.
+    Std,
+    /// `#[serde(default = "path")]` — call the named nullary function.
+    Path(String),
+}
+
 #[derive(Default, Clone)]
 struct SerdeAttrs {
     rename_all: Option<String>,
     tag: Option<String>,
-    default: bool,
+    default: FieldDefault,
 }
 
 struct Field {
     name: String,
-    default: bool,
+    default: FieldDefault,
 }
 
 enum VariantKind {
@@ -160,7 +174,8 @@ fn parse_one_attr(stream: TokenStream, attrs: &mut SerdeAttrs) {
         match (key.as_str(), value) {
             ("rename_all", Some(v)) => attrs.rename_all = Some(v),
             ("tag", Some(v)) => attrs.tag = Some(v),
-            ("default", None) => attrs.default = true,
+            ("default", None) => attrs.default = FieldDefault::Std,
+            ("default", Some(path)) => attrs.default = FieldDefault::Path(path),
             (other, _) => {
                 panic!("serde derive (vendored): unsupported serde attribute `{other}`")
             }
@@ -218,7 +233,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
         skip_type(&mut it);
         fields.push(Field {
             name,
-            default: attrs.default,
+            default: attrs.default.clone(),
         });
         if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
             it.next();
@@ -414,16 +429,16 @@ fn gen_serialize(c: &Container) -> String {
 
 /// The `None =>` arm for a missing struct field.
 fn missing_field_arm(container: &str, field: &Field) -> String {
-    if field.default {
-        "::std::default::Default::default()".to_string()
-    } else {
-        format!(
+    match &field.default {
+        FieldDefault::Std => "::std::default::Default::default()".to_string(),
+        FieldDefault::Path(path) => format!("{path}()"),
+        FieldDefault::None => format!(
             "match ::serde::Deserialize::absent() {{\n\
              ::std::option::Option::Some(d) => d,\n\
              ::std::option::Option::None => return ::std::result::Result::Err(\
              ::serde::Error::custom(\"missing field `{n}` in {container}\")),\n}}",
             n = field.name
-        )
+        ),
     }
 }
 

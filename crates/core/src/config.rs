@@ -45,6 +45,22 @@ pub struct SimConfig {
     /// baseline. Leave `false` outside those uses.
     #[serde(default)]
     pub realloc_per_event: bool,
+    /// Collapse flows sharing an identical link sequence and demand into
+    /// one weighted macro-flow allocation variable (the million-flow
+    /// scaling trick). Rates and reports are **bit-identical** with the
+    /// knob on or off — only solver work changes — so it defaults on;
+    /// keep the `false` side for ablations.
+    #[serde(default = "default_true")]
+    pub macro_flows: bool,
+    /// Memoise component solves behind an exact, fully verified problem
+    /// digest so unchanged components replay their previous rates.
+    /// Bit-identical either way; defaults on, `false` for ablations.
+    #[serde(default = "default_true")]
+    pub warm_start: bool,
+}
+
+fn default_true() -> bool {
+    true
 }
 
 impl Default for SimConfig {
@@ -60,6 +76,8 @@ impl Default for SimConfig {
             hybrid_min_drain_frac: 0.05,
             engine_threads: 1,
             realloc_per_event: false,
+            macro_flows: true,
+            warm_start: true,
         }
     }
 }
@@ -72,6 +90,8 @@ impl SimConfig {
             avg_packet: self.avg_packet,
             max_route_hops: 64,
             engine_threads: self.engine_threads.max(1),
+            macro_flows: self.macro_flows,
+            warm_start: self.warm_start,
         }
     }
 
@@ -116,6 +136,20 @@ impl SimConfig {
         self.realloc_per_event = on;
         self
     }
+
+    /// Builder: toggle macro-flow aggregation (ablation knob; results
+    /// are bit-identical either way).
+    pub fn with_macro_flows(mut self, on: bool) -> Self {
+        self.macro_flows = on;
+        self
+    }
+
+    /// Builder: toggle the warm-start solve cache (ablation knob;
+    /// results are bit-identical either way).
+    pub fn with_warm_start(mut self, on: bool) -> Self {
+        self.warm_start = on;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -129,6 +163,28 @@ mod tests {
         assert_eq!(c.alloc_mode, AllocMode::Full);
         assert!(c.admit_retry_limit >= 1);
         assert_eq!(c.fluid().avg_packet, c.avg_packet);
+        assert!(c.macro_flows, "aggregation defaults on (bit-identical)");
+        assert!(c.warm_start, "warm cache defaults on (bit-identical)");
+        let ablated = c.with_macro_flows(false).with_warm_start(false);
+        assert!(!ablated.fluid().macro_flows);
+        assert!(!ablated.fluid().warm_start);
+    }
+
+    #[test]
+    fn macro_and_warm_knobs_default_on_when_absent_from_toml() {
+        // Older checked-in sweeps predate the knobs; deserialising them
+        // must land on the new defaults, not `false`.
+        let j = serde_json::to_string(&SimConfig::default()).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&j).unwrap();
+        let serde_json::Value::Map(entries) = v else {
+            panic!("config serializes to a map");
+        };
+        let pruned: Vec<_> = entries
+            .into_iter()
+            .filter(|(k, _)| k != "macro_flows" && k != "warm_start")
+            .collect();
+        let c: SimConfig = serde::Deserialize::from_value(&serde_json::Value::Map(pruned)).unwrap();
+        assert!(c.macro_flows && c.warm_start);
     }
 
     #[test]

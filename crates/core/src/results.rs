@@ -85,6 +85,16 @@ pub struct SimResults {
     pub realloc_runs: u64,
     /// Total flows touched across allocator runs.
     pub realloc_flows_touched: u64,
+    /// Allocation variables actually solved after macro-flow aggregation
+    /// (equals `realloc_flows_touched` when aggregation is off or no two
+    /// flows share a path class).
+    pub macro_flows: u64,
+    /// Component solves answered from the warm-start cache instead of a
+    /// fresh water-fill.
+    pub warm_hits: u64,
+    /// Component water-fills actually executed (cache misses plus
+    /// uncacheable components).
+    pub cold_solves: u64,
     /// Packet-fidelity flows in the hybrid co-simulation (0 in a pure
     /// fluid run).
     pub pkt_flows: u64,
@@ -183,7 +193,8 @@ impl SimResults {
              FCT p50/p95/p99   {:.4}s / {:.4}s / {:.4}s\n\
              ctrl msgs up/down {:>6} / {:<6} (flow-ins {})\n\
              epochs            {:>12}   (mean batch {:.2}, max {})\n\
-             realloc runs      {:>12}   (flows touched {}, saved {})",
+             realloc runs      {:>12}   (flows touched {}, saved {})\n\
+             alloc vars        {:>12}   (warm hits {}, cold solves {})",
             self.sim_time.as_secs_f64(),
             self.wall_seconds,
             self.speedup(),
@@ -207,6 +218,9 @@ impl SimResults {
             self.realloc_runs,
             self.realloc_flows_touched,
             self.realloc_saved(),
+            self.macro_flows,
+            self.warm_hits,
+            self.cold_solves,
         )
     }
 }
@@ -237,6 +251,9 @@ mod tests {
             stale_completions: 100,
             realloc_runs: 18,
             realloc_flows_touched: 40,
+            macro_flows: 35,
+            warm_hits: 3,
+            cold_solves: 15,
             pkt_flows: 0,
             fct_foreground: Summary::default(),
             recovery: Summary::default(),

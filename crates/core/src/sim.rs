@@ -1022,6 +1022,9 @@ impl Simulation {
             stale_completions: self.stale_completions,
             realloc_runs: self.fluid.realloc_runs,
             realloc_flows_touched: self.fluid.realloc_flows_touched,
+            macro_flows: self.fluid.macro_flows,
+            warm_hits: self.fluid.warm_hits,
+            cold_solves: self.fluid.cold_solves,
             pkt_flows,
             fct_foreground,
             recovery,

@@ -60,7 +60,7 @@
 //! not per-epoch).
 
 use crate::flow::{ActiveFlow, FlowSpec, Route, RouteHop};
-use crate::maxmin::{max_min_allocate_csr, AllocMode, MaxMinScratch};
+use crate::maxmin::{max_min_allocate_csr_weighted, AllocMode, MaxMinScratch};
 use crate::slab::FlowArena;
 use crate::stats::{DropCause, DropRecord, FlowRecord, LinkStats};
 use horse_openflow::messages::{CtrlMsg, SwitchMsg};
@@ -87,6 +87,22 @@ pub struct FluidConfig {
     /// clock changes. Worth > 1 on large fabrics with many independent
     /// traffic components; small problems pay thread setup per call.
     pub engine_threads: usize,
+    /// Collapse flows sharing an identical link sequence *and* demand
+    /// into one weighted macro-flow allocation variable (the fluid-model
+    /// scaling trick: a million flows on one path class solve as one
+    /// variable). Rates, emission order and reports are **bit-identical**
+    /// to the unaggregated solve — only solver work shrinks — so this is
+    /// on by default.
+    pub macro_flows: bool,
+    /// Memoise each component's solved rates behind an exact problem
+    /// digest (demands, weights, capacities, adjacency — verified in
+    /// full on every hit, so a hit replays the identical answer a cold
+    /// solve would compute). Re-solving an unchanged component becomes a
+    /// copy; any change falls back to a cold water-fill. Bit-identical
+    /// either way, so this is on by default. Only mid-sized problems are
+    /// cached (≈32–1024 variables): tiny components solve faster than
+    /// they hash, huge ones would dominate the cache's memory.
+    pub warm_start: bool,
 }
 
 impl Default for FluidConfig {
@@ -96,6 +112,8 @@ impl Default for FluidConfig {
             avg_packet: ByteSize::bytes(1000),
             max_route_hops: 64,
             engine_threads: 1,
+            macro_flows: true,
+            warm_start: true,
         }
     }
 }
@@ -196,6 +214,70 @@ struct EngineMetrics {
     realloc_components: Counter,
     realloc_flows_touched: Counter,
     component_flows: Histogram,
+    macro_flows: Counter,
+    warm_hits: Counter,
+    cold_solves: Counter,
+}
+
+/// Direct-mapped warm-start cache size (power of two).
+const WARM_SLOTS: usize = 256;
+/// Problems with fewer variables than this are never cached: hashing and
+/// verifying the whole problem (plus copying it into the slot on a miss)
+/// costs the same order as just water-filling a small component, so the
+/// cache would tax exactly the workloads — high-churn fabrics with many
+/// tiny components — that never hit it.
+const WARM_MIN_VARS: usize = 32;
+/// Problems with more variables than this are never cached (bounds the
+/// cache's worst-case memory; big components still solve cold).
+const WARM_MAX_VARS: usize = 1024;
+/// Adjacency-entry cap for cacheable problems (same purpose).
+const WARM_MAX_NNZ: usize = 4096;
+
+/// splitmix64 finaliser — the mixer behind macro-flow grouping digests
+/// and warm-cache keys. Purely arithmetic: deterministic across runs,
+/// platforms and thread counts.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One direct-mapped warm-cache slot: the exact dense problem last solved
+/// at this slot plus its rates. A hit requires the digest *and* every
+/// stored array to match bit-for-bit, so a replayed answer is always the
+/// answer a cold solve would produce. Buffers are overwritten in place
+/// (clear + extend), so steady-state stores allocate nothing once each
+/// slot reached its high-water size.
+#[derive(Default)]
+struct WarmSlot {
+    used: bool,
+    digest: u64,
+    demands: Vec<f64>,
+    weights: Vec<u32>,
+    caps: Vec<f64>,
+    fl_off: Vec<u32>,
+    fl_links: Vec<u32>,
+    rates: Vec<f64>,
+}
+
+/// Per-component warm-cache decision for the current solve pass.
+#[derive(Clone, Copy, Debug)]
+enum WarmPlan {
+    /// Cached rates already copied out; skip the solve.
+    Hit,
+    /// Solve cold, then store the problem + rates into this slot.
+    Store { slot: u32, digest: u64 },
+    /// Solve cold; problem too large (or warm-start disabled) to cache.
+    Skip,
+}
+
+/// Bit-exact slice equality for floats (`==` would conflate `0.0` with
+/// `-0.0`; the warm cache must never weaken the bit-identity contract).
+#[inline]
+fn bits_eq(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
 }
 
 /// Wall-clock timing of the last [`FluidNet::reallocate`] call, split by
@@ -221,6 +303,7 @@ pub struct ReallocTiming {
 /// exclusive output slice it merges its rates into.
 struct SolveTask<'a> {
     demands: &'a [f64],
+    weights: &'a [u32],
     offsets: &'a [u32],
     links: &'a [u32],
     caps: &'a [f64],
@@ -266,8 +349,23 @@ struct ReallocScratch {
     problem_links: Vec<u32>,
     /// Raw link index of each appended virtual external-demand flow.
     ext_links: Vec<u32>,
-    /// Merged allocator output (aligned with `demands`).
+    /// Merged allocator output (aligned with `demands`). With macro-flow
+    /// aggregation a variable's rate is the **per-member** rate, so the
+    /// apply pass reads it directly through `rate_idx`.
     rates: Vec<f64>,
+    /// Dense problems: per-variable member count (aligned with
+    /// `demands`; 1 for unaggregated and virtual external flows).
+    weights: Vec<u32>,
+    /// Per dense variable: arena slot of its canonical (first) member,
+    /// `u32::MAX` for virtual external flows. Used to verify macro-table
+    /// probes exactly (digest equality alone is not proof).
+    macro_rep: Vec<u32>,
+    /// Macro-flow grouping table: open-addressing `(gen, digest, var)`
+    /// slots, power-of-two sized, gen-stamped per component build so no
+    /// clearing is ever needed.
+    macro_tab: Vec<(u64, u64, u32)>,
+    /// Per-component warm-cache decisions of the current solve pass.
+    warm_plan: Vec<WarmPlan>,
     /// Rate changes reported to the caller (borrowed out of `reallocate`).
     changes: Vec<RateChange>,
 }
@@ -311,17 +409,20 @@ fn finish_component(flows: &FlowArena, scratch: &mut ReallocScratch, start: usiz
 
 /// Water-fills one component's subproblem into the merged rate array
 /// (serial path; the parallel path routes through [`SolveTask`]s).
+#[allow(clippy::too_many_arguments)] // slices of one flat problem, not an API
 fn solve_component(
     c: &CompRange,
     demands: &[f64],
+    weights: &[u32],
     fl_off: &[u32],
     fl_links: &[u32],
     caps: &[f64],
     rates_all: &mut [f64],
     w: &mut WorkerScratch,
 ) {
-    max_min_allocate_csr(
+    max_min_allocate_csr_weighted(
         &demands[c.dem.0 as usize..c.dem.1 as usize],
+        &weights[c.dem.0 as usize..c.dem.1 as usize],
         &fl_off[c.off.0 as usize..c.off.1 as usize],
         &fl_links[c.lnk.0 as usize..c.lnk.1 as usize],
         &caps[c.links.0 as usize..c.links.1 as usize],
@@ -376,10 +477,22 @@ pub struct FluidNet {
     /// (`workers[0]` serves the serial path; grown lazily to
     /// [`FluidConfig::engine_threads`] on the first parallel call).
     workers: Vec<WorkerScratch>,
+    /// Direct-mapped warm-start cache (see [`WarmSlot`]); grown lazily to
+    /// [`WARM_SLOTS`] on the first solve with warm-start enabled.
+    warm: Vec<WarmSlot>,
     /// Number of allocator runs (exported with results; ablation metric).
     pub realloc_runs: u64,
     /// Total flows touched by allocator runs (ablation metric).
     pub realloc_flows_touched: u64,
+    /// Total macro-flow allocation variables solved (post-aggregation;
+    /// compare against `realloc_flows_touched` for the compression the
+    /// path-class trick bought — equal when aggregation is off).
+    pub macro_flows: u64,
+    /// Component solves answered from the warm-start cache.
+    pub warm_hits: u64,
+    /// Component solves actually water-filled (cache miss, oversize
+    /// problem, or warm-start disabled).
+    pub cold_solves: u64,
     metrics: EngineMetrics,
     /// Capture wall-clock phase timing on the next `reallocate` calls.
     timing_enabled: bool,
@@ -423,8 +536,12 @@ impl FluidNet {
                 ..ReallocScratch::default()
             },
             workers: vec![WorkerScratch::default()],
+            warm: Vec::new(),
             realloc_runs: 0,
             realloc_flows_touched: 0,
+            macro_flows: 0,
+            warm_hits: 0,
+            cold_solves: 0,
             metrics: EngineMetrics::default(),
             timing_enabled: false,
             timing: ReallocTiming::default(),
@@ -440,6 +557,9 @@ impl FluidNet {
             realloc_components: registry.counter("alloc.components"),
             realloc_flows_touched: registry.counter("alloc.flows_touched"),
             component_flows: registry.histogram("alloc.component_flows"),
+            macro_flows: registry.counter("alloc.macro_flows"),
+            warm_hits: registry.counter("alloc.warm_hits"),
+            cold_solves: registry.counter("alloc.cold_solves"),
         };
     }
 
@@ -706,6 +826,29 @@ impl FluidNet {
     /// receive a full max-min fair share. Marks the link dirty so the
     /// next incremental reallocation picks up the change. Returns the
     /// previous demand.
+    ///
+    /// # Example
+    ///
+    /// A backlogged packet serializer competes like one more flow on its
+    /// link. The granted share materializes once the link next appears
+    /// in a recomputed problem (i.e. carries fluid flows) — see
+    /// [`FluidNet::external_granted`]:
+    ///
+    /// ```
+    /// use horse_dataplane::{FluidConfig, FluidNet};
+    /// use horse_topology::builders;
+    /// use horse_types::{LinkId, Rate, SimTime};
+    ///
+    /// let star = builders::star(2, Rate::gbps(1.0));
+    /// let mut net = FluidNet::new(star.topology, FluidConfig::default());
+    /// let prev = net.set_external_demand(LinkId(0), f64::INFINITY);
+    /// assert_eq!(prev, 0.0);
+    /// assert!(net.external_demand(LinkId(0)).is_infinite());
+    /// net.reallocate(SimTime::ZERO);
+    /// // No fluid flow shares the link yet, so no grant was computed;
+    /// // the hybrid coupling's min-drain floor covers this window.
+    /// assert_eq!(net.external_granted(LinkId(0)), 0.0);
+    /// ```
     pub fn set_external_demand(&mut self, link: LinkId, bps: f64) -> f64 {
         let slot = &mut self.external_demand[link.index()];
         let prev = *slot;
@@ -960,6 +1103,61 @@ impl FluidNet {
     /// components, each water-filled as an independent subproblem — see
     /// the module docs for the discovery/solve split and the determinism
     /// contract.
+    ///
+    /// Flows sharing an identical link sequence and demand collapse into
+    /// one weighted macro-flow variable before the solve (unless
+    /// [`FluidConfig::macro_flows`] is off), and unchanged components
+    /// replay cached rates (unless [`FluidConfig::warm_start`] is off);
+    /// both are pure solver-work optimizations — the returned rates are
+    /// bit-identical with any knob combination.
+    ///
+    /// # Example
+    ///
+    /// One greedy flow across a two-host star takes the whole 1 Gbit/s
+    /// bottleneck:
+    ///
+    /// ```
+    /// use horse_dataplane::{AdmitOutcome, DemandModel, FlowSpec, FluidConfig, FluidNet};
+    /// use horse_openflow::actions::Instruction;
+    /// use horse_openflow::flow_match::FlowMatch;
+    /// use horse_openflow::messages::{CtrlMsg, FlowMod};
+    /// use horse_openflow::table::FlowEntry;
+    /// use horse_topology::builders;
+    /// use horse_types::{FlowKey, Rate, SimTime};
+    ///
+    /// let star = builders::star(2, Rate::gbps(1.0));
+    /// let mut net = FluidNet::new(star.topology, FluidConfig::default());
+    /// // Hub forwarding: one per-destination-MAC entry per access port.
+    /// let hub = star.edges[0];
+    /// let topo = net.topology().clone();
+    /// for (_, link) in topo.out_links(hub) {
+    ///     if let Some(mac) = topo.node(link.dst).and_then(|n| n.mac()) {
+    ///         net.apply_ctrl(hub, &CtrlMsg::FlowMod(FlowMod::add(FlowEntry::new(
+    ///             100,
+    ///             FlowMatch::ANY.with_eth_dst(mac),
+    ///             vec![Instruction::output(link.src_port)],
+    ///         ))), SimTime::ZERO);
+    ///     }
+    /// }
+    /// let (src, dst) = (star.members[0], star.members[1]);
+    /// let id = net.reserve_id();
+    /// let spec = FlowSpec {
+    ///     key: FlowKey::tcp(
+    ///         topo.node(src).unwrap().mac().unwrap(),
+    ///         topo.node(dst).unwrap().mac().unwrap(),
+    ///         topo.node(src).unwrap().ip().unwrap(),
+    ///         topo.node(dst).unwrap().ip().unwrap(),
+    ///         1000, 80),
+    ///     src, dst,
+    ///     demand: DemandModel::Greedy,
+    ///     size: None,
+    ///     fidelity: Default::default(),
+    /// };
+    /// assert!(matches!(net.try_admit(id, spec, SimTime::ZERO), AdmitOutcome::Admitted));
+    /// let changes = net.reallocate(SimTime::ZERO);
+    /// assert_eq!(changes.len(), 1);
+    /// assert_eq!(changes[0].rate, Rate::gbps(1.0));
+    /// ```
     pub fn reallocate(&mut self, now: SimTime) -> &[RateChange] {
         // Wall clock is read only when phase timing is on, and feeds
         // nothing but the span export.
@@ -1094,6 +1292,7 @@ impl FluidNet {
         // entries never leak across components (no per-call clearing or
         // hashing — this is the hottest loop in the engine).
         {
+            let use_macro = self.config.macro_flows;
             let scratch = &mut self.scratch;
             scratch.caps.clear();
             scratch.demands.clear();
@@ -1102,6 +1301,24 @@ impl FluidNet {
             scratch.problem_links.clear();
             scratch.ext_links.clear();
             scratch.rate_idx.clear();
+            scratch.weights.clear();
+            scratch.macro_rep.clear();
+            // The arena knows the exact worst-case CSR non-zero count
+            // (every active flow recomputed, no aggregation), so the
+            // adjacency scratch never grows mid-build.
+            scratch.fl_links.reserve(self.flows.route_entries());
+            if use_macro {
+                // Grow the grouping table to a power of two with head
+                // room for every flow under recomputation (gen stamps
+                // make clearing unnecessary; resizing preserves the
+                // power-of-two length because `need` is one and growth
+                // is monotone).
+                let need = (scratch.ids.len().max(16) * 2).next_power_of_two();
+                if scratch.macro_tab.len() < need {
+                    scratch.macro_tab.resize(need, (0, 0, 0));
+                }
+            }
+            let mask = scratch.macro_tab.len().wrapping_sub(1);
             for c_idx in 0..scratch.comps.len() {
                 scratch.gen += 1;
                 let cgen = scratch.gen;
@@ -1112,7 +1329,49 @@ impl FluidNet {
                 c.lnk.0 = scratch.fl_links.len() as u32;
                 c.ext.0 = scratch.ext_links.len() as u32;
                 for i in c.flows.0..c.flows.1 {
-                    let flow = self.flows.flow_at(scratch.ids[i as usize]);
+                    let slot = scratch.ids[i as usize];
+                    let flow = self.flows.flow_at(slot);
+                    let demand = flow.effective_demand();
+                    if use_macro {
+                        // Path-class digest: the link sequence plus the
+                        // demand bits. Flows in ascending-id order, so
+                        // the first member of a class becomes its
+                        // canonical representative and variable order is
+                        // first-touch deterministic.
+                        let mut h = mix64(demand.to_bits());
+                        for &l in &flow.route.links {
+                            h = mix64(h ^ (l.index() as u64 + 1));
+                        }
+                        let mut idx = (h as usize) & mask;
+                        let mut joined = false;
+                        loop {
+                            let e = scratch.macro_tab[idx];
+                            if e.0 != cgen {
+                                break; // empty: this flow founds a class
+                            }
+                            if e.1 == h {
+                                let var = e.2 as usize;
+                                let rep = self.flows.flow_at(scratch.macro_rep[var]);
+                                // The digest is a hint; membership takes
+                                // exact demand-bit and link-sequence
+                                // equality (collisions fall through to
+                                // the next probe slot).
+                                if scratch.demands[var].to_bits() == demand.to_bits()
+                                    && rep.route.links == flow.route.links
+                                {
+                                    scratch.weights[var] += 1;
+                                    scratch.rate_idx.push(var as u32);
+                                    joined = true;
+                                    break;
+                                }
+                            }
+                            idx = (idx + 1) & mask;
+                        }
+                        if joined {
+                            continue;
+                        }
+                        scratch.macro_tab[idx] = (cgen, h, scratch.demands.len() as u32);
+                    }
                     scratch.fl_off.push(scratch.fl_links.len() as u32 - c.lnk.0);
                     for &l in &flow.route.links {
                         let entry = &mut scratch.link_idx[l.index()];
@@ -1135,7 +1394,9 @@ impl FluidNet {
                         scratch.fl_links.push(entry.1);
                     }
                     scratch.rate_idx.push(scratch.demands.len() as u32);
-                    scratch.demands.push(flow.effective_demand());
+                    scratch.weights.push(1);
+                    scratch.macro_rep.push(slot);
+                    scratch.demands.push(demand);
                 }
                 // Hybrid coupling: every component link carrying external
                 // (packet plane) load contributes one virtual single-link
@@ -1150,6 +1411,10 @@ impl FluidNet {
                         scratch.fl_off.push(scratch.fl_links.len() as u32 - c.lnk.0);
                         scratch.fl_links.push(dense - c.links.0);
                         scratch.demands.push(d);
+                        // External aggregates never aggregate with real
+                        // flows (and carry no representative).
+                        scratch.weights.push(1);
+                        scratch.macro_rep.push(u32::MAX);
                         scratch.ext_links.push(li);
                     }
                 }
@@ -1162,65 +1427,161 @@ impl FluidNet {
                 scratch.comps[c_idx] = c;
             }
         }
+        let real_vars = (self.scratch.demands.len() - self.scratch.ext_links.len()) as u64;
+        self.macro_flows += real_vars;
+        self.metrics.macro_flows.add(real_vars);
         let t_built = t_enter.map(|_| Instant::now());
 
-        // ---- Solve pass ----
+        // ---- Warm-start probe (serial, deterministic) ----
+        // Exact-problem memoisation: a component whose dense problem is
+        // bit-identical to the one last solved at its direct-mapped cache
+        // slot replays the cached rates; everything else solves cold and
+        // refreshes its slot afterwards. Probe and store run serially on
+        // either solve path, so hit/miss decisions never depend on
+        // `engine_threads`.
+        if self.config.warm_start && self.warm.is_empty() {
+            self.warm.resize_with(WARM_SLOTS, WarmSlot::default);
+        }
+        let mut warm_hits = 0u64;
+        {
+            let warm_on = self.config.warm_start;
+            let ReallocScratch {
+                comps,
+                demands,
+                weights,
+                caps,
+                fl_off,
+                fl_links,
+                rates,
+                warm_plan,
+                ..
+            } = &mut self.scratch;
+            warm_plan.clear();
+            rates.clear();
+            rates.resize(demands.len(), 0.0);
+            for c in comps.iter() {
+                let nvars = (c.dem.1 - c.dem.0) as usize;
+                let nnz = (c.lnk.1 - c.lnk.0) as usize;
+                if !warm_on
+                    || !(WARM_MIN_VARS..=WARM_MAX_VARS).contains(&nvars)
+                    || nnz > WARM_MAX_NNZ
+                {
+                    warm_plan.push(WarmPlan::Skip);
+                    continue;
+                }
+                let dem = &demands[c.dem.0 as usize..c.dem.1 as usize];
+                let wts = &weights[c.dem.0 as usize..c.dem.1 as usize];
+                let cps = &caps[c.links.0 as usize..c.links.1 as usize];
+                let off = &fl_off[c.off.0 as usize..c.off.1 as usize];
+                let lnk = &fl_links[c.lnk.0 as usize..c.lnk.1 as usize];
+                let mut h = mix64(nvars as u64 ^ ((cps.len() as u64) << 32));
+                for d in dem {
+                    h = mix64(h ^ d.to_bits());
+                }
+                for &w in wts {
+                    h = mix64(h ^ w as u64);
+                }
+                for cap in cps {
+                    h = mix64(h ^ cap.to_bits());
+                }
+                for &o in off {
+                    h = mix64(h ^ o as u64);
+                }
+                for &l in lnk {
+                    h = mix64(h ^ l as u64);
+                }
+                let slot = (h as usize) & (WARM_SLOTS - 1);
+                let w = &self.warm[slot];
+                if w.used
+                    && w.digest == h
+                    && bits_eq(&w.demands, dem)
+                    && w.weights == wts
+                    && bits_eq(&w.caps, cps)
+                    && w.fl_off == off
+                    && w.fl_links == lnk
+                {
+                    rates[c.dem.0 as usize..c.dem.1 as usize].copy_from_slice(&w.rates);
+                    warm_plan.push(WarmPlan::Hit);
+                    warm_hits += 1;
+                } else {
+                    warm_plan.push(WarmPlan::Store {
+                        slot: slot as u32,
+                        digest: h,
+                    });
+                }
+            }
+        }
+        self.warm_hits += warm_hits;
+        self.metrics.warm_hits.add(warm_hits);
+
+        // ---- Solve pass (cold components only) ----
         // Each component is an independent water-filling problem; its
         // rates land in the component's own segment of the merged rate
         // array, so the merge is position-fixed by discovery order and
         // identical however the components were scheduled.
-        let par_threads = self
-            .config
-            .engine_threads
-            .max(1)
-            .min(self.scratch.comps.len());
+        let cold = self
+            .scratch
+            .warm_plan
+            .iter()
+            .filter(|p| !matches!(p, WarmPlan::Hit))
+            .count();
+        let par_threads = self.config.engine_threads.max(1).min(cold);
         let timing_enabled = self.timing_enabled;
         {
             let ReallocScratch {
                 comps,
                 demands,
+                weights,
                 fl_off,
                 fl_links,
                 caps,
                 rates,
+                warm_plan,
                 ..
             } = &mut self.scratch;
             if par_threads <= 1 && comps.len() == 1 {
                 // Single component: solve straight into the merged array
-                // (the allocator clears/sizes it), skipping the
-                // per-worker staging copy.
-                max_min_allocate_csr(
-                    demands,
-                    fl_off,
-                    fl_links,
-                    caps,
-                    rates,
-                    &mut self.workers[0].maxmin,
-                );
+                // (the allocator clears/sizes it to the same length, so
+                // no reallocation), skipping the per-worker staging copy.
+                if !matches!(warm_plan[0], WarmPlan::Hit) {
+                    max_min_allocate_csr_weighted(
+                        demands,
+                        weights,
+                        fl_off,
+                        fl_links,
+                        caps,
+                        rates,
+                        &mut self.workers[0].maxmin,
+                    );
+                }
             } else if par_threads <= 1 {
-                rates.clear();
-                rates.resize(demands.len(), 0.0);
                 let w = &mut self.workers[0];
-                for c in comps.iter() {
-                    solve_component(c, demands, fl_off, fl_links, caps, rates, w);
+                for (c, plan) in comps.iter().zip(warm_plan.iter()) {
+                    if matches!(plan, WarmPlan::Hit) {
+                        continue;
+                    }
+                    solve_component(c, demands, weights, fl_off, fl_links, caps, rates, w);
                 }
             } else {
-                rates.clear();
-                rates.resize(demands.len(), 0.0);
                 while self.workers.len() < par_threads {
                     self.workers.push(WorkerScratch::default());
                 }
                 // Split the merged rate array into disjoint per-component
                 // output slices and let the scoped workers pull jobs off a
                 // shared stack (component sizes are skewed, so dynamic
-                // pull beats static striping).
-                let mut tasks: Vec<SolveTask> = Vec::with_capacity(comps.len());
+                // pull beats static striping). Warm-hit segments keep
+                // their copied rates and are simply skipped.
+                let mut tasks: Vec<SolveTask> = Vec::with_capacity(cold);
                 let mut rest: &mut [f64] = rates.as_mut_slice();
-                for c in comps.iter() {
+                for (c, plan) in comps.iter().zip(warm_plan.iter()) {
                     let (out, tail) = rest.split_at_mut((c.dem.1 - c.dem.0) as usize);
                     rest = tail;
+                    if matches!(plan, WarmPlan::Hit) {
+                        continue;
+                    }
                     tasks.push(SolveTask {
                         demands: &demands[c.dem.0 as usize..c.dem.1 as usize],
+                        weights: &weights[c.dem.0 as usize..c.dem.1 as usize],
                         offsets: &fl_off[c.off.0 as usize..c.off.1 as usize],
                         links: &fl_links[c.lnk.0 as usize..c.lnk.1 as usize],
                         caps: &caps[c.links.0 as usize..c.links.1 as usize],
@@ -1239,8 +1600,9 @@ impl FluidNet {
                             };
                             let Some(task) = task else { break };
                             let t_task = timing_enabled.then(Instant::now);
-                            max_min_allocate_csr(
+                            max_min_allocate_csr_weighted(
                                 task.demands,
+                                task.weights,
                                 task.offsets,
                                 task.links,
                                 task.caps,
@@ -1254,6 +1616,52 @@ impl FluidNet {
                         });
                     }
                 });
+            }
+        }
+        self.cold_solves += cold as u64;
+        self.metrics.cold_solves.add(cold as u64);
+
+        // ---- Warm store (serial) ----
+        // Every cold-solved cacheable component overwrites its slot in
+        // place; buffers reuse capacity, so steady-state stores allocate
+        // nothing once each slot reached its high-water size.
+        {
+            let ReallocScratch {
+                comps,
+                demands,
+                weights,
+                caps,
+                fl_off,
+                fl_links,
+                rates,
+                warm_plan,
+                ..
+            } = &mut self.scratch;
+            for (c, plan) in comps.iter().zip(warm_plan.iter()) {
+                let WarmPlan::Store { slot, digest } = plan else {
+                    continue;
+                };
+                let w = &mut self.warm[*slot as usize];
+                w.used = true;
+                w.digest = *digest;
+                w.demands.clear();
+                w.demands
+                    .extend_from_slice(&demands[c.dem.0 as usize..c.dem.1 as usize]);
+                w.weights.clear();
+                w.weights
+                    .extend_from_slice(&weights[c.dem.0 as usize..c.dem.1 as usize]);
+                w.caps.clear();
+                w.caps
+                    .extend_from_slice(&caps[c.links.0 as usize..c.links.1 as usize]);
+                w.fl_off.clear();
+                w.fl_off
+                    .extend_from_slice(&fl_off[c.off.0 as usize..c.off.1 as usize]);
+                w.fl_links.clear();
+                w.fl_links
+                    .extend_from_slice(&fl_links[c.lnk.0 as usize..c.lnk.1 as usize]);
+                w.rates.clear();
+                w.rates
+                    .extend_from_slice(&rates[c.dem.0 as usize..c.dem.1 as usize]);
             }
         }
 
@@ -1288,14 +1696,13 @@ impl FluidNet {
             }
         }
         // Record the grants handed to the external (packet) aggregates;
-        // their rates sit past the real flows of their component.
+        // their rates sit past the real (macro) variables of their
+        // component, i.e. in the last `ext` entries of its dense range.
         for c_idx in 0..self.scratch.comps.len() {
             let c = self.scratch.comps[c_idx];
-            let real = c.flows.1 - c.flows.0;
             for k in c.ext.0..c.ext.1 {
                 let li = self.scratch.ext_links[k as usize] as usize;
-                self.external_granted[li] =
-                    self.scratch.rates[(c.dem.0 + real + (k - c.ext.0)) as usize];
+                self.external_granted[li] = self.scratch.rates[(c.dem.1 - c.ext.1 + k) as usize];
             }
         }
         if let (Some(t0), Some(t1), Some(t2), Some(t3)) = (t_enter, t_discovered, t_built, t_solved)

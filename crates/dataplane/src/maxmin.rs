@@ -34,9 +34,31 @@
 //! * [`AllocMode::Incremental`] — used by the engine to restrict
 //!   recomputation to the connected component of flows sharing links with
 //!   the flows that changed (ablation experiment A1 quantifies the gain).
+//!
+//! ## Macro-flows (weighted variables)
+//!
+//! [`max_min_allocate_csr_weighted`] lets one allocation variable stand
+//! for `w` identical member flows (same link set, same demand): crossing
+//! degrees count the members, so every per-round float operation —
+//! including the repeated-subtraction replay — is the exact sequence the
+//! expanded, per-member problem performs. The solved rate of a weighted
+//! variable is therefore the **per-member** rate, bit-identical to what
+//! each member would have received solved individually. This is the
+//! fluid-model scaling trick: a million flows sharing one path class cost
+//! one variable, not a million.
 
 /// Allocation strategy selector (consumed by the engine; the allocator
 /// itself always solves the subproblem it is given).
+///
+/// ```
+/// use horse_dataplane::AllocMode;
+///
+/// // Round-trips through serde using snake_case names (this is what the
+/// // lab's TOML sweep axes parse).
+/// let m: AllocMode = serde_json::from_str("\"incremental\"").unwrap();
+/// assert_eq!(m, AllocMode::Incremental);
+/// assert_ne!(AllocMode::Full, AllocMode::Incremental);
+/// ```
 #[derive(Clone, Copy, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
 #[serde(rename_all = "snake_case")]
 pub enum AllocMode {
@@ -199,6 +221,32 @@ pub fn max_min_allocate_csr(
     rates: &mut Vec<f64>,
     s: &mut MaxMinScratch,
 ) {
+    max_min_allocate_csr_weighted(demands, &[], offsets, links, capacity, rates, s);
+}
+
+/// Weighted (macro-flow) variant of [`max_min_allocate_csr`]: variable
+/// `f` stands for `weights[f]` identical member flows, and `rates[f]` is
+/// the **per-member** rate. An empty `weights` slice means all-ones (the
+/// unweighted problem, taking exactly the unweighted code path).
+///
+/// The contract is exact, not approximate: expanding every variable into
+/// `weights[f]` copies and solving the expanded problem with
+/// [`max_min_allocate_csr`] yields `rates[f]` for each copy, **bit for
+/// bit**. This holds because equal-demand, equal-link-set members freeze
+/// in the same round at the same fill level, crossing degrees sum member
+/// counts, and the lazy materialisation replays the same
+/// repeated-subtraction sequence either way (intermediate heap entries
+/// the expanded run publishes between member freezes are superseded by
+/// stamp bumps before they are ever consulted).
+pub fn max_min_allocate_csr_weighted(
+    demands: &[f64],
+    weights: &[u32],
+    offsets: &[u32],
+    links: &[u32],
+    capacity: &[f64],
+    rates: &mut Vec<f64>,
+    s: &mut MaxMinScratch,
+) {
     let nf = demands.len();
     let nl = capacity.len();
     assert_eq!(
@@ -206,12 +254,24 @@ pub fn max_min_allocate_csr(
         nf + 1,
         "CSR offsets must have nf + 1 entries"
     );
+    debug_assert!(
+        weights.is_empty() || weights.len() == nf,
+        "weights must be empty or one per variable"
+    );
     rates.clear();
     rates.resize(nf, 0.0);
     if nf == 0 {
         return;
     }
     let flow_links = |f: usize| &links[offsets[f] as usize..offsets[f + 1] as usize];
+    // Member count of variable `f` (1 everywhere in the unweighted case).
+    let wt = |f: usize| -> u32 {
+        if weights.is_empty() {
+            1
+        } else {
+            weights[f]
+        }
+    };
 
     // Reset scratch to the problem size.
     s.avail.clear();
@@ -243,7 +303,7 @@ pub fn max_min_allocate_csr(
             s.frozen[f] = true;
         } else {
             for &l in fl {
-                s.crossing[l as usize] += 1;
+                s.crossing[l as usize] += wt(f);
             }
             s.order.push(f as u32);
             unfrozen += 1;
@@ -253,11 +313,18 @@ pub fn max_min_allocate_csr(
         return;
     }
 
-    // Reverse CSR (link → flows) by counting sort over the current degrees.
+    // Reverse CSR (link → variables) by counting sort over per-variable
+    // degrees (one entry per adjacency edge — `crossing` sums *member*
+    // counts, which is not the edge count once weights enter).
     s.rev_off.clear();
     s.rev_off.resize(nl + 1, 0);
+    for f in 0..nf {
+        for &l in flow_links(f) {
+            s.rev_off[l as usize + 1] += 1;
+        }
+    }
     for l in 0..nl {
-        s.rev_off[l + 1] = s.rev_off[l] + s.crossing[l];
+        s.rev_off[l + 1] += s.rev_off[l];
     }
     s.rev_flows.clear();
     s.rev_flows.resize(s.rev_off[nl] as usize, 0);
@@ -407,7 +474,7 @@ pub fn max_min_allocate_csr(
                 for &l in flow_links(f) {
                     let l = l as usize;
                     s.materialize(l, applied);
-                    s.crossing[l] -= 1;
+                    s.crossing[l] -= wt(f);
                     s.stamp[l] = s.stamp[l].wrapping_add(1);
                     if s.crossing[l] > 0 {
                         let key = fill + s.avail[l] / s.crossing[l] as f64;
@@ -456,7 +523,7 @@ pub fn max_min_allocate_csr(
                     for &l2 in flow_links(f) {
                         let l2 = l2 as usize;
                         s.materialize(l2, applied);
-                        s.crossing[l2] -= 1;
+                        s.crossing[l2] -= wt(f);
                         s.stamp[l2] = s.stamp[l2].wrapping_add(1);
                         if s.crossing[l2] > 0 {
                             let key = fill + s.avail[l2] / s.crossing[l2] as f64;
@@ -971,6 +1038,113 @@ mod tests {
             }
         }
     }
+
+    /// Solves a weighted problem through the macro-flow entry point.
+    pub(super) fn solve_weighted(
+        demands: &[f64],
+        weights: &[u32],
+        fl: &[Vec<usize>],
+        caps: &[f64],
+    ) -> Vec<f64> {
+        let mut offsets = vec![0u32];
+        let mut links = Vec::new();
+        for l in fl {
+            links.extend(l.iter().map(|&x| x as u32));
+            offsets.push(links.len() as u32);
+        }
+        let mut rates = Vec::new();
+        let mut s = MaxMinScratch::new();
+        max_min_allocate_csr_weighted(demands, weights, &offsets, &links, caps, &mut rates, &mut s);
+        rates
+    }
+
+    /// Expands every weighted variable into `weights[f]` member copies,
+    /// solves the expanded problem unweighted, asserts all members of a
+    /// variable received the same bits, and returns the per-variable
+    /// member rate — the oracle the weighted solver must match bit-wise.
+    pub(super) fn solve_expanded(
+        demands: &[f64],
+        weights: &[u32],
+        fl: &[Vec<usize>],
+        caps: &[f64],
+    ) -> Vec<f64> {
+        let mut xd = Vec::new();
+        let mut xfl = Vec::new();
+        let mut owner = Vec::new();
+        for f in 0..demands.len() {
+            for _ in 0..weights[f] {
+                xd.push(demands[f]);
+                xfl.push(fl[f].clone());
+                owner.push(f);
+            }
+        }
+        let expanded = max_min_allocate(&xd, &xfl, caps);
+        let mut out = vec![f64::NAN; demands.len()];
+        for (m, &f) in owner.iter().enumerate() {
+            if out[f].is_nan() {
+                out[f] = expanded[m];
+            } else {
+                assert_eq!(
+                    out[f].to_bits(),
+                    expanded[m].to_bits(),
+                    "members of variable {f} disagree"
+                );
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn weighted_matches_expanded_bitwise_on_fixed_cases() {
+        type Case = (Vec<f64>, Vec<u32>, Vec<Vec<usize>>, Vec<f64>);
+        let cases: Vec<Case> = vec![
+            // A million greedy members on one link: one variable, and the
+            // per-member rate is cap / 1e6 exactly as solved individually.
+            (vec![INF], vec![1_000_000], vec![vec![0]], vec![G]),
+            // Two classes sharing a bottleneck, one demand-capped.
+            (vec![INF, 2e6], vec![3, 4], vec![vec![0], vec![0]], vec![G]),
+            // Textbook two-bottleneck shape with weights.
+            (
+                vec![INF, INF, INF],
+                vec![2, 5, 1],
+                vec![vec![0, 1], vec![0], vec![1]],
+                vec![G, 2.0 * G],
+            ),
+            // Zero-link class (granted demand per member) + weighted
+            // greedy sharing, with a zero-capacity link in the mix.
+            (
+                vec![5e6, INF, INF],
+                vec![7, 2, 3],
+                vec![vec![], vec![0], vec![0, 1]],
+                vec![G, 0.0],
+            ),
+        ];
+        for (demands, weights, fl, caps) in cases {
+            let want = solve_expanded(&demands, &weights, &fl, &caps);
+            let got = solve_weighted(&demands, &weights, &fl, &caps);
+            for f in 0..want.len() {
+                assert_eq!(
+                    want[f].to_bits(),
+                    got[f].to_bits(),
+                    "variable {f}: expanded {} vs weighted {}",
+                    want[f],
+                    got[f]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_ones_weights_match_the_unweighted_path_bitwise() {
+        let demands = [INF, 3e8, INF, 0.0];
+        let fl = vec![vec![0, 1], vec![0], vec![1], vec![0]];
+        let caps = [G, 2.0 * G];
+        let unweighted = max_min_allocate(&demands, &fl, &caps);
+        let weighted = solve_weighted(&demands, &[1, 1, 1, 1], &fl, &caps);
+        for f in 0..demands.len() {
+            assert_eq!(unweighted[f].to_bits(), weighted[f].to_bits());
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1059,6 +1233,48 @@ mod proptests {
                 prop_assert!(
                     want[f].to_bits() == got[f].to_bits(),
                     "flow {}: reference {} ({:x}) vs heap {} ({:x})",
+                    f, want[f], want[f].to_bits(), got[f], got[f].to_bits()
+                );
+            }
+        }
+
+        /// Macro-flow equivalence: a weighted variable must receive the
+        /// exact bits each of its expanded members would get from the
+        /// unweighted solver — on random grids including zero capacities,
+        /// zero demands, linkless classes and dense sharing.
+        #[test]
+        fn weighted_matches_expanded_bitwise(
+            nf in 1usize..12,
+            nl in 1usize..8,
+            seed in 0u64..u64::MAX,
+        ) {
+            let mut x = seed | 1;
+            let mut rnd = move || { x ^= x << 13; x ^= x >> 7; x ^= x << 17; x };
+            let caps: Vec<f64> = (0..nl).map(|_| match rnd() % 8 {
+                0 => 0.0,
+                1 => (1 + rnd() % 9) as f64 * 1e9,
+                _ => (1 + rnd() % 100) as f64 * 1e7,
+            }).collect();
+            let demands: Vec<f64> = (0..nf)
+                .map(|_| match rnd() % 5 {
+                    0 | 1 => f64::INFINITY,
+                    2 => 0.0,
+                    _ => (rnd() % 300) as f64 * 7e5,
+                })
+                .collect();
+            let weights: Vec<u32> = (0..nf).map(|_| 1 + (rnd() % 6) as u32).collect();
+            let fl: Vec<Vec<usize>> = (0..nf).map(|_| {
+                let deg = (rnd() % 5) as usize; // may be 0
+                let mut v: Vec<usize> = (0..deg).map(|_| (rnd() % nl as u64) as usize).collect();
+                v.sort_unstable(); v.dedup(); v
+            }).collect();
+
+            let want = tests::solve_expanded(&demands, &weights, &fl, &caps);
+            let got = tests::solve_weighted(&demands, &weights, &fl, &caps);
+            for f in 0..nf {
+                prop_assert!(
+                    want[f].to_bits() == got[f].to_bits(),
+                    "variable {}: expanded {} ({:x}) vs weighted {} ({:x})",
                     f, want[f], want[f].to_bits(), got[f], got[f].to_bits()
                 );
             }

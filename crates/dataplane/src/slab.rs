@@ -24,6 +24,14 @@
 //! Membership nodes are pooled in their own arena (one node per
 //! flow × link), so admission/teardown recycle memory instead of
 //! allocating per event in steady state.
+//!
+//! The macro-flow build pass (path-class discovery, see
+//! `ARCHITECTURE.md` §10) walks these same admission-ordered lists: the
+//! canonical representative of a path class is simply the first member
+//! encountered, which the ordering above makes deterministic. The live
+//! node count ([`FlowArena::route_entries`]) is exactly the allocator's
+//! worst-case CSR non-zero count, so the engine pre-reserves its scratch
+//! from it instead of growing mid-build.
 
 use crate::flow::ActiveFlow;
 use horse_types::FlowId;
@@ -71,6 +79,8 @@ pub struct FlowArena {
     head: u32,
     tail: u32,
     len: usize,
+    /// Live membership nodes (Σ over active flows of route length).
+    live_nodes: usize,
 }
 
 impl FlowArena {
@@ -87,6 +97,7 @@ impl FlowArena {
             head: NONE,
             tail: NONE,
             len: 0,
+            live_nodes: 0,
         }
     }
 
@@ -103,6 +114,13 @@ impl FlowArena {
     /// Number of slots ever allocated (bounds dense per-slot scratch).
     pub fn slot_count(&self) -> usize {
         self.slots.len()
+    }
+
+    /// Live (flow, link) membership entries: the sum of route lengths
+    /// over all active flows, i.e. the allocator's worst-case CSR
+    /// non-zero count. O(1); used to pre-reserve solve scratch.
+    pub fn route_entries(&self) -> usize {
+        self.live_nodes
     }
 
     /// The slot holding `id`, if the flow is active (stale-id safe).
@@ -216,6 +234,7 @@ impl FlowArena {
         }
         self.tail = slot;
         self.len += 1;
+        self.live_nodes += self.flow_at(slot).route.links.len();
         slot
     }
 
@@ -248,6 +267,7 @@ impl FlowArena {
             // Recycle the node.
             self.nodes[ni].next_in_flow = self.free_node;
             self.free_node = node;
+            self.live_nodes -= 1;
             node = chain;
         }
 
@@ -482,6 +502,19 @@ mod tests {
         for l in 0..4 {
             assert!(link_ids(&a, l).is_empty());
         }
+    }
+
+    #[test]
+    fn route_entries_track_membership_churn() {
+        let mut a = FlowArena::new(4);
+        assert_eq!(a.route_entries(), 0);
+        a.insert(flow(0, &[0, 1, 2]));
+        a.insert(flow(1, &[3]));
+        assert_eq!(a.route_entries(), 4, "sum of route lengths");
+        a.remove(FlowId(0)).unwrap();
+        assert_eq!(a.route_entries(), 1);
+        a.remove(FlowId(1)).unwrap();
+        assert_eq!(a.route_entries(), 0, "returns to zero after full churn");
     }
 
     #[test]

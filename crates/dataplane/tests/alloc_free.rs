@@ -270,6 +270,60 @@ fn epoch_batched_reallocate_is_allocation_free_incremental_mode() {
     );
 }
 
+/// Macro-flow churn: several flows per host pair, so aggregation really
+/// engages (identical link set + demand ⇒ one weighted variable) and the
+/// weighted build / fair-split apply machinery runs — it must be just as
+/// allocation-free as the per-flow path, warm cache included.
+#[test]
+fn macro_flow_reallocate_is_allocation_free_and_aggregates() {
+    let (mut net, members) = star_net(8, AllocMode::Full);
+    let topo = net.topology().clone();
+    let mut sport = 7000u16;
+    let mut in_realloc = 0u64;
+    let mut measuring = false;
+    for cycle in 0..6u64 {
+        let t = SimTime::from_millis(cycle * 10);
+        let mut wave = Vec::new();
+        // 4 flows per crossing pair: each pair is one path class.
+        for i in 0..members.len() / 2 {
+            for _ in 0..4 {
+                let id = net.reserve_id();
+                let s = spec(&topo, &members, i, members.len() - 1 - i, sport);
+                sport = sport.wrapping_add(1);
+                assert!(matches!(net.try_admit(id, s, t), AdmitOutcome::Admitted));
+                wave.push(id);
+            }
+        }
+        let before = allocs();
+        net.reallocate(t);
+        if measuring {
+            in_realloc += allocs() - before;
+        }
+        let t = SimTime::from_millis(cycle * 10 + 5);
+        for id in wave {
+            net.remove_flow(id, t, true);
+        }
+        let before = allocs();
+        net.reallocate(t);
+        if measuring {
+            in_realloc += allocs() - before;
+        }
+        if cycle >= 1 {
+            measuring = true;
+        }
+    }
+    assert_eq!(
+        in_realloc, 0,
+        "macro-flow reallocate allocated {in_realloc} times in steady state"
+    );
+    assert!(
+        net.macro_flows < net.realloc_flows_touched,
+        "aggregation never engaged: {} variables for {} flows touched",
+        net.macro_flows,
+        net.realloc_flows_touched
+    );
+}
+
 #[test]
 fn sync_all_is_allocation_free_after_warmup() {
     let (mut net, members) = star_net(6, AllocMode::Full);

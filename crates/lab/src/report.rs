@@ -109,6 +109,9 @@ impl CampaignReport {
             "realloc_runs",
             "realloc_saved",
             "realloc_flows_touched",
+            "macro_flows",
+            "warm_hits",
+            "cold_solves",
             "queue_compactions",
             "queue_tombstones",
             "recovery_time",
@@ -156,6 +159,9 @@ impl CampaignReport {
                     m.realloc_runs.to_string(),
                     m.realloc_saved.to_string(),
                     m.realloc_flows_touched.to_string(),
+                    m.macro_flows.to_string(),
+                    m.warm_hits.to_string(),
+                    m.cold_solves.to_string(),
                     m.queue_compactions.to_string(),
                     m.queue_tombstones.to_string(),
                     f(m.recovery.mean),

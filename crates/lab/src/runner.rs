@@ -69,6 +69,17 @@ pub struct RunMetrics {
     pub realloc_saved: u64,
     /// Flows touched across allocator runs.
     pub realloc_flows_touched: u64,
+    /// Allocation variables actually solved after macro-flow aggregation
+    /// (equals `realloc_flows_touched` when aggregation finds no shared
+    /// path classes or is disabled).
+    #[serde(default)]
+    pub macro_flows: u64,
+    /// Component solves answered from the warm-start cache.
+    #[serde(default)]
+    pub warm_hits: u64,
+    /// Component water-fills actually executed.
+    #[serde(default)]
+    pub cold_solves: u64,
     /// Event-queue heap compactions (tombstone-pressure rebuilds).
     pub queue_compactions: u64,
     /// Events cancelled before firing (left as heap tombstones until a
@@ -116,6 +127,9 @@ impl RunMetrics {
             realloc_runs: r.realloc_runs,
             realloc_saved: r.realloc_saved(),
             realloc_flows_touched: r.realloc_flows_touched,
+            macro_flows: r.macro_flows,
+            warm_hits: r.warm_hits,
+            cold_solves: r.cold_solves,
             queue_compactions: r.queue.compactions,
             queue_tombstones: r.queue.cancelled,
             recovery: r.recovery,
@@ -401,6 +415,49 @@ mod tests {
             "engine_threads=1 vs 4 must be bit-identical"
         );
         assert!(report.runs[0].metrics.epochs > 0);
+    }
+
+    #[test]
+    fn macro_and_warm_ablation_changes_no_observable() {
+        // Aggregation and warm-start only change how much solver work
+        // runs, never what it computes: every observable metric must be
+        // bit-identical across the 2×2 ablation grid. Only the
+        // solver-work counters themselves may differ.
+        let spec = SweepSpec::from_toml(
+            r#"
+            name = "ablate_det"
+            [scenario]
+            kind = "ixp"
+            members = 25
+            horizon_secs = 1.0
+            [axes]
+            macro_flows = [true, false]
+            warm_start = [true, false]
+            "#,
+        )
+        .unwrap();
+        let report = run_sweep(&spec, 1).unwrap();
+        assert_eq!(report.runs.len(), 4);
+        let base = &report.runs[0].metrics;
+        assert!(
+            base.macro_flows <= base.realloc_flows_touched,
+            "aggregation can only shrink the variable count"
+        );
+        for r in &report.runs[1..] {
+            let m = &r.metrics;
+            assert_eq!(m.events, base.events);
+            assert_eq!(m.flows_completed, base.flows_completed);
+            assert_eq!(m.bytes_delivered.to_bits(), base.bytes_delivered.to_bits());
+            assert_eq!(m.fct, base.fct);
+            assert_eq!(m.goodput, base.goodput);
+            assert_eq!(m.realloc_runs, base.realloc_runs);
+            assert_eq!(m.realloc_flows_touched, base.realloc_flows_touched);
+        }
+        // The fully-ablated corner degenerates to one variable per flow
+        // and zero cache hits.
+        let off = &report.runs[3].metrics;
+        assert_eq!(off.macro_flows, off.realloc_flows_touched);
+        assert_eq!(off.warm_hits, 0);
     }
 
     #[test]

@@ -651,6 +651,15 @@ pub struct SimConfigSpec {
     /// bit-identical at any value, so this is sweepable purely as a
     /// performance axis.
     pub engine_threads: Option<usize>,
+    /// Macro-flow aggregation (collapse identical path-class flows into
+    /// one weighted allocation variable). Defaults on; results are
+    /// bit-identical either way, so it sweeps as a pure performance
+    /// (ablation) axis.
+    pub macro_flows: Option<bool>,
+    /// Warm-start solve cache (replay rates of unchanged components).
+    /// Defaults on; bit-identical either way, sweepable as an ablation
+    /// axis.
+    pub warm_start: Option<bool>,
 }
 
 impl SimConfigSpec {
@@ -698,6 +707,12 @@ impl SimConfigSpec {
         }
         if let Some(n) = self.engine_threads {
             c.engine_threads = n.max(1);
+        }
+        if let Some(on) = self.macro_flows {
+            c.macro_flows = on;
+        }
+        if let Some(on) = self.warm_start {
+            c.warm_start = on;
         }
         Ok(c)
     }
@@ -876,6 +891,39 @@ mod tests {
         assert_eq!(c.admit_retry_limit, SimConfig::default().admit_retry_limit);
         let d = SimConfigSpec::default().to_config().unwrap();
         assert_eq!(d.engine_threads, SimConfig::default().engine_threads);
+    }
+
+    #[test]
+    fn macro_and_warm_knobs_fold_and_sweep() {
+        let c = SimConfigSpec {
+            macro_flows: Some(false),
+            warm_start: Some(false),
+            ..Default::default()
+        }
+        .to_config()
+        .unwrap();
+        assert!(!c.macro_flows && !c.warm_start);
+        let d = SimConfigSpec::default().to_config().unwrap();
+        assert!(d.macro_flows && d.warm_start, "absent knobs inherit on");
+
+        let spec = SweepSpec::from_toml(
+            r#"
+            name = "ablate"
+            [scenario]
+            kind = "ixp"
+            members = 6
+            horizon_secs = 0.5
+            [axes]
+            macro_flows = [true, false]
+            warm_start = [true, false]
+            "#,
+        )
+        .unwrap();
+        let plans = crate::sweep::expand(&spec).unwrap();
+        assert_eq!(plans.len(), 4);
+        assert_eq!(plans[0].config.macro_flows, Some(true));
+        assert_eq!(plans[3].config.macro_flows, Some(false));
+        assert_eq!(plans[3].config.warm_start, Some(false));
     }
 
     #[test]
