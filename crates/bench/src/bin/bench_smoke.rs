@@ -45,6 +45,15 @@ const TRACE_EPS_FLOOR: f64 = 0.85;
 /// linear in flows touched; this is asserted on every run.
 const MILLION_FLOW_RATIO_CEIL: f64 = 3.0;
 
+/// Prefix-shared forking acceptance bar: on a 3-variant what-if sweep
+/// diverging at 93% of the horizon, forked execution (shared prefix
+/// simulated once, checkpointed, forked per variant) must beat naive
+/// full re-simulation by at least this wall-clock factor — while
+/// producing byte-identical reports. Asserted on every run (measured
+/// ~1.9× on a contended single-core runner; the floor leaves noise
+/// headroom).
+const FORK_SPEEDUP_FLOOR: f64 = 1.5;
+
 fn num_f(v: f64) -> Value {
     Value::Number(Number::Float(v))
 }
@@ -246,6 +255,25 @@ fn gate(baseline: &Value, fresh: &Value) -> Vec<String> {
                              (deterministic counter; refresh the committed baseline if intended)"
                         );
                     }
+                }
+            }
+        }
+    }
+    // Fork-sweep point (PR 9 on): the prefix-sharing wall speedup must
+    // not collapse (the hard 1.5× floor is asserted on every run; this
+    // gate additionally catches slow erosion against the committed
+    // point). Deterministic prefix counters noted like the others.
+    if let (Some(b), Some(f)) = (get(baseline, "fork_sweep"), get(fresh, "fork_sweep")) {
+        if let (Some(bv), Some(fv)) = (get_f(b, "speedup_wall"), get_f(f, "speedup_wall")) {
+            failures.extend(check("fork_sweep.speedup_wall", bv, fv, true));
+        }
+        for counter in ["prefix_events", "prefix_events_saved", "variants"] {
+            if let (Some(bv), Some(fv)) = (get_f(b, counter), get_f(f, counter)) {
+                if bv != fv {
+                    println!(
+                        "note: fork_sweep.{counter} changed {bv} -> {fv} \
+                         (deterministic counter; refresh the committed baseline if intended)"
+                    );
                 }
             }
         }
@@ -618,6 +646,87 @@ fn main() {
         (point, ratio)
     };
 
+    // 9. Fork-sweep point: a 3-variant what-if sweep ("which member's
+    //    access cable failing at t=2.85s hurts most?") whose variants
+    //    share the first 93% of the horizon. Naive execution simulates
+    //    all three runs from t=0; forked execution simulates the shared
+    //    prefix once, checkpoints, and forks per variant — the reports
+    //    must be byte-identical and the wall speedup at least
+    //    `FORK_SPEEDUP_FLOOR`, both asserted on every run. The reactive
+    //    mac-learning controller makes the prefix controller-chatty
+    //    (per-arrival flow-ins) while keeping the divergent suffix
+    //    local to the failed member — the regime prefix sharing is for.
+    let (fork_sweep, fork_speedup) = {
+        let spec = SweepSpec::from_toml(
+            r#"
+            name = "fork_smoke"
+            [scenario]
+            kind = "ixp"
+            members = 200
+            horizon_secs = 3.0
+            load_factor = 2.0
+            whatif_at_secs = 2.8
+            whatif_fail_secs = 2.85
+            whatif_repair_secs = 2.95
+            [[scenario.policies]]
+            type = "mac_learning"
+            [axes]
+            whatif_link_down = [50, 100, 150]
+            "#,
+        )
+        .expect("fork spec parses");
+        let plans = expand(&spec).expect("fork spec expands");
+        let (naive, naive_w) = best_of(|| {
+            let t = Instant::now();
+            let report =
+                run_plans_with(&spec.name, plans.clone(), 1, |_| {}).expect("naive sweep runs");
+            (report, t.elapsed().as_secs_f64())
+        });
+        let groups = fork_groups(&plans)
+            .expect("grouping succeeds")
+            .expect("campaign is fork-eligible");
+        let ((forked, stats), forked_w) = best_of(|| {
+            let t = Instant::now();
+            let out = run_forked(&spec.name, &groups, &ForkOptions::default(), |_| {})
+                .expect("forked sweep runs");
+            (out, t.elapsed().as_secs_f64())
+        });
+        assert_eq!(
+            naive.metrics_csv(),
+            forked.metrics_csv(),
+            "forked reports must be byte-identical to naive"
+        );
+        assert_eq!(
+            naive.metrics_json(),
+            forked.metrics_json(),
+            "forked reports must be byte-identical to naive"
+        );
+        let speedup = naive_w / forked_w.max(1e-9);
+        println!(
+            "fork_sweep: naive {:.1} ms vs forked {:.1} ms -> {speedup:.2}x \
+             ({} prefix events shared across {} variants)",
+            naive_w * 1e3,
+            forked_w * 1e3,
+            stats.prefix_events,
+            stats.variant_runs
+        );
+        let point = Value::Map(vec![
+            ("kind".into(), Value::Str("ixp_whatif".into())),
+            ("members".into(), num_u(200)),
+            ("variants".into(), num_u(stats.variant_runs as u64)),
+            ("naive_wall_ms".into(), num_f(naive_w * 1e3)),
+            ("forked_wall_ms".into(), num_f(forked_w * 1e3)),
+            ("prefix_events".into(), num_u(stats.prefix_events)),
+            (
+                "prefix_events_saved".into(),
+                num_u(stats.prefix_events_saved),
+            ),
+            ("snapshot_bytes".into(), num_u(stats.snapshot_bytes)),
+            ("speedup_wall".into(), num_f(speedup)),
+        ]);
+        (point, speedup)
+    };
+
     let doc = Value::Map(vec![
         ("bench".into(), Value::Str("bench_smoke".into())),
         ("pr".into(), num_u(pr)),
@@ -630,6 +739,7 @@ fn main() {
         ("hybrid".into(), hybrid),
         ("trace_overhead".into(), trace_overhead),
         ("million_flow".into(), million_flow),
+        ("fork_sweep".into(), fork_sweep),
     ]);
     let json = serde_json::to_string_pretty(&doc).expect("serializes");
     std::fs::write(&out_path, json + "\n").expect("write bench json");
@@ -655,7 +765,17 @@ fn main() {
         std::process::exit(1);
     }
 
-    // 9. Regression gate against a committed baseline.
+    // Fork-sweep acceptance: prefix sharing must actually pay; enforced
+    // on every invocation, like the wave gate.
+    if fork_speedup < FORK_SPEEDUP_FLOOR {
+        eprintln!(
+            "FAIL fork_sweep: forked what-if execution is only {fork_speedup:.2}x faster \
+             than naive re-simulation (floor {FORK_SPEEDUP_FLOOR:.1}x)"
+        );
+        std::process::exit(1);
+    }
+
+    // 10. Regression gate against a committed baseline.
     if let Some(path) = baseline_path {
         let text = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));

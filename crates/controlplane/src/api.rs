@@ -9,7 +9,9 @@
 use horse_openflow::messages::{CtrlMsg, StatsReply, SwitchMsg};
 use horse_openflow::table::RemovalReason;
 use horse_topology::Topology;
-use horse_types::{FlowKey, NodeId, PortNo, SimDuration, SimTime};
+use horse_types::{
+    FlowKey, NodeId, PortNo, SimDuration, SimTime, SnapError, SnapReader, SnapWriter,
+};
 
 /// Messages and timer requests a controller callback produced.
 #[derive(Debug, Default)]
@@ -114,6 +116,19 @@ pub trait Controller {
     /// nothing. (Port-status callbacks for its restored cables arrive
     /// separately; this hook is for the table/group/meter contents.)
     fn on_switch_up(&mut self, _switch: NodeId, _ctx: &ControllerCtx<'_>, _out: &mut Outbox) {}
+
+    /// Serializes the controller's mutable state for a checkpoint.
+    ///
+    /// Stateless controllers need not override this; stateful ones must
+    /// write every field that influences future callbacks so that a
+    /// resumed run continues bit-identically. The default writes nothing.
+    fn snapshot_state(&self, _w: &mut SnapWriter) {}
+
+    /// Restores state written by [`Controller::snapshot_state`] into a
+    /// freshly constructed controller of the same configuration.
+    fn restore_state(&mut self, _r: &mut SnapReader) -> Result<(), SnapError> {
+        Ok(())
+    }
 
     /// Convenience dispatcher used by the core simulator.
     fn dispatch(&mut self, msg: &SwitchMsg, ctx: &ControllerCtx<'_>, out: &mut Outbox) {

@@ -29,7 +29,7 @@ use horse_openflow::messages::{CtrlMsg, FlowMod, FlowModCommand};
 use horse_openflow::table::FlowEntry;
 use horse_openflow::MeterId;
 use horse_topology::Topology;
-use horse_types::{FlowKey, NodeId, PortNo, Rate, TableId};
+use horse_types::{FlowKey, NodeId, PortNo, Rate, Snap, TableId};
 
 /// See module docs.
 pub struct PolicyGenerator {
@@ -315,6 +315,44 @@ impl Controller for PolicyGenerator {
             }
         }
         self.msgs_emitted += (out.msgs.len() - before) as u64;
+    }
+
+    fn snapshot_state(&self, w: &mut horse_types::SnapWriter) {
+        // The path DB is serialized, not rebuilt: it may legitimately be
+        // stale relative to the topology while a port-status callback is
+        // still in the control-channel latency window.
+        self.paths.snap(w);
+        self.flow_ins.snap(w);
+        self.unhandled_flow_ins.snap(w);
+        self.msgs_emitted.snap(w);
+        w.len_prefix(self.modules.len());
+        for m in &self.modules {
+            m.snapshot_state(w);
+        }
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut horse_types::SnapReader,
+    ) -> Result<(), horse_types::SnapError> {
+        self.paths = horse_types::Snap::unsnap(r)?;
+        self.flow_ins = horse_types::Snap::unsnap(r)?;
+        self.unhandled_flow_ins = horse_types::Snap::unsnap(r)?;
+        self.msgs_emitted = horse_types::Snap::unsnap(r)?;
+        let n = r.len_prefix()?;
+        if n != self.modules.len() {
+            return Err(horse_types::SnapError::new(
+                format!(
+                    "snapshot has {n} policy modules, generator has {}",
+                    self.modules.len()
+                ),
+                r.position(),
+            ));
+        }
+        for m in self.modules.iter_mut() {
+            m.restore_state(r)?;
+        }
+        Ok(())
     }
 }
 

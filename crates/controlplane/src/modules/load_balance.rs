@@ -35,7 +35,7 @@ use horse_openflow::messages::{
 use horse_openflow::table::FlowEntry;
 use horse_openflow::GroupId;
 use horse_topology::SwitchRole;
-use horse_types::{NodeId, PortNo, SimDuration, TableId};
+use horse_types::{NodeId, PortNo, SimDuration, Snap, TableId};
 use std::collections::HashMap;
 
 /// Timer token namespace for this module.
@@ -255,6 +255,24 @@ impl PolicyModule for LoadBalanceModule {
         if changed {
             self.publish_groups(switch, ctx, out);
         }
+    }
+
+    fn snapshot_state(&self, w: &mut horse_types::SnapWriter) {
+        self.last_tx.snap(w);
+        self.weights.snap(w);
+        self.uplinks.snap(w);
+        self.group_updates.snap(w);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut horse_types::SnapReader,
+    ) -> Result<(), horse_types::SnapError> {
+        self.last_tx = Snap::unsnap(r)?;
+        self.weights = Snap::unsnap(r)?;
+        self.uplinks = Snap::unsnap(r)?;
+        self.group_updates = Snap::unsnap(r)?;
+        Ok(())
     }
 }
 

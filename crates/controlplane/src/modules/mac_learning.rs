@@ -17,7 +17,7 @@ use horse_openflow::actions::Instruction;
 use horse_openflow::flow_match::FlowMatch;
 use horse_openflow::messages::{CtrlMsg, FlowMod, FlowModCommand};
 use horse_openflow::table::FlowEntry;
-use horse_types::{FlowKey, MacAddr, NodeId, PortNo, SimDuration, TableId};
+use horse_types::{FlowKey, MacAddr, NodeId, PortNo, SimDuration, Snap, TableId};
 use std::collections::HashMap;
 
 /// See module docs.
@@ -106,6 +106,20 @@ impl PolicyModule for MacLearningModule {
             );
         }
         true
+    }
+
+    fn snapshot_state(&self, w: &mut horse_types::SnapWriter) {
+        self.learned.snap(w);
+        self.handled.snap(w);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut horse_types::SnapReader,
+    ) -> Result<(), horse_types::SnapError> {
+        self.learned = horse_types::Snap::unsnap(r)?;
+        self.handled = horse_types::Snap::unsnap(r)?;
+        Ok(())
     }
 }
 

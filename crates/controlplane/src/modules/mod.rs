@@ -29,7 +29,7 @@ use crate::api::Outbox;
 use crate::pathdb::PathDb;
 use horse_openflow::messages::StatsReply;
 use horse_topology::Topology;
-use horse_types::{FlowKey, NodeId, PortNo, SimTime};
+use horse_types::{FlowKey, NodeId, PortNo, SimTime, SnapError, SnapReader, SnapWriter};
 
 /// Read-only compile context for module installation and reactions.
 pub struct CompileCtx<'a> {
@@ -88,5 +88,15 @@ pub trait PolicyModule {
     /// module.
     fn on_timer(&mut self, _token: u64, _ctx: &CompileCtx<'_>, _out: &mut Outbox) -> bool {
         false
+    }
+
+    /// Serializes the module's mutable state for a checkpoint. Stateless
+    /// modules keep the default (writes nothing); stateful ones must
+    /// write everything that influences future reactions.
+    fn snapshot_state(&self, _w: &mut SnapWriter) {}
+
+    /// Restores state written by [`PolicyModule::snapshot_state`].
+    fn restore_state(&mut self, _r: &mut SnapReader) -> Result<(), SnapError> {
+        Ok(())
     }
 }

@@ -24,6 +24,18 @@ pub struct PathDb {
     ecmp_ports: HashMap<(NodeId, NodeId), Vec<PortNo>>,
 }
 
+// Checkpoints serialize the database rather than rebuilding it: between a
+// port-status change and the (latency-delayed) controller callback the
+// cached paths intentionally reflect the OLD topology, and a resumed run
+// must reproduce that staleness window exactly.
+horse_types::impl_snap_struct!(PathDb {
+    hosts,
+    mac_to_host,
+    attachment,
+    next_hop,
+    ecmp_ports,
+});
+
 impl PathDb {
     /// Builds the database from the current topology state (down links are
     /// excluded, so rebuilding after a failure yields repaired paths).

@@ -1,0 +1,160 @@
+//! Checkpoint-assisted determinism bisection.
+//!
+//! The CI determinism gate compares full event journals: when two runs of
+//! the same spec disagree, [`horse_trace::first_divergence`] names the
+//! first diverging event. On a long run, *reproducing* that divergence
+//! from t=0 is the slow part. With a checkpoint taken before the suspect
+//! event, [`resume_and_bisect`] replays only the suffix: resume the
+//! snapshot with a fresh journal, and align the continuation — by event
+//! ordinal — against the reference journal of the straight-through run.
+//!
+//! Checkpoints taken while a journaling tracer is installed carry the
+//! journal continuation (next ordinal, chained digest), so the resumed
+//! suffix's entries are directly comparable to the reference's entries at
+//! the same ordinals. A divergence *before* the checkpoint shows up as an
+//! immediate digest mismatch at the first suffix entry — the signal to
+//! bisect earlier.
+
+use crate::sim::{ResumeError, Simulation};
+use crate::trace::SimTracer;
+use horse_trace::journal::SharedBuf;
+use horse_trace::{first_divergence, parse_journal, Divergence};
+
+/// Why [`resume_and_bisect`] could not produce a verdict.
+#[derive(Debug)]
+pub enum BisectError {
+    /// The snapshot failed to restore.
+    Resume(ResumeError),
+    /// A journal failed to parse.
+    Journal(String),
+}
+
+impl std::fmt::Display for BisectError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BisectError::Resume(e) => write!(f, "cannot resume snapshot: {e}"),
+            BisectError::Journal(e) => write!(f, "cannot parse journal: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BisectError {}
+
+impl From<ResumeError> for BisectError {
+    fn from(e: ResumeError) -> Self {
+        BisectError::Resume(e)
+    }
+}
+
+/// Resumes `snapshot`, journals the continuation to the end of the run,
+/// and diffs it against the matching suffix of `reference` (the JSONL
+/// journal of a straight-through run of the same scenario).
+///
+/// Returns [`Divergence::Identical`] when the resumed suffix matches the
+/// reference ordinal-for-ordinal — the checkpoint is *before* any
+/// divergence, so bisect later — and a [`Divergence::Mismatch`] /
+/// [`Divergence::Truncated`] pinpointing the first differing event
+/// otherwise.
+pub fn resume_and_bisect(snapshot: &[u8], reference: &str) -> Result<Divergence, BisectError> {
+    let reference = parse_journal(reference).map_err(|e| BisectError::Journal(e.to_string()))?;
+    let mut sim = Simulation::resume(snapshot)?;
+    let buf = SharedBuf::new();
+    sim.set_tracer(SimTracer::new().with_journal(buf.clone()));
+    sim.run();
+    let mut tracer = sim.take_tracer().expect("tracer installed above");
+    tracer.finish_journal();
+    let got = parse_journal(&buf.contents()).map_err(|e| BisectError::Journal(e.to_string()))?;
+    // A continuation-carrying checkpoint numbers the suffix from
+    // prefix+1; align the reference by dropping its prefix entries. A
+    // pre-start (or journal-less) checkpoint starts at 1 and compares
+    // against the whole reference.
+    let start_n = got.first().map(|e| e.n).unwrap_or(1);
+    let skip = reference.iter().take_while(|e| e.n < start_n).count();
+    Ok(first_divergence(&reference[skip..], &got))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::scenario::{LateEvent, Scenario};
+    use crate::sim::ForkSpec;
+    use horse_types::{LinkId, SimDuration, SimTime};
+
+    fn horizon() -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(2)
+    }
+
+    /// Figure-1 with a late-event band reserved, so forks can inject
+    /// what-if faults.
+    fn scenario() -> Scenario {
+        let mut s = Scenario::figure1(horizon(), 1);
+        s.late_band = 2;
+        s
+    }
+
+    fn straight_journal() -> String {
+        let mut sim = Simulation::new(scenario(), SimConfig::default()).unwrap();
+        let buf = SharedBuf::new();
+        sim.set_tracer(SimTracer::new().with_journal(buf.clone()));
+        sim.run();
+        sim.take_tracer().unwrap().finish_journal();
+        buf.contents()
+    }
+
+    fn checkpoint_at(t: SimTime) -> Vec<u8> {
+        let mut sim = Simulation::new(scenario(), SimConfig::default()).unwrap();
+        let buf = SharedBuf::new();
+        sim.set_tracer(SimTracer::new().with_journal(buf.clone()));
+        sim.run_until(t);
+        sim.checkpoint()
+    }
+
+    #[test]
+    fn matching_resume_reports_identical() {
+        let reference = straight_journal();
+        let snap = checkpoint_at(SimTime::ZERO + SimDuration::from_millis(800));
+        match resume_and_bisect(&snap, &reference).unwrap() {
+            Divergence::Identical { events } => assert!(events > 0, "suffix replayed events"),
+            d => panic!("expected identical suffix, got {d:?}"),
+        }
+    }
+
+    #[test]
+    fn divergent_fork_is_pinpointed_to_an_event() {
+        let snap = checkpoint_at(SimTime::ZERO + SimDuration::from_millis(800));
+        // Fork with a what-if cable failure: a run the reference is NOT —
+        // the bisector must name a concrete first divergence.
+        let mut sim = Simulation::fork(
+            &snap,
+            &ForkSpec {
+                late_events: vec![(
+                    SimTime::ZERO + SimDuration::from_secs(1),
+                    LateEvent::CableDown(LinkId(0)),
+                )],
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let buf = SharedBuf::new();
+        sim.set_tracer(SimTracer::new().with_journal(buf.clone()));
+        sim.run();
+        sim.take_tracer().unwrap().finish_journal();
+        let forked = buf.contents();
+
+        // Same alignment the helper applies, but against the forked
+        // suffix: the diff must NOT be Identical.
+        let snap2 = checkpoint_at(SimTime::ZERO + SimDuration::from_millis(800));
+        let d = resume_and_bisect(&snap2, &forked).unwrap();
+        assert!(
+            !matches!(d, Divergence::Identical { .. }),
+            "an injected failure must diverge, got {d:?}"
+        );
+    }
+
+    #[test]
+    fn garbage_snapshot_is_a_resume_error() {
+        let err = resume_and_bisect(b"junk", "").unwrap_err();
+        assert!(matches!(err, BisectError::Resume(_)), "{err}");
+    }
+}

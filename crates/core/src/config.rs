@@ -152,6 +152,11 @@ impl SimConfig {
     }
 }
 
+// Checkpoint headers carry the config next to the scenario so a resumed
+// run re-derives every config-dependent structure instead of snapshotting
+// it.
+horse_types::impl_snap_via_serde!(SimConfig);
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -53,7 +53,9 @@ use horse_packetsim::{
     PacketPlane, PacketSimConfig, PktEvent, PktFlowRecord, PktFlowSpec, PktOut, SourceKind,
     TcpState,
 };
-use horse_types::{FlowId, LinkId, NodeId, PortNo, SimTime};
+use horse_types::{
+    FlowId, LinkId, NodeId, PortNo, SimTime, Snap, SnapError, SnapReader, SnapWriter,
+};
 
 /// Relative demand change (vs link capacity) below which a re-measured
 /// packet load does not perturb the fluid allocator — hysteresis against
@@ -409,4 +411,49 @@ impl HybridNet {
     fn backlog(&self, node: NodeId, port: PortNo) -> usize {
         self.plane.queued_packets(node, port)
     }
+
+    /// Serializes the packet half and the coupling state (checkpointing).
+    /// The emission scratch is always drained between events and is not
+    /// part of the snapshot.
+    pub fn snapshot_state(&self, w: &mut SnapWriter) {
+        self.plane.snapshot_state(w);
+        self.flows.snap(w);
+        self.marks.snap(w);
+        self.watch.snap(w);
+        self.completed_fcts.snap(w);
+        self.pkt_events.snap(w);
+        self.couplings.snap(w);
+        self.couple_passes.snap(w);
+        self.coupled_epoch.snap(w);
+    }
+
+    /// Restores state captured by [`HybridNet::snapshot_state`] into a
+    /// freshly built hybrid half over the same topology and config.
+    pub fn restore_state(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.plane.restore_state(r)?;
+        self.flows = Vec::unsnap(r)?;
+        let marks: Vec<LinkMark> = Vec::unsnap(r)?;
+        if marks.len() != self.marks.len() {
+            return Err(SnapError::new(
+                format!(
+                    "snapshot has {} link marks, topology has {}",
+                    marks.len(),
+                    self.marks.len()
+                ),
+                r.position(),
+            ));
+        }
+        self.marks = marks;
+        self.watch = Vec::unsnap(r)?;
+        self.completed_fcts = Vec::unsnap(r)?;
+        self.pkt_events = u64::unsnap(r)?;
+        self.couplings = u64::unsnap(r)?;
+        self.couple_passes = u64::unsnap(r)?;
+        self.coupled_epoch = u64::unsnap(r)?;
+        Ok(())
+    }
 }
+
+// Checkpointing: per-flow bookkeeping and per-link coupling marks.
+horse_types::impl_snap_struct!(PktFlowMeta { id, src, dst, done });
+horse_types::impl_snap_struct!(LinkMark { bytes, at, watched });

@@ -48,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bisect;
 pub mod chaos;
 pub mod compare;
 pub mod config;
@@ -64,9 +65,10 @@ pub use config::SimConfig;
 pub use hybrid::HybridNet;
 pub use results::{ChaosCounters, SimResults};
 pub use scenario::{
-    default_traffic_pattern, FabricScenarioParams, FidelityMode, IxpScenarioParams, Scenario,
+    default_traffic_pattern, FabricScenarioParams, FidelityMode, IxpScenarioParams, LateEvent,
+    Scenario,
 };
-pub use sim::Simulation;
+pub use sim::{ForkSpec, ResumeError, Simulation, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use trace::SimTracer;
 
 // Re-export the component crates under stable names.
@@ -88,9 +90,10 @@ pub mod prelude {
     pub use crate::hybrid::HybridNet;
     pub use crate::results::{ChaosCounters, SimResults};
     pub use crate::scenario::{
-        default_traffic_pattern, FabricScenarioParams, FidelityMode, IxpScenarioParams, Scenario,
+        default_traffic_pattern, FabricScenarioParams, FidelityMode, IxpScenarioParams, LateEvent,
+        Scenario,
     };
-    pub use crate::sim::Simulation;
+    pub use crate::sim::{ForkSpec, ResumeError, Simulation};
     pub use crate::trace::SimTracer;
     pub use horse_controlplane::{Controller, LbMode, PolicyRule, PolicySpec};
     pub use horse_dataplane::{AllocMode, DemandModel, Fidelity, FlowSpec};

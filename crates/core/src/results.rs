@@ -36,6 +36,20 @@ pub struct ChaosCounters {
     pub flows_stranded: u64,
 }
 
+// Checkpointing: the counters are live mid-run state.
+horse_types::impl_snap_struct!(ChaosCounters {
+    cable_downs,
+    cable_ups,
+    switch_crashes,
+    switch_rejoins,
+    gray_events,
+    ctrl_outages,
+    ctrl_latency_spikes,
+    ctrl_msgs_buffered,
+    flows_rerouted,
+    flows_stranded,
+});
+
 /// Everything a run produced. The benchmark harness prints tables from
 /// this; EXPERIMENTS.md records them.
 #[derive(Debug)]

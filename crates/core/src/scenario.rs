@@ -12,6 +12,43 @@ use horse_workloads::{
 };
 use serde::{Deserialize, Serialize};
 
+/// A fault event a fork may add after a checkpoint (the "what-if" knobs
+/// of a branched run). Kept separate from [`crate::event::SimEvent`]
+/// because a late event must be expressible in scenario terms — it is
+/// scheduled through a reserved sequence band so the forked run lands it
+/// at exactly the `(time, seq)` coordinates a straight-through run with
+/// the same schedule would have used.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum LateEvent {
+    /// A cable fails (both directions).
+    CableDown(LinkId),
+    /// A cable recovers.
+    CableUp(LinkId),
+    /// A switch crashes.
+    SwitchDown(NodeId),
+    /// A crashed switch rejoins.
+    SwitchUp(NodeId),
+    /// The controller goes dark.
+    CtrlDown,
+    /// The controller recovers.
+    CtrlUp,
+}
+
+impl LateEvent {
+    /// The simulation event this late event schedules.
+    pub(crate) fn to_sim_event(self) -> crate::event::SimEvent {
+        use crate::event::SimEvent;
+        match self {
+            LateEvent::CableDown(l) => SimEvent::CableDown(l),
+            LateEvent::CableUp(l) => SimEvent::CableUp(l),
+            LateEvent::SwitchDown(n) => SimEvent::SwitchDown(n),
+            LateEvent::SwitchUp(n) => SimEvent::SwitchUp(n),
+            LateEvent::CtrlDown => SimEvent::CtrlDown,
+            LateEvent::CtrlUp => SimEvent::CtrlUp,
+        }
+    }
+}
+
 /// A complete experiment description.
 #[derive(Clone, Debug)]
 pub struct Scenario {
@@ -39,6 +76,19 @@ pub struct Scenario {
     /// `usize::MAX` = every workload arrival at packet fidelity).
     /// Explicit flows carry their own [`FlowSpec::fidelity`] tag.
     pub packet_foreground: usize,
+    /// What-if events scheduled through the reserved late band at build
+    /// time. A straight-through run of a sweep *variant* lists the
+    /// variant's extra faults here; the prefix run shared by the sweep
+    /// leaves it empty (and sizes [`Scenario::late_band`] instead), so a
+    /// fork of the prefix that adds the same events reproduces the
+    /// variant bit-identically.
+    pub late_events: Vec<(SimTime, LateEvent)>,
+    /// Reserved what-if band size. The effective band is
+    /// `max(late_band, late_events.len())` sequence numbers, reserved
+    /// after the base schedule (explicit flows, failures, chaos) and
+    /// before anything the run loop schedules; slots not used by
+    /// `late_events` stay available to [`crate::sim::Simulation::fork`].
+    pub late_band: usize,
 }
 
 impl Scenario {
@@ -55,6 +105,8 @@ impl Scenario {
             chaos: None,
             horizon,
             packet_foreground: 0,
+            late_events: Vec::new(),
+            late_band: 0,
         }
     }
 
@@ -124,6 +176,8 @@ impl Scenario {
             horizon,
             topology,
             packet_foreground: 0,
+            late_events: Vec::new(),
+            late_band: 0,
         }
     }
 
@@ -199,6 +253,8 @@ impl Scenario {
             chaos: None,
             horizon: params.horizon,
             packet_foreground: 0,
+            late_events: Vec::new(),
+            late_band: 0,
         })
     }
 
@@ -226,6 +282,8 @@ impl Scenario {
             chaos: None,
             horizon: params.horizon,
             packet_foreground: 0,
+            late_events: Vec::new(),
+            late_band: 0,
         }
     }
 }
@@ -247,6 +305,10 @@ struct ScenarioRepr {
     horizon: SimTime,
     #[serde(default)]
     packet_foreground: usize,
+    #[serde(default)]
+    late_events: Vec<(SimTime, LateEvent)>,
+    #[serde(default)]
+    late_band: usize,
 }
 
 impl Serialize for Scenario {
@@ -261,6 +323,8 @@ impl Serialize for Scenario {
             chaos: self.chaos,
             horizon: self.horizon,
             packet_foreground: self.packet_foreground,
+            late_events: self.late_events.clone(),
+            late_band: self.late_band,
         }
         .to_value()
     }
@@ -300,6 +364,25 @@ impl Deserialize for Scenario {
                 }
             }
         }
+        for &(_, ev) in &repr.late_events {
+            match ev {
+                LateEvent::CableDown(l) | LateEvent::CableUp(l) => {
+                    if topology.link(l).is_none() {
+                        return Err(serde::Error::custom(format!(
+                            "late event references {l}, which is not in the topology"
+                        )));
+                    }
+                }
+                LateEvent::SwitchDown(n) | LateEvent::SwitchUp(n) => {
+                    if topology.node(n).is_none() {
+                        return Err(serde::Error::custom(format!(
+                            "late event references {n}, which is not in the topology"
+                        )));
+                    }
+                }
+                LateEvent::CtrlDown | LateEvent::CtrlUp => {}
+            }
+        }
         Ok(Scenario {
             topology,
             members: repr.members,
@@ -310,9 +393,17 @@ impl Deserialize for Scenario {
             chaos: repr.chaos,
             horizon: repr.horizon,
             packet_foreground: repr.packet_foreground,
+            late_events: repr.late_events,
+            late_band: repr.late_band,
         })
     }
 }
+
+// Checkpoint headers embed the full scenario (through the canonical
+// serde Value encoding) so a snapshot file is self-describing: resume
+// rebuilds the topology, policies and workload from the header and then
+// overlays the mutable state blob.
+horse_types::impl_snap_via_serde!(Scenario);
 
 /// Scenario-level fidelity mode — how the canned scenario families (and
 /// the lab's sweep specs) pick per-flow fidelities. Lowered onto

@@ -27,17 +27,19 @@ use crate::config::SimConfig;
 use crate::event::SimEvent;
 use crate::hybrid::{pkt_flow_spec, HybridNet};
 use crate::results::{ChaosCounters, SimResults};
-use crate::scenario::Scenario;
+use crate::scenario::{LateEvent, Scenario};
 use crate::trace::{event_fingerprint, SimTracer};
 use horse_controlplane::{Controller, ControllerCtx, Outbox, PolicyGenerator};
 use horse_dataplane::stats::DropCause;
 use horse_dataplane::{AdmitOutcome, DemandModel, Fidelity, FlowSpec, FluidNet, RateChange};
-use horse_events::EventQueue;
+use horse_events::{EventQueue, QueueSnapshot};
 use horse_monitoring::collector::StatsCollector;
 use horse_monitoring::series::summarize;
 use horse_openflow::messages::SwitchMsg;
 use horse_packetsim::PktEvent;
-use horse_types::{ByteSize, FlowId, NodeId, SimDuration, SimTime};
+use horse_types::{
+    ByteSize, FlowId, NodeId, SimDuration, SimTime, Snap, SnapError, SnapReader, SnapWriter,
+};
 use horse_workloads::{DemandKind, FlowGenerator};
 use std::collections::HashMap;
 use std::time::Instant;
@@ -76,6 +78,97 @@ impl std::fmt::Display for BuildError {
 }
 
 impl std::error::Error for BuildError {}
+
+/// Magic prefix of the checkpoint format.
+pub const SNAPSHOT_MAGIC: &[u8; 9] = b"HORSESNAP";
+/// Current checkpoint format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Errors raised while resuming or forking from a checkpoint.
+#[derive(Debug)]
+pub enum ResumeError {
+    /// The bytes do not start with [`SNAPSHOT_MAGIC`].
+    BadMagic,
+    /// The snapshot's format version is not [`SNAPSHOT_VERSION`].
+    BadVersion(u32),
+    /// The snapshot failed to decode (truncation, corruption, or a
+    /// scenario/controller mismatch).
+    Corrupt(SnapError),
+    /// Rebuilding the simulation from the embedded scenario failed.
+    Build(BuildError),
+    /// A fork asked for more late events than the scenario's reserved
+    /// what-if band has slots left.
+    BandExhausted {
+        /// Total band size reserved at build time.
+        band: u64,
+    },
+    /// A fork scheduled a late event at or before the checkpoint time —
+    /// the straight-through run it is supposed to reproduce would have
+    /// already processed it.
+    LateEventNotLate {
+        /// The offending event time.
+        at: SimTime,
+        /// The checkpoint's simulation time.
+        now: SimTime,
+    },
+}
+
+impl std::fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResumeError::BadMagic => write!(f, "not a Horse snapshot (bad magic)"),
+            ResumeError::BadVersion(v) => write!(
+                f,
+                "unsupported snapshot version {v} (this build reads {SNAPSHOT_VERSION})"
+            ),
+            ResumeError::Corrupt(e) => write!(f, "corrupt snapshot: {e}"),
+            ResumeError::Build(e) => write!(f, "rebuilding from snapshot header failed: {e}"),
+            ResumeError::BandExhausted { band } => write!(
+                f,
+                "fork exceeds the reserved what-if band ({band} slots total)"
+            ),
+            ResumeError::LateEventNotLate { at, now } => write!(
+                f,
+                "fork late event at t={:.6}s is not after the checkpoint time t={:.6}s",
+                at.as_secs_f64(),
+                now.as_secs_f64()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ResumeError {}
+
+impl From<SnapError> for ResumeError {
+    fn from(e: SnapError) -> Self {
+        ResumeError::Corrupt(e)
+    }
+}
+
+impl From<BuildError> for ResumeError {
+    fn from(e: BuildError) -> Self {
+        ResumeError::Build(e)
+    }
+}
+
+/// What a fork may change relative to the checkpointed run. Every knob
+/// is chosen so the forked run is *provably* reproducible by a
+/// straight-through run: engine threading has no observable effect,
+/// control latency and late events only shape the future, and late
+/// events land in the scenario's reserved sequence band so their
+/// `(time, seq)` coordinates match a run that scheduled them at build
+/// time (see [`Scenario::late_band`]).
+#[derive(Clone, Debug, Default)]
+pub struct ForkSpec {
+    /// Override [`SimConfig::engine_threads`] (bit-identical results at
+    /// any thread count — this is the cross-thread resume knob).
+    pub engine_threads: Option<usize>,
+    /// Override [`SimConfig::ctrl_latency`] from the fork point on.
+    pub ctrl_latency: Option<SimDuration>,
+    /// Extra fault events, each strictly after the checkpoint time,
+    /// scheduled into the reserved what-if band.
+    pub late_events: Vec<(SimTime, LateEvent)>,
+}
 
 /// The Horse simulator (see module docs).
 pub struct Simulation {
@@ -119,6 +212,32 @@ pub struct Simulation {
     /// back into simulation state — results are byte-identical with it
     /// on or off.
     tracer: Option<Box<SimTracer>>,
+    /// The scenario the simulation was built from, kept verbatim so
+    /// checkpoints are self-describing (the header embeds it).
+    scenario: Scenario,
+    /// Bootstrap ran (guards [`Simulation::start`]'s idempotence; part
+    /// of the snapshot so a pre-start checkpoint restores faithfully).
+    started: bool,
+    /// Wall-clock seconds accumulated across `start`/`run_until` calls.
+    /// Deliberately *not* snapshotted: a resumed run reports its own
+    /// wall time, while simulation state stays bit-identical.
+    wall_accum: f64,
+    /// First sequence number of the reserved what-if band.
+    late_base: u64,
+    /// Total slots in the reserved what-if band.
+    late_band: u64,
+    /// Band slots consumed (by scenario late events and forks).
+    late_used: u64,
+    /// Journal continuation carried through a checkpoint when the
+    /// original run journaled: `(digest, entries)` at snapshot time.
+    /// [`Simulation::set_tracer`] seeds a new tracer from it so the
+    /// resumed journal is a byte-exact suffix.
+    journal_cont: Option<(u64, u64)>,
+    /// Metrics continuation carried through a checkpoint when the
+    /// original run had a tracer: a lossless registry dump at snapshot
+    /// time. [`Simulation::set_tracer`] seeds the new registry from it,
+    /// so the resumed run's final metrics equal an uninterrupted run's.
+    metrics_cont: Option<horse_trace::MetricsDump>,
     // Counters.
     events: u64,
     epochs: u64,
@@ -246,6 +365,18 @@ impl Simulation {
                 queue.schedule_at(at, ev);
             }
         }
+        // What-if band: sequence numbers reserved *after* the base
+        // schedule and *before* anything the run loop schedules, so a
+        // fork that fills a slot later lands its event at exactly the
+        // `(time, seq)` coordinates a straight-through run with that
+        // event in `late_events` produced.
+        let late_band = scenario.late_band.max(scenario.late_events.len()) as u64;
+        let late_base = queue.reserve_seq_band(late_band);
+        let mut late_used = 0u64;
+        for &(at, ev) in &scenario.late_events {
+            queue.schedule_at_seq(late_base + late_used, at, ev.to_sim_event());
+            late_used += 1;
+        }
         let workload = scenario.workload.as_ref().map(|params| WorkloadAdapter {
             generator: FlowGenerator::new(params.clone()),
             members: scenario.members.clone(),
@@ -286,6 +417,14 @@ impl Simulation {
             realloc_buf: Vec::new(),
             realloc_pending: false,
             tracer: None,
+            scenario,
+            started: false,
+            wall_accum: 0.0,
+            late_base,
+            late_band,
+            late_used,
+            journal_cont: None,
+            metrics_cont: None,
             events: 0,
             epochs: 0,
             max_epoch_batch: 0,
@@ -327,10 +466,27 @@ impl Simulation {
         self.queue.now()
     }
 
+    /// Events processed so far (what a checkpoint at this instant would
+    /// let a fork skip — the lab's `prefix_events_saved` accounting).
+    pub fn events_processed(&self) -> u64 {
+        self.events
+    }
+
     /// Installs a tracer: registers the data plane's hot-path counters
     /// with its metrics registry and enables allocator phase timing when
     /// span collection is on. Call before [`Simulation::run`].
-    pub fn set_tracer(&mut self, tracer: SimTracer) {
+    pub fn set_tracer(&mut self, mut tracer: SimTracer) {
+        // On a simulation resumed from a journaling run's checkpoint the
+        // new journal continues the old one: same digest chain, ordinals
+        // picking up after the prefix's last line.
+        if let Some((digest, entries)) = self.journal_cont {
+            tracer.seed_journal_cont(digest, entries);
+        }
+        // Likewise the metrics registry continues the prefix's counters,
+        // so end-of-run snapshots match an uninterrupted run's.
+        if let Some(dump) = &self.metrics_cont {
+            tracer.registry().seed(dump);
+        }
         self.fluid.attach_metrics(tracer.registry());
         self.fluid.set_phase_timing(tracer.spans_enabled());
         self.tracer = Some(Box::new(tracer));
@@ -391,12 +547,26 @@ impl Simulation {
 
     /// Delivers the controller's bootstrap rules synchronously (time 0),
     /// seeds workload/epoch/expiry events, then runs the event loop to the
-    /// horizon and returns the results.
+    /// horizon and returns the results. Equivalent to
+    /// [`Simulation::start`] + [`Simulation::run_until`]`(horizon)` +
+    /// [`Simulation::finish`] — the checkpointing API uses the pieces.
     pub fn run(&mut self) -> SimResults {
-        let start = Instant::now();
+        self.start();
+        self.run_until(self.horizon);
+        self.finish()
+    }
 
-        // Bootstrap: proactive rules apply instantaneously at t = 0 (the
-        // fabric is configured before traffic starts).
+    /// Bootstraps the run: proactive rules apply instantaneously at
+    /// t = 0 (the fabric is configured before traffic starts), the first
+    /// workload arrival and the periodic machinery are seeded. Idempotent;
+    /// a no-op on a simulation resumed from a post-start checkpoint.
+    pub fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        let t0 = Instant::now();
+
         let mut out = Outbox::new();
         {
             let ctx = ControllerCtx {
@@ -429,21 +599,32 @@ impl Simulation {
             self.queue
                 .schedule_at(SimTime::ZERO + scan, SimEvent::ExpiryScan);
         }
+        self.wall_accum += t0.elapsed().as_secs_f64();
+    }
 
-        // Main loop: one iteration drains one **epoch** — every event
-        // sharing the head timestamp, in seq (scheduling) order, including
-        // events scheduled *for that instant* mid-drain — and then runs
-        // the allocator once for the whole batch. Handlers that read
-        // allocation-dependent state (stats export, expiry scans, packet
-        // serializer drains) flush the pending reallocation first, so the
-        // state they observe matches the per-event cadence. An epoch's
-        // completions can schedule follow-up work at the same timestamp
-        // *after* the drain ended (a rate change landing exactly at the
-        // epoch time); the outer loop then simply runs another epoch at
-        // the same instant.
+    /// Runs the event loop until every epoch at or before
+    /// `min(until, horizon)` has been processed, starting the simulation
+    /// first if needed. Stopping at `T` and continuing later is
+    /// bit-identical to never stopping — this is the checkpoint boundary.
+    ///
+    /// Loop shape: one iteration drains one **epoch** — every event
+    /// sharing the head timestamp, in seq (scheduling) order, including
+    /// events scheduled *for that instant* mid-drain — and then runs
+    /// the allocator once for the whole batch. Handlers that read
+    /// allocation-dependent state (stats export, expiry scans, packet
+    /// serializer drains) flush the pending reallocation first, so the
+    /// state they observe matches the per-event cadence. An epoch's
+    /// completions can schedule follow-up work at the same timestamp
+    /// *after* the drain ended (a rate change landing exactly at the
+    /// epoch time); the outer loop then simply runs another epoch at
+    /// the same instant.
+    pub fn run_until(&mut self, until: SimTime) {
+        self.start();
+        let t0 = Instant::now();
+        let limit = until.min(self.horizon);
         let journal_on = self.tracer.as_ref().is_some_and(|t| t.journal_enabled());
         while let Some(epoch_time) = self.queue.peek_time() {
-            if epoch_time > self.horizon {
+            if epoch_time > limit {
                 break;
             }
             self.epochs += 1;
@@ -472,11 +653,14 @@ impl Simulation {
                 t.maybe_progress(epoch_time);
             }
         }
+        self.wall_accum += t0.elapsed().as_secs_f64();
+    }
 
-        // Horizon reached: settle accounting.
+    /// Settles end-of-run accounting and returns the results. Call after
+    /// [`Simulation::run_until`] reached the horizon.
+    pub fn finish(&mut self) -> SimResults {
         self.fluid.sync_all(self.horizon);
-        let wall = start.elapsed().as_secs_f64();
-        self.build_results(wall)
+        self.build_results(self.wall_accum)
     }
 
     fn schedule_next_workload_arrival(&mut self) {
@@ -923,6 +1107,249 @@ impl Simulation {
                 }
             }
         }
+    }
+
+    /// Serializes the complete simulation at its current event boundary
+    /// into a self-describing snapshot:
+    ///
+    /// ```text
+    /// "HORSESNAP" | u32 version | scenario | config | state blob
+    /// ```
+    ///
+    /// Call between [`Simulation::run_until`] calls (any epoch boundary,
+    /// including before [`Simulation::start`]). A simulation rebuilt by
+    /// [`Simulation::resume`] continues bit-identically to one that
+    /// never stopped.
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.bytes(SNAPSHOT_MAGIC);
+        w.u32(SNAPSHOT_VERSION);
+        self.scenario.snap(&mut w);
+        self.config.snap(&mut w);
+        self.snapshot_state(&mut w);
+        w.into_bytes()
+    }
+
+    /// Rebuilds a simulation from [`Simulation::checkpoint`] bytes,
+    /// using the scenario's policy generator as the controller (the
+    /// [`Simulation::new`] path). For custom controllers use
+    /// [`Simulation::resume_with_controller`].
+    pub fn resume(bytes: &[u8]) -> Result<Self, ResumeError> {
+        Self::resume_inner(bytes, None, None)
+    }
+
+    /// Rebuilds a simulation from checkpoint bytes with a custom
+    /// controller implementation. The controller must be the same kind
+    /// (same [`Controller::name`]) as the one that was checkpointed —
+    /// its state is restored via [`Controller::restore_state`].
+    pub fn resume_with_controller(
+        bytes: &[u8],
+        controller: Box<dyn Controller>,
+    ) -> Result<Self, ResumeError> {
+        Self::resume_inner(bytes, Some(controller), None)
+    }
+
+    /// Branches a what-if run off a checkpoint: same past, different
+    /// future. See [`ForkSpec`] for the knobs. The forked run is
+    /// bit-identical to a straight-through run whose scenario carried
+    /// the fork's `late_events` (and config overrides) from the start —
+    /// the differential harness in `tests/checkpoint_equivalence.rs`
+    /// proves exactly that.
+    pub fn fork(bytes: &[u8], overrides: &ForkSpec) -> Result<Self, ResumeError> {
+        let mut sim = Self::resume_inner(bytes, None, Some(overrides))?;
+        for &(at, ev) in &overrides.late_events {
+            if sim.late_used >= sim.late_band {
+                return Err(ResumeError::BandExhausted {
+                    band: sim.late_band,
+                });
+            }
+            if at <= sim.queue.now() {
+                return Err(ResumeError::LateEventNotLate {
+                    at,
+                    now: sim.queue.now(),
+                });
+            }
+            sim.queue
+                .schedule_at_seq(sim.late_base + sim.late_used, at, ev.to_sim_event());
+            sim.late_used += 1;
+        }
+        Ok(sim)
+    }
+
+    fn resume_inner(
+        bytes: &[u8],
+        controller: Option<Box<dyn Controller>>,
+        overrides: Option<&ForkSpec>,
+    ) -> Result<Self, ResumeError> {
+        let mut r = SnapReader::new(bytes);
+        let magic = r.bytes()?;
+        if magic != SNAPSHOT_MAGIC {
+            return Err(ResumeError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version != SNAPSHOT_VERSION {
+            return Err(ResumeError::BadVersion(version));
+        }
+        let scenario = Scenario::unsnap(&mut r)?;
+        let mut config = SimConfig::unsnap(&mut r)?;
+        if let Some(o) = overrides {
+            if let Some(t) = o.engine_threads {
+                config.engine_threads = t;
+            }
+            if let Some(l) = o.ctrl_latency {
+                config.ctrl_latency = l;
+            }
+        }
+        let mut sim = match controller {
+            Some(c) => Self::with_controller(scenario, config, c)?,
+            None => Self::new(scenario, config)?,
+        };
+        sim.restore_state(&mut r)?;
+        if !r.is_exhausted() {
+            return Err(ResumeError::Corrupt(SnapError::new(
+                format!("{} trailing bytes after snapshot state", r.remaining()),
+                r.position(),
+            )));
+        }
+        Ok(sim)
+    }
+
+    /// Writes every piece of mutable simulation state. Config-derived
+    /// structures (topology, policies, fluid config, alarm threshold)
+    /// are *not* written — resume rebuilds them from the header and this
+    /// blob overlays the parts that evolve.
+    fn snapshot_state(&self, w: &mut SnapWriter) {
+        self.queue.snapshot().snap(w);
+        self.fluid.snapshot_state(w);
+        self.hybrid.is_some().snap(w);
+        if let Some(h) = self.hybrid.as_deref() {
+            h.snapshot_state(w);
+        }
+        // Controller state rides in a length-delimited section tagged by
+        // the controller's name, so resuming with a mismatched
+        // controller fails loudly instead of misparsing what follows.
+        self.controller.name().to_string().snap(w);
+        let mut cw = SnapWriter::new();
+        self.controller.snapshot_state(&mut cw);
+        cw.into_bytes().snap(w);
+        self.pending.snap(w);
+        self.recovering.snap(w);
+        self.recovery_samples.snap(w);
+        self.ctrl_down_depth.snap(w);
+        self.ctrl_buffer.snap(w);
+        self.ctrl_latency_factor.snap(w);
+        self.chaos_ctr.snap(w);
+        self.workload.is_some().snap(w);
+        if let Some(wl) = self.workload.as_ref() {
+            wl.generator.snapshot_state(w);
+            wl.emitted.snap(w);
+        }
+        self.collector.snapshot_state(w);
+        self.realloc_pending.snap(w);
+        self.started.snap(w);
+        self.late_base.snap(w);
+        self.late_band.snap(w);
+        self.late_used.snap(w);
+        self.events.snap(w);
+        self.epochs.snap(w);
+        self.max_epoch_batch.snap(w);
+        self.realloc_requests.snap(w);
+        self.stale_completions.snap(w);
+        self.flows_admitted.snap(w);
+        self.flows_completed.snap(w);
+        self.msgs_to_controller.snap(w);
+        self.msgs_to_switch.snap(w);
+        self.flow_ins.snap(w);
+        let cont = self
+            .tracer
+            .as_ref()
+            .and_then(|t| t.journal_cont())
+            .or(self.journal_cont);
+        cont.snap(w);
+        let metrics = self
+            .tracer
+            .as_ref()
+            .map(|t| t.registry().dump())
+            .or_else(|| self.metrics_cont.clone());
+        metrics.snap(w);
+    }
+
+    /// Overlays state written by [`Simulation::snapshot_state`] onto a
+    /// freshly built simulation of the same scenario + config.
+    fn restore_state(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        let qsnap: QueueSnapshot<SimEvent> = Snap::unsnap(r)?;
+        self.queue = EventQueue::restore(qsnap);
+        self.fluid.restore_state(r)?;
+        let has_hybrid = bool::unsnap(r)?;
+        if has_hybrid {
+            self.enable_hybrid();
+            self.hybrid
+                .as_deref_mut()
+                .expect("just enabled")
+                .restore_state(r)?;
+        } else {
+            self.hybrid = None;
+        }
+        let ctrl_name = String::unsnap(r)?;
+        if ctrl_name != self.controller.name() {
+            return Err(SnapError::new(
+                format!(
+                    "snapshot was taken with controller '{ctrl_name}', resuming with '{}'",
+                    self.controller.name()
+                ),
+                r.position(),
+            ));
+        }
+        let ctrl_blob: Vec<u8> = Snap::unsnap(r)?;
+        let mut cr = SnapReader::new(&ctrl_blob);
+        self.controller.restore_state(&mut cr)?;
+        if !cr.is_exhausted() {
+            return Err(SnapError::new(
+                format!(
+                    "controller '{ctrl_name}' left {} bytes of its state unread",
+                    cr.remaining()
+                ),
+                r.position(),
+            ));
+        }
+        self.pending = Snap::unsnap(r)?;
+        self.recovering = Snap::unsnap(r)?;
+        self.recovery_samples = Snap::unsnap(r)?;
+        self.ctrl_down_depth = Snap::unsnap(r)?;
+        self.ctrl_buffer = Snap::unsnap(r)?;
+        self.ctrl_latency_factor = Snap::unsnap(r)?;
+        self.chaos_ctr = Snap::unsnap(r)?;
+        let has_workload = bool::unsnap(r)?;
+        if has_workload != self.workload.is_some() {
+            return Err(SnapError::new(
+                "snapshot and scenario disagree about the workload generator",
+                r.position(),
+            ));
+        }
+        if let Some(wl) = self.workload.as_mut() {
+            wl.generator.restore_state(r)?;
+            wl.emitted = Snap::unsnap(r)?;
+        }
+        self.collector.restore_state(r)?;
+        self.realloc_pending = Snap::unsnap(r)?;
+        self.started = Snap::unsnap(r)?;
+        self.late_base = Snap::unsnap(r)?;
+        self.late_band = Snap::unsnap(r)?;
+        self.late_used = Snap::unsnap(r)?;
+        self.events = Snap::unsnap(r)?;
+        self.epochs = Snap::unsnap(r)?;
+        self.max_epoch_batch = Snap::unsnap(r)?;
+        self.realloc_requests = Snap::unsnap(r)?;
+        self.stale_completions = Snap::unsnap(r)?;
+        self.flows_admitted = Snap::unsnap(r)?;
+        self.flows_completed = Snap::unsnap(r)?;
+        self.msgs_to_controller = Snap::unsnap(r)?;
+        self.msgs_to_switch = Snap::unsnap(r)?;
+        self.flow_ins = Snap::unsnap(r)?;
+        self.journal_cont = Snap::unsnap(r)?;
+        self.metrics_cont = Snap::unsnap(r)?;
+        self.realloc_buf.clear();
+        Ok(())
     }
 
     fn build_results(&mut self, wall_seconds: f64) -> SimResults {

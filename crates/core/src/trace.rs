@@ -163,6 +163,24 @@ impl SimTracer {
         self.journal.is_some()
     }
 
+    /// The journal continuation point — `(running digest, entries
+    /// written)` — captured into checkpoints; `None` when the journal
+    /// is off.
+    pub fn journal_cont(&self) -> Option<(u64, u64)> {
+        self.journal.as_ref().map(|j| (self.digest, j.entries()))
+    }
+
+    /// Seeds the tracer so a resumed run writes a journal *suffix*: the
+    /// digest chain continues from the checkpointed value and ordinals
+    /// continue after the prefix's last line, making
+    /// `prefix ++ suffix` byte-identical to the straight-through file.
+    pub fn seed_journal_cont(&mut self, digest: u64, entries: u64) {
+        self.digest = digest;
+        if let Some(j) = self.journal.as_mut() {
+            j.continue_after(entries);
+        }
+    }
+
     /// The collected spans, if span collection was enabled.
     pub fn spans(&self) -> Option<&SpanLog> {
         self.spans.as_ref()

@@ -67,6 +67,7 @@ use horse_openflow::messages::{CtrlMsg, SwitchMsg};
 use horse_openflow::switch::{DropReason, OpenFlowSwitch, PipelineResult, Verdict};
 use horse_topology::{LinkState, Topology};
 use horse_trace::{Counter, Histogram, MetricsRegistry};
+use horse_types::snap::{Snap, SnapError, SnapReader, SnapWriter};
 use horse_types::{ByteSize, FlowId, FlowKey, LinkId, NodeId, PortNo, Rate, SimTime};
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
@@ -261,6 +262,19 @@ struct WarmSlot {
     fl_links: Vec<u32>,
     rates: Vec<f64>,
 }
+
+// Checkpointing: the warm cache is observable through the hit/miss
+// counters exported with results, so a resumed run must carry it.
+horse_types::impl_snap_struct!(WarmSlot {
+    used,
+    digest,
+    demands,
+    weights,
+    caps,
+    fl_off,
+    fl_links,
+    rates,
+});
 
 /// Per-component warm-cache decision for the current solve pass.
 #[derive(Clone, Copy, Debug)]
@@ -1987,6 +2001,150 @@ impl FluidNet {
         let done: f64 = self.records.iter().map(|r| r.bytes).sum();
         active + done
     }
+
+    /// Serializes the fluid plane's mutable state into a snapshot
+    /// (checkpointing). Everything observable is captured: directed link
+    /// up/down states, every switch's tables/groups/meters/counters,
+    /// active flows in admission order (so a restore re-inserts them into
+    /// an identical arena layout order-wise), records, pending dirty
+    /// links, hybrid coupling vectors, crash set, the warm-start cache
+    /// (its hit/miss counters are exported with results) and the
+    /// engine's cumulative counters. Solver scratch, worker pools and
+    /// wall-clock timing are rebuildable and deliberately excluded — a
+    /// restored plane computes bit-identical rates regardless.
+    pub fn snapshot_state(&self, w: &mut SnapWriter) {
+        // Directed link states, in link-id order.
+        let nl = self.topo.link_count();
+        w.len_prefix(nl);
+        for (_, l) in self.topo.links() {
+            l.is_up().snap(w);
+        }
+        // Switches in the fixed sorted order, ids as a cross-check.
+        w.len_prefix(self.switch_order.len());
+        for &id in &self.switch_order {
+            id.snap(w);
+            self.switches[&id].snapshot_state(w);
+        }
+        // Active flows in admission order + the id counter.
+        w.len_prefix(self.flows.len());
+        for f in self.flows.iter() {
+            f.snap(w);
+        }
+        self.next_flow.snap(w);
+        self.link_stats.snap(w);
+        self.records.snap(w);
+        self.drops.snap(w);
+        // Dirty links pending the next incremental reallocation, in
+        // insertion order (discovery order depends on it).
+        self.dirty_links.snap(w);
+        self.external_demand.snap(w);
+        self.external_granted.snap(w);
+        self.gray.snap(w);
+        self.crashed.snap(w);
+        self.warm.snap(w);
+        self.realloc_runs.snap(w);
+        self.realloc_flows_touched.snap(w);
+        self.macro_flows.snap(w);
+        self.warm_hits.snap(w);
+        self.cold_solves.snap(w);
+    }
+
+    /// Restores state captured by [`FluidNet::snapshot_state`] into a
+    /// *freshly built* plane over the same topology (same nodes/links;
+    /// link states are overwritten from the snapshot). Metrics handles
+    /// are not part of the snapshot — call [`FluidNet::attach_metrics`]
+    /// afterwards if the restored run is traced.
+    pub fn restore_state(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        let nl = r.len_prefix()?;
+        if nl != self.topo.link_count() {
+            return Err(SnapError::new(
+                format!(
+                    "snapshot has {nl} links, topology has {}",
+                    self.topo.link_count()
+                ),
+                r.position(),
+            ));
+        }
+        for i in 0..nl {
+            let up = bool::unsnap(r)?;
+            let state = if up { LinkState::Up } else { LinkState::Down };
+            self.topo
+                .set_link_state(LinkId::from_index(i), state)
+                .map_err(|e| SnapError::new(format!("link state: {e:?}"), r.position()))?;
+        }
+        let nsw = r.len_prefix()?;
+        if nsw != self.switch_order.len() {
+            return Err(SnapError::new(
+                format!(
+                    "snapshot has {nsw} switches, topology has {}",
+                    self.switch_order.len()
+                ),
+                r.position(),
+            ));
+        }
+        for _ in 0..nsw {
+            let id = NodeId::unsnap(r)?;
+            let sw = self.switches.get_mut(&id).ok_or_else(|| {
+                SnapError::new(
+                    format!("snapshot switch {id:?} not in topology"),
+                    r.position(),
+                )
+            })?;
+            sw.restore_state(r)?;
+        }
+        // Re-admitting flows in snapshot (= admission) order rebuilds the
+        // arena's intrusive lists in the exact order the original run
+        // had, so iteration order — the only observable property of slot
+        // assignment — survives the round trip.
+        let nf = r.len_prefix()?;
+        self.flows = FlowArena::new(nl);
+        for _ in 0..nf {
+            let flow = ActiveFlow::unsnap(r)?;
+            self.flows.insert(flow);
+        }
+        self.next_flow = u64::unsnap(r)?;
+        self.link_stats = Vec::unsnap(r)?;
+        if self.link_stats.len() != nl {
+            return Err(SnapError::new(
+                format!("link_stats length {} != {nl}", self.link_stats.len()),
+                r.position(),
+            ));
+        }
+        self.records = Vec::unsnap(r)?;
+        self.drops = Vec::unsnap(r)?;
+        // Replay dirty marks through `mark_dirty` against a reset epoch,
+        // reproducing both the pending list order and the stamp map.
+        let dirty: Vec<LinkId> = Vec::unsnap(r)?;
+        self.dirty_links.clear();
+        self.dirty_stamp = vec![0; nl];
+        self.dirty_epoch = 1;
+        for l in dirty {
+            self.mark_dirty(l);
+        }
+        self.external_demand = Vec::unsnap(r)?;
+        self.external_granted = Vec::unsnap(r)?;
+        self.gray = Vec::unsnap(r)?;
+        for (name, v) in [
+            ("external_demand", self.external_demand.len()),
+            ("external_granted", self.external_granted.len()),
+            ("gray", self.gray.len()),
+        ] {
+            if v != nl {
+                return Err(SnapError::new(
+                    format!("{name} length {v} != {nl}"),
+                    r.position(),
+                ));
+            }
+        }
+        self.crashed = HashSet::unsnap(r)?;
+        self.warm = Vec::unsnap(r)?;
+        self.realloc_runs = u64::unsnap(r)?;
+        self.realloc_flows_touched = u64::unsnap(r)?;
+        self.macro_flows = u64::unsnap(r)?;
+        self.warm_hits = u64::unsnap(r)?;
+        self.cold_solves = u64::unsnap(r)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -2529,5 +2687,59 @@ mod tests {
         net.remove_flow(admitted[1], SimTime::ZERO, false);
         let order: Vec<FlowId> = net.active_flows().map(|f| f.id).collect();
         assert_eq!(order, vec![admitted[0], admitted[2], admitted[3]]);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip_and_bit_identical_continuation() {
+        let build = || {
+            let f = builders::linear(2, Rate::gbps(1.0));
+            FluidNet::new(f.topology, FluidConfig::default())
+        };
+        let (mut net, hl, hr) = linear_net();
+        install_forwarding(&mut net);
+        // Mid-run state: flows at different phases, a removal, a gray
+        // failure, hybrid external demand and a pending dirty link.
+        let a = net.reserve_id();
+        let b = net.reserve_id();
+        net.try_admit(a, spec(hl, hr, 1000), SimTime::ZERO);
+        net.try_admit(b, spec(hl, hr, 2000), SimTime::ZERO);
+        net.reallocate(SimTime::ZERO);
+        net.remove_flow(a, SimTime::from_millis(40), true);
+        net.reallocate(SimTime::from_millis(40));
+        net.set_gray(LinkId(0), 0.5);
+        net.set_external_demand(LinkId(1), 2.5e8); // dirty stays pending
+        let mut w = SnapWriter::new();
+        net.snapshot_state(&mut w);
+        let blob = w.into_bytes();
+
+        let mut restored = build();
+        install_forwarding(&mut restored);
+        let mut r = SnapReader::new(&blob);
+        restored.restore_state(&mut r).expect("restore");
+        assert!(r.is_exhausted(), "snapshot fully consumed");
+
+        // Round trip: re-serialization is byte-identical.
+        let mut w2 = SnapWriter::new();
+        restored.snapshot_state(&mut w2);
+        assert_eq!(blob, w2.into_bytes(), "canonical snapshot");
+
+        // Continuation: both planes evolve bit-identically.
+        let t1 = SimTime::from_millis(60);
+        let c1: Vec<RateChange> = net.reallocate(t1).to_vec();
+        let c2: Vec<RateChange> = restored.reallocate(t1).to_vec();
+        assert_eq!(format!("{c1:?}"), format!("{c2:?}"));
+        net.remove_flow(b, SimTime::from_millis(80), true);
+        restored.remove_flow(b, SimTime::from_millis(80), true);
+        net.sync_all(SimTime::from_millis(90));
+        restored.sync_all(SimTime::from_millis(90));
+        assert_eq!(
+            net.total_bytes_delivered().to_bits(),
+            restored.total_bytes_delivered().to_bits()
+        );
+        let mut wa = SnapWriter::new();
+        let mut wb = SnapWriter::new();
+        net.snapshot_state(&mut wa);
+        restored.snapshot_state(&mut wb);
+        assert_eq!(wa.into_bytes(), wb.into_bytes(), "states stay identical");
     }
 }

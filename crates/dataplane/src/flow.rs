@@ -187,6 +187,32 @@ impl ActiveFlow {
     }
 }
 
+// Checkpointing: active flows (with their resolved routes) are part of
+// the data-plane snapshot. Specs are serde types and go through the
+// canonical serde bridge; routes and flows encode field by field.
+horse_types::impl_snap_via_serde!(FlowSpec);
+horse_types::impl_snap_struct!(RouteHop {
+    node,
+    in_port,
+    out_port,
+    matched,
+    meters,
+});
+horse_types::impl_snap_struct!(Route { hops, links });
+horse_types::impl_snap_struct!(ActiveFlow {
+    id,
+    spec,
+    route,
+    rate,
+    meter_cap,
+    bytes_sent,
+    bytes_remaining,
+    bytes_dropped,
+    started,
+    last_update,
+    completion_gen,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

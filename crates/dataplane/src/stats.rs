@@ -93,6 +93,10 @@ pub struct DropRecord {
     pub time: SimTime,
 }
 
+// Checkpointing: statistics are accumulated state, so snapshots carry
+// them verbatim through the canonical serde bridge (floats as bits).
+horse_types::impl_snap_via_serde!(LinkStats, FlowRecord, DropRecord);
+
 /// A point-in-time link utilization sample (monitoring export).
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct LinkSample {

@@ -29,4 +29,6 @@ pub mod engine;
 pub mod queue;
 
 pub use engine::{EngineStats, EventLoop, HandlerOutcome};
-pub use queue::{EventHandle, EventQueue, QueueStats, ScheduledEvent};
+pub use queue::{
+    EventHandle, EventQueue, QueueSnapshot, QueueStats, ScheduledEvent, SnapshotEntry,
+};

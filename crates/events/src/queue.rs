@@ -15,7 +15,7 @@
 //!    (recorded in [`QueueStats::clamped`]) rather than silently reordering
 //!    history.
 
-use horse_types::{SimDuration, SimTime};
+use horse_types::{impl_snap_struct, SimDuration, SimTime};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -29,6 +29,19 @@ pub struct EventHandle(u64);
 impl EventHandle {
     /// A handle that never corresponds to a scheduled event.
     pub const NULL: EventHandle = EventHandle(u64::MAX);
+
+    /// The raw sequence number, for checkpoint serialization. Handles
+    /// survive a snapshot/restore cycle verbatim — seqs are stable — so
+    /// `from_raw(h.raw())` on the restored queue addresses the same
+    /// event.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds a handle from [`EventHandle::raw`].
+    pub const fn from_raw(seq: u64) -> Self {
+        EventHandle(seq)
+    }
 }
 
 /// An event popped from the queue.
@@ -89,6 +102,85 @@ pub struct QueueStats {
     /// exceeding half the heap): each compaction drops every dead entry
     /// in one O(n) pass instead of paying per-pop skips.
     pub compactions: u64,
+}
+
+impl_snap_struct!(QueueStats {
+    scheduled,
+    delivered,
+    cancelled,
+    skipped,
+    clamped,
+    compactions,
+});
+
+/// One entry of a [`QueueSnapshot`]: where/when it was scheduled and
+/// whether it is a tombstone (cancelled but still occupying the heap).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotEntry<E> {
+    /// Fire time.
+    pub time: SimTime,
+    /// Scheduling sequence number (the handle).
+    pub seq: u64,
+    /// True when the entry was cancelled but not yet compacted away —
+    /// restoring it as a tombstone keeps `skipped`/`compactions`
+    /// evolution identical to the uninterrupted run.
+    pub dead: bool,
+    /// The payload.
+    pub event: E,
+}
+
+/// A frozen, canonical image of an [`EventQueue`].
+///
+/// Entries are sorted by `(time, seq)` — a total order, since seqs are
+/// unique — so two queues holding the same logical state produce the
+/// same snapshot regardless of their internal heap layout. Tombstones
+/// are kept (with their `dead` flag) rather than dropped: the restored
+/// queue must reproduce the original's compaction pressure and
+/// `skipped` counter exactly for checkpoint/resume bit-equivalence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueueSnapshot<E> {
+    /// Heap contents in `(time, seq)` order, dead entries included.
+    pub entries: Vec<SnapshotEntry<E>>,
+    /// The scheduling counter.
+    pub next_seq: u64,
+    /// The queue clock.
+    pub now: SimTime,
+    /// Activity counters.
+    pub stats: QueueStats,
+}
+
+impl<E: horse_types::Snap> horse_types::Snap for SnapshotEntry<E> {
+    fn snap(&self, w: &mut horse_types::SnapWriter) {
+        self.time.snap(w);
+        self.seq.snap(w);
+        self.dead.snap(w);
+        self.event.snap(w);
+    }
+    fn unsnap(r: &mut horse_types::SnapReader) -> Result<Self, horse_types::SnapError> {
+        Ok(SnapshotEntry {
+            time: horse_types::Snap::unsnap(r)?,
+            seq: horse_types::Snap::unsnap(r)?,
+            dead: horse_types::Snap::unsnap(r)?,
+            event: horse_types::Snap::unsnap(r)?,
+        })
+    }
+}
+
+impl<E: horse_types::Snap> horse_types::Snap for QueueSnapshot<E> {
+    fn snap(&self, w: &mut horse_types::SnapWriter) {
+        self.entries.snap(w);
+        self.next_seq.snap(w);
+        self.now.snap(w);
+        self.stats.snap(w);
+    }
+    fn unsnap(r: &mut horse_types::SnapReader) -> Result<Self, horse_types::SnapError> {
+        Ok(QueueSnapshot {
+            entries: horse_types::Snap::unsnap(r)?,
+            next_seq: horse_types::Snap::unsnap(r)?,
+            now: horse_types::Snap::unsnap(r)?,
+            stats: horse_types::Snap::unsnap(r)?,
+        })
+    }
 }
 
 /// Deterministic future event list.
@@ -279,6 +371,103 @@ impl<E> EventQueue<E> {
         self.dead.clear();
         self.pending.clear();
         self.now = SimTime::ZERO;
+    }
+
+    /// Captures the queue as a canonical [`QueueSnapshot`] (entries in
+    /// `(time, seq)` order, tombstones flagged). The queue is untouched.
+    pub fn snapshot(&self) -> QueueSnapshot<E>
+    where
+        E: Clone,
+    {
+        let mut entries: Vec<SnapshotEntry<E>> = self
+            .heap
+            .iter()
+            .map(|e| SnapshotEntry {
+                time: e.time,
+                seq: e.seq,
+                dead: self.dead.contains(&e.seq),
+                event: e.event.clone(),
+            })
+            .collect();
+        entries.sort_by_key(|e| (e.time, e.seq));
+        QueueSnapshot {
+            entries,
+            next_seq: self.next_seq,
+            now: self.now,
+            stats: self.stats,
+        }
+    }
+
+    /// Rebuilds a queue from a [`QueueSnapshot`]. The result is
+    /// behaviorally identical to the queue that produced the snapshot:
+    /// same pop order, same `len()`, same cancel semantics for every
+    /// outstanding handle (live, tombstoned, or delivered), and the same
+    /// future stats evolution (tombstones re-enter the heap, so
+    /// `skipped`/`compactions` accrue exactly as they would have).
+    pub fn restore(snap: QueueSnapshot<E>) -> Self {
+        let mut dead = std::collections::HashSet::new();
+        let mut pending = std::collections::HashSet::new();
+        let mut entries = Vec::with_capacity(snap.entries.len());
+        for e in snap.entries {
+            if e.dead {
+                dead.insert(e.seq);
+            } else {
+                pending.insert(e.seq);
+            }
+            entries.push(Entry {
+                time: e.time,
+                seq: e.seq,
+                event: e.event,
+            });
+        }
+        EventQueue {
+            heap: BinaryHeap::from(entries),
+            dead,
+            pending,
+            next_seq: snap.next_seq,
+            now: snap.now,
+            stats: snap.stats,
+        }
+    }
+
+    /// Reserves `n` consecutive sequence numbers and returns the first.
+    ///
+    /// The reserved band is *not* scheduled — later calls to
+    /// [`EventQueue::schedule_at_seq`] fill individual slots. This is the
+    /// fork-determinism primitive: a shared prefix run reserves a band up
+    /// front, so every fork can inject its variant-specific events with
+    /// exactly the `(time, seq)` coordinates the equivalent
+    /// straight-through run would have used, leaving all subsequent seq
+    /// assignments (and hence the entire event order) unchanged.
+    pub fn reserve_seq_band(&mut self, n: u64) -> u64 {
+        let base = self.next_seq;
+        self.next_seq += n;
+        base
+    }
+
+    /// Schedules `event` at `at` under an explicit sequence number from a
+    /// band previously reserved with [`EventQueue::reserve_seq_band`].
+    ///
+    /// # Panics
+    /// Panics if `seq` was never reserved (`seq >= next_seq`) or is
+    /// already in use by a live or tombstoned entry — both indicate a
+    /// bookkeeping bug in the caller, never a data-dependent condition.
+    pub fn schedule_at_seq(&mut self, seq: u64, at: SimTime, event: E) -> EventHandle {
+        assert!(seq < self.next_seq, "seq {seq} was never reserved");
+        assert!(
+            !self.pending.contains(&seq) && !self.dead.contains(&seq),
+            "seq {seq} already scheduled"
+        );
+        let time = if at < self.now {
+            self.stats.clamped += 1;
+            self.now
+        } else {
+            at
+        };
+        self.heap.push(Entry { time, seq, event });
+        self.pending.insert(seq);
+        self.stats.scheduled += 1;
+        EventHandle(seq)
     }
 
     fn skip_dead(&mut self) {
@@ -490,6 +679,159 @@ mod tests {
         assert_eq!(q.pop_if_at(t1), None, "next event is a later epoch");
         assert_eq!(q.pop().unwrap().event, 3);
         assert_eq!(q.pop_if_at(SimTime::from_secs(9)), None, "empty queue");
+    }
+
+    /// Drives two queues through the same operation sequence, asserting
+    /// identical observable behavior step by step.
+    fn assert_equivalent(
+        a: &mut EventQueue<u32>,
+        b: &mut EventQueue<u32>,
+        ops: impl IntoIterator<Item = Op>,
+    ) {
+        for op in ops {
+            match op {
+                Op::Schedule(t, v) => {
+                    assert_eq!(a.schedule_at(t, v), b.schedule_at(t, v));
+                }
+                Op::Cancel(h) => assert_eq!(a.cancel(h), b.cancel(h)),
+                Op::Pop => assert_eq!(a.pop(), b.pop()),
+            }
+            assert_eq!(a.len(), b.len());
+            assert_eq!(a.now(), b.now());
+            assert_eq!(a.stats(), b.stats());
+        }
+    }
+
+    enum Op {
+        Schedule(SimTime, u32),
+        Cancel(EventHandle),
+        Pop,
+    }
+
+    #[test]
+    fn snapshot_restore_mid_compaction_pressure_preserves_bookkeeping() {
+        // Regression (PR 9): the snapshot must carry tombstone and
+        // pending-seq bookkeeping exactly. Build a queue sitting just
+        // *below* the compaction threshold — maximal tombstone pressure —
+        // and verify the restored queue matches the original on len(),
+        // cancel semantics (live, tombstoned, and delivered handles), pop
+        // order, and the stats evolution that the very next cancel (which
+        // tips into compaction) produces.
+        let mut q = EventQueue::new();
+        let handles: Vec<EventHandle> = (0..20u32)
+            .map(|i| q.schedule_at(SimTime::from_secs(1 + i as u64), i))
+            .collect();
+        q.pop(); // deliver #0 so a delivered handle exists
+        for h in &handles[1..10] {
+            assert!(q.cancel(*h)); // 9 tombstones over 19 entries: 9*2 ≤ 19
+        }
+        assert_eq!(q.stats().compactions, 0, "precondition: none yet");
+        assert_eq!(q.len(), 10);
+
+        let snap = q.snapshot();
+        // Canonical: tombstones present and flagged, entries ordered.
+        assert_eq!(snap.entries.len(), 19, "tombstones included");
+        assert_eq!(snap.entries.iter().filter(|e| e.dead).count(), 9);
+        assert!(snap
+            .entries
+            .windows(2)
+            .all(|w| (w[0].time, w[0].seq) < (w[1].time, w[1].seq)));
+
+        let mut r = EventQueue::restore(snap.clone());
+        assert_eq!(r.len(), q.len());
+        assert_eq!(r.now(), q.now());
+        assert_eq!(r.stats(), q.stats());
+        // Snapshot of the restored queue is identical (round-trip).
+        assert_eq!(r.snapshot(), snap);
+
+        // Identical behavior from here on, including the compaction that
+        // the next cancel triggers on both.
+        assert_equivalent(
+            &mut q,
+            &mut r,
+            [
+                Op::Cancel(handles[0]),  // delivered: false on both
+                Op::Cancel(handles[5]),  // tombstoned: false on both
+                Op::Cancel(handles[10]), // live: true, tips compaction
+                Op::Pop,
+                Op::Schedule(SimTime::from_secs(50), 777),
+                Op::Pop,
+                Op::Pop,
+            ],
+        );
+        assert_eq!(q.stats().compactions, 1, "restored queue compacted too");
+    }
+
+    #[test]
+    fn restored_queue_assigns_fresh_seqs_identically() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(1), 1u32);
+        q.schedule_at(SimTime::from_secs(2), 2);
+        let mut r = EventQueue::restore(q.snapshot());
+        // next_seq carried over: new handles collide on neither queue.
+        assert_equivalent(
+            &mut q,
+            &mut r,
+            [
+                Op::Schedule(SimTime::from_secs(1), 3),
+                Op::Pop,
+                Op::Pop,
+                Op::Pop,
+            ],
+        );
+    }
+
+    #[test]
+    fn seq_band_injection_matches_straight_through_order() {
+        // Straight-through: events scheduled in one go.
+        let mut straight = EventQueue::new();
+        let t = SimTime::from_secs(5);
+        straight.schedule_at(t, 1u32); // seq 0
+        straight.schedule_at(t, 2); // seq 1 (the "axis" event)
+        straight.schedule_at(t, 3); // seq 2
+
+        // Forked: the prefix reserves the axis slot, later filled in.
+        let mut forked = EventQueue::new();
+        forked.schedule_at(t, 1); // seq 0
+        let base = forked.reserve_seq_band(1); // seq 1 reserved
+        forked.schedule_at(t, 3); // seq 2
+        forked.schedule_at_seq(base, t, 2); // axis event lands at seq 1
+
+        let a: Vec<u32> = std::iter::from_fn(|| straight.pop().map(|e| e.event)).collect();
+        let b: Vec<u32> = std::iter::from_fn(|| forked.pop().map(|e| e.event)).collect();
+        assert_eq!(a, b, "band injection reproduces straight-through order");
+        assert_eq!(a, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn seq_band_survives_snapshot() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(1), 1u32);
+        let base = q.reserve_seq_band(4);
+        let mut r = EventQueue::restore(q.snapshot());
+        // The band is still reserved after restore (next_seq carried).
+        let h = r.schedule_at_seq(base + 2, SimTime::from_secs(3), 9);
+        assert_eq!(h.raw(), base + 2);
+        assert_eq!(r.pop().unwrap().event, 1);
+        assert_eq!(r.pop().unwrap().event, 9);
+        // Fresh scheduling resumes after the band on both queues.
+        assert_eq!(q.schedule_at(SimTime::from_secs(9), 0).raw(), base + 4);
+        assert_eq!(r.schedule_at(SimTime::from_secs(9), 0).raw(), base + 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "never reserved")]
+    fn schedule_at_seq_rejects_unreserved() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.schedule_at_seq(3, SimTime::from_secs(1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already scheduled")]
+    fn schedule_at_seq_rejects_reuse() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(1), 1);
+        q.schedule_at_seq(0, SimTime::from_secs(1), 2);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 use crate::runner::{resolve_threads, run_plans_opts, RunOptions};
 use crate::spec::SweepSpec;
 use crate::sweep::expand;
+use crate::whatif::{fork_groups, run_forked, ForkOptions};
 use crate::LabError;
 use horse::tracing::chrome_trace;
 use std::path::PathBuf;
@@ -24,6 +25,7 @@ horse-lab — declarative experiment sweeps for the Horse simulator
 USAGE:
     horse-lab run <spec.toml|spec.json> [--threads N] [--engine-threads N] [--out DIR]
                   [--trace FILE] [--journal DIR] [--progress] [--quiet]
+                  [--naive] [--checkpoint DIR] [--resume DIR]
     horse-lab plan <spec>
     horse-lab validate <spec>
 
@@ -42,6 +44,15 @@ OPTIONS:
                   compare two runs with `horse-trace diff`
     --progress    periodic stderr heartbeat (sim-time, events/s, epochs)
     --quiet       suppress per-run progress lines
+
+  What-if campaigns (`whatif_at_secs` in the spec) share each common
+  prefix across variants: simulate once to the fork point, checkpoint,
+  fork per variant. Reports are byte-identical to naive execution.
+    --naive       force full re-simulation of every run
+    --checkpoint DIR
+                  persist each prefix snapshot as <DIR>/<name>.g<k>.snap
+    --resume DIR  load prefix snapshots saved by --checkpoint instead of
+                  re-simulating (missing files fall back to simulating)
 ";
 
 /// Parsed command line.
@@ -65,6 +76,12 @@ pub struct Cli {
     pub progress: bool,
     /// `--quiet`.
     pub quiet: bool,
+    /// `--naive`: force full re-simulation of a what-if campaign.
+    pub naive: bool,
+    /// `--checkpoint`: persist prefix snapshots to this directory.
+    pub checkpoint: Option<PathBuf>,
+    /// `--resume`: load prefix snapshots from this directory.
+    pub resume: Option<PathBuf>,
 }
 
 /// Parses arguments (without the program name).
@@ -87,6 +104,9 @@ pub fn parse_args(args: &[String]) -> Result<Cli, LabError> {
     let mut journal = None;
     let mut progress = false;
     let mut quiet = false;
+    let mut naive = false;
+    let mut checkpoint = None;
+    let mut resume = None;
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--threads" => {
@@ -127,6 +147,19 @@ pub fn parse_args(args: &[String]) -> Result<Cli, LabError> {
             }
             "--progress" => progress = true,
             "--quiet" => quiet = true,
+            "--naive" => naive = true,
+            "--checkpoint" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| LabError::cli("--checkpoint needs a directory"))?;
+                checkpoint = Some(PathBuf::from(v));
+            }
+            "--resume" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| LabError::cli("--resume needs a directory"))?;
+                resume = Some(PathBuf::from(v));
+            }
             "--help" | "-h" => return Err(LabError::cli(USAGE)),
             other if other.starts_with('-') => {
                 return Err(LabError::cli(format!(
@@ -151,6 +184,9 @@ pub fn parse_args(args: &[String]) -> Result<Cli, LabError> {
         journal,
         progress,
         quiet,
+        naive,
+        checkpoint,
+        resume,
     })
 }
 
@@ -200,39 +236,91 @@ fn main_inner(args: &[String]) -> Result<(), LabError> {
                 }
             }
             let total = plans.len();
-            println!(
-                "campaign `{}`: {} runs on {} thread(s)",
-                spec.name, total, threads
-            );
             let quiet = cli.quiet;
-            let opts = RunOptions {
-                trace: cli.trace.is_some(),
-                journal_dir: cli.journal.clone(),
-                progress: cli.progress,
+            let groups = if cli.naive {
+                None
+            } else {
+                fork_groups(&plans)?
             };
-            let (report, traces) = run_plans_opts(&spec.name, plans, threads, &opts, |rec| {
-                if !quiet {
-                    println!(
-                        "  done {:>3}/{total}  {:.3}s  {}",
-                        rec.index,
-                        rec.wall_seconds,
-                        rec.label()
-                    );
+            if groups.is_none() && (cli.checkpoint.is_some() || cli.resume.is_some()) {
+                return Err(LabError::cli(
+                    "--checkpoint/--resume apply to prefix-shared what-if campaigns: set \
+                     scenario.whatif_at_secs, sweep only whatif_*/engine_threads axes, \
+                     and drop --naive",
+                ));
+            }
+            let report = if let Some(groups) = groups {
+                if cli.trace.is_some() || cli.journal.is_some() || cli.progress {
+                    return Err(LabError::cli(
+                        "--trace/--journal/--progress need --naive: forked execution \
+                         shares one simulation prefix across runs, so per-run \
+                         observability streams would be incomplete",
+                    ));
                 }
-            })?;
-            if let Some(trace_path) = cli.trace.as_ref() {
-                let processes: Vec<(u32, &str, &horse::tracing::SpanLog)> = traces
-                    .iter()
-                    .map(|t| (t.index as u32, t.label.as_str(), &t.spans))
-                    .collect();
-                std::fs::write(trace_path, chrome_trace(&processes)).map_err(|e| {
-                    LabError::cli(format!("cannot write {}: {e}", trace_path.display()))
+                println!(
+                    "campaign `{}`: {} runs over {} shared prefix(es) (forked what-if; --naive disables)",
+                    spec.name,
+                    total,
+                    groups.len()
+                );
+                let fork_opts = ForkOptions {
+                    checkpoint_dir: cli.checkpoint.clone(),
+                    resume_dir: cli.resume.clone(),
+                };
+                let (report, stats) = run_forked(&spec.name, &groups, &fork_opts, |rec| {
+                    if !quiet {
+                        println!(
+                            "  done {:>3}/{total}  {:.3}s  {}",
+                            rec.index,
+                            rec.wall_seconds,
+                            rec.label()
+                        );
+                    }
                 })?;
-                println!("trace: {} ({} runs)", trace_path.display(), traces.len());
-            }
-            if let Some(dir) = cli.journal.as_ref() {
-                println!("journals: {}/run*.jsonl", dir.display());
-            }
+                println!(
+                    "prefix sharing: {} prefix events simulated once ({} resumed from disk), \
+                     {} events of re-simulation avoided, {} snapshot bytes",
+                    stats.prefix_events,
+                    stats.resumed_prefixes,
+                    stats.prefix_events_saved,
+                    stats.snapshot_bytes
+                );
+                report
+            } else {
+                println!(
+                    "campaign `{}`: {} runs on {} thread(s)",
+                    spec.name, total, threads
+                );
+                let opts = RunOptions {
+                    trace: cli.trace.is_some(),
+                    journal_dir: cli.journal.clone(),
+                    progress: cli.progress,
+                };
+                let (report, traces) = run_plans_opts(&spec.name, plans, threads, &opts, |rec| {
+                    if !quiet {
+                        println!(
+                            "  done {:>3}/{total}  {:.3}s  {}",
+                            rec.index,
+                            rec.wall_seconds,
+                            rec.label()
+                        );
+                    }
+                })?;
+                if let Some(trace_path) = cli.trace.as_ref() {
+                    let processes: Vec<(u32, &str, &horse::tracing::SpanLog)> = traces
+                        .iter()
+                        .map(|t| (t.index as u32, t.label.as_str(), &t.spans))
+                        .collect();
+                    std::fs::write(trace_path, chrome_trace(&processes)).map_err(|e| {
+                        LabError::cli(format!("cannot write {}: {e}", trace_path.display()))
+                    })?;
+                    println!("trace: {} ({} runs)", trace_path.display(), traces.len());
+                }
+                if let Some(dir) = cli.journal.as_ref() {
+                    println!("journals: {}/run*.jsonl", dir.display());
+                }
+                report
+            };
             std::fs::create_dir_all(&cli.out)
                 .map_err(|e| LabError::cli(format!("cannot create {}: {e}", cli.out.display())))?;
             let csv_path = cli.out.join(format!("{}.csv", spec.name));
@@ -300,6 +388,28 @@ mod tests {
         assert_eq!(cli.trace, None);
         assert_eq!(cli.journal, None);
         assert!(!cli.progress);
+        assert!(!cli.naive);
+        assert_eq!(cli.checkpoint, None);
+        assert_eq!(cli.resume, None);
+    }
+
+    #[test]
+    fn parses_whatif_options() {
+        let cli = parse_args(&s(&[
+            "run",
+            "sweep.toml",
+            "--naive",
+            "--checkpoint",
+            "snaps",
+            "--resume",
+            "snaps",
+        ]))
+        .unwrap();
+        assert!(cli.naive);
+        assert_eq!(cli.checkpoint, Some(PathBuf::from("snaps")));
+        assert_eq!(cli.resume, Some(PathBuf::from("snaps")));
+        assert!(parse_args(&s(&["run", "a.toml", "--checkpoint"])).is_err());
+        assert!(parse_args(&s(&["run", "a.toml", "--resume"])).is_err());
     }
 
     #[test]

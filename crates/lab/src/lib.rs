@@ -42,6 +42,7 @@ pub mod report;
 pub mod runner;
 pub mod spec;
 pub mod sweep;
+pub mod whatif;
 
 pub use report::{CampaignReport, RunRecord};
 pub use runner::{
@@ -50,6 +51,7 @@ pub use runner::{
 };
 pub use spec::{Axes, ScenarioSpec, SimConfigSpec, SweepSpec};
 pub use sweep::{expand, RunPlan};
+pub use whatif::{fork_groups, run_forked, ForkGroup, ForkOptions, ForkStats};
 
 use std::fmt;
 
@@ -99,5 +101,6 @@ pub mod prelude {
     };
     pub use crate::spec::{Axes, ScenarioSpec, SimConfigSpec, SweepSpec};
     pub use crate::sweep::{expand, RunPlan};
+    pub use crate::whatif::{fork_groups, run_forked, ForkGroup, ForkOptions, ForkStats};
     pub use crate::LabError;
 }

@@ -92,6 +92,19 @@ pub enum ScenarioSpec {
         chaos_gray_loss_frac: Option<f64>,
         /// Chaos: length of one gray window in seconds (default 1.0).
         chaos_gray_duration_secs: Option<f64>,
+        /// What-if: shared-prefix fork point in seconds. Runs whose specs
+        /// differ only in `whatif_*` event knobs (and `engine_threads`)
+        /// simulate the prefix `[0, T)` once and fork per variant.
+        whatif_at_secs: Option<f64>,
+        /// What-if: link (by [`LinkId`] index) to fail after the fork
+        /// point. Sweepable, so one spec compares candidate failures.
+        whatif_link_down: Option<u32>,
+        /// What-if: failure injection time in seconds (must lie after
+        /// `whatif_at_secs`).
+        whatif_fail_secs: Option<f64>,
+        /// What-if: repair time in seconds (after `whatif_fail_secs`);
+        /// omit to leave the cable down for the rest of the run.
+        whatif_repair_secs: Option<f64>,
     },
     /// The parameterized IXP fabric (experiments E1–E5).
     Ixp {
@@ -172,6 +185,19 @@ pub enum ScenarioSpec {
         chaos_gray_loss_frac: Option<f64>,
         /// Chaos: length of one gray window in seconds (default 1.0).
         chaos_gray_duration_secs: Option<f64>,
+        /// What-if: shared-prefix fork point in seconds. Runs whose specs
+        /// differ only in `whatif_*` event knobs (and `engine_threads`)
+        /// simulate the prefix `[0, T)` once and fork per variant.
+        whatif_at_secs: Option<f64>,
+        /// What-if: link (by [`LinkId`] index) to fail after the fork
+        /// point. Sweepable, so one spec compares candidate failures.
+        whatif_link_down: Option<u32>,
+        /// What-if: failure injection time in seconds (must lie after
+        /// `whatif_at_secs`).
+        whatif_fail_secs: Option<f64>,
+        /// What-if: repair time in seconds (after `whatif_fail_secs`);
+        /// omit to leave the cable down for the rest of the run.
+        whatif_repair_secs: Option<f64>,
     },
     /// A generated topology family (`horse_topology::generators`):
     /// fat-tree, leaf-spine, jellyfish, linear/ring chains, or a WAN
@@ -276,6 +302,19 @@ pub enum ScenarioSpec {
         chaos_gray_loss_frac: Option<f64>,
         /// Chaos: length of one gray window in seconds (default 1.0).
         chaos_gray_duration_secs: Option<f64>,
+        /// What-if: shared-prefix fork point in seconds. Runs whose specs
+        /// differ only in `whatif_*` event knobs (and `engine_threads`)
+        /// simulate the prefix `[0, T)` once and fork per variant.
+        whatif_at_secs: Option<f64>,
+        /// What-if: link (by [`LinkId`] index) to fail after the fork
+        /// point. Sweepable, so one spec compares candidate failures.
+        whatif_link_down: Option<u32>,
+        /// What-if: failure injection time in seconds (must lie after
+        /// `whatif_at_secs`).
+        whatif_fail_secs: Option<f64>,
+        /// What-if: repair time in seconds (after `whatif_fail_secs`);
+        /// omit to leave the cable down for the rest of the run.
+        whatif_repair_secs: Option<f64>,
     },
 }
 
@@ -403,6 +442,131 @@ impl ScenarioSpec {
             gray_duration_secs: chaos_gray_duration_secs.unwrap_or(0.0),
         };
         spec.is_active().then_some(spec)
+    }
+
+    /// The shared-prefix fork point (`whatif_at_secs`), if this spec
+    /// declares one. The forked sweep runner uses it to decide whether a
+    /// campaign is eligible for prefix sharing.
+    pub fn whatif_at_secs(&self) -> Option<f64> {
+        self.whatif_knobs().0
+    }
+
+    /// Clears the knobs a what-if variant is allowed to diverge in,
+    /// leaving the shared prefix every variant starts from. Two plans
+    /// belong to the same fork group iff their stripped specs are equal.
+    pub fn strip_whatif_divergence(&self) -> Self {
+        let mut stripped = self.clone();
+        match &mut stripped {
+            ScenarioSpec::Figure1 {
+                whatif_link_down,
+                whatif_fail_secs,
+                whatif_repair_secs,
+                ..
+            }
+            | ScenarioSpec::Ixp {
+                whatif_link_down,
+                whatif_fail_secs,
+                whatif_repair_secs,
+                ..
+            }
+            | ScenarioSpec::Fabric {
+                whatif_link_down,
+                whatif_fail_secs,
+                whatif_repair_secs,
+                ..
+            } => {
+                *whatif_link_down = None;
+                *whatif_fail_secs = None;
+                *whatif_repair_secs = None;
+            }
+        }
+        stripped
+    }
+
+    fn whatif_knobs(&self) -> (Option<f64>, Option<u32>, Option<f64>, Option<f64>) {
+        match self {
+            ScenarioSpec::Figure1 {
+                whatif_at_secs,
+                whatif_link_down,
+                whatif_fail_secs,
+                whatif_repair_secs,
+                ..
+            }
+            | ScenarioSpec::Ixp {
+                whatif_at_secs,
+                whatif_link_down,
+                whatif_fail_secs,
+                whatif_repair_secs,
+                ..
+            }
+            | ScenarioSpec::Fabric {
+                whatif_at_secs,
+                whatif_link_down,
+                whatif_fail_secs,
+                whatif_repair_secs,
+                ..
+            } => (
+                *whatif_at_secs,
+                *whatif_link_down,
+                *whatif_fail_secs,
+                *whatif_repair_secs,
+            ),
+        }
+    }
+
+    /// Lowers the `whatif_*` knobs onto the built scenario: reserves the
+    /// late-event sequence band (constant across variants, so forked and
+    /// straight-through runs agree on every `(time, seq)` coordinate) and
+    /// schedules the variant's failure/repair pair as late events.
+    fn apply_whatif(&self, scenario: &mut Scenario) -> Result<(), LabError> {
+        let (at, link, fail, repair) = self.whatif_knobs();
+        if at.is_none() && link.is_none() && fail.is_none() && repair.is_none() {
+            return Ok(());
+        }
+        let at = at.ok_or_else(|| {
+            LabError::spec("whatif_* knobs need `whatif_at_secs` (the shared-prefix fork point)")
+        })?;
+        if !(at.is_finite() && at > 0.0) {
+            return Err(LabError::spec(format!(
+                "scenario.whatif_at_secs must be a positive number of seconds, got {at}"
+            )));
+        }
+        scenario.late_band = 2;
+        // The event is injected only when both the link and the failure
+        // time are known. A partial pair is not an error at this level:
+        // sweeps routinely fix one knob in the base spec while an axis
+        // supplies the other, so the base spec (and the forked runner's
+        // stripped prefix) legitimately build with the band reserved and
+        // nothing injected.
+        let (Some(link), Some(fail)) = (link, fail) else {
+            return Ok(());
+        };
+        let links = scenario.topology.links().count() as u32;
+        if link >= links {
+            return Err(LabError::spec(format!(
+                "scenario.whatif_link_down = {link} is out of range (topology has {links} links)"
+            )));
+        }
+        if !(fail.is_finite() && fail > at) {
+            return Err(LabError::spec(format!(
+                "scenario.whatif_fail_secs must lie after whatif_at_secs ({at}), got {fail}"
+            )));
+        }
+        let t = |secs: f64| SimTime::ZERO + SimDuration::from_secs_f64(secs);
+        scenario
+            .late_events
+            .push((t(fail), LateEvent::CableDown(LinkId(link))));
+        if let Some(rep) = repair {
+            if !(rep.is_finite() && rep > fail) {
+                return Err(LabError::spec(format!(
+                    "scenario.whatif_repair_secs must lie after whatif_fail_secs ({fail}), got {rep}"
+                )));
+            }
+            scenario
+                .late_events
+                .push((t(rep), LateEvent::CableUp(LinkId(link))));
+        }
+        Ok(())
     }
 
     /// Lowers the spec to a concrete [`Scenario`].
@@ -612,6 +776,7 @@ impl ScenarioSpec {
         };
         scenario.packet_foreground = mode.foreground(foreground);
         scenario.chaos = self.chaos_spec();
+        self.apply_whatif(&mut scenario)?;
         Ok(scenario)
     }
 }

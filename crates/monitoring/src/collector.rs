@@ -39,6 +39,21 @@ pub struct ThresholdAlarm {
     pub utilization: f64,
 }
 
+horse_types::impl_snap_struct!(EpochReport {
+    time,
+    aggregate_rate_bps,
+    max_utilization,
+    mean_busy_utilization,
+    active_flows,
+    completed_flows,
+});
+
+horse_types::impl_snap_struct!(ThresholdAlarm {
+    link,
+    time,
+    utilization,
+});
+
 /// Collects link and aggregate statistics across epochs.
 #[derive(Clone, Debug)]
 pub struct StatsCollector {
@@ -141,6 +156,34 @@ impl StatsCollector {
         self.active_flows.push(time, active_flows as f64);
         self.epochs.push(report);
         report
+    }
+
+    /// Serializes the collector's accumulated state for a checkpoint.
+    /// `alarm_threshold` is configuration and travels with the scenario,
+    /// not the snapshot.
+    pub fn snapshot_state(&self, w: &mut horse_types::SnapWriter) {
+        use horse_types::Snap;
+        self.link_series.snap(w);
+        self.aggregate.snap(w);
+        self.active_flows.snap(w);
+        self.epochs.snap(w);
+        self.alarms.snap(w);
+        self.latched.snap(w);
+    }
+
+    /// Restores state written by [`StatsCollector::snapshot_state`].
+    pub fn restore_state(
+        &mut self,
+        r: &mut horse_types::SnapReader,
+    ) -> Result<(), horse_types::SnapError> {
+        use horse_types::Snap;
+        self.link_series = Snap::unsnap(r)?;
+        self.aggregate = Snap::unsnap(r)?;
+        self.active_flows = Snap::unsnap(r)?;
+        self.epochs = Snap::unsnap(r)?;
+        self.alarms = Snap::unsnap(r)?;
+        self.latched = Snap::unsnap(r)?;
+        Ok(())
     }
 
     /// The utilization series of one link (if ever sampled).

@@ -151,6 +151,9 @@ pub struct Summary {
     pub max: f64,
 }
 
+// Checkpointing: series are part of the collector's resumable state.
+horse_types::impl_snap_struct!(TimeSeries { points });
+
 #[cfg(test)]
 mod tests {
     use super::*;

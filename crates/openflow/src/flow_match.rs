@@ -296,6 +296,10 @@ impl fmt::Display for FlowMatch {
     }
 }
 
+// Checkpointing: matches ride inside resolved routes, so they must
+// round-trip through the binary snapshot codec.
+horse_types::impl_snap_via_serde!(FlowMatch);
+
 #[cfg(test)]
 mod tests {
     use super::*;

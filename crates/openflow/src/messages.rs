@@ -232,6 +232,11 @@ pub enum SwitchMsg {
     },
 }
 
+// Checkpointing: in-flight control-channel messages live inside queued
+// simulation events and the outage replay buffer; both planes' snapshots
+// carry them through the serde bridge (canonical Value encoding).
+horse_types::impl_snap_via_serde!(CtrlMsg, SwitchMsg);
+
 #[cfg(test)]
 mod tests {
     use super::*;

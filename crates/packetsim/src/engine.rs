@@ -24,7 +24,10 @@ use horse_events::EventQueue;
 use horse_openflow::messages::{CtrlMsg, SwitchMsg};
 use horse_openflow::switch::{OpenFlowSwitch, Verdict};
 use horse_topology::Topology;
-use horse_types::{ByteSize, FlowKey, LinkId, NodeId, PortNo, Rate, SimDuration, SimTime};
+use horse_types::{
+    ByteSize, FlowKey, LinkId, NodeId, PortNo, Rate, SimDuration, SimTime, Snap, SnapError,
+    SnapReader, SnapWriter,
+};
 use std::collections::{HashMap, VecDeque};
 use std::time::Instant;
 
@@ -129,7 +132,7 @@ impl PacketResults {
 
 /// A packet-plane event. Drivers schedule these on their event queue and
 /// feed them back through [`PacketPlane::handle`].
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub enum PktEvent {
     /// A flow's source starts.
     Start(usize),
@@ -224,6 +227,100 @@ impl PktOut {
         self.flow_ins.clear();
         self.transitions.clear();
         self.finished.clear();
+    }
+}
+
+// Checkpointing: the whole packet plane — flow runtime state, port
+// queues (with their in-flight/queued packets) and drop counters — must
+// survive a snapshot, as must the `PktEvent`s riding in the shared
+// simulation queue.
+horse_types::impl_snap_struct!(Pkt {
+    flow,
+    key,
+    size,
+    seq,
+    is_ack,
+    sent_at,
+});
+horse_types::impl_snap_struct!(PktFlowSpec {
+    key,
+    src,
+    dst,
+    size,
+    start,
+    source,
+});
+horse_types::impl_snap_struct!(FlowRt {
+    spec,
+    source,
+    total_segs,
+    delivered_segs,
+    cbr_sent_segs,
+    dropped_bytes,
+    finished,
+});
+horse_types::impl_snap_struct!(PortQueue {
+    queue,
+    queued_bytes,
+    busy,
+});
+
+impl Snap for PktEvent {
+    fn snap(&self, w: &mut SnapWriter) {
+        match self {
+            PktEvent::Start(i) => {
+                w.u8(0);
+                i.snap(w);
+            }
+            PktEvent::CbrSend(i) => {
+                w.u8(1);
+                i.snap(w);
+            }
+            PktEvent::Arrive { node, in_port, pkt } => {
+                w.u8(2);
+                node.snap(w);
+                in_port.snap(w);
+                pkt.snap(w);
+            }
+            PktEvent::TxDone { node, port } => {
+                w.u8(3);
+                node.snap(w);
+                port.snap(w);
+            }
+            PktEvent::Rto {
+                flow,
+                cum_ack_at_arm,
+            } => {
+                w.u8(4);
+                flow.snap(w);
+                cum_ack_at_arm.snap(w);
+            }
+        }
+    }
+    fn unsnap(r: &mut SnapReader) -> Result<Self, SnapError> {
+        Ok(match r.u8()? {
+            0 => PktEvent::Start(usize::unsnap(r)?),
+            1 => PktEvent::CbrSend(usize::unsnap(r)?),
+            2 => PktEvent::Arrive {
+                node: NodeId::unsnap(r)?,
+                in_port: PortNo::unsnap(r)?,
+                pkt: Pkt::unsnap(r)?,
+            },
+            3 => PktEvent::TxDone {
+                node: NodeId::unsnap(r)?,
+                port: PortNo::unsnap(r)?,
+            },
+            4 => PktEvent::Rto {
+                flow: usize::unsnap(r)?,
+                cum_ack_at_arm: u64::unsnap(r)?,
+            },
+            t => {
+                return Err(SnapError::new(
+                    format!("bad PktEvent tag {t}"),
+                    r.position(),
+                ))
+            }
+        })
     }
 }
 
@@ -354,6 +451,37 @@ impl PacketPlane {
         (0..self.flows.len())
             .map(|i| self.record(i, horizon))
             .collect()
+    }
+
+    /// Serializes the plane's mutable state (flow runtime, port queues,
+    /// link byte counters, drops). The configuration is not included —
+    /// a restore target is built with the same config.
+    pub fn snapshot_state(&self, w: &mut SnapWriter) {
+        self.flows.snap(w);
+        self.queues.snap(w);
+        self.link_bytes.snap(w);
+        self.drops.snap(w);
+    }
+
+    /// Restores state captured by [`PacketPlane::snapshot_state`] into a
+    /// freshly built plane over the same link count and config.
+    pub fn restore_state(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.flows = Vec::unsnap(r)?;
+        self.queues = HashMap::unsnap(r)?;
+        let link_bytes: Vec<f64> = Vec::unsnap(r)?;
+        if link_bytes.len() != self.link_bytes.len() {
+            return Err(SnapError::new(
+                format!(
+                    "snapshot has {} links, plane has {}",
+                    link_bytes.len(),
+                    self.link_bytes.len()
+                ),
+                r.position(),
+            ));
+        }
+        self.link_bytes = link_bytes;
+        self.drops = u64::unsnap(r)?;
+        Ok(())
     }
 
     /// Processes one event against the shared topology/switch pipeline.

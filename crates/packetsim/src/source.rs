@@ -149,6 +149,47 @@ impl Default for TcpState {
     }
 }
 
+// Checkpointing: sources live inside packet-plane flow runtime state.
+horse_types::impl_snap_struct!(TcpState {
+    cwnd,
+    ssthresh,
+    next_seq,
+    cum_ack,
+    dup_acks,
+    srtt,
+    in_flight,
+    oldest_tx,
+    retransmitting,
+    backoff,
+    rcv_next,
+    rcv_ooo,
+});
+
+impl horse_types::Snap for SourceKind {
+    fn snap(&self, w: &mut horse_types::SnapWriter) {
+        match self {
+            SourceKind::Cbr { rate_bps } => {
+                w.u8(0);
+                w.f64(*rate_bps);
+            }
+            SourceKind::Tcp(t) => {
+                w.u8(1);
+                t.snap(w);
+            }
+        }
+    }
+    fn unsnap(r: &mut horse_types::SnapReader) -> Result<Self, horse_types::SnapError> {
+        match r.u8()? {
+            0 => Ok(SourceKind::Cbr { rate_bps: r.f64()? }),
+            1 => Ok(SourceKind::Tcp(horse_types::Snap::unsnap(r)?)),
+            t => Err(horse_types::SnapError::new(
+                format!("bad SourceKind tag {t}"),
+                r.position(),
+            )),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

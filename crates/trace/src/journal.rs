@@ -79,6 +79,14 @@ impl<W: Write> JournalWriter<W> {
         self.next_n - 1
     }
 
+    /// Continues ordinal numbering after `entries` already-written lines
+    /// (checkpoint resume writes the journal *suffix*; concatenated to
+    /// the prefix it must reproduce the straight-through file, ordinals
+    /// included).
+    pub fn continue_after(&mut self, entries: u64) {
+        self.next_n = entries + 1;
+    }
+
     /// Appends one entry, assigning the next ordinal.
     pub fn record(&mut self, t_ns: u64, kind: &str, digest: u64) -> io::Result<()> {
         self.line.clear();

@@ -34,5 +34,7 @@ pub use journal::{
     describe_divergence, first_divergence, fold_digest, parse_journal, read_journal, Divergence,
     JournalEntry, JournalWriter,
 };
-pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
+pub use metrics::{
+    Counter, Gauge, HistDump, Histogram, MetricsDump, MetricsRegistry, MetricsSnapshot,
+};
 pub use span::{chrome_trace, SpanLog, SpanRec};

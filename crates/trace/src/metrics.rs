@@ -162,11 +162,13 @@ impl std::fmt::Debug for Histogram {
     }
 }
 
+// Name keys are owned so a checkpoint dump (deserialized `String`s) can
+// seed cells; registration is cold-path, updates never touch the table.
 #[derive(Default)]
 struct Inner {
-    counters: Mutex<Vec<(&'static str, Arc<CounterCell>)>>,
-    gauges: Mutex<Vec<(&'static str, Arc<GaugeCell>)>>,
-    hists: Mutex<Vec<(&'static str, Arc<HistCell>)>>,
+    counters: Mutex<Vec<(String, Arc<CounterCell>)>>,
+    gauges: Mutex<Vec<(String, Arc<GaugeCell>)>>,
+    hists: Mutex<Vec<(String, Arc<HistCell>)>>,
 }
 
 /// The registry subsystems register their metrics into.
@@ -203,11 +205,11 @@ impl MetricsRegistry {
             return Counter::noop();
         };
         let mut v = inner.counters.lock().expect("metrics lock");
-        if let Some((_, cell)) = v.iter().find(|(n, _)| *n == name) {
+        if let Some((_, cell)) = v.iter().find(|(n, _)| n == name) {
             return Counter(Some(cell.clone()));
         }
         let cell = Arc::new(CounterCell(AtomicU64::new(0)));
-        v.push((name, cell.clone()));
+        v.push((name.to_string(), cell.clone()));
         Counter(Some(cell))
     }
 
@@ -217,11 +219,11 @@ impl MetricsRegistry {
             return Gauge::noop();
         };
         let mut v = inner.gauges.lock().expect("metrics lock");
-        if let Some((_, cell)) = v.iter().find(|(n, _)| *n == name) {
+        if let Some((_, cell)) = v.iter().find(|(n, _)| n == name) {
             return Gauge(Some(cell.clone()));
         }
         let cell = Arc::new(GaugeCell(AtomicU64::new(0.0f64.to_bits())));
-        v.push((name, cell.clone()));
+        v.push((name.to_string(), cell.clone()));
         Gauge(Some(cell))
     }
 
@@ -231,7 +233,7 @@ impl MetricsRegistry {
             return Histogram::noop();
         };
         let mut v = inner.hists.lock().expect("metrics lock");
-        if let Some((_, cell)) = v.iter().find(|(n, _)| *n == name) {
+        if let Some((_, cell)) = v.iter().find(|(n, _)| n == name) {
             return Histogram(Some(cell.clone()));
         }
         let cell = Arc::new(HistCell {
@@ -240,7 +242,7 @@ impl MetricsRegistry {
             max: AtomicU64::new(0),
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
         });
-        v.push((name, cell.clone()));
+        v.push((name.to_string(), cell.clone()));
         Histogram(Some(cell))
     }
 
@@ -281,6 +283,146 @@ impl MetricsRegistry {
         }
         entries.sort_by(|a, b| a.0.cmp(&b.0));
         MetricsSnapshot { entries }
+    }
+}
+
+/// A raw dump of one histogram cell (full bucket array, not the lossy
+/// quantile view), for checkpoint continuation.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct HistDump {
+    /// Observation count.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// Per-bucket counts (`u64::BITS + 1` power-of-two buckets).
+    pub buckets: Vec<u64>,
+}
+
+horse_types::impl_snap_struct!(HistDump {
+    count,
+    sum,
+    max,
+    buckets,
+});
+
+/// A raw, name-sorted dump of every registry cell — unlike
+/// [`MetricsSnapshot`] it is lossless (histogram buckets survive), so a
+/// resumed simulation can seed a fresh registry and end the run with the
+/// exact counters an uninterrupted run would report.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsDump {
+    /// Counter values by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values by name, as `f64` bit patterns.
+    pub gauges: Vec<(String, u64)>,
+    /// Histogram cells by name.
+    pub hists: Vec<(String, HistDump)>,
+}
+
+horse_types::impl_snap_struct!(MetricsDump {
+    counters,
+    gauges,
+    hists,
+});
+
+impl MetricsRegistry {
+    /// Dumps every cell's raw state, sorted by name (canonical: two
+    /// registries holding the same values dump byte-identically under
+    /// [`horse_types::Snap`] regardless of registration order).
+    pub fn dump(&self) -> MetricsDump {
+        let mut d = MetricsDump::default();
+        let Some(inner) = &self.inner else {
+            return d;
+        };
+        for (name, cell) in inner.counters.lock().expect("metrics lock").iter() {
+            d.counters
+                .push((name.to_string(), cell.0.load(Ordering::Relaxed)));
+        }
+        for (name, cell) in inner.gauges.lock().expect("metrics lock").iter() {
+            d.gauges
+                .push((name.to_string(), cell.0.load(Ordering::Relaxed)));
+        }
+        for (name, cell) in inner.hists.lock().expect("metrics lock").iter() {
+            d.hists.push((
+                name.to_string(),
+                HistDump {
+                    count: cell.count.load(Ordering::Relaxed),
+                    sum: cell.sum.load(Ordering::Relaxed),
+                    max: cell.max.load(Ordering::Relaxed),
+                    buckets: cell
+                        .buckets
+                        .iter()
+                        .map(|b| b.load(Ordering::Relaxed))
+                        .collect(),
+                },
+            ));
+        }
+        d.counters.sort_by(|a, b| a.0.cmp(&b.0));
+        d.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        d.hists.sort_by(|a, b| a.0.cmp(&b.0));
+        d
+    }
+
+    /// Seeds this registry from a dump: every dumped cell is created (or
+    /// re-attached) and overwritten with the dumped value, so subsequent
+    /// updates accumulate on top of the checkpointed prefix. No-op on a
+    /// disabled registry.
+    pub fn seed(&self, dump: &MetricsDump) {
+        let Some(inner) = &self.inner else { return };
+        for (name, v) in &dump.counters {
+            let cell = {
+                let mut t = inner.counters.lock().expect("metrics lock");
+                match t.iter().find(|(n, _)| n == name) {
+                    Some((_, c)) => c.clone(),
+                    None => {
+                        let c = Arc::new(CounterCell(AtomicU64::new(0)));
+                        t.push((name.clone(), c.clone()));
+                        c
+                    }
+                }
+            };
+            cell.0.store(*v, Ordering::Relaxed);
+        }
+        for (name, bits) in &dump.gauges {
+            let cell = {
+                let mut t = inner.gauges.lock().expect("metrics lock");
+                match t.iter().find(|(n, _)| n == name) {
+                    Some((_, c)) => c.clone(),
+                    None => {
+                        let c = Arc::new(GaugeCell(AtomicU64::new(0.0f64.to_bits())));
+                        t.push((name.clone(), c.clone()));
+                        c
+                    }
+                }
+            };
+            cell.0.store(*bits, Ordering::Relaxed);
+        }
+        for (name, h) in &dump.hists {
+            let cell = {
+                let mut t = inner.hists.lock().expect("metrics lock");
+                match t.iter().find(|(n, _)| n == name) {
+                    Some((_, c)) => c.clone(),
+                    None => {
+                        let c = Arc::new(HistCell {
+                            count: AtomicU64::new(0),
+                            sum: AtomicU64::new(0),
+                            max: AtomicU64::new(0),
+                            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                        });
+                        t.push((name.clone(), c.clone()));
+                        c
+                    }
+                }
+            };
+            cell.count.store(h.count, Ordering::Relaxed);
+            cell.sum.store(h.sum, Ordering::Relaxed);
+            cell.max.store(h.max, Ordering::Relaxed);
+            for (slot, v) in cell.buckets.iter().zip(&h.buckets) {
+                slot.store(*v, Ordering::Relaxed);
+            }
+        }
     }
 }
 

@@ -17,9 +17,11 @@
 pub mod addr;
 pub mod flow;
 pub mod id;
+pub mod snap;
 pub mod units;
 
 pub use addr::{Ipv4Net, MacAddr};
 pub use flow::{AppClass, FlowKey, IpProtocol};
 pub use id::{FlowId, LinkId, NodeId, PortNo, TableId};
+pub use snap::{Snap, SnapError, SnapReader, SnapWriter};
 pub use units::{ByteSize, Rate, SimDuration, SimTime};

@@ -12,7 +12,7 @@ use crate::apps::AppMix;
 use crate::diurnal::DiurnalProfile;
 use crate::sizes::FlowSizeDist;
 use crate::tm::TrafficMatrix;
-use horse_types::{AppClass, Rate, SimDuration, SimTime};
+use horse_types::{AppClass, Rate, SimDuration, SimTime, Snap, SnapError, SnapReader, SnapWriter};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use rand_distr::{Distribution, Exp};
@@ -177,6 +177,32 @@ impl FlowGenerator {
                 src_port: self.next_port,
             });
         }
+    }
+
+    /// Serializes the generator's mutable cursor for a checkpoint. The
+    /// derived tables (`pair_cum`, `lambda_peak`) are rebuilt from the
+    /// params, so only the RNG state and counters need to travel.
+    pub fn snapshot_state(&self, w: &mut SnapWriter) {
+        for word in self.rng.state() {
+            word.snap(w);
+        }
+        self.clock_secs.snap(w);
+        self.next_port.snap(w);
+        self.emitted.snap(w);
+    }
+
+    /// Restores state written by [`FlowGenerator::snapshot_state`] into a
+    /// generator freshly built from the same params.
+    pub fn restore_state(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        let mut s = [0u64; 4];
+        for word in &mut s {
+            *word = Snap::unsnap(r)?;
+        }
+        self.rng = StdRng::from_state(s);
+        self.clock_secs = Snap::unsnap(r)?;
+        self.next_port = Snap::unsnap(r)?;
+        self.emitted = Snap::unsnap(r)?;
+        Ok(())
     }
 
     /// Collects arrivals until `horizon` (convenience for batch setups).

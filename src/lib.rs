@@ -11,10 +11,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub use horse_core::{chaos, compare, config, event, hybrid, results, scenario, sim, trace};
 pub use horse_core::{
-    compare_planes, AccuracyReport, ChaosCounters, ChaosError, ChaosSpec, FidelityMode, HybridNet,
-    IxpScenarioParams, Scenario, SimConfig, SimResults, SimTracer, Simulation,
+    bisect, chaos, compare, config, event, hybrid, results, scenario, sim, trace,
+};
+pub use horse_core::{
+    compare_planes, AccuracyReport, ChaosCounters, ChaosError, ChaosSpec, FidelityMode, ForkSpec,
+    HybridNet, IxpScenarioParams, LateEvent, ResumeError, Scenario, SimConfig, SimResults,
+    SimTracer, Simulation,
 };
 
 // Component crates under stable names (mirrors `horse_core`'s aliases).

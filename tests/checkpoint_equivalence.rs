@@ -1,0 +1,488 @@
+//! The replay/resume differential harness (PR 9 tentpole proof).
+//!
+//! Contract under test: **checkpointing is invisible**. For any scenario,
+//! any snapshot time and any engine thread count,
+//!
+//! * `run_until(T)` → `checkpoint()` → `resume()` → run to the horizon
+//!   is bit-identical to the uninterrupted run — results, per-flow
+//!   records, collector series, *and* the event journal (the resumed
+//!   journal is a byte-exact suffix of the straight-through one);
+//! * `fork()` with late what-if events is bit-identical to a
+//!   straight-through run whose scenario scheduled those events at build
+//!   time (the reserved-band trick);
+//! * `serialize → restore → re-serialize` is byte-identical, including
+//!   snapshots taken mid-chaos-outage and mid-controller-buffering.
+//!
+//! Wall-clock (`wall_seconds`) and the scraped metrics registry are the
+//! only observables allowed to differ: both are explicitly observability,
+//! not simulation state (hot-path registry counters accumulate live and
+//! a resumed run only sees its own suffix of the work).
+
+use horse::prelude::*;
+use horse::tracing::journal::SharedBuf;
+use horse::types::{ByteSize, LinkId, SimTime};
+
+/// Everything deterministic a run produces, with floats as bit patterns.
+#[derive(PartialEq, Debug)]
+struct Fingerprint {
+    events: u64,
+    epochs: u64,
+    max_epoch_batch: u64,
+    realloc_requests: u64,
+    realloc_runs: u64,
+    realloc_flows_touched: u64,
+    stale_completions: u64,
+    flows_admitted: u64,
+    flows_completed: u64,
+    flows_active_at_end: u64,
+    flows_dropped: u64,
+    bytes_delivered: u64,
+    bytes_dropped: u64,
+    msgs_to_controller: u64,
+    msgs_to_switch: u64,
+    flow_ins: u64,
+    pkt_flows: u64,
+    fct: [u64; 4],
+    goodput: [u64; 4],
+    fct_foreground: [u64; 4],
+    recovery: [u64; 4],
+    chaos: ChaosCounters,
+    queue: horse::events::QueueStats,
+    // The registry snapshot is covered too: checkpoints carry a lossless
+    // metrics dump, so even observability counters resume seamlessly.
+    metrics: horse::tracing::MetricsSnapshot,
+    records: Vec<(u64, u64, u64, u64, bool)>,
+    epochs_series: Vec<(u64, u64, u64, u64, usize, usize)>,
+    aggregate_series: Vec<(u64, u64)>,
+}
+
+fn summary_bits(s: &horse::monitoring::series::Summary) -> [u64; 4] {
+    [
+        s.mean.to_bits(),
+        s.p50.to_bits(),
+        s.p99.to_bits(),
+        s.max.to_bits(),
+    ]
+}
+
+fn fingerprint(sim: &Simulation, r: &SimResults) -> Fingerprint {
+    Fingerprint {
+        events: r.events,
+        epochs: r.epochs,
+        max_epoch_batch: r.max_epoch_batch,
+        realloc_requests: r.realloc_requests,
+        realloc_runs: r.realloc_runs,
+        realloc_flows_touched: r.realloc_flows_touched,
+        stale_completions: r.stale_completions,
+        flows_admitted: r.flows_admitted,
+        flows_completed: r.flows_completed,
+        flows_active_at_end: r.flows_active_at_end,
+        flows_dropped: r.flows_dropped,
+        bytes_delivered: r.bytes_delivered.to_bits(),
+        bytes_dropped: r.bytes_dropped.to_bits(),
+        msgs_to_controller: r.msgs_to_controller,
+        msgs_to_switch: r.msgs_to_switch,
+        flow_ins: r.flow_ins,
+        pkt_flows: r.pkt_flows,
+        fct: summary_bits(&r.fct),
+        goodput: summary_bits(&r.goodput),
+        fct_foreground: summary_bits(&r.fct_foreground),
+        recovery: summary_bits(&r.recovery),
+        chaos: r.chaos.clone(),
+        queue: r.queue,
+        metrics: r.metrics.clone(),
+        records: sim
+            .fluid()
+            .records()
+            .iter()
+            .map(|rec| {
+                (
+                    rec.id.0,
+                    rec.bytes.to_bits(),
+                    rec.started.as_nanos(),
+                    rec.finished.as_nanos(),
+                    rec.completed,
+                )
+            })
+            .collect(),
+        epochs_series: r
+            .collector
+            .epochs
+            .iter()
+            .map(|e| {
+                (
+                    e.time.as_nanos(),
+                    e.aggregate_rate_bps.to_bits(),
+                    e.max_utilization.to_bits(),
+                    e.mean_busy_utilization.to_bits(),
+                    e.active_flows,
+                    e.completed_flows,
+                )
+            })
+            .collect(),
+        aggregate_series: r
+            .collector
+            .aggregate
+            .points()
+            .iter()
+            .map(|&(t, v)| (t.as_nanos(), v.to_bits()))
+            .collect(),
+    }
+}
+
+/// Straight-through journaling run.
+fn straight(scenario: Scenario, config: SimConfig) -> (Fingerprint, String) {
+    let buf = SharedBuf::new();
+    let mut sim = Simulation::new(scenario, config).expect("valid scenario");
+    sim.set_tracer(SimTracer::new().with_journal(buf.clone()));
+    let r = sim.run();
+    sim.take_tracer().expect("tracer").finish_journal();
+    (fingerprint(&sim, &r), buf.contents())
+}
+
+/// Run to `t_snap`, checkpoint, drop the original, resume (optionally as
+/// a fork with a different thread count), and finish the run. Returns
+/// the fingerprint and the *concatenated* prefix + suffix journal.
+fn resumed(
+    scenario: Scenario,
+    config: SimConfig,
+    t_snap: SimTime,
+    resume_threads: Option<usize>,
+) -> (Fingerprint, String) {
+    let prefix = SharedBuf::new();
+    let mut sim = Simulation::new(scenario, config).expect("valid scenario");
+    sim.set_tracer(SimTracer::new().with_journal(prefix.clone()));
+    sim.run_until(t_snap);
+    let snapshot = sim.checkpoint();
+    sim.take_tracer().expect("tracer").finish_journal();
+    drop(sim);
+
+    let mut sim = match resume_threads {
+        None => Simulation::resume(&snapshot).expect("snapshot resumes"),
+        Some(threads) => Simulation::fork(
+            &snapshot,
+            &ForkSpec {
+                engine_threads: Some(threads),
+                ..Default::default()
+            },
+        )
+        .expect("snapshot forks"),
+    };
+    let suffix = SharedBuf::new();
+    sim.set_tracer(SimTracer::new().with_journal(suffix.clone()));
+    let r = sim.run();
+    sim.take_tracer().expect("tracer").finish_journal();
+    (
+        fingerprint(&sim, &r),
+        prefix.contents() + &suffix.contents(),
+    )
+}
+
+/// A small scenario zoo covering the families and fidelity modes the
+/// engine supports; index-driven so the property test can sweep it.
+fn scenario_zoo(idx: usize, seed: u64) -> Scenario {
+    match idx % 5 {
+        0 => Scenario::figure1(SimTime::from_secs(2), seed),
+        1 => {
+            let mut p = IxpScenarioParams::default();
+            p.fabric.members = 8;
+            p.fabric.edge_switches = 2;
+            p.horizon = SimTime::from_secs(2);
+            p.offered_bps = 2e9;
+            p.seed = seed;
+            Scenario::ixp(&p)
+        }
+        2 => {
+            let mut p = FabricScenarioParams::default();
+            p.generator.kind = generators::TopologyKind::LeafSpine;
+            p.generator.switches = 4;
+            p.generator.hosts = 8;
+            p.horizon = SimTime::from_secs(2);
+            p.seed = seed;
+            Scenario::fabric(&p).expect("leaf-spine generates")
+        }
+        3 => {
+            // Chaos: faults and a controller outage straddling mid-run.
+            let mut s = Scenario::figure1(SimTime::from_secs(2), seed);
+            s.chaos = Some(ChaosSpec {
+                seed: seed.wrapping_mul(31).wrapping_add(7),
+                start_secs: 0.2,
+                link_flaps: 2,
+                flap_rate_per_sec: 1.0,
+                flap_downtime_secs: 0.3,
+                ctrl_outages: 1,
+                ctrl_outage_secs: 0.8,
+                ..Default::default()
+            });
+            s
+        }
+        _ => {
+            // Hybrid: a packet-fidelity foreground over the fluid bulk.
+            let mut s = Scenario::figure1(SimTime::from_secs(2), seed);
+            s.packet_foreground = 2;
+            s
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tentpole: resume is invisible — property over scenarios × snapshot
+// times × thread counts.
+// ---------------------------------------------------------------------
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn resume_is_bit_identical_to_straight_through(
+        idx in 0usize..5,
+        seed in 1u64..1000,
+        snap_pct in 5u64..95,
+        threads in 1usize..4,
+    ) {
+        let horizon = scenario_zoo(idx, seed).horizon;
+        let t_snap = SimTime::from_nanos(horizon.as_nanos() / 100 * snap_pct);
+        let config = SimConfig::default().with_engine_threads(threads);
+        let (want, want_journal) = straight(scenario_zoo(idx, seed), config);
+        let (got, got_journal) = resumed(scenario_zoo(idx, seed), config, t_snap, None);
+        prop_assert_eq!(&got, &want);
+        prop_assert_eq!(got_journal, want_journal);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Satellite 2: cross-thread resume — checkpoint at one engine_threads,
+// resume at another; results and journals must not notice.
+// ---------------------------------------------------------------------
+
+#[test]
+fn cross_thread_resume_is_bit_identical() {
+    for (from, to) in [(1usize, 4usize), (4, 1)] {
+        for idx in [0, 3] {
+            let t_snap = SimTime::from_millis(900);
+            let (want, want_journal) = straight(
+                scenario_zoo(idx, 42),
+                SimConfig::default().with_engine_threads(from),
+            );
+            let (got, got_journal) = resumed(
+                scenario_zoo(idx, 42),
+                SimConfig::default().with_engine_threads(from),
+                t_snap,
+                Some(to),
+            );
+            assert_eq!(got, want, "{from}->{to} threads, zoo {idx}");
+            assert_eq!(got_journal, want_journal, "{from}->{to} journal, zoo {idx}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Satellite 1: snapshot round-trip — serialize → restore → re-serialize
+// must be byte-identical, for every family/fidelity and at awkward
+// moments (mid-chaos-outage, mid-controller-buffering).
+// ---------------------------------------------------------------------
+
+#[test]
+fn snapshot_roundtrip_is_byte_identical_across_zoo() {
+    for idx in 0..5 {
+        let mut sim = Simulation::new(scenario_zoo(idx, 7), SimConfig::default()).expect("builds");
+        sim.run_until(SimTime::from_millis(700));
+        let bytes = sim.checkpoint();
+        let sim2 = Simulation::resume(&bytes).expect("resumes");
+        let bytes2 = sim2.checkpoint();
+        assert_eq!(bytes, bytes2, "zoo {idx} re-serialization drifted");
+    }
+}
+
+/// A reactive star with the controller dark over the snapshot time:
+/// flows arrive during the outage, so `ToController` messages are
+/// sitting in the replay buffer when the snapshot is cut.
+fn mid_buffering_scenario() -> Scenario {
+    let f = builders::star(4, horse::types::Rate::gbps(1.0));
+    let mut s = Scenario::bare(f.topology, SimTime::from_secs(3));
+    s.members = f.members;
+    s.policy = PolicySpec::new().with(PolicyRule::MacLearning);
+    for i in 0..3u64 {
+        let spec = s
+            .flow_between(
+                s.members[i as usize % 3],
+                s.members[(i as usize + 1) % 3],
+                AppClass::Http,
+                1000 + i as u16,
+                Some(ByteSize::mib(1)),
+                DemandModel::Greedy,
+            )
+            .expect("hosts have addresses");
+        // Arrivals at 1.1 s, 1.2 s, 1.3 s — inside the outage window.
+        s.explicit_flows
+            .push((SimTime::from_millis(1100 + 100 * i), spec));
+    }
+    s.chaos = Some(ChaosSpec {
+        seed: 3,
+        start_secs: 1.0,
+        ctrl_outages: 1,
+        ctrl_outage_secs: 1.0,
+        ..Default::default()
+    });
+    s
+}
+
+#[test]
+fn mid_outage_buffered_messages_survive_the_snapshot() {
+    // The scenario really does buffer controller messages…
+    let (want, want_journal) = straight(mid_buffering_scenario(), SimConfig::default());
+    assert!(
+        want.chaos.ctrl_msgs_buffered > 0,
+        "scenario must exercise the outage replay buffer"
+    );
+    // …and a snapshot cut mid-outage (buffer non-empty, outage depth 1)
+    // restores it all: round-trip bytes and final results both hold.
+    let t_snap = SimTime::from_millis(1500);
+    let mut sim = Simulation::new(mid_buffering_scenario(), SimConfig::default()).unwrap();
+    sim.run_until(t_snap);
+    let bytes = sim.checkpoint();
+    let sim2 = Simulation::resume(&bytes).expect("mid-outage snapshot resumes");
+    assert_eq!(bytes, sim2.checkpoint(), "mid-outage round-trip drifted");
+    let (got, got_journal) = resumed(mid_buffering_scenario(), SimConfig::default(), t_snap, None);
+    assert_eq!(got, want);
+    assert_eq!(got_journal, want_journal);
+}
+
+// ---------------------------------------------------------------------
+// Fork: a what-if branch through the reserved band is bit-identical to
+// a straight-through run that scheduled the same events at build time.
+// ---------------------------------------------------------------------
+
+#[test]
+fn fork_matches_straight_through_variant() {
+    // Variant: cable 0 fails at 1.5 s and recovers at 1.8 s. The shared
+    // prefix reserves two band slots; the straight-through variant
+    // schedules the same two events through the same band.
+    let late = vec![
+        (SimTime::from_millis(1500), LateEvent::CableDown(LinkId(0))),
+        (SimTime::from_millis(1800), LateEvent::CableUp(LinkId(0))),
+    ];
+    let variant = |seed| {
+        let mut s = Scenario::figure1(SimTime::from_secs(2), seed);
+        s.late_events = late.clone();
+        s.late_band = 2;
+        s
+    };
+    let prefix = |seed| {
+        let mut s = Scenario::figure1(SimTime::from_secs(2), seed);
+        s.late_band = 2;
+        s
+    };
+    let (want, want_journal) = straight(variant(21), SimConfig::default());
+    assert!(
+        want.chaos.cable_downs > 0,
+        "variant must exercise its failure"
+    );
+
+    let pj = SharedBuf::new();
+    let mut sim = Simulation::new(prefix(21), SimConfig::default()).unwrap();
+    sim.set_tracer(SimTracer::new().with_journal(pj.clone()));
+    sim.run_until(SimTime::from_millis(1000));
+    let snapshot = sim.checkpoint();
+    sim.take_tracer().unwrap().finish_journal();
+    drop(sim);
+
+    let mut forked = Simulation::fork(
+        &snapshot,
+        &ForkSpec {
+            late_events: late.clone(),
+            ..Default::default()
+        },
+    )
+    .expect("fork applies late events");
+    let sj = SharedBuf::new();
+    forked.set_tracer(SimTracer::new().with_journal(sj.clone()));
+    let r = forked.run();
+    forked.take_tracer().unwrap().finish_journal();
+
+    assert_eq!(fingerprint(&forked, &r), want);
+    assert_eq!(pj.contents() + &sj.contents(), want_journal);
+}
+
+#[test]
+fn fork_rejects_band_overflow_and_unlate_events() {
+    let mut s = Scenario::figure1(SimTime::from_secs(2), 5);
+    s.late_band = 1;
+    let mut sim = Simulation::new(s, SimConfig::default()).unwrap();
+    sim.run_until(SimTime::from_millis(1000));
+    let snapshot = sim.checkpoint();
+
+    // Two events into a one-slot band: rejected.
+    let overflow = ForkSpec {
+        late_events: vec![
+            (SimTime::from_millis(1500), LateEvent::CtrlDown),
+            (SimTime::from_millis(1600), LateEvent::CtrlUp),
+        ],
+        ..Default::default()
+    };
+    assert!(matches!(
+        Simulation::fork(&snapshot, &overflow),
+        Err(ResumeError::BandExhausted { band: 1 })
+    ));
+
+    // An event at/before the checkpoint time: the straight-through run
+    // it claims to reproduce would already have processed it.
+    let unlate = ForkSpec {
+        late_events: vec![(SimTime::from_millis(500), LateEvent::CtrlDown)],
+        ..Default::default()
+    };
+    assert!(matches!(
+        Simulation::fork(&snapshot, &unlate),
+        Err(ResumeError::LateEventNotLate { .. })
+    ));
+}
+
+// ---------------------------------------------------------------------
+// Edges: pre-start checkpoints and malformed snapshot bytes.
+// ---------------------------------------------------------------------
+
+#[test]
+fn pre_start_checkpoint_resumes_the_whole_run() {
+    let sim = Simulation::new(scenario_zoo(0, 9), SimConfig::default()).unwrap();
+    let snapshot = sim.checkpoint(); // before start(): nothing has run
+    drop(sim);
+    let (want, want_journal) = straight(scenario_zoo(0, 9), SimConfig::default());
+    let mut sim = Simulation::resume(&snapshot).unwrap();
+    let buf = SharedBuf::new();
+    sim.set_tracer(SimTracer::new().with_journal(buf.clone()));
+    let r = sim.run();
+    sim.take_tracer().unwrap().finish_journal();
+    assert_eq!(fingerprint(&sim, &r), want);
+    assert_eq!(buf.contents(), want_journal);
+}
+
+#[test]
+fn malformed_snapshots_fail_loudly() {
+    assert!(matches!(
+        Simulation::resume(b"not a snapshot at all, sorry"),
+        Err(ResumeError::BadMagic) | Err(ResumeError::Corrupt(_))
+    ));
+    let mut sim = Simulation::new(scenario_zoo(0, 3), SimConfig::default()).unwrap();
+    sim.run_until(SimTime::from_millis(500));
+    let good = sim.checkpoint();
+    // Truncation anywhere must surface as Corrupt, never a panic.
+    for cut in [good.len() / 4, good.len() / 2, good.len() - 1] {
+        assert!(
+            matches!(
+                Simulation::resume(&good[..cut]),
+                Err(ResumeError::Corrupt(_))
+            ),
+            "truncation at {cut} not detected"
+        );
+    }
+    // A bumped version byte is refused by number, not misparsed.
+    let mut versioned = good.clone();
+    // magic = 8-byte length prefix + 9 bytes; version u32 LE follows.
+    versioned[17] = 99;
+    assert!(matches!(
+        Simulation::resume(&versioned),
+        Err(ResumeError::BadVersion(99))
+    ));
+}
