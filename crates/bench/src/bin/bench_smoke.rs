@@ -17,7 +17,9 @@
 //! Usage: `bench_smoke [--pr N] [--out PATH] [--baseline BENCH_prM.json]`
 
 use horse::prelude::*;
-use horse_bench::{fast_config, ixp_scenario, lb_policy, million_flow_point, wave_ixp_scenario};
+use horse_bench::{
+    fast_config, ixp_scenario, lb_policy, million_flow_point, pkt_burst_scenario, wave_ixp_scenario,
+};
 use serde::{Number, Value};
 use std::time::Instant;
 
@@ -53,6 +55,21 @@ const MILLION_FLOW_RATIO_CEIL: f64 = 3.0;
 /// ~1.9× on a contended single-core runner; the floor leaves noise
 /// headroom).
 const FORK_SPEEDUP_FLOOR: f64 = 1.5;
+
+/// Packet-burst acceptance bar: on the loss-free WAN point the batched
+/// packet plane (GSO-style bursts + decision cache, the defaults) must
+/// model at least this many times more packets per wall-second than the
+/// per-packet oracle (`pkt_burst = 1`, cache off). Asserted on every run
+/// (measured ~20× on a contended single-core runner; the floor leaves
+/// generous headroom).
+const PKT_BURST_SPEEDUP_FLOOR: f64 = 5.0;
+
+/// Fidelity bar riding along with the speedup: mean foreground FCT
+/// deviation of the batched plane against the per-packet oracle on the
+/// same loss-free point. Batching skews delivery by at most
+/// `(cap − 1)` serialization slots per round — parts-per-thousand of
+/// every RTT on 40G access behind 50/250 µs propagation.
+const PKT_BURST_FCT_DEV_CEIL: f64 = 0.01;
 
 fn num_f(v: f64) -> Value {
     Value::Number(Number::Float(v))
@@ -275,6 +292,46 @@ fn gate(baseline: &Value, fresh: &Value) -> Vec<String> {
                          (deterministic counter; refresh the committed baseline if intended)"
                     );
                 }
+            }
+        }
+    }
+    // Packet-burst point (PR 10 on): the batched-vs-oracle packet
+    // throughput speedup must not erode (the hard 5× floor is asserted
+    // on every run; this gate catches slow decay against the committed
+    // point). Deterministic packet/burst/cache counters noted like the
+    // others.
+    if let (Some(b), Some(f)) = (get(baseline, "pkt_burst"), get(fresh, "pkt_burst")) {
+        if let (Some(bv), Some(fv)) = (
+            get_f(b, "speedup_pkt_events"),
+            get_f(f, "speedup_pkt_events"),
+        ) {
+            failures.extend(check("pkt_burst.speedup_pkt_events", bv, fv, true));
+        }
+        if let (Some(bv), Some(fv)) = (
+            get(b, "batched").and_then(|v| get_f(v, "pkt_events_per_sec")),
+            get(f, "batched").and_then(|v| get_f(v, "pkt_events_per_sec")),
+        ) {
+            failures.extend(check("pkt_burst.batched.pkt_events_per_sec", bv, fv, true));
+        }
+        for counter in ["bursts_formed", "cache_hits", "cache_misses"] {
+            if let (Some(bv), Some(fv)) = (get_f(b, counter), get_f(f, counter)) {
+                if bv != fv {
+                    println!(
+                        "note: pkt_burst.{counter} changed {bv} -> {fv} \
+                         (deterministic counter; refresh the committed baseline if intended)"
+                    );
+                }
+            }
+        }
+        if let (Some(bv), Some(fv)) = (
+            get(b, "batched").and_then(|v| get_f(v, "tx_packets")),
+            get(f, "batched").and_then(|v| get_f(v, "tx_packets")),
+        ) {
+            if bv != fv {
+                println!(
+                    "note: pkt_burst.batched.tx_packets changed {bv} -> {fv} \
+                     (deterministic counter; refresh the committed baseline if intended)"
+                );
             }
         }
     }
@@ -727,6 +784,103 @@ fn main() {
         (point, speedup)
     };
 
+    // 10. Packet-burst point: the hybrid WAN scenario (6-member IXP,
+    //     40G access / 400G uplink, 50/250 µs delays) with 8 greedy TCP
+    //     foreground flows at packet fidelity, pinned to a seed where
+    //     both planes run loss-free — the regime where batching is
+    //     provably benign. The oracle side walks every packet through
+    //     the OpenFlow tables one event at a time; the batched side
+    //     rides the PR-10 defaults (burst cap 32 + generation-stamped
+    //     decision cache). Both must model the exact same packets
+    //     (tx_packets equal — deterministic counter), drop nothing, and
+    //     agree on every foreground FCT to within
+    //     `PKT_BURST_FCT_DEV_CEIL`; the batched side must model at
+    //     least `PKT_BURST_SPEEDUP_FLOOR`× more packets per
+    //     wall-second. All asserted on every run.
+    let (pkt_burst, pkt_speedup, pkt_fct_dev) = {
+        let horizon = SimTime::from_secs(10);
+        let measure = |cfg: SimConfig| {
+            best_of(move || {
+                let s = pkt_burst_scenario(9, 24, 8, horizon);
+                let mut sim = Simulation::new(s, cfg).expect("valid scenario");
+                let t = Instant::now();
+                sim.run();
+                let w = t.elapsed().as_secs_f64();
+                let h = sim.hybrid().expect("hybrid attached");
+                let fcts: Vec<Option<f64>> = h
+                    .pkt_records(horizon)
+                    .iter()
+                    .map(|r| r.completed.then(|| r.fct_secs()))
+                    .collect();
+                let p = h.plane();
+                (
+                    (
+                        p.tx_packets(),
+                        p.drops(),
+                        p.bursts_formed(),
+                        p.cache_hits(),
+                        p.cache_misses(),
+                        fcts,
+                    ),
+                    w,
+                )
+            })
+        };
+        let oracle_cfg = SimConfig::default()
+            .with_pkt_burst(1)
+            .with_pkt_decision_cache(false);
+        let ((otx, odrops, _, _, _, ofcts), ow) = measure(oracle_cfg);
+        let ((btx, bdrops, bursts, hits, misses, bfcts), bw) = measure(SimConfig::default());
+        assert_eq!(odrops, 0, "oracle side must run loss-free");
+        assert_eq!(bdrops, 0, "batched side must run loss-free");
+        assert_eq!(
+            otx, btx,
+            "both planes must model the same packets (deterministic counter)"
+        );
+        assert_eq!(
+            ofcts.iter().map(|f| f.is_some()).collect::<Vec<_>>(),
+            bfcts.iter().map(|f| f.is_some()).collect::<Vec<_>>(),
+            "completion parity between oracle and batched planes"
+        );
+        let devs: Vec<f64> = ofcts
+            .iter()
+            .zip(&bfcts)
+            .filter_map(|(o, b)| Some((b.as_ref()? - o.as_ref()?).abs() / o.as_ref()?))
+            .collect();
+        assert!(!devs.is_empty(), "foreground flows must complete");
+        let fct_dev = devs.iter().sum::<f64>() / devs.len() as f64;
+        let speedup = (btx as f64 / bw.max(1e-9)) / (otx as f64 / ow.max(1e-9));
+        println!(
+            "pkt_burst: {otx} packets; oracle {:.1} ms vs batched {:.1} ms -> {speedup:.2}x \
+             ({bursts} bursts, {hits} cache hits / {misses} misses, mean FCT dev {fct_dev:.4})",
+            ow * 1e3,
+            bw * 1e3,
+        );
+        let side = |tx: u64, wall: f64| {
+            Value::Map(vec![
+                ("tx_packets".into(), num_u(tx)),
+                ("wall_ms".into(), num_f(wall * 1e3)),
+                (
+                    "pkt_events_per_sec".into(),
+                    num_f(tx as f64 / wall.max(1e-9)),
+                ),
+            ])
+        };
+        let point = Value::Map(vec![
+            ("kind".into(), Value::Str("hybrid_wan_loss_free".into())),
+            ("foreground_flows".into(), num_u(8)),
+            ("burst_cap".into(), num_u(32)),
+            ("oracle".into(), side(otx, ow)),
+            ("batched".into(), side(btx, bw)),
+            ("bursts_formed".into(), num_u(bursts)),
+            ("cache_hits".into(), num_u(hits)),
+            ("cache_misses".into(), num_u(misses)),
+            ("fct_mean_deviation".into(), num_f(fct_dev)),
+            ("speedup_pkt_events".into(), num_f(speedup)),
+        ]);
+        (point, speedup, fct_dev)
+    };
+
     let doc = Value::Map(vec![
         ("bench".into(), Value::Str("bench_smoke".into())),
         ("pr".into(), num_u(pr)),
@@ -740,6 +894,7 @@ fn main() {
         ("trace_overhead".into(), trace_overhead),
         ("million_flow".into(), million_flow),
         ("fork_sweep".into(), fork_sweep),
+        ("pkt_burst".into(), pkt_burst),
     ]);
     let json = serde_json::to_string_pretty(&doc).expect("serializes");
     std::fs::write(&out_path, json + "\n").expect("write bench json");
@@ -775,7 +930,25 @@ fn main() {
         std::process::exit(1);
     }
 
-    // 10. Regression gate against a committed baseline.
+    // Packet-burst acceptance: the batched plane must pay its way
+    // without bending foreground FCTs; both enforced on every
+    // invocation, like the wave gate.
+    if pkt_speedup < PKT_BURST_SPEEDUP_FLOOR {
+        eprintln!(
+            "FAIL pkt_burst: batched plane models only {pkt_speedup:.2}x more packets \
+             per wall-second than the per-packet oracle (floor {PKT_BURST_SPEEDUP_FLOOR:.1}x)"
+        );
+        std::process::exit(1);
+    }
+    if pkt_fct_dev > PKT_BURST_FCT_DEV_CEIL {
+        eprintln!(
+            "FAIL pkt_burst: mean foreground FCT deviation {pkt_fct_dev:.4} exceeds \
+             the fidelity ceiling {PKT_BURST_FCT_DEV_CEIL:.2}"
+        );
+        std::process::exit(1);
+    }
+
+    // 11. Regression gate against a committed baseline.
     if let Some(path) = baseline_path {
         let text = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));

@@ -147,6 +147,8 @@ impl HybridNet {
     pub fn new(link_count: usize, config: &SimConfig) -> Self {
         let pkt_cfg = PacketSimConfig {
             ctrl_latency: config.ctrl_latency,
+            burst: config.pkt_burst.max(1),
+            decision_cache: config.pkt_decision_cache,
             ..PacketSimConfig::default()
         };
         HybridNet {

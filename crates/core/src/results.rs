@@ -114,6 +114,17 @@ pub struct SimResults {
     pub pkt_flows: u64,
     /// FCT summary of completed packet-fidelity (foreground) flows.
     pub fct_foreground: Summary,
+    /// Packet-plane burst events that modeled more than one packet
+    /// (GSO-style batching; 0 with `pkt_burst = 1` or no hybrid plane).
+    pub pkt_bursts_formed: u64,
+    /// Packet-plane pipeline-decision cache hits (bursts that skipped the
+    /// OpenFlow table walk entirely).
+    pub pkt_cache_hits: u64,
+    /// Packet-plane decision-cache misses (head packet walked the tables).
+    pub pkt_cache_misses: u64,
+    /// Cached decisions discarded because the switch generation advanced
+    /// (flow/group/meter mod, port or cable change, chaos fault).
+    pub pkt_cache_invalidations: u64,
     /// Recovery-time summary: for each flow knocked off a failed element
     /// and re-admitted, seconds from the failure to re-admission.
     pub recovery: Summary,
@@ -208,7 +219,8 @@ impl SimResults {
              ctrl msgs up/down {:>6} / {:<6} (flow-ins {})\n\
              epochs            {:>12}   (mean batch {:.2}, max {})\n\
              realloc runs      {:>12}   (flows touched {}, saved {})\n\
-             alloc vars        {:>12}   (warm hits {}, cold solves {})",
+             alloc vars        {:>12}   (warm hits {}, cold solves {})\n\
+             pkt bursts        {:>12}   (cache hits {}, misses {}, invalidations {})",
             self.sim_time.as_secs_f64(),
             self.wall_seconds,
             self.speedup(),
@@ -235,6 +247,10 @@ impl SimResults {
             self.macro_flows,
             self.warm_hits,
             self.cold_solves,
+            self.pkt_bursts_formed,
+            self.pkt_cache_hits,
+            self.pkt_cache_misses,
+            self.pkt_cache_invalidations,
         )
     }
 }
@@ -270,6 +286,10 @@ mod tests {
             cold_solves: 15,
             pkt_flows: 0,
             fct_foreground: Summary::default(),
+            pkt_bursts_formed: 0,
+            pkt_cache_hits: 0,
+            pkt_cache_misses: 0,
+            pkt_cache_invalidations: 0,
             recovery: Summary::default(),
             chaos: ChaosCounters::default(),
             queue: QueueStats::default(),

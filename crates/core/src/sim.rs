@@ -82,7 +82,7 @@ impl std::error::Error for BuildError {}
 /// Magic prefix of the checkpoint format.
 pub const SNAPSHOT_MAGIC: &[u8; 9] = b"HORSESNAP";
 /// Current checkpoint format version.
-pub const SNAPSHOT_VERSION: u32 = 1;
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Errors raised while resuming or forking from a checkpoint.
 #[derive(Debug)]
@@ -1364,11 +1364,20 @@ impl Simulation {
         let mut flows_active_at_end = self.fluid.active_flow_count() as u64;
         let mut pkt_flows = 0;
         let mut fct_foreground = horse_monitoring::series::Summary::default();
+        let mut pkt_bursts_formed = 0;
+        let mut pkt_cache_hits = 0;
+        let mut pkt_cache_misses = 0;
+        let mut pkt_cache_invalidations = 0;
         if let Some(h) = self.hybrid.as_ref() {
             bytes_delivered += h.unfinished_delivered_bytes();
             flows_active_at_end += h.active_count() as u64;
             pkt_flows = h.flow_count() as u64;
             fct_foreground = summarize(h.completed_fcts());
+            let p = h.plane();
+            pkt_bursts_formed = p.bursts_formed();
+            pkt_cache_hits = p.cache_hits();
+            pkt_cache_misses = p.cache_misses();
+            pkt_cache_invalidations = p.cache_invalidations();
         }
         let queue_stats = self.queue.stats();
         // End-of-run scrape: totals that are kept as plain fields on
@@ -1400,6 +1409,28 @@ impl Simulation {
                 reg.counter("openflow.table_misses").add(misses);
                 if let Some(h) = self.hybrid.as_ref() {
                     reg.counter("hybrid.couple_passes").add(h.couple_passes);
+                    let p = h.plane();
+                    reg.counter("pkt.bursts_formed").add(p.bursts_formed());
+                    reg.counter("pkt.cache_hits").add(p.cache_hits());
+                    reg.counter("pkt.cache_misses").add(p.cache_misses());
+                    reg.counter("pkt.cache_invalidations")
+                        .add(p.cache_invalidations());
+                    reg.counter("pkt.tx_packets").add(p.tx_packets());
+                    // Burst-length histogram as log2 buckets (bucket k
+                    // holds bursts of 2^k..2^(k+1) packets).
+                    let hist = p.burst_len_hist();
+                    for (name, k) in [
+                        ("pkt.burst_len_p2_0", 0usize),
+                        ("pkt.burst_len_p2_1", 1),
+                        ("pkt.burst_len_p2_2", 2),
+                        ("pkt.burst_len_p2_3", 3),
+                        ("pkt.burst_len_p2_4", 4),
+                        ("pkt.burst_len_p2_5", 5),
+                        ("pkt.burst_len_p2_6", 6),
+                        ("pkt.burst_len_p2_7", 7),
+                    ] {
+                        reg.counter(name).add(hist[k]);
+                    }
                 }
                 let peak = self
                     .collector
@@ -1454,6 +1485,10 @@ impl Simulation {
             cold_solves: self.fluid.cold_solves,
             pkt_flows,
             fct_foreground,
+            pkt_bursts_formed,
+            pkt_cache_hits,
+            pkt_cache_misses,
+            pkt_cache_invalidations,
             recovery,
             chaos: self.chaos_ctr.clone(),
             queue: queue_stats,

@@ -112,6 +112,10 @@ impl CampaignReport {
             "macro_flows",
             "warm_hits",
             "cold_solves",
+            "pkt_bursts_formed",
+            "pkt_cache_hits",
+            "pkt_cache_misses",
+            "pkt_cache_invalidations",
             "queue_compactions",
             "queue_tombstones",
             "recovery_time",
@@ -162,6 +166,10 @@ impl CampaignReport {
                     m.macro_flows.to_string(),
                     m.warm_hits.to_string(),
                     m.cold_solves.to_string(),
+                    m.pkt_bursts_formed.to_string(),
+                    m.pkt_cache_hits.to_string(),
+                    m.pkt_cache_misses.to_string(),
+                    m.pkt_cache_invalidations.to_string(),
                     m.queue_compactions.to_string(),
                     m.queue_tombstones.to_string(),
                     f(m.recovery.mean),
@@ -328,6 +336,13 @@ mod tests {
         let mut lines = csv.lines();
         let header = lines.next().unwrap();
         assert!(header.starts_with("run,ctrl_latency_us,seed,sim_secs,"));
+        assert!(
+            header.contains(
+                "cold_solves,pkt_bursts_formed,pkt_cache_hits,\
+                 pkt_cache_misses,pkt_cache_invalidations,queue_compactions"
+            ),
+            "packet-plane telemetry columns present: {header}"
+        );
         assert_eq!(lines.count(), 2, "one row per run");
         assert!(!csv.contains("wall"), "wall time never enters metrics");
     }

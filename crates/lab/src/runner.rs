@@ -80,6 +80,20 @@ pub struct RunMetrics {
     /// Component water-fills actually executed.
     #[serde(default)]
     pub cold_solves: u64,
+    /// Packet-plane burst events modeling more than one packet (0 with
+    /// `pkt_burst = 1` or without a hybrid packet plane).
+    #[serde(default)]
+    pub pkt_bursts_formed: u64,
+    /// Packet-plane decision-cache hits (bursts that skipped the table
+    /// walk).
+    #[serde(default)]
+    pub pkt_cache_hits: u64,
+    /// Packet-plane decision-cache misses.
+    #[serde(default)]
+    pub pkt_cache_misses: u64,
+    /// Cached decisions invalidated by a switch-generation bump.
+    #[serde(default)]
+    pub pkt_cache_invalidations: u64,
     /// Event-queue heap compactions (tombstone-pressure rebuilds).
     pub queue_compactions: u64,
     /// Events cancelled before firing (left as heap tombstones until a
@@ -130,6 +144,10 @@ impl RunMetrics {
             macro_flows: r.macro_flows,
             warm_hits: r.warm_hits,
             cold_solves: r.cold_solves,
+            pkt_bursts_formed: r.pkt_bursts_formed,
+            pkt_cache_hits: r.pkt_cache_hits,
+            pkt_cache_misses: r.pkt_cache_misses,
+            pkt_cache_invalidations: r.pkt_cache_invalidations,
             queue_compactions: r.queue.compactions,
             queue_tombstones: r.queue.cancelled,
             recovery: r.recovery,

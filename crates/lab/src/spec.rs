@@ -825,6 +825,15 @@ pub struct SimConfigSpec {
     /// Defaults on; bit-identical either way, sweepable as an ablation
     /// axis.
     pub warm_start: Option<bool>,
+    /// Packet-plane burst cap (max packets one burst event models).
+    /// Defaults to 32; `1` is the per-packet oracle, so `[1, 32]` sweeps
+    /// as a fidelity-vs-speed ablation axis.
+    pub pkt_burst: Option<u32>,
+    /// Packet-plane pipeline-decision cache (head packet walks the
+    /// OpenFlow tables, followers reuse the generation-stamped verdict).
+    /// Defaults on; bit-identical either way, sweepable as an ablation
+    /// axis.
+    pub pkt_decision_cache: Option<bool>,
 }
 
 impl SimConfigSpec {
@@ -878,6 +887,17 @@ impl SimConfigSpec {
         }
         if let Some(on) = self.warm_start {
             c.warm_start = on;
+        }
+        if let Some(n) = self.pkt_burst {
+            if n == 0 {
+                return Err(LabError::spec(
+                    "config.pkt_burst must be at least 1 (1 = per-packet oracle)",
+                ));
+            }
+            c.pkt_burst = n;
+        }
+        if let Some(on) = self.pkt_decision_cache {
+            c.pkt_decision_cache = on;
         }
         Ok(c)
     }
@@ -1089,6 +1109,50 @@ mod tests {
         assert_eq!(plans[0].config.macro_flows, Some(true));
         assert_eq!(plans[3].config.macro_flows, Some(false));
         assert_eq!(plans[3].config.warm_start, Some(false));
+    }
+
+    #[test]
+    fn pkt_knobs_fold_and_sweep() {
+        let c = SimConfigSpec {
+            pkt_burst: Some(1),
+            pkt_decision_cache: Some(false),
+            ..Default::default()
+        }
+        .to_config()
+        .unwrap();
+        assert_eq!(c.pkt_burst, 1);
+        assert!(!c.pkt_decision_cache);
+        let d = SimConfigSpec::default().to_config().unwrap();
+        assert_eq!(d.pkt_burst, 32, "absent knob inherits the default cap");
+        assert!(d.pkt_decision_cache, "absent knob inherits on");
+        let err = SimConfigSpec {
+            pkt_burst: Some(0),
+            ..Default::default()
+        }
+        .to_config()
+        .unwrap_err();
+        assert!(err.to_string().contains("pkt_burst"), "{err}");
+
+        let spec = SweepSpec::from_toml(
+            r#"
+            name = "pkt_ablate"
+            [scenario]
+            kind = "ixp"
+            members = 6
+            horizon_secs = 0.5
+            fidelity = "hybrid"
+            [axes]
+            pkt_burst = [1, 32]
+            pkt_decision_cache = [true, false]
+            "#,
+        )
+        .unwrap();
+        let plans = crate::sweep::expand(&spec).unwrap();
+        assert_eq!(plans.len(), 4);
+        assert_eq!(plans[0].config.pkt_burst, Some(1));
+        assert_eq!(plans[0].config.pkt_decision_cache, Some(true));
+        assert_eq!(plans[3].config.pkt_burst, Some(32));
+        assert_eq!(plans[3].config.pkt_decision_cache, Some(false));
     }
 
     #[test]

@@ -26,10 +26,11 @@ use horse_types::snap::{
     snap_via_serde, unsnap_via_serde, Snap, SnapError, SnapReader, SnapWriter,
 };
 use horse_types::{ByteSize, FlowKey, NodeId, PortNo, SimTime, TableId};
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 
 /// Why the pipeline dropped a flow.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub enum DropReason {
     /// Explicit drop action (blackholing, ACLs).
     Policy,
@@ -44,7 +45,7 @@ pub enum DropReason {
 }
 
 /// Final verdict of a pipeline traversal.
-#[derive(Clone, PartialEq, Debug)]
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
 pub enum Verdict {
     /// Forward out of these ports (usually one; several for flood/All).
     Forward(Vec<PortNo>),
@@ -56,7 +57,7 @@ pub enum Verdict {
 
 /// Everything a traversal produced: the verdict plus the attribution trail
 /// (which entries matched, which meters apply, header rewrites).
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
 pub struct PipelineResult {
     /// The forwarding decision.
     pub verdict: Verdict,
@@ -91,6 +92,13 @@ pub struct OpenFlowSwitch {
     pub miss_behavior: MissBehavior,
     /// Maximum table jumps per traversal (guards against goto loops).
     pub max_table_jumps: usize,
+    /// Forwarding-state generation: bumped on every mutation that can
+    /// change a [`classify`] outcome (flow/group/meter mods, port state,
+    /// crash, expiry). Cached pipeline decisions stamped with an older
+    /// generation are stale and must re-walk the tables.
+    ///
+    /// [`classify`]: OpenFlowSwitch::classify
+    gen: u64,
 }
 
 impl OpenFlowSwitch {
@@ -108,7 +116,15 @@ impl OpenFlowSwitch {
                 .collect(),
             miss_behavior: MissBehavior::ToController,
             max_table_jumps: 8,
+            gen: 0,
         }
+    }
+
+    /// The current forwarding-state generation. A [`PipelineResult`]
+    /// cached at generation `g` is valid exactly while
+    /// `self.generation() == g`.
+    pub fn generation(&self) -> u64 {
+        self.gen
     }
 
     /// Number of tables in the pipeline.
@@ -144,6 +160,7 @@ impl OpenFlowSwitch {
     /// Flips a port's state; returns the `PortStatus` notification.
     pub fn set_port_state(&mut self, port: PortNo, up: bool) -> SwitchMsg {
         self.port_state.insert(port, up);
+        self.gen = self.gen.wrapping_add(1);
         SwitchMsg::PortStatus {
             switch: self.id,
             port,
@@ -166,6 +183,7 @@ impl OpenFlowSwitch {
         for up in self.port_state.values_mut() {
             *up = false;
         }
+        self.gen = self.gen.wrapping_add(1);
     }
 
     /// Port counters (credited by the fluid plane's byte sync via
@@ -387,17 +405,35 @@ impl OpenFlowSwitch {
     ///
     /// [`commit_classification`]: OpenFlowSwitch::commit_classification
     pub fn commit_matched(&mut self, matched: &[(TableId, u16, FlowMatch, u64)], now: SimTime) {
+        self.commit_matched_n(matched, 1, now);
+    }
+
+    /// Like [`commit_matched`], but credits `n` classification events at
+    /// once — the packet plane's burst path commits the whole burst with
+    /// one call so table lookup/match counters and idle-timeout stamps
+    /// stay identical to `n` per-packet walks.
+    ///
+    /// [`commit_matched`]: OpenFlowSwitch::commit_matched
+    pub fn commit_matched_n(
+        &mut self,
+        matched: &[(TableId, u16, FlowMatch, u64)],
+        n: u64,
+        now: SimTime,
+    ) {
+        if n == 0 {
+            return;
+        }
         if matched.is_empty() {
             if let Some(t0) = self.tables.get_mut(0) {
-                t0.counters.lookups += 1;
+                t0.counters.lookups += n;
             }
             return;
         }
         for (t, prio, m, _) in matched {
             if let Some(table) = self.tables.get_mut(t.0 as usize) {
-                table.counters.lookups += 1;
-                table.counters.matches += 1;
-                table.credit(*prio, m, 1, ByteSize::ZERO, now);
+                table.counters.lookups += n;
+                table.counters.matches += n;
+                table.credit(*prio, m, n, ByteSize::ZERO, now);
             }
         }
     }
@@ -427,6 +463,15 @@ impl OpenFlowSwitch {
     /// Applies a controller message, returning any immediate replies
     /// (stats, barrier, flow-removed notifications from deletes).
     pub fn apply(&mut self, msg: &CtrlMsg, now: SimTime) -> Vec<SwitchMsg> {
+        // Any table/group/meter mutation can change future classifications;
+        // stamp a new generation before applying (stats/barrier are
+        // read-only and leave cached decisions valid).
+        if matches!(
+            msg,
+            CtrlMsg::FlowMod(_) | CtrlMsg::GroupMod(_) | CtrlMsg::MeterMod(_)
+        ) {
+            self.gen = self.gen.wrapping_add(1);
+        }
         match msg {
             CtrlMsg::FlowMod(fm) => {
                 let t = fm.table.0 as usize;
@@ -552,8 +597,10 @@ impl OpenFlowSwitch {
     /// notifications where requested.
     pub fn expire(&mut self, now: SimTime) -> Vec<SwitchMsg> {
         let mut out = Vec::new();
+        let mut removed_any = false;
         for (i, table) in self.tables.iter_mut().enumerate() {
             for (e, reason) in table.expire(now) {
+                removed_any = true;
                 if e.notify_removal {
                     out.push(SwitchMsg::FlowRemoved {
                         switch: self.id,
@@ -567,6 +614,9 @@ impl OpenFlowSwitch {
                     });
                 }
             }
+        }
+        if removed_any {
+            self.gen = self.gen.wrapping_add(1);
         }
         out
     }
@@ -605,6 +655,7 @@ impl OpenFlowSwitch {
             MissBehavior::Drop => 1,
         });
         self.max_table_jumps.snap(w);
+        self.gen.snap(w);
     }
 
     /// Restores state captured by [`OpenFlowSwitch::snapshot_state`],
@@ -642,6 +693,7 @@ impl OpenFlowSwitch {
             other => return Err(SnapError::new(format!("bad MissBehavior {other}"), at)),
         };
         let max_table_jumps = usize::unsnap(r)?;
+        let gen = u64::unsnap(r)?;
         self.tables = tables;
         self.groups = groups;
         self.meters = meters;
@@ -649,6 +701,7 @@ impl OpenFlowSwitch {
         self.port_counters = port_counters;
         self.miss_behavior = miss_behavior;
         self.max_table_jumps = max_table_jumps;
+        self.gen = gen;
         Ok(())
     }
 
@@ -1086,6 +1139,143 @@ mod tests {
             restored.meter_mut(MeterId(7)).unwrap().tokens_at(t),
         );
         assert_eq!(ta.to_bits(), tb.to_bits(), "token state bit-identical");
+    }
+
+    #[test]
+    fn generation_bumps_on_state_mutations_only() {
+        let mut sw = switch(1);
+        let g0 = sw.generation();
+        // Read-only messages leave the generation alone.
+        sw.apply(&CtrlMsg::Barrier, SimTime::ZERO);
+        sw.apply(&CtrlMsg::StatsRequest(StatsRequest::Table), SimTime::ZERO);
+        assert_eq!(sw.generation(), g0);
+        // Classification and crediting are observations, not mutations.
+        sw.process(PortNo(1), &key(), SimTime::ZERO);
+        sw.credit_bytes(
+            &[],
+            ByteSize::bytes(1500),
+            ByteSize::bytes(1500),
+            SimTime::ZERO,
+        );
+        assert_eq!(sw.generation(), g0);
+        // Flow-mod, group-mod, meter-mod, port flaps and crashes each bump.
+        sw.apply(
+            &CtrlMsg::FlowMod(FlowMod::add(FlowEntry::new(
+                10,
+                FlowMatch::ANY,
+                vec![Instruction::output(PortNo(2))],
+            ))),
+            SimTime::ZERO,
+        );
+        let g1 = sw.generation();
+        assert_ne!(g1, g0);
+        sw.apply(
+            &CtrlMsg::GroupMod(GroupMod::Add(GroupEntry::ecmp(GroupId(1), &[PortNo(2)]))),
+            SimTime::ZERO,
+        );
+        let g2 = sw.generation();
+        assert_ne!(g2, g1);
+        sw.apply(
+            &CtrlMsg::MeterMod(MeterMod::Add {
+                id: MeterId(7),
+                rate: Rate::mbps(500.0),
+                burst: ByteSize::kib(64),
+            }),
+            SimTime::ZERO,
+        );
+        let g3 = sw.generation();
+        assert_ne!(g3, g2);
+        sw.set_port_state(PortNo(2), false);
+        let g4 = sw.generation();
+        assert_ne!(g4, g3);
+        sw.crash();
+        assert_ne!(sw.generation(), g4);
+    }
+
+    #[test]
+    fn expiry_bumps_generation_only_when_entries_removed() {
+        let mut sw = switch(1);
+        sw.apply(
+            &CtrlMsg::FlowMod(FlowMod::add(
+                FlowEntry::new(10, FlowMatch::ANY, vec![Instruction::output(PortNo(2))])
+                    .with_hard_timeout(horse_types::SimDuration::from_secs(5)),
+            )),
+            SimTime::ZERO,
+        );
+        let g = sw.generation();
+        sw.expire(SimTime::from_secs(4));
+        assert_eq!(sw.generation(), g, "nothing expired yet");
+        sw.expire(SimTime::from_secs(5));
+        assert_ne!(sw.generation(), g, "expiry invalidates cached decisions");
+    }
+
+    #[test]
+    fn commit_matched_n_equals_n_single_commits() {
+        let build = || {
+            let mut sw = switch(1);
+            sw.apply(
+                &CtrlMsg::FlowMod(FlowMod::add(FlowEntry::new(
+                    10,
+                    FlowMatch::ANY,
+                    vec![Instruction::output(PortNo(2))],
+                ))),
+                SimTime::ZERO,
+            );
+            sw
+        };
+        let mut a = build();
+        let mut b = build();
+        let res = a.classify(PortNo(1), &key());
+        let now = SimTime::from_millis(7);
+        a.commit_matched_n(&res.matched, 5, now);
+        for _ in 0..5 {
+            b.commit_matched(&res.matched, now);
+        }
+        assert_eq!(
+            format!("{:?}", a.stats(StatsRequest::Table)),
+            format!("{:?}", b.stats(StatsRequest::Table))
+        );
+        assert_eq!(
+            format!("{:?}", a.stats(StatsRequest::Flow(TableId(0)))),
+            format!("{:?}", b.stats(StatsRequest::Flow(TableId(0))))
+        );
+        // n == 0 is a strict no-op, even on a miss trail.
+        let before = format!("{:?}", a.stats(StatsRequest::Table));
+        a.commit_matched_n(&[], 0, now);
+        assert_eq!(format!("{:?}", a.stats(StatsRequest::Table)), before);
+        // An empty trail credits n lookups on table 0 (burst-sized miss).
+        a.commit_matched_n(&[], 3, now);
+        b.commit_matched(&[], now);
+        b.commit_matched(&[], now);
+        b.commit_matched(&[], now);
+        assert_eq!(
+            format!("{:?}", a.stats(StatsRequest::Table)),
+            format!("{:?}", b.stats(StatsRequest::Table))
+        );
+    }
+
+    #[test]
+    fn snapshot_round_trips_generation() {
+        let mut sw = switch(1);
+        sw.apply(
+            &CtrlMsg::FlowMod(FlowMod::add(FlowEntry::new(
+                10,
+                FlowMatch::ANY,
+                vec![Instruction::output(PortNo(2))],
+            ))),
+            SimTime::ZERO,
+        );
+        sw.set_port_state(PortNo(3), false);
+        let g = sw.generation();
+        assert_ne!(g, 0);
+        let mut w = horse_types::SnapWriter::new();
+        sw.snapshot_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut restored = OpenFlowSwitch::new(NodeId(1), 1, &[]);
+        let mut rd = horse_types::SnapReader::new(&bytes);
+        restored.restore_state(&mut rd).unwrap();
+        assert!(rd.is_exhausted());
+        assert_eq!(restored.generation(), g);
     }
 
     #[test]

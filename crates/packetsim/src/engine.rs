@@ -22,8 +22,10 @@ use crate::source::SourceKind;
 use horse_controlplane::{Controller, ControllerCtx, Outbox};
 use horse_events::EventQueue;
 use horse_openflow::messages::{CtrlMsg, SwitchMsg};
-use horse_openflow::switch::{OpenFlowSwitch, Verdict};
+use horse_openflow::switch::{OpenFlowSwitch, PipelineResult, Verdict};
 use horse_topology::Topology;
+use horse_types::id::MeterId;
+use horse_types::snap::{snap_via_serde, unsnap_via_serde};
 use horse_types::{
     ByteSize, FlowKey, LinkId, NodeId, PortNo, Rate, SimDuration, SimTime, Snap, SnapError,
     SnapReader, SnapWriter,
@@ -44,6 +46,13 @@ pub struct PacketSimConfig {
     pub ctrl_latency: SimDuration,
     /// Minimum retransmission timeout (seconds).
     pub rto_floor: f64,
+    /// Maximum packets one burst event may model (GSO-style batching).
+    /// `1` disables batching and is bit-identical to the per-packet plane.
+    pub burst: u32,
+    /// Cache per-flow pipeline decisions so only a burst's head packet
+    /// walks the match/group/meter tables (generation-stamped; any
+    /// forwarding-state change invalidates).
+    pub decision_cache: bool,
 }
 
 impl Default for PacketSimConfig {
@@ -54,6 +63,8 @@ impl Default for PacketSimConfig {
             buffer: ByteSize::kib(256),
             ctrl_latency: SimDuration::from_micros(500),
             rto_floor: 0.01,
+            burst: 32,
+            decision_cache: true,
         }
     }
 }
@@ -171,10 +182,23 @@ pub struct Pkt {
     key: FlowKey,
     size: u32,
     /// Data segment sequence or, for ACKs, the cumulative ACK value.
+    /// A burst (`count > 1`) of data models segments `seq..seq+count`;
+    /// a burst of ACKs models the cumulative values
+    /// `seq-count+1..=seq` (i.e. `seq` is the final, highest ACK).
     seq: u64,
     is_ack: bool,
     /// Time the segment was (first) transmitted — for RTT sampling.
     sent_at: SimTime,
+    /// Packets this event models (GSO-style burst; `1` = a single packet).
+    count: u32,
+}
+
+/// A cached pipeline decision: valid while the switch's forwarding-state
+/// generation still equals `gen` and the arriving key is unchanged.
+struct CacheEntry {
+    gen: u64,
+    key: FlowKey,
+    res: PipelineResult,
 }
 
 struct PortQueue {
@@ -241,6 +265,7 @@ horse_types::impl_snap_struct!(Pkt {
     seq,
     is_ack,
     sent_at,
+    count,
 });
 horse_types::impl_snap_struct!(PktFlowSpec {
     key,
@@ -339,6 +364,20 @@ pub struct PacketPlane {
     link_bytes: Vec<f64>,
     drops: u64,
     config: PacketSimConfig,
+    /// Cached pipeline decisions keyed by (switch, in-port, flow, dir).
+    cache: HashMap<(NodeId, PortNo, usize, bool), CacheEntry>,
+    // Burst/cache telemetry.
+    bursts_formed: u64,
+    burst_len_hist: [u64; 8],
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_invalidations: u64,
+    tx_packets: u64,
+    // Scratch buffers (always drained within one `handle` call) — keep
+    // the steady-state hot path allocation-free.
+    scratch_ports: Vec<PortNo>,
+    scratch_acks: Vec<u64>,
+    scratch_rtx: Vec<u64>,
 }
 
 impl PacketPlane {
@@ -350,6 +389,16 @@ impl PacketPlane {
             link_bytes: vec![0.0; link_count],
             drops: 0,
             config,
+            cache: HashMap::new(),
+            bursts_formed: 0,
+            burst_len_hist: [0; 8],
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_invalidations: 0,
+            tx_packets: 0,
+            scratch_ports: Vec::new(),
+            scratch_acks: Vec::new(),
+            scratch_rtx: Vec::new(),
         }
     }
 
@@ -399,6 +448,38 @@ impl PacketPlane {
         self.drops
     }
 
+    /// Burst events that modeled more than one packet.
+    pub fn bursts_formed(&self) -> u64 {
+        self.bursts_formed
+    }
+
+    /// Serialized-burst length histogram: bucket `k` counts bursts with
+    /// `floor(log2(len)) == k` (lengths ≥ 128 land in the last bucket).
+    pub fn burst_len_hist(&self) -> &[u64; 8] {
+        &self.burst_len_hist
+    }
+
+    /// Pipeline-decision cache hits.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+
+    /// Pipeline-decision cache misses (cold or invalidated).
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses
+    }
+
+    /// Cache entries found stale (generation or key changed) on lookup.
+    pub fn cache_invalidations(&self) -> u64 {
+        self.cache_invalidations
+    }
+
+    /// Packets (not events) pushed through serializers so far — the
+    /// packet-modeling throughput metric burst batching accelerates.
+    pub fn tx_packets(&self) -> u64 {
+        self.tx_packets
+    }
+
     /// Whether the serializer on `(node, port)` is mid-transmission.
     pub fn is_busy(&self, node: NodeId, port: PortNo) -> bool {
         self.queues
@@ -425,10 +506,16 @@ impl PacketPlane {
         &self.link_bytes
     }
 
-    /// Counts a lost packet against the aggregate and its flow.
+    /// Counts a lost packet (or whole burst) against the aggregate and
+    /// its flow.
     fn drop_pkt(&mut self, pkt: &Pkt) {
-        self.drops += 1;
-        self.flows[pkt.flow].dropped_bytes += pkt.size as u64;
+        self.drop_pkt_n(pkt, pkt.count);
+    }
+
+    /// Counts `n` of a burst's packets as lost.
+    fn drop_pkt_n(&mut self, pkt: &Pkt, n: u32) {
+        self.drops += n as u64;
+        self.flows[pkt.flow].dropped_bytes += pkt.size as u64 * n as u64;
     }
 
     /// The completion record of one flow (`finished` falls back to
@@ -461,6 +548,26 @@ impl PacketPlane {
         self.queues.snap(w);
         self.link_bytes.snap(w);
         self.drops.snap(w);
+        // Decision cache, in canonical (sorted-key) order so snapshots of
+        // identical planes are byte-identical regardless of hash order.
+        let mut keys: Vec<&(NodeId, PortNo, usize, bool)> = self.cache.keys().collect();
+        keys.sort();
+        w.len_prefix(keys.len());
+        for k in keys {
+            k.snap(w);
+            let e = &self.cache[k];
+            e.gen.snap(w);
+            e.key.snap(w);
+            snap_via_serde(&e.res, w);
+        }
+        self.bursts_formed.snap(w);
+        for b in &self.burst_len_hist {
+            b.snap(w);
+        }
+        self.cache_hits.snap(w);
+        self.cache_misses.snap(w);
+        self.cache_invalidations.snap(w);
+        self.tx_packets.snap(w);
     }
 
     /// Restores state captured by [`PacketPlane::snapshot_state`] into a
@@ -481,6 +588,24 @@ impl PacketPlane {
         }
         self.link_bytes = link_bytes;
         self.drops = u64::unsnap(r)?;
+        let n = r.len_prefix()?;
+        let mut cache = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let k = <(NodeId, PortNo, usize, bool)>::unsnap(r)?;
+            let gen = u64::unsnap(r)?;
+            let key = FlowKey::unsnap(r)?;
+            let res = unsnap_via_serde::<PipelineResult>(r)?;
+            cache.insert(k, CacheEntry { gen, key, res });
+        }
+        self.cache = cache;
+        self.bursts_formed = u64::unsnap(r)?;
+        for b in &mut self.burst_len_hist {
+            *b = u64::unsnap(r)?;
+        }
+        self.cache_hits = u64::unsnap(r)?;
+        self.cache_misses = u64::unsnap(r)?;
+        self.cache_invalidations = u64::unsnap(r)?;
+        self.tx_packets = u64::unsnap(r)?;
         Ok(())
     }
 
@@ -517,8 +642,16 @@ impl PacketPlane {
                 if done || self.flows[i].finished.is_some() {
                     return;
                 }
+                // Burst quantum: batch up to `burst` back-to-back ticks
+                // into one send, but never more than total/128 so the
+                // pacing distortion stays well under the 1% FCT contract
+                // (short flows degenerate to per-packet cadence).
+                let total = self.flows[i].total_segs;
+                let remaining = total - self.flows[i].cbr_sent_segs;
+                let quantum = (total / 128).max(1);
+                let n = remaining.min(self.config.burst.max(1) as u64).min(quantum) as u32;
                 let seq = self.flows[i].cbr_sent_segs;
-                self.flows[i].cbr_sent_segs += 1;
+                self.flows[i].cbr_sent_segs += n as u64;
                 let pkt = Pkt {
                     flow: i,
                     key: self.flows[i].spec.key,
@@ -526,11 +659,12 @@ impl PacketPlane {
                     seq,
                     is_ack: false,
                     sent_at: now,
+                    count: n,
                 };
                 let src = self.flows[i].spec.src;
                 self.host_emit(src, pkt, now, topo, drain, out);
                 out.events.push((
-                    now + SimDuration::from_secs_f64(interval),
+                    now + SimDuration::from_secs_f64(interval * n as f64),
                     PktEvent::CbrSend(i),
                 ));
             }
@@ -623,19 +757,21 @@ impl PacketPlane {
         out: &mut PktOut,
     ) {
         let rto_floor = self.config.rto_floor;
-        let mut to_send: Vec<u64> = Vec::new();
         let (src, key) = (self.flows[i].spec.src, self.flows[i].spec.key);
-        {
+        // The window opens on a contiguous run of fresh sequences —
+        // a (start, len) pair, no per-packet allocation.
+        let (start, mut run) = {
             let total = self.flows[i].total_segs;
             let SourceKind::Tcp(ref mut t) = self.flows[i].source else {
                 return;
             };
+            let start = t.next_seq;
             while t.can_send() && t.next_seq < total {
-                to_send.push(t.next_seq);
                 t.next_seq += 1;
                 t.in_flight += 1;
             }
-            if !to_send.is_empty() {
+            let run = t.next_seq - start;
+            if run > 0 {
                 let rto = t.rto(rto_floor);
                 let arm = t.cum_ack;
                 out.events.push((
@@ -646,8 +782,12 @@ impl PacketPlane {
                     },
                 ));
             }
-        }
-        for seq in to_send {
+            (start, run)
+        };
+        let cap = self.config.burst.max(1) as u64;
+        let mut seq = start;
+        while run > 0 {
+            let n = run.min(cap) as u32;
             let pkt = Pkt {
                 flow: i,
                 key,
@@ -655,8 +795,11 @@ impl PacketPlane {
                 seq,
                 is_ack: false,
                 sent_at: now,
+                count: n,
             };
             self.host_emit(src, pkt, now, topo, drain, out);
+            seq += n as u64;
+            run -= n as u64;
         }
     }
 
@@ -692,21 +835,30 @@ impl PacketPlane {
                 return; // stray (flood copy)
             }
             let rtt = now.saturating_since(pkt.sent_at).as_secs_f64();
-            let mut fast_rtx: Option<u64> = None;
+            // An ACK burst carries the cumulative values
+            // `seq-count+1..=seq`; replay them in order, collecting any
+            // fast retransmits into a scratch buffer (can't emit while the
+            // sender state is borrowed).
+            let mut rtx = std::mem::take(&mut self.scratch_rtx);
+            rtx.clear();
             {
                 let f = &mut self.flows[i];
                 let SourceKind::Tcp(ref mut t) = f.source else {
+                    self.scratch_rtx = rtx;
                     return;
                 };
-                let advanced = t.on_ack(pkt.seq, now, Some(rtt));
-                if !advanced && t.dup_acks == 3 && t.retransmitting != Some(t.cum_ack) {
-                    t.on_fast_retransmit();
-                    t.retransmitting = Some(t.cum_ack);
-                    fast_rtx = Some(t.cum_ack);
-                    t.in_flight = t.in_flight.saturating_sub(1);
+                let first = pkt.seq + 1 - pkt.count as u64;
+                for v in first..=pkt.seq {
+                    let advanced = t.on_ack(v, now, Some(rtt));
+                    if !advanced && t.dup_acks == 3 && t.retransmitting != Some(t.cum_ack) {
+                        t.on_fast_retransmit();
+                        t.retransmitting = Some(t.cum_ack);
+                        rtx.push(t.cum_ack);
+                        t.in_flight = t.in_flight.saturating_sub(1);
+                    }
                 }
             }
-            if let Some(seq) = fast_rtx {
+            for &seq in &rtx {
                 let p = Pkt {
                     flow: i,
                     key: self.flows[i].spec.key,
@@ -714,10 +866,13 @@ impl PacketPlane {
                     seq,
                     is_ack: false,
                     sent_at: now,
+                    count: 1,
                 };
                 let src = self.flows[i].spec.src;
                 self.host_emit(src, p, now, topo, drain, out);
             }
+            rtx.clear();
+            self.scratch_rtx = rtx;
             self.tcp_pump(i, now, topo, drain, out);
         } else {
             if self.flows[i].spec.dst != host {
@@ -725,33 +880,62 @@ impl PacketPlane {
             }
             match self.flows[i].source {
                 SourceKind::Tcp(_) => {
-                    let (ack, delivered) = {
+                    // Feed each segment of the burst to the receiver,
+                    // collecting the cumulative ACK after each one.
+                    let mut acks = std::mem::take(&mut self.scratch_acks);
+                    acks.clear();
+                    {
                         let f = &mut self.flows[i];
                         let SourceKind::Tcp(ref mut t) = f.source else {
                             unreachable!()
                         };
-                        let ack = t.receive(pkt.seq);
-                        (ack, ack)
-                    };
+                        for k in 0..pkt.count as u64 {
+                            acks.push(t.receive(pkt.seq + k));
+                        }
+                    }
+                    let delivered = *acks.last().expect("count >= 1");
                     self.flows[i].delivered_segs = delivered;
                     if delivered >= self.flows[i].total_segs && self.flows[i].finished.is_none() {
                         self.flows[i].finished = Some(now);
                         out.finished.push(i);
                     }
-                    // send cumulative ACK back
-                    let ack_pkt = Pkt {
-                        flow: i,
-                        key: self.flows[i].spec.key.reversed(),
-                        size: self.config.ack_pkt,
-                        seq: ack,
-                        is_ack: true,
-                        sent_at: pkt.sent_at,
-                    };
                     let dst = self.flows[i].spec.dst;
-                    self.host_emit(dst, ack_pkt, now, topo, drain, out);
+                    let rkey = self.flows[i].spec.key.reversed();
+                    // A strict +1 chain of cumulative ACKs coalesces into
+                    // one ACK burst; anything else (duplicates from gaps,
+                    // jumps from gap fills) must keep per-value ACKs so
+                    // dup-ack counting at the sender is exact.
+                    let chain = acks.windows(2).all(|w| w[1] == w[0] + 1);
+                    if chain {
+                        let ack_pkt = Pkt {
+                            flow: i,
+                            key: rkey,
+                            size: self.config.ack_pkt,
+                            seq: *acks.last().expect("count >= 1"),
+                            is_ack: true,
+                            sent_at: pkt.sent_at,
+                            count: acks.len() as u32,
+                        };
+                        self.host_emit(dst, ack_pkt, now, topo, drain, out);
+                    } else {
+                        for &ack in &acks {
+                            let ack_pkt = Pkt {
+                                flow: i,
+                                key: rkey,
+                                size: self.config.ack_pkt,
+                                seq: ack,
+                                is_ack: true,
+                                sent_at: pkt.sent_at,
+                                count: 1,
+                            };
+                            self.host_emit(dst, ack_pkt, now, topo, drain, out);
+                        }
+                    }
+                    acks.clear();
+                    self.scratch_acks = acks;
                 }
                 SourceKind::Cbr { .. } => {
-                    self.flows[i].delivered_segs += 1;
+                    self.flows[i].delivered_segs += pkt.count as u64;
                     if self.flows[i].delivered_segs >= self.flows[i].total_segs
                         && self.flows[i].finished.is_none()
                     {
@@ -779,44 +963,165 @@ impl PacketPlane {
         let Some(sw) = switches.get_mut(&node) else {
             return;
         };
-        let res = sw.process(in_port, &pkt.key, now);
-        // meters: token buckets per packet
-        for m in &res.meters {
-            if let Some(me) = sw.meter_mut(*m) {
-                if !me.try_consume(pkt.size as u64, now) {
-                    self.drop_pkt(&pkt);
-                    return;
+        let count = pkt.count;
+        let gen = sw.generation();
+        let use_cache = self.config.decision_cache;
+        let ck = (node, in_port, pkt.flow, pkt.is_ack);
+        let cached_valid = use_cache
+            && self
+                .cache
+                .get(&ck)
+                .is_some_and(|e| e.gen == gen && e.key == pkt.key);
+        if use_cache {
+            if cached_valid {
+                self.cache_hits += 1;
+            } else {
+                if self.cache.contains_key(&ck) {
+                    self.cache_invalidations += 1;
+                }
+                self.cache_misses += 1;
+            }
+        }
+
+        // Phase 1: resolve the decision and replay every switch-side
+        // effect a per-packet walk would have had (classification
+        // counters, meter tokens, byte credits). The cached path must be
+        // bit-identical to the walk, so `commit_matched_n` mirrors
+        // `process`'s commit and meters are consumed packet by packet.
+        let mut ports = std::mem::take(&mut self.scratch_ports);
+        ports.clear();
+        // verdict kind: 0 = forward, 1 = to-controller, 2 = drop
+        let (vk, key_out, pass) = if cached_valid {
+            let e = self.cache.get(&ck).expect("checked above");
+            let res = &e.res;
+            sw.commit_matched_n(&res.matched, count as u64, now);
+            let pass = Self::consume_meters(sw, &res.meters, pkt.size, count, now);
+            if pass > 0 {
+                sw.credit_bytes(
+                    &res.matched,
+                    ByteSize::bytes(pkt.size as u64 * pass as u64),
+                    ByteSize::bytes(pkt.size as u64),
+                    now,
+                );
+            }
+            let vk = match &res.verdict {
+                Verdict::Forward(ps) => {
+                    ports.extend_from_slice(ps);
+                    0u8
+                }
+                Verdict::ToController => 1,
+                Verdict::Drop(_) => 2,
+            };
+            (vk, res.key_out, pass)
+        } else {
+            // `process` commits one classification; the rest of the burst
+            // rides along with one aggregate commit.
+            let res = sw.process(in_port, &pkt.key, now);
+            if count > 1 {
+                sw.commit_matched_n(&res.matched, count as u64 - 1, now);
+            }
+            let pass = Self::consume_meters(sw, &res.meters, pkt.size, count, now);
+            if pass > 0 {
+                sw.credit_bytes(
+                    &res.matched,
+                    ByteSize::bytes(pkt.size as u64 * pass as u64),
+                    ByteSize::bytes(pkt.size as u64),
+                    now,
+                );
+            }
+            let vk = match &res.verdict {
+                Verdict::Forward(ps) => {
+                    ports.extend_from_slice(ps);
+                    0u8
+                }
+                Verdict::ToController => 1,
+                Verdict::Drop(_) => 2,
+            };
+            let key_out = res.key_out;
+            if use_cache {
+                self.cache.insert(
+                    ck,
+                    CacheEntry {
+                        gen,
+                        key: pkt.key,
+                        res,
+                    },
+                );
+            }
+            (vk, key_out, pass)
+        };
+
+        // Phase 2: act on the verdict. Meter-failed packets drop first
+        // (exactly like the per-packet early return); only the passing
+        // prefix reaches the verdict.
+        if pass < count {
+            self.drop_pkt_n(&pkt, count - pass);
+        }
+        if pass > 0 {
+            match vk {
+                0 => {
+                    for &port in &ports {
+                        let mut p = pkt.clone();
+                        p.key = key_out;
+                        p.count = pass;
+                        self.enqueue(node, port, p, now, topo, drain, out);
+                    }
+                }
+                1 => {
+                    // bufferless reactive setup: packets dropped, one
+                    // FlowIn raised per burst (the controller sees the
+                    // head packet's miss; followers ride along)
+                    self.drop_pkt_n(&pkt, pass);
+                    let msg = switches
+                        .get(&node)
+                        .expect("switch exists")
+                        .flow_in(in_port, &pkt.key);
+                    out.flow_ins.push(msg);
+                }
+                _ => {
+                    self.drop_pkt_n(&pkt, pass);
                 }
             }
         }
-        sw.credit_bytes(
-            &res.matched,
-            ByteSize::bytes(pkt.size as u64),
-            ByteSize::bytes(pkt.size as u64),
-            now,
-        );
-        match res.verdict {
-            Verdict::Forward(ports) => {
-                let key_out = res.key_out;
-                for port in ports {
-                    let mut p = pkt.clone();
-                    p.key = key_out;
-                    self.enqueue(node, port, p, now, topo, drain, out);
+        ports.clear();
+        self.scratch_ports = ports;
+    }
+
+    /// Runs a burst through a decision's meter chain packet by packet, in
+    /// meter order — exactly the token consumption `count` separate walks
+    /// at the same instant would produce. Returns how many packets passed
+    /// every meter; because token buckets only drain within one timestamp,
+    /// the passing packets are always the burst's prefix.
+    fn consume_meters(
+        sw: &mut OpenFlowSwitch,
+        meters: &[MeterId],
+        size: u32,
+        count: u32,
+        now: SimTime,
+    ) -> u32 {
+        if meters.is_empty() {
+            return count;
+        }
+        let mut pass = 0u32;
+        let mut failed = false;
+        for _ in 0..count {
+            let mut ok = true;
+            for m in meters {
+                if let Some(me) = sw.meter_mut(*m) {
+                    if !me.try_consume(size as u64, now) {
+                        ok = false;
+                        break;
+                    }
                 }
             }
-            Verdict::ToController => {
-                // bufferless reactive setup: packet dropped, FlowIn raised
-                self.drop_pkt(&pkt);
-                let msg = switches
-                    .get(&node)
-                    .expect("switch exists")
-                    .flow_in(in_port, &pkt.key);
-                out.flow_ins.push(msg);
-            }
-            Verdict::Drop(_) => {
-                self.drop_pkt(&pkt);
+            if ok && !failed {
+                pass += 1;
+            } else {
+                debug_assert!(!ok, "meter pass set must be a prefix");
+                failed = true;
             }
         }
+        pass
     }
 
     /// Enqueues a packet on an output port (tail drop) and kicks the
@@ -826,7 +1131,7 @@ impl PacketPlane {
         &mut self,
         node: NodeId,
         port: PortNo,
-        pkt: Pkt,
+        mut pkt: Pkt,
         now: SimTime,
         topo: &Topology,
         drain: &DrainFn<'_>,
@@ -841,19 +1146,32 @@ impl PacketPlane {
             return;
         }
         let buffer = self.config.buffer.as_bytes();
-        let over = {
+        // Tail drop with partial burst fit: as many packets as the buffer
+        // still holds enter the queue, the rest drop — the same outcome
+        // `count` individual arrivals would produce.
+        let fit = {
             let pq = self
                 .queues
                 .entry((node, port))
                 .or_insert_with(PortQueue::new);
-            pq.queued_bytes + pkt.size as u64 > buffer
+            (buffer.saturating_sub(pq.queued_bytes) / pkt.size.max(1) as u64).min(pkt.count as u64)
+                as u32
         };
-        if over {
+        if fit == 0 {
             self.drop_pkt(&pkt);
             return;
         }
+        if fit < pkt.count {
+            self.drop_pkt_n(&pkt, pkt.count - fit);
+            if pkt.is_ack {
+                // An ACK burst's `seq` is its final value; keeping the
+                // earliest `fit` values lowers it accordingly.
+                pkt.seq -= (pkt.count - fit) as u64;
+            }
+            pkt.count = fit;
+        }
         let pq = self.queues.get_mut(&(node, port)).expect("inserted above");
-        pq.queued_bytes += pkt.size as u64;
+        pq.queued_bytes += pkt.size as u64 * pkt.count as u64;
         pq.queue.push_back(pkt);
         let was_busy = pq.busy;
         self.start_tx_if_idle(node, port, now, topo, drain, out);
@@ -889,10 +1207,45 @@ impl PacketPlane {
         if pq.busy {
             return;
         }
-        let Some(pkt) = pq.queue.pop_front() else {
+        let Some(mut pkt) = pq.queue.pop_front() else {
             return;
         };
-        pq.queued_bytes -= pkt.size as u64;
+        pq.queued_bytes -= pkt.size as u64 * pkt.count as u64;
+        // Serializer drain coalescing: back-to-back queued packets of the
+        // same flow/direction with contiguous sequences merge into the
+        // departing burst (up to the cap). With `burst == 1` the loop
+        // never fires and the plane is bit-identical to per-packet.
+        let cap = self.config.burst.max(1);
+        while pkt.count < cap {
+            let mergeable = match pq.queue.front() {
+                Some(next) => {
+                    next.flow == pkt.flow
+                        && next.is_ack == pkt.is_ack
+                        && next.size == pkt.size
+                        && next.key == pkt.key
+                        && pkt.count + next.count <= cap
+                        && if pkt.is_ack {
+                            // ACK bursts are contiguous when the next
+                            // burst's first value follows our last.
+                            next.seq == pkt.seq + next.count as u64
+                        } else {
+                            next.seq == pkt.seq + pkt.count as u64
+                        }
+                }
+                None => false,
+            };
+            if !mergeable {
+                break;
+            }
+            let next = pq.queue.pop_front().expect("checked above");
+            pq.queued_bytes -= next.size as u64 * next.count as u64;
+            if pkt.is_ack {
+                pkt.seq = next.seq;
+            }
+            pkt.count += next.count;
+            // head's sent_at is kept: the oldest timestamp gives the
+            // most conservative RTT sample
+        }
         let bps = drain(link_id);
         if bps <= f64::EPSILON {
             // The link cannot serialize right now (zero capacity or no
@@ -903,12 +1256,26 @@ impl PacketPlane {
             return;
         }
         pq.busy = true;
-        let ser = SimDuration::from_secs_f64(pkt.size as f64 * 8.0 / bps);
-        self.link_bytes[link_id.index()] += pkt.size as f64;
-        let tx_end = now + ser;
-        out.events.push((tx_end, PktEvent::TxDone { node, port }));
+        let burst_bytes = pkt.size as u64 * pkt.count as u64;
+        // Aggregate latency arithmetic: the serializer is busy for the
+        // whole burst (correct throughput, backlog and fluid coupling),
+        // but the burst is handed downstream at the *head* packet's
+        // arrival — per-packet cut-through pipelining is what the oracle
+        // does, and it is what keeps RTTs (and so TCP dynamics) within
+        // the burst-length error bound. With `count == 1` both times are
+        // the packet's own, bit-identical to the per-packet plane.
+        let ser_full = SimDuration::from_secs_f64(burst_bytes as f64 * 8.0 / bps);
+        let ser_head = SimDuration::from_secs_f64(pkt.size as f64 * 8.0 / bps);
+        self.link_bytes[link_id.index()] += burst_bytes as f64;
+        self.tx_packets += pkt.count as u64;
+        self.burst_len_hist[((31 - pkt.count.leading_zeros()) as usize).min(7)] += 1;
+        if pkt.count > 1 {
+            self.bursts_formed += 1;
+        }
+        out.events
+            .push((now + ser_full, PktEvent::TxDone { node, port }));
         out.events.push((
-            tx_end + prop,
+            now + ser_head + prop,
             PktEvent::Arrive {
                 node: dst,
                 in_port: dst_port,

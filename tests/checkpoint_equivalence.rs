@@ -241,14 +241,56 @@ proptest! {
         seed in 1u64..1000,
         snap_pct in 5u64..95,
         threads in 1usize..4,
+        pkt_variant in 0usize..3,
     ) {
         let horizon = scenario_zoo(idx, seed).horizon;
         let t_snap = SimTime::from_nanos(horizon.as_nanos() / 100 * snap_pct);
-        let config = SimConfig::default().with_engine_threads(threads);
+        // The packet-plane knobs are a harness axis too: default bursts,
+        // the per-packet oracle, and a small cap that puts most snapshot
+        // times mid-burst (serializer busy with a multi-packet event).
+        let (burst, cache) = [(32, true), (1, false), (4, true)][pkt_variant];
+        let config = SimConfig::default()
+            .with_engine_threads(threads)
+            .with_pkt_burst(burst)
+            .with_pkt_decision_cache(cache);
         let (want, want_journal) = straight(scenario_zoo(idx, seed), config);
         let (got, got_journal) = resumed(scenario_zoo(idx, seed), config, t_snap, None);
         prop_assert_eq!(&got, &want);
         prop_assert_eq!(got_journal, want_journal);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Satellite: mid-burst snapshots. With bursts on, most snapshot times
+// land while a serializer is busy with a multi-packet event and the
+// decision cache is warm; cutting there and resuming must still be
+// bit-identical (the cache and in-flight bursts are part of the image).
+// ---------------------------------------------------------------------
+
+#[test]
+fn mid_burst_snapshot_resumes_bit_identically() {
+    // Hybrid zoo entry: packet foreground over fluid bulk, bursts on.
+    for (burst, cache) in [(32u32, true), (8, true), (8, false)] {
+        let config = SimConfig::default()
+            .with_pkt_burst(burst)
+            .with_pkt_decision_cache(cache);
+        let (want, want_journal) = straight(scenario_zoo(4, 77), config);
+        for snap_ms in [300u64, 650, 1100] {
+            let (got, got_journal) = resumed(
+                scenario_zoo(4, 77),
+                config,
+                SimTime::from_millis(snap_ms),
+                None,
+            );
+            assert_eq!(
+                got, want,
+                "burst={burst} cache={cache} snap={snap_ms}ms drifted"
+            );
+            assert_eq!(
+                got_journal, want_journal,
+                "burst={burst} cache={cache} snap={snap_ms}ms journal drifted"
+            );
+        }
     }
 }
 
